@@ -1,0 +1,365 @@
+//! The external merge-sort engine over key-path records.
+//!
+//! This is the paper's baseline algorithm (Section 1, "External merge sort")
+//! and also the subroutine NEXSORT uses for subtrees too large to sort in
+//! internal memory (Figure 4 line 11). Structure:
+//!
+//! * **run formation** -- fill the free internal memory with records, sort
+//!   them by key path, spill a sorted scratch run; repeat;
+//! * **merge passes** -- merge up to `m - 1` runs at a time (one input frame
+//!   per run plus one output frame) until one run remains;
+//! * the **final merge** strips the key paths and writes plain records with
+//!   a caller-chosen I/O category (the sorted output).
+//!
+//! The logarithmic factor the paper derives -- `log_{M/B}(N/B)` passes --
+//! falls directly out of this loop, which is what Figures 5 and 6 measure.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use nexsort_extmem::{
+    ByteSink, ExtentReader, IoCat, KWayMerger, MemoryBudget, MergeStream, RunId, RunStore,
+};
+use nexsort_xml::{PathedRec, Rec, Result, XmlError};
+
+use crate::source::PathedSource;
+
+/// Options for one external merge sort.
+#[derive(Debug, Clone)]
+pub struct ExtSortOptions {
+    /// Category charged for scratch runs (formation + intermediate merges).
+    pub scratch_cat: IoCat,
+    /// Category charged for the final sorted output run.
+    pub final_cat: IoCat,
+    /// Strip key paths in the final pass (plain records out). Kept on for
+    /// document sorts; off when a caller wants a pathed result.
+    pub strip_paths: bool,
+}
+
+impl Default for ExtSortOptions {
+    fn default() -> Self {
+        Self { scratch_cat: IoCat::SortScratch, final_cat: IoCat::OutputWrite, strip_paths: true }
+    }
+}
+
+/// What one external merge sort did (pass structure for the experiments).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtSortReport {
+    /// Records sorted.
+    pub items: u64,
+    /// Total encoded bytes of pathed records.
+    pub bytes: u64,
+    /// Sorted runs produced by run formation.
+    pub initial_runs: u32,
+    /// Intermediate (non-final) merge operations.
+    pub intermediate_merges: u32,
+    /// Passes over the data: 1 (formation) + merge levels (incl. final).
+    pub passes: u32,
+    /// Merge fan-in used.
+    pub fan_in: usize,
+}
+
+struct RunStream {
+    reader: ExtentReader,
+    left: u64,
+}
+
+impl MergeStream for RunStream {
+    type Item = PathedRec;
+
+    fn next_item(&mut self) -> nexsort_extmem::Result<Option<PathedRec>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        match PathedRec::decode(&mut self.reader) {
+            Ok((p, consumed)) => {
+                self.left = self.left.saturating_sub(consumed);
+                Ok(Some(p))
+            }
+            Err(nexsort_xml::XmlError::Ext(e)) => Err(e),
+            Err(e) => Err(nexsort_extmem::ExtError::Corrupt(e.to_string())),
+        }
+    }
+}
+
+/// External merge sort of a pathed record stream. Returns the final run
+/// (sorted document order) and a pass report.
+///
+/// Frame usage: during formation, all free frames buffer records except one
+/// for the spill writer; during merges, one frame per input run plus one for
+/// the writer (so fan-in = free - 1). The caller's source holds its own
+/// frames and must stay within the same [`MemoryBudget`].
+pub fn external_merge_sort(
+    store: &Rc<RunStore>,
+    budget: &MemoryBudget,
+    src: &mut dyn PathedSource,
+    opts: &ExtSortOptions,
+) -> Result<(RunId, ExtSortReport)> {
+    let disk = store.disk().clone();
+    let block_size = disk.block_size() as u64;
+    let mut report = ExtSortReport::default();
+
+    // ---- Run formation ----
+    let mut runs: VecDeque<RunId> = VecDeque::new();
+    {
+        // One frame stays free for the spill writer.
+        let free = budget.free_frames();
+        if free < 2 {
+            return Err(XmlError::Ext(nexsort_extmem::ExtError::BudgetExceeded {
+                requested: 2,
+                free,
+            }));
+        }
+        let buffer_guard = budget.reserve(free - 1).expect("just checked");
+        let capacity = buffer_guard.frames() as u64 * block_size;
+        let mut buf: Vec<PathedRec> = Vec::new();
+        let mut buf_bytes = 0u64;
+        let mut scratch = Vec::new();
+
+        let spill = |buf: &mut Vec<PathedRec>,
+                         scratch: &mut Vec<u8>,
+                         report: &mut ExtSortReport,
+                         runs: &mut VecDeque<RunId>|
+         -> Result<()> {
+            buf.sort_by(PathedRec::cmp_order);
+            let mut w = store.create(budget, opts.scratch_cat)?;
+            for p in buf.drain(..) {
+                scratch.clear();
+                p.encode(scratch)?;
+                w.write_all(scratch)?;
+            }
+            runs.push_back(w.finish()?);
+            report.initial_runs += 1;
+            Ok(())
+        };
+
+        while let Some(p) = src.next_pathed()? {
+            let len = p.encoded_len() as u64;
+            if buf_bytes + len > capacity && !buf.is_empty() {
+                spill(&mut buf, &mut scratch, &mut report, &mut runs)?;
+                buf_bytes = 0;
+            }
+            buf_bytes += len;
+            report.items += 1;
+            report.bytes += len;
+            buf.push(p);
+        }
+        if !buf.is_empty() || runs.is_empty() {
+            spill(&mut buf, &mut scratch, &mut report, &mut runs)?;
+        }
+    }
+    report.passes = 1;
+
+    // ---- Merge passes ----
+    let fan_in = budget.free_frames().saturating_sub(1).max(2);
+    report.fan_in = fan_in;
+
+    let open_streams = |ids: &[RunId], cat: IoCat| -> Result<Vec<RunStream>> {
+        ids.iter()
+            .map(|&id| {
+                let reader = store.open(id, budget, cat)?;
+                let left = store.run_len(id)?;
+                Ok(RunStream { reader, left })
+            })
+            .collect()
+    };
+
+    // Intermediate merges until the remainder fits in one final merge.
+    while runs.len() > fan_in {
+        let group: Vec<RunId> = runs.drain(..fan_in).collect();
+        let streams = open_streams(&group, opts.scratch_cat)?;
+        let mut merger = KWayMerger::new(streams, |a: &PathedRec, b: &PathedRec| a.cmp_order(b))?;
+        let mut w = store.create(budget, opts.scratch_cat)?;
+        let mut scratch = Vec::new();
+        while let Some((p, _)) = merger.next_merged()? {
+            scratch.clear();
+            p.encode(&mut scratch)?;
+            w.write_all(&scratch)?;
+        }
+        runs.push_back(w.finish()?);
+        for id in group {
+            store.discard(id)?;
+        }
+        report.intermediate_merges += 1;
+    }
+    // Count pass levels: every intermediate merge touches a subset; the
+    // standard accounting is ceil(log_fanin(initial_runs)) extra passes.
+    let mut levels = 0u32;
+    let mut r = report.initial_runs.max(1) as u64;
+    while r > 1 {
+        r = r.div_ceil(fan_in as u64);
+        levels += 1;
+    }
+    report.passes += levels.max(1); // the final merge is always one pass
+
+    // ---- Final merge: strip paths, write the sorted output run ----
+    let group: Vec<RunId> = runs.drain(..).collect();
+    let streams = open_streams(&group, opts.scratch_cat)?;
+    let mut merger = KWayMerger::new(streams, |a: &PathedRec, b: &PathedRec| a.cmp_order(b))?;
+    let mut w = store.create(budget, opts.final_cat)?;
+    let mut scratch = Vec::new();
+    while let Some((p, _)) = merger.next_merged()? {
+        scratch.clear();
+        if opts.strip_paths {
+            p.rec.encode(&mut scratch)?;
+        } else {
+            p.encode(&mut scratch)?;
+        }
+        w.write_all(&scratch)?;
+    }
+    let final_run = w.finish()?;
+    for id in group {
+        store.discard(id)?;
+    }
+    Ok((final_run, report))
+}
+
+/// Decode a (plain-record) run back into memory (test/inspection helper).
+pub fn run_to_recs(
+    store: &Rc<RunStore>,
+    budget: &MemoryBudget,
+    run: RunId,
+    cat: IoCat,
+) -> Result<Vec<Rec>> {
+    let reader = store.open(run, budget, cat)?;
+    let mut dec = nexsort_xml::RecDecoder::new(reader);
+    let mut out = Vec::new();
+    while let Some(r) = dec.next_rec()? {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{PathedAdapter, VecRecSource};
+    use nexsort_extmem::Disk;
+    use nexsort_xml::{events_to_recs, parse_events, SortSpec, TagDict};
+
+    fn make_recs(n_children: usize) -> (Vec<Rec>, TagDict) {
+        let mut doc = String::from("<root>");
+        for i in 0..n_children {
+            // Reverse order keys so sorting must move everything.
+            doc.push_str(&format!(
+                "<item key=\"{:05}\"><leaf key=\"b\"/><leaf key=\"a\"/></item>",
+                n_children - i
+            ));
+        }
+        doc.push_str("</root>");
+        let events = parse_events(doc.as_bytes()).unwrap();
+        let spec = SortSpec::by_attribute("key");
+        let mut dict = TagDict::new();
+        let recs = events_to_recs(&events, &spec, &mut dict, true).unwrap();
+        (recs, dict)
+    }
+
+    fn sort_with(mem_frames: usize, n_children: usize) -> (Vec<Rec>, ExtSortReport, u64) {
+        let (recs, _dict) = make_recs(n_children);
+        let disk = Disk::new_mem(256);
+        let budget = MemoryBudget::new(mem_frames);
+        let store = RunStore::new(disk.clone());
+        let mut src = PathedAdapter::new(VecRecSource::new(recs), None);
+        let before = disk.stats().snapshot();
+        let (run, report) =
+            external_merge_sort(&store, &budget, &mut src, &ExtSortOptions::default()).unwrap();
+        let ios = disk.stats().snapshot().since(&before).grand_total();
+        let out = run_to_recs(&store, &budget, run, IoCat::SortScratch).unwrap();
+        (out, report, ios)
+    }
+
+    #[test]
+    fn output_is_globally_sorted_dfs_order() {
+        let (out, report, _) = sort_with(8, 50);
+        assert_eq!(report.items as usize, out.len());
+        // Items at level 2 must be ascending by key; leaves follow parents.
+        let keys: Vec<String> = out
+            .iter()
+            .filter(|r| r.level() == 2)
+            .map(|r| r.key().display_lossy())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Each item is followed by its leaves a then b.
+        let pos_a = out.iter().position(|r| r.key().display_lossy() == "a").unwrap();
+        assert_eq!(out[pos_a].level(), 3);
+        assert_eq!(out[pos_a + 1].key().display_lossy(), "b");
+    }
+
+    #[test]
+    fn small_memory_forces_multiple_runs_and_merges() {
+        let (_, small_mem, small_ios) = sort_with(4, 400);
+        let (_, big_mem, big_ios) = sort_with(64, 400);
+        assert!(small_mem.initial_runs > big_mem.initial_runs);
+        assert!(small_mem.passes >= big_mem.passes);
+        assert!(small_ios > big_ios, "less memory must cost more I/O");
+    }
+
+    #[test]
+    fn results_agree_across_memory_sizes() {
+        let (a, _, _) = sort_with(4, 120);
+        let (b, _, _) = sort_with(32, 120);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pass_counts_jump_when_runs_exceed_fan_in() {
+        // With 4 frames: formation buffer = 3 frames; fan-in = 3.
+        let (_, report, _) = sort_with(4, 800);
+        assert!(report.initial_runs > report.fan_in as u32);
+        assert!(report.intermediate_merges > 0, "must need intermediate merges");
+        assert!(report.passes >= 3);
+    }
+
+    #[test]
+    fn scratch_runs_are_reclaimed() {
+        let (recs, _) = make_recs(300);
+        let disk = Disk::new_mem(256);
+        let budget = MemoryBudget::new(4);
+        let store = RunStore::new(disk.clone());
+        let mut src = PathedAdapter::new(VecRecSource::new(recs), None);
+        let (run, _) =
+            external_merge_sort(&store, &budget, &mut src, &ExtSortOptions::default()).unwrap();
+        // Only the final run still occupies blocks.
+        let final_blocks = store.run_len(run).unwrap().div_ceil(256);
+        assert_eq!(store.total_blocks(), final_blocks);
+    }
+
+    #[test]
+    fn tiny_budget_is_rejected() {
+        let (recs, _) = make_recs(10);
+        let disk = Disk::new_mem(256);
+        let budget = MemoryBudget::new(1);
+        let store = RunStore::new(disk.clone());
+        let mut src = PathedAdapter::new(VecRecSource::new(recs), None);
+        assert!(external_merge_sort(&store, &budget, &mut src, &ExtSortOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_an_empty_run() {
+        let disk = Disk::new_mem(256);
+        let budget = MemoryBudget::new(4);
+        let store = RunStore::new(disk.clone());
+        let mut src = PathedAdapter::new(VecRecSource::new(vec![]), None);
+        let (run, report) =
+            external_merge_sort(&store, &budget, &mut src, &ExtSortOptions::default()).unwrap();
+        assert_eq!(report.items, 0);
+        assert_eq!(store.run_len(run).unwrap(), 0);
+    }
+
+    #[test]
+    fn final_run_can_keep_paths_when_requested() {
+        let (recs, _) = make_recs(5);
+        let disk = Disk::new_mem(256);
+        let budget = MemoryBudget::new(8);
+        let store = RunStore::new(disk.clone());
+        let mut src = PathedAdapter::new(VecRecSource::new(recs), None);
+        let opts = ExtSortOptions { strip_paths: false, ..Default::default() };
+        let (run, _) = external_merge_sort(&store, &budget, &mut src, &opts).unwrap();
+        // Decodes as pathed records.
+        let mut reader = store.open(run, &budget, IoCat::SortScratch).unwrap();
+        let (p, _) = PathedRec::decode(&mut reader).unwrap();
+        assert_eq!(p.path.len(), 1);
+    }
+}

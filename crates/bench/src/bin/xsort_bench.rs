@@ -1,0 +1,114 @@
+//! The experiment harness CLI: regenerates every table and figure of the
+//! NEXSORT paper.
+//!
+//! ```text
+//! xsort-bench [--quick|--full] [--csv DIR] [all|table1|table2|threshold|
+//!              fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nexsort_bench::{
+    ablate_compaction, ablate_frames, bounds_vs_measured, fig5, fig6, fig7, table1, table2,
+    threshold_experiment, ExpScale, ExpTable,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xsort-bench [--quick|--full] [--csv DIR] \
+         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds]..."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = ExpScale::standard();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = ExpScale::quick(),
+            "--full" => scale = ExpScale::full(),
+            "--csv" => match args.next() {
+                Some(d) => csv_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    let run_one = |name: &str, scale: &ExpScale| -> Result<Option<ExpTable>, String> {
+        let t = match name {
+            "table1" => table1().map_err(|e| e.to_string())?,
+            "table2" => table2(scale),
+            "threshold" => threshold_experiment(scale).map_err(|e| e.to_string())?,
+            "fig5" => fig5(scale).map_err(|e| e.to_string())?,
+            "fig6" => fig6(scale).map_err(|e| e.to_string())?,
+            "fig7" => fig7(scale).map_err(|e| e.to_string())?,
+            "ablate-compaction" => ablate_compaction(scale).map_err(|e| e.to_string())?,
+            "ablate-frames" => ablate_frames(scale).map_err(|e| e.to_string())?,
+            "bounds" => bounds_vs_measured(scale).map_err(|e| e.to_string())?,
+            _ => return Ok(None),
+        };
+        Ok(Some(t))
+    };
+
+    let all = [
+        "table1",
+        "table2",
+        "threshold",
+        "fig5",
+        "fig6",
+        "fig7",
+        "ablate-compaction",
+        "ablate-frames",
+        "bounds",
+    ];
+    let mut queue: Vec<&str> = Vec::new();
+    for t in &targets {
+        if t == "all" {
+            queue.extend(all);
+        } else {
+            queue.push(t);
+        }
+    }
+
+    for name in queue {
+        let started = std::time::Instant::now();
+        match run_one(name, &scale) {
+            Ok(Some(table)) => {
+                println!("{}", table.render());
+                println!("  ({name} completed in {:.1?})\n", started.elapsed());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {dir:?}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    let path = dir.join(format!("{name}.csv"));
+                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                        eprintln!("cannot write {path:?}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Ok(None) => {
+                eprintln!("unknown experiment: {name}");
+                return usage();
+            }
+            Err(e) => {
+                eprintln!("experiment {name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,486 @@
+//! The paper's experiments (Section 5), one function per table/figure, plus
+//! the ablations called out in DESIGN.md.
+//!
+//! Inputs are scaled versions of the paper's: the analysis depends only on
+//! the ratios N/B, M/B, k and t/B, so shrinking everything proportionally
+//! preserves pass counts and curve shapes while keeping single-machine run
+//! times sane. `ExpScale::full()` approaches the paper's absolute sizes.
+
+use nexsort::analysis;
+use nexsort_datagen::{table2_shapes, ExactGen, GenConfig, IbmGen};
+use nexsort_xml::{attach_paths, events_to_recs, parse_events, KeyRule, Result, SortSpec, TagDict};
+
+use crate::runner::{measure_mergesort, measure_nexsort, Measurement, RunConfig};
+use crate::table::ExpTable;
+
+/// Size knobs for the experiment suite.
+#[derive(Debug, Clone)]
+pub struct ExpScale {
+    /// Elements of the Figure 5 / threshold-experiment document.
+    pub base_elements: u64,
+    /// Element counts swept in Figure 6.
+    pub fig6_sizes: Vec<u64>,
+    /// Memory frames swept in Figure 5.
+    pub fig5_mems: Vec<usize>,
+    /// Shrink factor for the Table 2 documents (1 = paper size, ~3M).
+    pub table2_scale: u64,
+    /// Block size in bytes.
+    pub block_size: usize,
+}
+
+impl ExpScale {
+    /// Seconds-fast sizes for CI and Criterion.
+    pub fn quick() -> Self {
+        Self {
+            base_elements: 12_000,
+            fig6_sizes: vec![2_000, 8_000, 30_000],
+            fig5_mems: vec![10, 16, 24, 48],
+            table2_scale: 512,
+            block_size: 1024,
+        }
+    }
+
+    /// The default harness sizes (minutes for the full suite).
+    pub fn standard() -> Self {
+        Self {
+            base_elements: 120_000,
+            fig6_sizes: vec![10_000, 40_000, 160_000, 640_000],
+            fig5_mems: vec![12, 16, 24, 32, 48, 64, 96, 128],
+            table2_scale: 32,
+            block_size: 4096,
+        }
+    }
+
+    /// Near the paper's absolute sizes (long-running).
+    pub fn full() -> Self {
+        Self {
+            base_elements: 600_000,
+            fig6_sizes: vec![10_000, 40_000, 160_000, 640_000, 2_560_000],
+            fig5_mems: vec![12, 16, 24, 32, 48, 64, 96, 128, 192, 256],
+            table2_scale: 8,
+            block_size: 4096,
+        }
+    }
+}
+
+/// The uniform ordering criterion used by all generated workloads.
+pub fn bench_spec() -> SortSpec {
+    SortSpec::uniform(KeyRule::attr("k"))
+}
+
+fn ios_cell(m: &Measurement) -> Vec<String> {
+    vec![
+        m.sort_ios.to_string(),
+        m.output_ios.to_string(),
+        m.total_ios().to_string(),
+        format!("{:.1}", m.sim_seconds()),
+        format!("{:.0?}", m.wall),
+        m.detail.clone(),
+    ]
+}
+
+const IOS_HEADERS: [&str; 6] = ["sort-io", "out-io", "total-io", "sim-s", "wall", "detail"];
+
+/// Per-level fan-out vector hitting roughly `target` elements with max
+/// fan-out `k` (the Figure 6 inputs: "maximum fan-out is capped at 85").
+pub fn fanouts_for(target: u64, k: u64) -> Vec<u64> {
+    let mut fanouts = Vec::new();
+    let mut total = 1u64;
+    let mut width = 1u64;
+    loop {
+        let next = width.saturating_mul(k);
+        if total.saturating_add(next) > target {
+            break;
+        }
+        fanouts.push(k);
+        width = next;
+        total += width;
+    }
+    let rem = target.saturating_sub(total) / width.max(1);
+    if rem >= 2 {
+        fanouts.push(rem.min(k));
+    }
+    if fanouts.is_empty() {
+        fanouts.push(target.saturating_sub(1).max(2).min(k));
+    }
+    fanouts
+}
+
+/// **Table 1** -- the key-path representation of Figure 1's D1.
+pub fn table1() -> Result<ExpTable> {
+    let doc = "<company><region name=\"NE\"/><region name=\"AC\">\
+               <branch name=\"Durham\"><employee ID=\"454\"/>\
+               <employee ID=\"323\"><name>Smith</name><phone>5552345</phone></employee>\
+               </branch><branch name=\"Atlanta\"/></region></company>";
+    let spec = SortSpec::by_attribute("name")
+        .with_rule("employee", KeyRule::attr("ID"))
+        .with_rule("name", KeyRule::tag_name())
+        .with_rule("phone", KeyRule::tag_name())
+        .with_text_key(nexsort_xml::TextKey::Content);
+    let events = parse_events(doc.as_bytes())?;
+    let mut dict = TagDict::new();
+    let recs = events_to_recs(&events, &spec, &mut dict, true)?;
+    let pathed = attach_paths(recs)?;
+    let mut t = ExpTable::new(
+        "table1",
+        "Key-path representation of D1 (paper Table 1)",
+        &["key path", "element content"],
+    );
+    let mut em = nexsort_xml::RecEmitter::new(&dict);
+    for p in &pathed {
+        let mut evs = Vec::new();
+        em.push_rec(&p.rec, &mut evs)?;
+        let shown = evs
+            .iter()
+            .filter(|e| !matches!(e, nexsort_xml::Event::End { .. }))
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("");
+        t.push_row(vec![p.path.display(), shown]);
+    }
+    t.note("matches the paper's Table 1 (text nodes are separate records here)");
+    Ok(t)
+}
+
+/// **Table 2** -- the tree-shape inputs, with realized scaled sizes.
+pub fn table2(scale: &ExpScale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "table2",
+        "Input document shapes (paper Table 2)",
+        &["height", "fan-out per level", "paper size", "scaled fan-outs", "scaled size"],
+    );
+    let paper = table2_shapes(1);
+    let scaled = table2_shapes(scale.table2_scale);
+    for (p, s) in paper.iter().zip(&scaled) {
+        t.push_row(vec![
+            p.height.to_string(),
+            format!("{:?}", p.fanouts),
+            p.paper_size.to_string(),
+            format!("{:?}", s.fanouts),
+            ExactGen::total_elements(&s.fanouts).to_string(),
+        ]);
+    }
+    t.note(format!("scale factor 1/{}", scale.table2_scale));
+    t
+}
+
+/// **Threshold experiment** (Section 5, "results not shown due to space"):
+/// sort cost vs the threshold `t`.
+pub fn threshold_experiment(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "threshold",
+        "Effect of sort threshold t (Section 5; U-shaped, not shown in the paper)",
+        &[&["t/B", "t(bytes)"], &IOS_HEADERS[..]].concat(),
+    );
+    for mult in [0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let threshold = (mult * scale.block_size as f64) as u64;
+        let cfg = RunConfig {
+            block_size: scale.block_size,
+            mem_frames: 32,
+            threshold: Some(threshold),
+            ..Default::default()
+        };
+        let mut g = IbmGen::new(5, 40, Some(scale.base_elements), GenConfig::default());
+        let m = measure_nexsort(&mut g, &spec, &cfg)?;
+        let mut row = vec![format!("{mult}"), threshold.to_string()];
+        row.extend(ios_cell(&m));
+        t.push_row(row);
+    }
+    t.note("paper: small t -> many tiny sorts (overhead); large t -> multi-level external subtree sorts; t ~ 2B works well");
+    Ok(t)
+}
+
+/// **Figure 5** -- effect of main memory size.
+pub fn fig5(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "fig5",
+        "Effect of main memory size (paper Figure 5)",
+        &[&["mem(frames)", "algo"], &IOS_HEADERS[..]].concat(),
+    );
+    for &mem in &scale.fig5_mems {
+        let cfg = RunConfig { block_size: scale.block_size, mem_frames: mem, ..Default::default() };
+        let mut g = IbmGen::new(5, 40, Some(scale.base_elements), GenConfig::default());
+        let nx = measure_nexsort(&mut g, &spec, &cfg)?;
+        let mut row = vec![mem.to_string(), nx.algo.clone()];
+        row.extend(ios_cell(&nx));
+        t.push_row(row);
+
+        let mut g = IbmGen::new(5, 40, Some(scale.base_elements), GenConfig::default());
+        let ms = measure_mergesort(&mut g, &spec, &cfg)?;
+        let mut row = vec![mem.to_string(), ms.algo.clone()];
+        row.extend(ios_cell(&ms));
+        t.push_row(row);
+    }
+    t.note("paper: merge sort 13-27% slower overall; NEXSORT nearly flat in memory, merge sort jumps when passes increase");
+    Ok(t)
+}
+
+/// **Figure 6** -- effect of input size at constant maximum fan-out 85.
+pub fn fig6(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "fig6",
+        "Effect of input size with constant maximum fan-out (paper Figure 6)",
+        &[&["elements", "fanouts", "algo"], &IOS_HEADERS[..]].concat(),
+    );
+    for &target in &scale.fig6_sizes {
+        let fanouts = fanouts_for(target, 85);
+        let n = ExactGen::total_elements(&fanouts);
+        let cfg = RunConfig { block_size: scale.block_size, mem_frames: 24, ..Default::default() };
+        let mut g = ExactGen::new(&fanouts, GenConfig::default());
+        let nx = measure_nexsort(&mut g, &spec, &cfg)?;
+        let mut row = vec![n.to_string(), format!("{fanouts:?}"), nx.algo.clone()];
+        row.extend(ios_cell(&nx));
+        t.push_row(row);
+
+        let mut g = ExactGen::new(&fanouts, GenConfig::default());
+        let ms = measure_mergesort(&mut g, &spec, &cfg)?;
+        let mut row = vec![n.to_string(), format!("{fanouts:?}"), ms.algo.clone()];
+        row.extend(ios_cell(&ms));
+        t.push_row(row);
+    }
+    t.note("paper: NEXSORT linear in input size (log factor is log_m(kt/B), size-independent); merge sort superlinear with jumps at pass boundaries");
+    Ok(t)
+}
+
+/// **Figure 7** -- effect of input tree shape (the Table 2 documents).
+pub fn fig7(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "fig7",
+        "Effect of tree shape (paper Figure 7, inputs from Table 2)",
+        &[&["height", "k", "elements", "algo"], &IOS_HEADERS[..]].concat(),
+    );
+    // The paper ran this experiment with 64 KiB blocks (~427 elements per
+    // block) and 4 MB of memory: big enough that the height-4 input's
+    // level-2 subtrees (~3 MB) sort internally, small enough that merge
+    // sort needs an intermediate merge pass. Those two regimes coexist only
+    // with a large block-to-element ratio, so this experiment scales the
+    // block size up 4x and uses m = 24 (~384 KiB at standard scale).
+    let block_size = scale.block_size * 4;
+    let mem = 24;
+    for shape in table2_shapes(scale.table2_scale) {
+        let n = ExactGen::total_elements(&shape.fanouts);
+        let k = *shape.fanouts.iter().max().unwrap_or(&0);
+        let cfg = RunConfig { block_size, mem_frames: mem, ..Default::default() };
+        for (algo, degeneration) in [("nexsort", false), ("nexsort+degen", true)] {
+            let cfg = RunConfig { degeneration, ..cfg.clone() };
+            let mut g = ExactGen::new(&shape.fanouts, GenConfig::default());
+            let m = measure_nexsort(&mut g, &spec, &cfg)?;
+            let mut row =
+                vec![shape.height.to_string(), k.to_string(), n.to_string(), algo.to_string()];
+            row.extend(ios_cell(&m));
+            t.push_row(row);
+        }
+        let mut g = ExactGen::new(&shape.fanouts, GenConfig::default());
+        let ms = measure_mergesort(&mut g, &spec, &cfg)?;
+        let mut row =
+            vec![shape.height.to_string(), k.to_string(), n.to_string(), ms.algo.clone()];
+        row.extend(ios_cell(&ms));
+        t.push_row(row);
+    }
+    t.note("paper: NEXSORT (no degeneration, as published) loses on the flat height-2 input, wins clearly once fan-out drops below the critical level (height >= 4); merge sort slightly worsens with height (longer key paths)");
+    t.note("nexsort+degen is the Section 3.2 optimization the paper describes but did not implement");
+    Ok(t)
+}
+
+/// **Ablation: compaction** -- tag-dictionary compression on/off.
+pub fn ablate_compaction(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "ablate-compaction",
+        "Ablation: XML compaction (Section 3.2 tag dictionaries)",
+        &[&["compaction", "algo", "input-bytes"], &IOS_HEADERS[..]].concat(),
+    );
+    let n = scale.base_elements / 2;
+    for compaction in [true, false] {
+        let cfg = RunConfig {
+            block_size: scale.block_size,
+            mem_frames: 32,
+            compaction,
+            ..Default::default()
+        };
+        let mut g = IbmGen::new(5, 40, Some(n), GenConfig::default());
+        let nx = measure_nexsort(&mut g, &spec, &cfg)?;
+        let mut row =
+            vec![compaction.to_string(), nx.algo.clone(), nx.input_bytes.to_string()];
+        row.extend(ios_cell(&nx));
+        t.push_row(row);
+        let mut g = IbmGen::new(5, 40, Some(n), GenConfig::default());
+        let ms = measure_mergesort(&mut g, &spec, &cfg)?;
+        let mut row =
+            vec![compaction.to_string(), ms.algo.clone(), ms.input_bytes.to_string()];
+        row.extend(ios_cell(&ms));
+        t.push_row(row);
+    }
+    t.note("compaction shrinks every pass's bytes for both algorithms");
+    Ok(t)
+}
+
+/// **Ablation: path-stack frames** -- Lemma 4.11 assumes two resident
+/// frames; measure the path-stack paging with 1, 2, 4, 8 on a document
+/// whose depth oscillates across a path-stack block boundary (the case the
+/// second frame exists for).
+pub fn ablate_frames(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "ablate-frames",
+        "Ablation: path-stack resident frames (Lemma 4.11 premise)",
+        &["frames", "path-stack io", "total-io"],
+    );
+    // Path-stack entries are 8 bytes, so one block holds B/8 of them. Build
+    // a chain that parks the open path exactly at that boundary, then hang
+    // many small bushy subtrees off it: every subtree completion pops across
+    // the boundary and the next one pushes back over it.
+    let per_block = (scale.block_size / 8) as u64;
+    let mut fanouts = vec![1u64; per_block as usize - 2];
+    fanouts.push(200); // many siblings right at the boundary
+    fanouts.extend([2u64; 5]); // each a small bushy subtree crossing it
+    for frames in [1usize, 2, 4, 8] {
+        let cfg = RunConfig {
+            block_size: scale.block_size,
+            mem_frames: 32,
+            path_stack_frames: frames,
+            ..Default::default()
+        };
+        let mut g = ExactGen::new(&fanouts, GenConfig::default());
+        let m = measure_nexsort(&mut g, &spec, &cfg)?;
+        t.push_row(vec![
+            frames.to_string(),
+            m.breakdown.total(nexsort_extmem::IoCat::PathStack).to_string(),
+            m.total_ios().to_string(),
+        ]);
+    }
+    t.note("a single frame thrashes at the boundary; >= 2 frames page only at fringe elements (O(N/B) total)");
+    Ok(t)
+}
+
+/// **Bounds check** -- Section 4's formulas against a measured run.
+pub fn bounds_vs_measured(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let cfg =
+        RunConfig { block_size: scale.block_size, mem_frames: 32, ..Default::default() };
+    let mut g = IbmGen::new(5, 40, Some(scale.base_elements / 2), GenConfig::default());
+    let m = measure_nexsort(&mut g, &spec, &cfg)?;
+    let b_elems = (scale.block_size / 150).max(1) as u64; // ~150 B/element
+    let n_blocks = m.input_blocks;
+    let t_elems = (2 * scale.block_size as u64) / 150;
+    let lower = analysis::lower_bound_ios(n_blocks, cfg.mem_frames as u64, m.max_fanout, b_elems);
+    let upper = analysis::nexsort_bound_ios(
+        n_blocks,
+        cfg.mem_frames as u64,
+        m.max_fanout,
+        t_elems.max(1),
+        m.n_elements,
+        b_elems,
+    );
+    let flat = analysis::mergesort_bound_ios(n_blocks, cfg.mem_frames as u64);
+    let mut t = ExpTable::new(
+        "bounds",
+        "Section 4 bounds vs a measured NEXSORT run (constants dropped in bounds)",
+        &["quantity", "blocks / I/Os"],
+    );
+    t.push_row(vec!["input blocks n".into(), n_blocks.to_string()]);
+    t.push_row(vec!["lower bound (Thm 4.4)".into(), format!("{lower:.0}")]);
+    t.push_row(vec!["NEXSORT bound (Thm 4.5)".into(), format!("{upper:.0}")]);
+    t.push_row(vec!["flat-sort bound".into(), format!("{flat:.0}")]);
+    t.push_row(vec!["measured NEXSORT total".into(), m.total_ios().to_string()]);
+    t.push_row(vec![
+        "log2 #outcomes (xml, Lem 4.2)".into(),
+        format!("{:.0}", analysis::ln_possible_outcomes(m.n_elements, m.max_fanout) / 2f64.ln()),
+    ]);
+    t.push_row(vec![
+        "log2 #outcomes (flat file)".into(),
+        format!("{:.0}", analysis::ln_flat_outcomes(m.n_elements) / 2f64.ln()),
+    ]);
+    t.note("measured totals sit between the lower bound and a small constant times the upper bound");
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanouts_for_keeps_k_capped_and_size_close() {
+        for target in [100u64, 1_000, 10_000, 100_000] {
+            let f = fanouts_for(target, 85);
+            assert!(f.iter().all(|&x| (2..=85).contains(&x)), "{f:?}");
+            let n = ExactGen::total_elements(&f);
+            assert!(n <= target + 85, "overshoot: {n} for {target}");
+            assert!(n * 3 >= target, "undershoot: {n} for {target}");
+        }
+    }
+
+    #[test]
+    fn table1_reproduces_the_paper_rows() {
+        let t = table1().unwrap();
+        assert_eq!(t.rows.len(), 11);
+        assert_eq!(t.rows[0][0], "/");
+        assert!(t.rows.iter().any(|r| r[0] == "/AC/Durham/454"));
+        assert!(t.render().contains("employee"));
+    }
+
+    #[test]
+    fn table2_lists_five_shapes() {
+        let t = table2(&ExpScale::quick());
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows[0][2], "3000001");
+        assert!(!t.to_csv().is_empty());
+    }
+
+    #[test]
+    fn quick_fig5_shows_nexsort_flatter_than_mergesort() {
+        let t = fig5(&ExpScale::quick()).unwrap();
+        // Rows alternate nexsort / mergesort per memory point.
+        let totals = |algo: &str| -> Vec<u64> {
+            t.rows
+                .iter()
+                .filter(|r| r[1] == algo)
+                .map(|r| r[4].parse().unwrap())
+                .collect()
+        };
+        let nx = totals("nexsort");
+        let ms = totals("mergesort");
+        assert_eq!(nx.len(), ms.len());
+        // Low-memory degradation ratio is worse for merge sort.
+        let nx_ratio = nx[0] as f64 / *nx.last().unwrap() as f64;
+        let ms_ratio = ms[0] as f64 / *ms.last().unwrap() as f64;
+        assert!(
+            ms_ratio >= nx_ratio,
+            "merge sort should degrade more as memory shrinks: nx {nx_ratio:.2} ms {ms_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn quick_fig6_shows_nexsort_linear_scaling() {
+        let t = fig6(&ExpScale::quick()).unwrap();
+        let rows: Vec<(u64, String, u64)> = t
+            .rows
+            .iter()
+            .map(|r| (r[0].parse().unwrap(), r[2].clone(), r[5].parse().unwrap()))
+            .collect();
+        let nx: Vec<(u64, u64)> =
+            rows.iter().filter(|r| r.1 == "nexsort").map(|r| (r.0, r.2)).collect();
+        // I/O per element roughly constant for NEXSORT across sizes.
+        let per0 = nx[0].1 as f64 / nx[0].0 as f64;
+        let per_last = nx.last().unwrap().1 as f64 / nx.last().unwrap().0 as f64;
+        assert!(
+            per_last < per0 * 1.6,
+            "NEXSORT I/O per element should stay near-constant: {per0:.4} -> {per_last:.4}"
+        );
+    }
+
+    #[test]
+    fn bounds_table_is_internally_consistent() {
+        let t = bounds_vs_measured(&ExpScale::quick()).unwrap();
+        let get = |name: &str| -> f64 {
+            t.rows.iter().find(|r| r[0].starts_with(name)).unwrap()[1].parse().unwrap()
+        };
+        assert!(get("lower bound") <= get("NEXSORT bound") * 8.0);
+        assert!(get("log2 #outcomes (xml") <= get("log2 #outcomes (flat"));
+        assert!(get("measured") >= get("input blocks"));
+    }
+}

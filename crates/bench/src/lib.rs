@@ -1,0 +1,21 @@
+//! # nexsort-bench
+//!
+//! The experiment harness regenerating every table and figure of the NEXSORT
+//! paper's evaluation (Section 5), plus the ablations listed in DESIGN.md.
+//! The `xsort-bench` binary drives it; Criterion benches under `benches/`
+//! wrap the same experiments at quick scale.
+
+#![warn(missing_docs)]
+
+mod experiments;
+mod runner;
+mod table;
+
+pub use experiments::{
+    ablate_compaction, ablate_frames, bench_spec, bounds_vs_measured, fanouts_for, fig5, fig6,
+    fig7, table1, table2, threshold_experiment, ExpScale,
+};
+pub use runner::{
+    measure_mergesort, measure_nexsort, outputs_agree, Measurement, RunConfig, SIM_MS_PER_IO,
+};
+pub use table::ExpTable;

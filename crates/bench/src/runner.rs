@@ -1,0 +1,303 @@
+//! Running one sort under measurement.
+//!
+//! Every measurement stages a generated document on a fresh simulated disk
+//! (uncharged), runs one algorithm end to end -- sorting phase *and* output
+//! phase, matching the paper's reported sort times -- and collects the
+//! per-category I/O breakdown, pass structure, and wall-clock.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use nexsort::{Nexsort, NexsortOptions};
+use nexsort_baseline::{sort_rec_extent, BaselineOptions};
+use nexsort_datagen::stage_as_recs;
+use nexsort_extmem::{Disk, IoCat, IoSnapshot};
+use nexsort_xml::{EventSource, Result, SortSpec};
+
+/// Simulated disk service time per block transfer. The paper's testbed did
+/// ~64 KB transfers on a 2003-era disk (roughly 12 ms each, seek-dominated);
+/// the absolute value only scales the "sim time" column, never the shapes.
+pub const SIM_MS_PER_IO: f64 = 12.0;
+
+/// Configuration of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Device block size in bytes.
+    pub block_size: usize,
+    /// Internal memory in block frames.
+    pub mem_frames: usize,
+    /// NEXSORT sort threshold (None = 2 blocks, the paper's choice).
+    pub threshold: Option<u64>,
+    /// Compaction (tag dictionary) on/off.
+    pub compaction: bool,
+    /// NEXSORT graceful-degeneration variant.
+    pub degeneration: bool,
+    /// Depth-limited sorting.
+    pub depth_limit: Option<u32>,
+    /// Path-stack resident frames (Lemma 4.11 ablation).
+    pub path_stack_frames: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 4096,
+            mem_frames: 32,
+            threshold: None,
+            compaction: true,
+            degeneration: false,
+            depth_limit: None,
+            path_stack_frames: 2,
+        }
+    }
+}
+
+/// The outcome of one measured run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Algorithm label ("nexsort", "nexsort+degen", "mergesort").
+    pub algo: String,
+    /// Elements in the input.
+    pub n_elements: u64,
+    /// Input bytes (encoded records).
+    pub input_bytes: u64,
+    /// Input blocks (the analysis' `n`).
+    pub input_blocks: u64,
+    /// Observed max fan-out `k` (0 when the algorithm does not track it).
+    pub max_fanout: u64,
+    /// Observed height.
+    pub height: u32,
+    /// Memory frames `m`.
+    pub mem_frames: usize,
+    /// I/O of the sorting phase.
+    pub sort_ios: u64,
+    /// I/O of the output phase.
+    pub output_ios: u64,
+    /// Combined per-category breakdown.
+    pub breakdown: IoSnapshot,
+    /// NEXSORT: subtree sorts `x`; merge sort: passes over the data.
+    pub structure: u64,
+    /// Human-readable detail line.
+    pub detail: String,
+    /// Wall-clock of the measured phases.
+    pub wall: Duration,
+}
+
+impl Measurement {
+    /// Total block transfers, sorting + output.
+    pub fn total_ios(&self) -> u64 {
+        self.sort_ios + self.output_ios
+    }
+
+    /// Simulated disk time in seconds at [`SIM_MS_PER_IO`].
+    pub fn sim_seconds(&self) -> f64 {
+        self.total_ios() as f64 * SIM_MS_PER_IO / 1000.0
+    }
+}
+
+/// Measure NEXSORT end-to-end on a freshly staged document.
+pub fn measure_nexsort(
+    gen: &mut dyn EventSource,
+    spec: &SortSpec,
+    cfg: &RunConfig,
+) -> Result<Measurement> {
+    let disk = Disk::new_mem(cfg.block_size);
+    let staged = stage_as_recs(&disk, gen, spec, cfg.compaction)?;
+    let opts = NexsortOptions {
+        mem_frames: cfg.mem_frames,
+        threshold: cfg.threshold,
+        depth_limit: cfg.depth_limit,
+        compaction: cfg.compaction,
+        degeneration: cfg.degeneration,
+        path_stack_frames: cfg.path_stack_frames,
+        data_stack_frames: 1,
+    };
+    let sorter = Nexsort::new(disk.clone(), opts, spec.clone())?;
+    let sorted = sorter.sort_rec_extent(&staged.extent, staged.dict.clone())?;
+    let (_out_run, out_report) = sorted.write_output_run()?;
+
+    let report = &sorted.report;
+    let sort_ios = report.io.grand_total();
+    let output_ios = out_report.io.grand_total();
+    let breakdown = disk.stats().snapshot();
+    Ok(Measurement {
+        algo: if cfg.degeneration { "nexsort+degen".into() } else { "nexsort".into() },
+        n_elements: staged.n_elements,
+        input_bytes: staged.bytes,
+        input_blocks: staged.bytes.div_ceil(cfg.block_size as u64),
+        max_fanout: report.max_fanout,
+        height: report.max_level,
+        mem_frames: cfg.mem_frames,
+        sort_ios,
+        output_ios,
+        breakdown,
+        structure: u64::from(report.subtree_sorts),
+        detail: format!(
+            "x={} (int {}, ext {}, dump {}, inc {}, mrg {})",
+            report.subtree_sorts,
+            report.internal_sorts,
+            report.external_sorts,
+            report.dumped_runs,
+            report.incomplete_runs,
+            report.degenerate_merges
+        ),
+        wall: report.elapsed + out_report.elapsed,
+    })
+}
+
+/// Measure the key-path external merge-sort baseline end-to-end. Its final
+/// merge pass *is* the output write, so no separate output phase exists.
+pub fn measure_mergesort(
+    gen: &mut dyn EventSource,
+    spec: &SortSpec,
+    cfg: &RunConfig,
+) -> Result<Measurement> {
+    let disk = Disk::new_mem(cfg.block_size);
+    let staged = stage_as_recs(&disk, gen, spec, cfg.compaction)?;
+    let opts = BaselineOptions {
+        mem_frames: cfg.mem_frames,
+        compaction: cfg.compaction,
+        depth_limit: cfg.depth_limit,
+    };
+    let start = std::time::Instant::now();
+    let sorted = sort_rec_extent(&disk, &staged.extent, staged.dict.clone(), spec, &opts)?;
+    let wall = start.elapsed();
+    let breakdown = disk.stats().snapshot();
+    let output_ios = breakdown.total(IoCat::OutputWrite);
+    let sort_ios = breakdown.grand_total() - output_ios;
+    Ok(Measurement {
+        algo: "mergesort".into(),
+        n_elements: staged.n_elements,
+        input_bytes: staged.bytes,
+        input_blocks: staged.bytes.div_ceil(cfg.block_size as u64),
+        max_fanout: 0,
+        height: 0,
+        mem_frames: cfg.mem_frames,
+        sort_ios,
+        output_ios,
+        breakdown,
+        structure: u64::from(sorted.report.passes),
+        detail: format!(
+            "passes={} runs={} fan-in={} pathed-bytes={}",
+            sorted.report.passes,
+            sorted.report.initial_runs,
+            sorted.report.fan_in,
+            sorted.report.bytes
+        ),
+        wall,
+    })
+}
+
+/// Check both algorithms produce the same sorted document on a small input
+/// (used by the harness's self-test mode and by tests).
+pub fn outputs_agree(
+    gen_a: &mut dyn EventSource,
+    gen_b: &mut dyn EventSource,
+    spec: &SortSpec,
+    cfg: &RunConfig,
+) -> Result<bool> {
+    let disk = Disk::new_mem(cfg.block_size);
+    let staged = stage_as_recs(&disk, gen_a, spec, cfg.compaction)?;
+    let opts = NexsortOptions {
+        mem_frames: cfg.mem_frames,
+        threshold: cfg.threshold,
+        degeneration: cfg.degeneration,
+        compaction: cfg.compaction,
+        ..Default::default()
+    };
+    let nx = Nexsort::new(disk.clone(), opts, spec.clone())?
+        .sort_rec_extent(&staged.extent, staged.dict.clone())?;
+    let nx_recs = nx.to_recs()?;
+
+    let disk_b: Rc<Disk> = Disk::new_mem(cfg.block_size);
+    let staged_b = stage_as_recs(&disk_b, gen_b, spec, cfg.compaction)?;
+    let b_opts = BaselineOptions {
+        mem_frames: cfg.mem_frames,
+        compaction: cfg.compaction,
+        depth_limit: None,
+    };
+    let ms = sort_rec_extent(&disk_b, &staged_b.extent, staged_b.dict.clone(), spec, &b_opts)?;
+    let ms_recs = ms.to_recs()?;
+
+    // Sequence numbers match (same generator seed), so exact equality holds.
+    Ok(nx_recs == ms_recs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexsort_datagen::{ExactGen, GenConfig, IbmGen};
+    use nexsort_xml::KeyRule;
+
+    fn spec() -> SortSpec {
+        SortSpec::uniform(KeyRule::attr("k"))
+    }
+
+    #[test]
+    fn nexsort_and_mergesort_measurements_agree_on_output() {
+        let cfg = RunConfig { mem_frames: 12, block_size: 512, ..Default::default() };
+        let mut a = ExactGen::new(&[12, 8], GenConfig::default());
+        let mut b = ExactGen::new(&[12, 8], GenConfig::default());
+        assert!(outputs_agree(&mut a, &mut b, &spec(), &cfg).unwrap());
+    }
+
+    #[test]
+    fn measurements_carry_sane_numbers() {
+        let cfg = RunConfig { mem_frames: 12, block_size: 512, ..Default::default() };
+        let mut g = IbmGen::new(7, 8, Some(800), GenConfig::default());
+        let m = measure_nexsort(&mut g, &spec(), &cfg).unwrap();
+        assert!(m.n_elements > 500, "budget should bind: {}", m.n_elements);
+        assert!(m.total_ios() > 0);
+        assert!(m.sort_ios > 0 && m.output_ios > 0);
+        assert!(m.structure >= 1, "at least the root sort");
+        assert!(m.sim_seconds() > 0.0);
+
+        let mut g = IbmGen::new(7, 8, Some(800), GenConfig::default());
+        let b = measure_mergesort(&mut g, &spec(), &cfg).unwrap();
+        assert_eq!(b.n_elements, m.n_elements);
+        assert!(b.structure >= 2, "formation + final pass");
+    }
+
+    #[test]
+    fn hierarchical_input_favors_nexsort() {
+        // A 5-level document with modest fan-out, sized so merge sort needs
+        // several passes: the headline claim of the paper (13-27% faster).
+        let cfg = RunConfig { mem_frames: 16, block_size: 512, ..Default::default() };
+        let fanouts = [10, 10, 10, 10];
+        let mut g = ExactGen::new(&fanouts, GenConfig::default());
+        let nx = measure_nexsort(&mut g, &spec(), &cfg).unwrap();
+        let mut g = ExactGen::new(&fanouts, GenConfig::default());
+        let ms = measure_mergesort(&mut g, &spec(), &cfg).unwrap();
+        assert!(
+            nx.total_ios() < ms.total_ios(),
+            "NEXSORT {} vs merge sort {}",
+            nx.total_ios(),
+            ms.total_ios()
+        );
+    }
+
+    #[test]
+    fn flat_input_favors_mergesort_without_degeneration() {
+        let cfg = RunConfig { mem_frames: 10, block_size: 512, ..Default::default() };
+        let mut g = ExactGen::new(&[600], GenConfig::default());
+        let nx = measure_nexsort(&mut g, &spec(), &cfg).unwrap();
+        let mut g = ExactGen::new(&[600], GenConfig::default());
+        let ms = measure_mergesort(&mut g, &spec(), &cfg).unwrap();
+        assert!(
+            nx.total_ios() > ms.total_ios(),
+            "published NEXSORT loses on flat input: {} vs {}",
+            nx.total_ios(),
+            ms.total_ios()
+        );
+        // ...and degeneration repairs it (within a small margin).
+        let mut g = ExactGen::new(&[600], GenConfig::default());
+        let dg = measure_nexsort(&mut g, &spec(), &RunConfig { degeneration: true, ..cfg })
+            .unwrap();
+        assert!(
+            (dg.total_ios() as f64) <= ms.total_ios() as f64 * 1.15,
+            "degeneration {} should be within 15% of merge sort {}",
+            dg.total_ios(),
+            ms.total_ios()
+        );
+    }
+}

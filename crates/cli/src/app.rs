@@ -1,0 +1,863 @@
+//! The `xsort` application: argument handling and command execution.
+
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use nexsort::{Nexsort, NexsortOptions, SortedDoc};
+use nexsort_baseline::{sort_xml_extent, stage_input, BaselineOptions};
+use nexsort_extmem::{Disk, Extent};
+use nexsort_merge::{BatchUpdate, MergeOptions, StructuralMerge};
+use nexsort_xml::SortSpec;
+
+use crate::specarg::{build_spec, parse_size};
+
+fn xml_err(e: nexsort_xml::XmlError) -> String {
+    e.to_string()
+}
+
+/// Which algorithm a `sort` command runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// NEXSORT as published (Figure 4).
+    Nexsort,
+    /// NEXSORT with the Section 3.2 graceful-degeneration optimization.
+    Degen,
+    /// The key-path external merge-sort baseline.
+    Mergesort,
+}
+
+/// Parsed command line.
+#[derive(Debug)]
+pub struct Cli {
+    /// Subcommand: sort, merge, or update.
+    pub command: Command,
+    /// Output path (`-o`); stdout if absent.
+    pub output: Option<PathBuf>,
+    /// Device file for the simulated disk (temp file if absent).
+    pub device: Option<PathBuf>,
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Memory in bytes (converted to frames).
+    pub mem_bytes: u64,
+    /// Sort threshold in bytes (None = 2 blocks).
+    pub threshold: Option<u64>,
+    /// Depth limit.
+    pub depth_limit: Option<u32>,
+    /// Algorithm.
+    pub algo: Algo,
+    /// Output format for `sort`: XML text or the `.xrec` binary container.
+    pub format: OutFormat,
+    /// Pretty-print the output.
+    pub pretty: bool,
+    /// Print the sort report to stderr.
+    pub stats: bool,
+    /// The ordering criterion.
+    pub spec: SortSpec,
+}
+
+/// Output format of the `sort` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutFormat {
+    /// XML text.
+    Xml,
+    /// The `.xrec` binary container (records + dictionary): feeds back into
+    /// later `xsort` invocations without re-parsing.
+    Xrec,
+}
+
+/// The operation to perform.
+#[derive(Debug)]
+pub enum Command {
+    /// Fully sort one document.
+    Sort {
+        /// Input document path.
+        input: PathBuf,
+    },
+    /// Sort two documents and structurally merge them.
+    Merge {
+        /// Left document path.
+        left: PathBuf,
+        /// Right document path.
+        right: PathBuf,
+    },
+    /// Sort a base document and an update batch, then apply the batch.
+    Update {
+        /// Base document path.
+        base: PathBuf,
+        /// Update batch path (elements may carry `op="delete|replace|merge"`).
+        updates: PathBuf,
+    },
+    /// Verify a document is fully sorted under the criterion (exit 1 if not).
+    Check {
+        /// Document path.
+        input: PathBuf,
+    },
+    /// Generate a synthetic test document.
+    Gen {
+        /// Generator: "exact:F1,F2,..." | "ibm:HEIGHT,MAXFAN[,MAXELEMS]" |
+        /// "auction:SELLERS".
+        shape: String,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+xsort -- sort, merge, and batch-update XML in external memory (NEXSORT, ICDE 2004)
+
+USAGE:
+  xsort sort   INPUT.xml           [OPTIONS]
+  xsort merge  LEFT.xml RIGHT.xml  [OPTIONS]
+  xsort update BASE.xml BATCH.xml  [OPTIONS]
+  xsort check  INPUT.xml           [OPTIONS]      # is it fully sorted?
+  xsort gen    SHAPE [--seed N]    [OPTIONS]      # synthetic documents
+
+OPTIONS:
+  -o, --output FILE     write result here (default: stdout)
+      --key TAG=RULE    per-tag ordering rule (repeatable)
+      --default RULE    default rule (default: doc)
+      --algo A          nexsort | degen | mergesort   (default: nexsort)
+      --mem SIZE        internal memory, e.g. 4M      (default: 4M)
+      --block SIZE      block size, e.g. 64K          (default: 64K)
+      --threshold SIZE  sort threshold t              (default: 2 blocks)
+      --depth N         depth-limited sorting
+      --device FILE     back the block device with FILE (default: in-memory)
+      --format F        sort output: xml | xrec (binary records; re-readable
+                        by any xsort subcommand without re-parsing)
+      --pretty          indent the output
+      --stats           print the I/O report to stderr
+
+RULE syntax: '@attr', '@attr:num', '@attr:desc', 'tag', 'text',
+             'path=a/b/c', 'doc', composites with '+': '@last+@first'.
+
+GEN shapes:  'exact:F1,F2,...' (per-level fan-outs), 'ibm:H,K[,N]'
+             (height, max fan-out, optional element budget),
+             'auction:SELLERS'.
+
+EXAMPLES:
+  xsort sort personnel.xml --default @name --key employee=@ID:num -o sorted.xml
+  xsort merge personnel.xml payroll.xml --default @name --key employee=@ID:num
+  xsort update master.xml batch.xml --default @sku:num --stats
+";
+
+/// Parse `args` (without the leading program name).
+pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter().peekable();
+    let sub = it.next().ok_or_else(|| "missing subcommand".to_string())?;
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut output = None;
+    let mut device = None;
+    let mut block_size = 64 * 1024;
+    let mut mem_bytes = 4 * 1024 * 1024;
+    let mut threshold = None;
+    let mut depth_limit = None;
+    let mut algo = Algo::Nexsort;
+    let mut format = OutFormat::Xml;
+    let mut pretty = false;
+    let mut stats = false;
+    let mut default_rule: Option<String> = None;
+    let mut keys: Vec<String> = Vec::new();
+    let mut seed = 42u64;
+
+    let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                          flag: &str|
+     -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--output" => output = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--device" => device = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--block" => block_size = parse_size(&next_value(&mut it, arg)?)?,
+            "--mem" => mem_bytes = parse_size(&next_value(&mut it, arg)?)?,
+            "--threshold" => threshold = Some(parse_size(&next_value(&mut it, arg)?)?),
+            "--depth" => {
+                depth_limit = Some(
+                    next_value(&mut it, arg)?
+                        .parse::<u32>()
+                        .map_err(|_| "--depth needs a positive integer".to_string())?,
+                )
+            }
+            "--algo" => {
+                algo = match next_value(&mut it, arg)?.as_str() {
+                    "nexsort" => Algo::Nexsort,
+                    "degen" => Algo::Degen,
+                    "mergesort" => Algo::Mergesort,
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                }
+            }
+            "--seed" => {
+                seed = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--default" => default_rule = Some(next_value(&mut it, arg)?),
+            "--key" => keys.push(next_value(&mut it, arg)?),
+            "--format" => {
+                format = match next_value(&mut it, arg)?.as_str() {
+                    "xml" => OutFormat::Xml,
+                    "xrec" => OutFormat::Xrec,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
+            "--pretty" => pretty = true,
+            "--stats" => stats = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => positional.push(PathBuf::from(other)),
+        }
+    }
+
+    let command = match (sub.as_str(), positional.len()) {
+        ("sort", 1) => Command::Sort { input: positional.remove(0) },
+        ("check", 1) => Command::Check { input: positional.remove(0) },
+        ("gen", 1) => Command::Gen {
+            shape: positional.remove(0).to_string_lossy().into_owned(),
+            seed,
+        },
+        ("merge", 2) => {
+            let right = positional.pop().expect("len 2");
+            let left = positional.pop().expect("len 1");
+            Command::Merge { left, right }
+        }
+        ("update", 2) => {
+            let updates = positional.pop().expect("len 2");
+            let base = positional.pop().expect("len 1");
+            Command::Update { base, updates }
+        }
+        ("sort" | "check" | "gen", n) => {
+            return Err(format!("{sub} expects 1 argument, got {n}"))
+        }
+        ("merge" | "update", n) => return Err(format!("{sub} expects 2 input files, got {n}")),
+        (other, _) => return Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+
+    if block_size < 64 {
+        return Err("--block must be at least 64 bytes".into());
+    }
+    let spec = build_spec(default_rule.as_deref(), &keys)?;
+    Ok(Cli {
+        command,
+        output,
+        device,
+        block_size,
+        mem_bytes,
+        threshold,
+        depth_limit,
+        algo,
+        format,
+        pretty,
+        stats,
+        spec,
+    })
+}
+
+fn mem_frames(cli: &Cli) -> usize {
+    ((cli.mem_bytes / cli.block_size).max(NexsortOptions::MIN_MEM_FRAMES as u64)) as usize
+}
+
+fn make_disk(cli: &Cli) -> Result<Rc<Disk>, String> {
+    match &cli.device {
+        Some(path) => Disk::new_file(path, cli.block_size as usize)
+            .map_err(|e| format!("cannot open device file {path:?}: {e}")),
+        None => Ok(Disk::new_mem(cli.block_size as usize)),
+    }
+}
+
+/// A staged input document: XML text, or pre-encoded records + dictionary.
+enum Staged {
+    Xml(Extent),
+    Recs(Extent, nexsort_xml::TagDict),
+}
+
+/// Read a document; `.xrec` inputs (detected by magic) skip XML parsing, but
+/// their keys are re-extracted under the current criterion so `--key`
+/// arguments always apply.
+fn load(cli: &Cli, disk: &Rc<Disk>, path: &Path) -> Result<Staged, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    if nexsort_xml::is_xrec(&bytes) {
+        let mut src = nexsort_extmem::SliceReader::new(&bytes);
+        let (dict, recs, _flags) = nexsort_xml::read_xrec(&mut src).map_err(xml_err)?;
+        let events = nexsort_xml::recs_to_events(&recs, &dict).map_err(xml_err)?;
+        let mut new_dict = nexsort_xml::TagDict::new();
+        let rekeyed = nexsort_xml::events_to_recs(&events, &cli.spec, &mut new_dict, true)
+            .map_err(xml_err)?;
+        let ext = nexsort_baseline::stage_recs(disk, &rekeyed).map_err(xml_err)?;
+        Ok(Staged::Recs(ext, new_dict))
+    } else {
+        Ok(Staged::Xml(stage_input(disk, &bytes).map_err(|e| e.to_string())?))
+    }
+}
+
+fn sort_one(cli: &Cli, disk: &Rc<Disk>, input: &Staged) -> Result<SortedDoc, String> {
+    let opts = NexsortOptions {
+        mem_frames: mem_frames(cli),
+        threshold: cli.threshold,
+        depth_limit: cli.depth_limit,
+        degeneration: cli.algo == Algo::Degen,
+        ..Default::default()
+    };
+    let sorter = Nexsort::new(disk.clone(), opts, cli.spec.clone()).map_err(|e| e.to_string())?;
+    let doc = match input {
+        Staged::Xml(ext) => sorter.sort_xml_extent(ext),
+        Staged::Recs(ext, dict) => sorter.sort_rec_extent(ext, dict.clone()),
+    }
+    .map_err(|e| e.to_string())?;
+    if cli.stats {
+        eprintln!("sort: {}", doc.report.summary());
+        eprintln!("{}", doc.report.io);
+    }
+    Ok(doc)
+}
+
+fn emit(cli: &Cli, xml: Vec<u8>) -> Result<(), String> {
+    match &cli.output {
+        Some(path) => std::fs::write(path, xml).map_err(|e| format!("cannot write {path:?}: {e}")),
+        None => {
+            use std::io::Write;
+            std::io::stdout().write_all(&xml).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Execute a parsed command line.
+pub fn run(cli: &Cli) -> Result<(), String> {
+    let disk = make_disk(cli)?;
+    match &cli.command {
+        Command::Sort { input } => {
+            let staged = load(cli, &disk, input)?;
+            let out = if cli.algo == Algo::Mergesort {
+                let opts = BaselineOptions {
+                    mem_frames: mem_frames(cli),
+                    compaction: true,
+                    depth_limit: cli.depth_limit,
+                };
+                let sorted = match &staged {
+                    Staged::Xml(ext) => sort_xml_extent(&disk, ext, &cli.spec, &opts),
+                    Staged::Recs(ext, dict) => nexsort_baseline::sort_rec_extent(
+                        &disk,
+                        ext,
+                        dict.clone(),
+                        &cli.spec,
+                        &opts,
+                    ),
+                }
+                .map_err(|e| e.to_string())?;
+                if cli.stats {
+                    eprintln!(
+                        "mergesort: passes={} runs={} fan-in={}",
+                        sorted.report.passes, sorted.report.initial_runs, sorted.report.fan_in
+                    );
+                    eprintln!("{}", disk.stats().snapshot());
+                }
+                match cli.format {
+                    OutFormat::Xml => sorted.to_xml(cli.pretty).map_err(|e| e.to_string())?,
+                    OutFormat::Xrec => {
+                        let recs = sorted.to_recs().map_err(|e| e.to_string())?;
+                        let mut buf = Vec::new();
+                        nexsort_xml::write_xrec(
+                            &mut buf,
+                            &sorted.dict,
+                            &recs,
+                            nexsort_xml::FLAG_KEYS_FINAL,
+                        )
+                        .map_err(xml_err)?;
+                        buf
+                    }
+                }
+            } else {
+                let doc = sort_one(cli, &disk, &staged)?;
+                match cli.format {
+                    OutFormat::Xml => doc.to_xml(cli.pretty).map_err(|e| e.to_string())?,
+                    OutFormat::Xrec => {
+                        let recs = doc.to_recs().map_err(|e| e.to_string())?;
+                        let mut buf = Vec::new();
+                        nexsort_xml::write_xrec(
+                            &mut buf,
+                            &doc.dict,
+                            &recs,
+                            nexsort_xml::FLAG_KEYS_FINAL,
+                        )
+                        .map_err(xml_err)?;
+                        buf
+                    }
+                }
+            };
+            emit(cli, out)
+        }
+        Command::Merge { left, right } => {
+            let a = sort_one(cli, &disk, &load(cli, &disk, left)?)?;
+            let b = sort_one(cli, &disk, &load(cli, &disk, right)?)?;
+            let merge = StructuralMerge::new(&a.dict, &b.dict, MergeOptions::default());
+            let mut ca = a.cursor().map_err(|e| e.to_string())?;
+            let mut cb = b.cursor().map_err(|e| e.to_string())?;
+            let mut out = Vec::new();
+            let (dict, stats) = merge
+                .run(&mut ca, &mut cb, &mut |r| {
+                    out.push(r);
+                    Ok(())
+                })
+                .map_err(|e| e.to_string())?;
+            if cli.stats {
+                eprintln!("merge: {stats:?}");
+            }
+            let events = nexsort_xml::recs_to_events(&out, &dict).map_err(|e| e.to_string())?;
+            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
+        }
+        Command::Check { input } => {
+            let bytes =
+                std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+            let recs = if nexsort_xml::is_xrec(&bytes) {
+                let mut src = nexsort_extmem::SliceReader::new(&bytes);
+                let (dict, recs, _flags) = nexsort_xml::read_xrec(&mut src).map_err(xml_err)?;
+                let events = nexsort_xml::recs_to_events(&recs, &dict).map_err(xml_err)?;
+                let mut new_dict = nexsort_xml::TagDict::new();
+                nexsort_xml::events_to_recs(&events, &cli.spec, &mut new_dict, true)
+                    .map_err(xml_err)?
+            } else {
+                let events = nexsort_xml::parse_events(&bytes).map_err(xml_err)?;
+                let mut dict = nexsort_xml::TagDict::new();
+                nexsort_xml::events_to_recs(&events, &cli.spec, &mut dict, true)
+                    .map_err(xml_err)?
+            };
+            let recs = nexsort_xml::apply_patches(recs).map_err(xml_err)?;
+            // O(height) streaming check: last sibling key per level.
+            let mut last: Vec<Option<nexsort_xml::KeyValue>> = Vec::new();
+            for rec in &recs {
+                let lvl = rec.level() as usize;
+                last.truncate(lvl);
+                while last.len() < lvl {
+                    last.push(None);
+                }
+                let within = cli.depth_limit.is_none_or(|d| rec.level() <= d + 1);
+                if within {
+                    if let Some(Some(prev)) = last.get(lvl - 1) {
+                        if prev > rec.key() {
+                            return Err(format!(
+                                "NOT SORTED: level {} key {} appears after {}",
+                                rec.level(),
+                                rec.key(),
+                                prev
+                            ));
+                        }
+                    }
+                }
+                last[lvl - 1] = Some(rec.key().clone());
+            }
+            if cli.stats {
+                eprintln!("check: {} records, fully sorted", recs.len());
+            }
+            Ok(())
+        }
+        Command::Gen { shape, seed } => {
+            use nexsort_datagen::{AuctionConfig, AuctionGen, ExactGen, GenConfig, IbmGen};
+            use nexsort_xml::EventSource;
+            let cfg = GenConfig { seed: *seed, ..Default::default() };
+            let mut gen: Box<dyn EventSource> = if let Some(spec) = shape.strip_prefix("exact:") {
+                let fanouts = spec
+                    .split(',')
+                    .map(|f| f.trim().parse::<u64>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| format!("bad exact fan-outs {spec:?}"))?;
+                Box::new(ExactGen::new(&fanouts, cfg))
+            } else if let Some(spec) = shape.strip_prefix("ibm:") {
+                let parts: Vec<u64> = spec
+                    .split(',')
+                    .map(|f| f.trim().parse::<u64>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| format!("bad ibm parameters {spec:?}"))?;
+                match parts.as_slice() {
+                    [h, k] => Box::new(IbmGen::new(*h as u32, *k, None, cfg)),
+                    [h, k, n] => Box::new(IbmGen::new(*h as u32, *k, Some(*n), cfg)),
+                    _ => return Err("ibm: expects HEIGHT,MAXFAN[,MAXELEMS]".into()),
+                }
+            } else if let Some(spec) = shape.strip_prefix("auction:") {
+                let sellers = spec
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seller count {spec:?}"))?;
+                Box::new(AuctionGen::new(AuctionConfig {
+                    seed: *seed,
+                    sellers,
+                    ..Default::default()
+                }))
+            } else {
+                return Err(format!(
+                    "unknown shape {shape:?} (expected exact:..., ibm:..., auction:...)"
+                ));
+            };
+            let mut events = Vec::new();
+            while let Some(ev) = gen.next_event().map_err(xml_err)? {
+                events.push(ev);
+            }
+            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
+        }
+        Command::Update { base, updates } => {
+            let b = sort_one(cli, &disk, &load(cli, &disk, base)?)?;
+            let u = sort_one(cli, &disk, &load(cli, &disk, updates)?)?;
+            let apply = BatchUpdate::new(&b.dict, &u.dict, MergeOptions::default());
+            let mut cb = b.cursor().map_err(|e| e.to_string())?;
+            let mut cu = u.cursor().map_err(|e| e.to_string())?;
+            let mut out = Vec::new();
+            let (dict, stats) = apply
+                .run(&mut cb, &mut cu, &mut |r| {
+                    out.push(r);
+                    Ok(())
+                })
+                .map_err(|e| e.to_string())?;
+            if cli.stats {
+                eprintln!("update: {stats:?}");
+            }
+            let events = nexsort_xml::recs_to_events(&out, &dict).map_err(|e| e.to_string())?;
+            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn sort_command_parses_fully() {
+        let cli = parse_args(&args(&[
+            "sort",
+            "in.xml",
+            "-o",
+            "out.xml",
+            "--default",
+            "@name",
+            "--key",
+            "employee=@ID:num",
+            "--mem",
+            "8M",
+            "--block",
+            "32K",
+            "--threshold",
+            "64K",
+            "--depth",
+            "3",
+            "--algo",
+            "degen",
+            "--pretty",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(matches!(cli.command, Command::Sort { .. }));
+        assert_eq!(cli.block_size, 32 * 1024);
+        assert_eq!(cli.mem_bytes, 8 * 1024 * 1024);
+        assert_eq!(cli.threshold, Some(64 * 1024));
+        assert_eq!(cli.depth_limit, Some(3));
+        assert_eq!(cli.algo, Algo::Degen);
+        assert!(cli.pretty && cli.stats);
+        assert_eq!(mem_frames(&cli), 256);
+    }
+
+    #[test]
+    fn merge_and_update_take_two_files() {
+        let cli = parse_args(&args(&["merge", "a.xml", "b.xml"])).unwrap();
+        match cli.command {
+            Command::Merge { left, right } => {
+                assert_eq!(left, PathBuf::from("a.xml"));
+                assert_eq!(right, PathBuf::from("b.xml"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["merge", "a.xml"])).is_err());
+        assert!(parse_args(&args(&["update", "a.xml", "b.xml", "c.xml"])).is_err());
+    }
+
+    #[test]
+    fn bad_arguments_error_out() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["frobnicate", "x.xml"])).is_err());
+        assert!(parse_args(&args(&["sort"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--algo", "bubble"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--mem"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--wat"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--block", "8"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_sort_merge_update_against_real_files() {
+        let dir = std::env::temp_dir().join(format!("xsort-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.xml");
+        let b = dir.join("b.xml");
+        let out = dir.join("out.xml");
+        std::fs::write(&a, b"<r><e id=\"2\" v=\"x\"/><e id=\"1\"/></r>").unwrap();
+        std::fs::write(&b, b"<r><e id=\"3\"/><e id=\"2\" w=\"y\"/></r>").unwrap();
+
+        // sort
+        let cli = parse_args(&args(&[
+            "sort",
+            a.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--default",
+            "@id:num",
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let sorted = std::fs::read_to_string(&out).unwrap();
+        assert!(sorted.find("id=\"1\"").unwrap() < sorted.find("id=\"2\"").unwrap());
+
+        // merge
+        let cli = parse_args(&args(&[
+            "merge",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--default",
+            "@id:num",
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let merged = std::fs::read_to_string(&out).unwrap();
+        assert!(merged.contains("id=\"1\"") && merged.contains("id=\"3\""));
+        assert!(merged.contains("v=\"x\"") && merged.contains("w=\"y\""));
+        assert_eq!(merged.matches("id=\"2\"").count(), 1, "2s merged: {merged}");
+
+        // update with a delete
+        let upd = dir.join("upd.xml");
+        std::fs::write(&upd, b"<r><e id=\"1\" op=\"delete\"/></r>").unwrap();
+        let cli = parse_args(&args(&[
+            "update",
+            a.to_str().unwrap(),
+            upd.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--default",
+            "@id:num",
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let updated = std::fs::read_to_string(&out).unwrap();
+        assert!(!updated.contains("id=\"1\""));
+        assert!(updated.contains("id=\"2\""));
+
+        // sort with a file-backed device and the mergesort algorithm
+        let dev = dir.join("device.bin");
+        let cli = parse_args(&args(&[
+            "sort",
+            a.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--default",
+            "@id:num",
+            "--algo",
+            "mergesort",
+            "--device",
+            dev.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let sorted2 = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(sorted, sorted2, "both algorithms and devices agree");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod checkgen_tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn gen_then_sort_then_check_pipeline() {
+        let dir = std::env::temp_dir().join(format!("xsort-cg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let sorted = dir.join("sorted.xml");
+
+        let cli = parse_args(&args(&["gen", "exact:8,4", "--seed", "3", "-o", raw.to_str().unwrap()]))
+            .unwrap();
+        run(&cli).unwrap();
+        assert!(std::fs::metadata(&raw).unwrap().len() > 100);
+
+        // An unsorted generated document fails the check...
+        let cli =
+            parse_args(&args(&["check", raw.to_str().unwrap(), "--default", "@k"])).unwrap();
+        assert!(run(&cli).is_err());
+
+        // ...and passes after sorting.
+        let cli = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "--default",
+            "@k",
+            "-o",
+            sorted.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let cli =
+            parse_args(&args(&["check", sorted.to_str().unwrap(), "--default", "@k"])).unwrap();
+        run(&cli).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_supports_all_three_generators() {
+        for shape in ["exact:3,2", "ibm:4,3,50", "auction:3"] {
+            let dir = std::env::temp_dir().join(format!("xsort-g3-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let out = dir.join("g.xml");
+            let cli =
+                parse_args(&args(&["gen", shape, "-o", out.to_str().unwrap()])).unwrap();
+            run(&cli).unwrap();
+            let bytes = std::fs::read(&out).unwrap();
+            assert!(nexsort_xml::parse_events(&bytes).is_ok(), "{shape}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn gen_rejects_bad_shapes() {
+        for shape in ["exact:", "exact:a,b", "ibm:1", "auction:lots", "mystery:9"] {
+            let cli = parse_args(&args(&["gen", shape])).unwrap();
+            assert!(run(&cli).is_err(), "{shape} should fail");
+        }
+    }
+
+    #[test]
+    fn check_respects_depth_limit() {
+        let dir = std::env::temp_dir().join(format!("xsort-cd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("d.xml");
+        // Sorted at level 2, unsorted at level 3.
+        std::fs::write(&f, b"<r><a k=\"1\"><c k=\"9\"/><c k=\"2\"/></a><a k=\"5\"/></r>")
+            .unwrap();
+        let full =
+            parse_args(&args(&["check", f.to_str().unwrap(), "--default", "@k"])).unwrap();
+        assert!(run(&full).is_err());
+        let limited = parse_args(&args(&[
+            "check",
+            f.to_str().unwrap(),
+            "--default",
+            "@k",
+            "--depth",
+            "1",
+        ]))
+        .unwrap();
+        run(&limited).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod xrec_cli_tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn xrec_roundtrip_through_sort_check_and_merge() {
+        let dir = std::env::temp_dir().join(format!("xsort-xrec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let xrec = dir.join("sorted.xrec");
+        let out = dir.join("out.xml");
+        std::fs::write(&raw, b"<r><e id=\"3\" v=\"c\"/><e id=\"1\" v=\"a\"/><e id=\"2\"/></r>")
+            .unwrap();
+
+        // Sort to the binary container...
+        let cli = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "--default",
+            "@id:num",
+            "--format",
+            "xrec",
+            "-o",
+            xrec.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let bytes = std::fs::read(&xrec).unwrap();
+        assert!(nexsort_xml::is_xrec(&bytes));
+
+        // ...check it without re-parsing XML...
+        let cli =
+            parse_args(&args(&["check", xrec.to_str().unwrap(), "--default", "@id:num"]))
+                .unwrap();
+        run(&cli).unwrap();
+
+        // ...and merge it with an XML document (mixed input formats).
+        let other = dir.join("other.xml");
+        std::fs::write(&other, b"<r><e id=\"2\" w=\"x\"/><e id=\"4\"/></r>").unwrap();
+        let cli = parse_args(&args(&[
+            "merge",
+            xrec.to_str().unwrap(),
+            other.to_str().unwrap(),
+            "--default",
+            "@id:num",
+            "-o",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let merged = std::fs::read_to_string(&out).unwrap();
+        assert!(merged.contains("id=\"1\"") && merged.contains("id=\"4\""));
+        assert!(merged.contains("w=\"x\"") && merged.contains("v=\"a\""));
+        assert_eq!(merged.matches("id=\"2\"").count(), 1);
+
+        // Re-sorting an xrec under a *different* criterion re-extracts keys.
+        let cli = parse_args(&args(&[
+            "sort",
+            xrec.to_str().unwrap(),
+            "--default",
+            "@v",
+            "-o",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let resorted = std::fs::read_to_string(&out).unwrap();
+        // e#2 has no @v -> Missing sorts first; then a, c.
+        let p2 = resorted.find("id=\"2\"").unwrap();
+        let pa = resorted.find("v=\"a\"").unwrap();
+        let pc = resorted.find("v=\"c\"").unwrap();
+        assert!(p2 < pa && pa < pc, "{resorted}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mergesort_algo_also_emits_xrec() {
+        let dir = std::env::temp_dir().join(format!("xsort-xrm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let xrec = dir.join("s.xrec");
+        std::fs::write(&raw, b"<r><e id=\"2\"/><e id=\"1\"/></r>").unwrap();
+        let cli = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "--default",
+            "@id:num",
+            "--algo",
+            "mergesort",
+            "--format",
+            "xrec",
+            "-o",
+            xrec.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        assert!(nexsort_xml::is_xrec(&std::fs::read(&xrec).unwrap()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! `xsort` binary entry point.
+
+use std::process::ExitCode;
+
+use nexsort_cli::app::{parse_args, run, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    match parse_args(&args) {
+        Ok(cli) => match run(&cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xsort: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

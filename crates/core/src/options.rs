@@ -1,0 +1,87 @@
+//! Configuration of a NEXSORT run.
+
+/// Tunables of the algorithm, mirroring the paper's parameters.
+#[derive(Debug, Clone)]
+pub struct NexsortOptions {
+    /// Internal memory in block frames (the model's `m = M/B`). Figure 5
+    /// sweeps this. Must be at least [`NexsortOptions::MIN_MEM_FRAMES`].
+    pub mem_frames: usize,
+    /// The sort threshold `t`, in bytes: a complete subtree is sorted into a
+    /// run only once it is larger than `t` (Figure 4 line 9). `None` picks
+    /// the paper's experimental choice of twice the block size ("we set the
+    /// threshold to be roughly twice the block size", Section 5).
+    pub threshold: Option<u64>,
+    /// Depth-limited sorting (Section 3.2): with `Some(d)` (root at level 1),
+    /// only elements at level <= `d` have their children reordered; subtrees
+    /// rooted below level `d + 1` are treated as atomic units.
+    pub depth_limit: Option<u32>,
+    /// XML compaction (Section 3.2): tag-name dictionary; end tags are always
+    /// eliminated via level numbers. Off stores names inline (the ablation).
+    pub compaction: bool,
+    /// Graceful degeneration into external merge sort (Section 3.2): buffer
+    /// the frontier in memory and spill *incomplete sorted runs* instead of
+    /// pushing everything through the external data stack, so a flat
+    /// document costs the same passes as plain external merge sort. The
+    /// paper describes but does not implement this; both variants are here
+    /// so Figure 7 can show the difference.
+    pub degeneration: bool,
+    /// Resident frames for the path stack (the analysis of Lemma 4.11
+    /// assumes at least 2).
+    pub path_stack_frames: usize,
+    /// Resident frames for the data stack (at least 1, Section 3.1).
+    pub data_stack_frames: usize,
+}
+
+impl NexsortOptions {
+    /// Smallest workable budget: data stack (1) + path stack (2) + input
+    /// reader (1) + subtree-sort machinery (range reader, run writer, and at
+    /// least a 2-frame sort buffer / 2-way merge fan-in).
+    pub const MIN_MEM_FRAMES: usize = 8;
+
+    /// The effective sort threshold in bytes for a given block size.
+    pub fn threshold_bytes(&self, block_size: usize) -> u64 {
+        self.threshold.unwrap_or(2 * block_size as u64)
+    }
+}
+
+impl Default for NexsortOptions {
+    fn default() -> Self {
+        Self {
+            mem_frames: 16,
+            threshold: None,
+            depth_limit: None,
+            compaction: true,
+            degeneration: false,
+            path_stack_frames: 2,
+            data_stack_frames: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_is_twice_the_block_size() {
+        let o = NexsortOptions::default();
+        assert_eq!(o.threshold_bytes(4096), 8192);
+        assert_eq!(o.threshold_bytes(64), 128);
+    }
+
+    #[test]
+    fn explicit_threshold_wins() {
+        let o = NexsortOptions { threshold: Some(1000), ..Default::default() };
+        assert_eq!(o.threshold_bytes(4096), 1000);
+    }
+
+    #[test]
+    fn defaults_satisfy_the_paper_assumptions() {
+        let o = NexsortOptions::default();
+        assert!(o.path_stack_frames >= 2, "Lemma 4.11 premise");
+        assert!(o.data_stack_frames >= 1, "Section 3.1 premise");
+        assert!(o.mem_frames >= NexsortOptions::MIN_MEM_FRAMES);
+        assert!(o.compaction);
+        assert!(!o.degeneration, "paper's measured configuration");
+    }
+}

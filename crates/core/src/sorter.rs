@@ -1,0 +1,299 @@
+//! The NEXSORT sorting phase (Figure 4, lines 1-12).
+//!
+//! A single scan of the input pushes records onto the external *data stack*
+//! while the external *path stack* records each open element's start
+//! location. End-of-element boundaries (implicit in the level-numbered
+//! record stream -- end tags were eliminated, Section 3.2) trigger the
+//! sorting decision: a complete subtree larger than the threshold `t` is
+//! streamed off the stack, sorted into a run, and replaced by a pointer
+//! record. When the scan finishes, the root's sort runs unconditionally and
+//! the document has become a tree of sorted runs (Figure 3) rooted at
+//! [`SortedDoc::root_run`].
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use nexsort_baseline::{ParsedRecSource, RecSource, ExtentRecSource};
+use nexsort_extmem::{Disk, ExtStack, Extent, IoCat, MemoryBudget, RunId, RunStore};
+use nexsort_xml::{Rec, Result, SortSpec, TagDict, XmlError};
+
+use crate::options::NexsortOptions;
+use crate::output::SortedDoc;
+use crate::report::SortReport;
+use crate::subtree::SubtreeSorter;
+
+/// The NEXSORT sorter: configuration plus the disk it operates on.
+pub struct Nexsort {
+    disk: Rc<Disk>,
+    opts: NexsortOptions,
+    spec: SortSpec,
+}
+
+impl Nexsort {
+    /// A sorter over `disk` with the given options and ordering criterion.
+    pub fn new(disk: Rc<Disk>, opts: NexsortOptions, spec: SortSpec) -> Result<Self> {
+        if opts.mem_frames < NexsortOptions::MIN_MEM_FRAMES {
+            return Err(XmlError::Ext(nexsort_extmem::ExtError::BudgetExceeded {
+                requested: NexsortOptions::MIN_MEM_FRAMES,
+                free: opts.mem_frames,
+            }));
+        }
+        if opts.data_stack_frames < 1 || opts.path_stack_frames < 1 {
+            return Err(XmlError::Record("stacks need at least one resident frame".into()));
+        }
+        spec.validate()?;
+        Ok(Self { disk, opts, spec })
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &NexsortOptions {
+        &self.opts
+    }
+
+    /// The ordering criterion.
+    pub fn spec(&self) -> &SortSpec {
+        &self.spec
+    }
+
+    /// Sort an XML text document resident on the disk.
+    pub fn sort_xml_extent(&self, input: &Extent) -> Result<SortedDoc> {
+        let budget = MemoryBudget::new(self.opts.mem_frames);
+        let mut src =
+            ParsedRecSource::new(self.disk.clone(), &budget, input, &self.spec, self.opts.compaction)?;
+        let (store, root_run, report) = self.sort_source(&mut src, &budget)?;
+        Ok(SortedDoc::new(self.disk.clone(), store, root_run, src.into_dict(), report, self.opts.mem_frames))
+    }
+
+    /// Sort a pre-encoded record extent (`dict` is the dictionary the
+    /// records were encoded against; benchmarks use this to factor out
+    /// XML-parsing CPU while keeping the I/O pattern identical).
+    pub fn sort_rec_extent(&self, input: &Extent, dict: TagDict) -> Result<SortedDoc> {
+        let budget = MemoryBudget::new(self.opts.mem_frames);
+        let mut src = ExtentRecSource::new(self.disk.clone(), &budget, input, IoCat::InputRead)?;
+        let (store, root_run, report) = self.sort_source(&mut src, &budget)?;
+        Ok(SortedDoc::new(self.disk.clone(), store, root_run, dict, report, self.opts.mem_frames))
+    }
+
+    fn sort_source(
+        &self,
+        src: &mut dyn RecSource,
+        budget: &MemoryBudget,
+    ) -> Result<(Rc<RunStore>, RunId, SortReport)> {
+        if self.opts.degeneration && !self.spec.has_deferred_keys() {
+            return crate::degenerate::sort_degenerate(
+                &self.disk,
+                &self.opts,
+                &self.spec,
+                src,
+                budget,
+            );
+        }
+        self.sort_standard(src, budget)
+    }
+
+    /// Figure 4's sorting phase, as published.
+    fn sort_standard(
+        &self,
+        src: &mut dyn RecSource,
+        budget: &MemoryBudget,
+    ) -> Result<(Rc<RunStore>, RunId, SortReport)> {
+        let start_time = Instant::now();
+        let stats = self.disk.stats();
+        let io_before = stats.snapshot();
+        let block_size = self.disk.block_size();
+        let threshold = self.opts.threshold_bytes(block_size);
+        let mut report = SortReport::new(block_size, self.opts.mem_frames, threshold);
+
+        let store = RunStore::new(self.disk.clone());
+        let mut data =
+            ExtStack::new(self.disk.clone(), budget, IoCat::DataStack, self.opts.data_stack_frames)?;
+        let mut path =
+            ExtStack::new(self.disk.clone(), budget, IoCat::PathStack, self.opts.path_stack_frames)?;
+        // In-memory per-open-element child counters (O(height) machine
+        // words), used only for the `k` statistic in the report.
+        let mut child_counts: Vec<u64> = Vec::new();
+        let mut root_run: Option<RunId> = None;
+        let mut buf = Vec::new();
+
+        let close_top = |data: &mut ExtStack,
+                             path: &mut ExtStack,
+                             child_counts: &mut Vec<u64>,
+                             report: &mut SortReport,
+                             root_run: &mut Option<RunId>|
+         -> Result<()> {
+            let l = path.pop_u64()?;
+            let level = child_counts.len() as u32; // level of the closing element
+            let fanout = child_counts.pop().expect("counter per open element");
+            report.max_fanout = report.max_fanout.max(fanout);
+            let size = data.len() - l;
+            let is_root = child_counts.is_empty();
+            let within_depth = self.opts.depth_limit.is_none_or(|d| level <= d + 1);
+            if (size > threshold && within_depth) || is_root {
+                let stack_ext = data.range_extent()?;
+                let sorter = SubtreeSorter {
+                    disk: &self.disk,
+                    store: &store,
+                    budget,
+                    spec: &self.spec,
+                    depth_limit: self.opts.depth_limit,
+                };
+                let ptr = sorter.sort_range(&stack_ext, l, size, level, report)?;
+                data.truncate(l)?;
+                if is_root {
+                    *root_run = Some(RunId(ptr.run));
+                } else {
+                    let mut enc = Vec::new();
+                    Rec::RunPtr(ptr).encode(&mut enc)?;
+                    data.push(&enc)?;
+                }
+            }
+            Ok(())
+        };
+
+        while let Some(rec) = src.next_rec()? {
+            let lvl = rec.level();
+            // An arriving record at level L closes every open element at
+            // level >= L; a key patch belongs to the element at its own
+            // level, so it only closes deeper ones.
+            let close_to = if matches!(rec, Rec::KeyPatch(_)) { lvl + 1 } else { lvl };
+            while child_counts.len() as u32 >= close_to {
+                close_top(&mut data, &mut path, &mut child_counts, &mut report, &mut root_run)?;
+            }
+            match &rec {
+                Rec::Elem(_) => {
+                    if lvl as usize != child_counts.len() + 1 {
+                        return Err(XmlError::Record(format!(
+                            "level jump: element at level {lvl} under {} open elements",
+                            child_counts.len()
+                        )));
+                    }
+                    if root_run.is_some() {
+                        return Err(XmlError::Record("records after the root closed".into()));
+                    }
+                    if let Some(parent) = child_counts.last_mut() {
+                        *parent += 1;
+                    }
+                    path.push_u64(data.len())?;
+                    child_counts.push(0);
+                }
+                Rec::Text(_) | Rec::RunPtr(_) => {
+                    if lvl as usize != child_counts.len() + 1 || child_counts.is_empty() {
+                        return Err(XmlError::Record(format!(
+                            "level jump: leaf record at level {lvl} under {} open elements",
+                            child_counts.len()
+                        )));
+                    }
+                    *child_counts.last_mut().expect("checked non-empty") += 1;
+                }
+                Rec::KeyPatch(_) => {
+                    if lvl as usize != child_counts.len() {
+                        return Err(XmlError::Record(format!(
+                            "key patch at level {lvl} with {} open elements",
+                            child_counts.len()
+                        )));
+                    }
+                }
+            }
+            if !matches!(rec, Rec::KeyPatch(_)) {
+                report.n_records += 1;
+                report.max_level = report.max_level.max(lvl);
+            }
+            buf.clear();
+            rec.encode(&mut buf)?;
+            report.input_bytes += buf.len() as u64;
+            data.push(&buf)?;
+        }
+        // End of input (Figure 4 line 9's "l = 1" case): close everything;
+        // the root sorts unconditionally.
+        while !child_counts.is_empty() {
+            close_top(&mut data, &mut path, &mut child_counts, &mut report, &mut root_run)?;
+        }
+        let root_run = root_run
+            .ok_or_else(|| XmlError::Record("empty input: no root element".into()))?;
+
+        // A single subtree sort means nothing was ever collapsed into a
+        // pointer: the root run is the whole sorted document.
+        report.root_flat = report.subtree_sorts == 1;
+        report.io = stats.snapshot().since(&io_before);
+        report.elapsed = start_time.elapsed();
+        Ok((store, root_run, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexsort_baseline::{sorted_dom, stage_input};
+    use nexsort_xml::{events_to_dom, parse_dom, KeyRule};
+
+    fn spec() -> SortSpec {
+        SortSpec::by_attribute("name").with_rule("employee", KeyRule::attr_numeric("ID"))
+    }
+
+    fn sort_doc(doc: &str, opts: NexsortOptions) -> SortedDoc {
+        let disk = Disk::new_mem(128);
+        let input = stage_input(&disk, doc.as_bytes()).unwrap();
+        let nx = Nexsort::new(disk, opts, spec()).unwrap();
+        nx.sort_xml_extent(&input).unwrap()
+    }
+
+    fn figure_1_d1() -> &'static str {
+        "<company><region name=\"NE\"><branch name=\"Durham\">\
+         <employee ID=\"454\"/><employee ID=\"323\"><name>Smith</name>\
+         <phone>5552345</phone></employee></branch><branch name=\"Atlanta\"/>\
+         </region><region name=\"AC\"><branch name=\"Raleigh\"/></region></company>"
+    }
+
+    #[test]
+    fn sorts_the_figure_1_document() {
+        let sorted = sort_doc(figure_1_d1(), NexsortOptions::default());
+        let got = events_to_dom(&sorted.to_events().unwrap()).unwrap();
+        let expect = sorted_dom(&parse_dom(figure_1_d1().as_bytes()).unwrap(), &spec(), None);
+        assert_eq!(got, expect);
+        assert!(sorted.report.lemma_4_6_holds(), "{}", sorted.report.summary());
+    }
+
+    #[test]
+    fn tiny_threshold_forces_many_small_sorts() {
+        let opts = NexsortOptions { threshold: Some(1), ..Default::default() };
+        let sorted = sort_doc(figure_1_d1(), opts);
+        assert!(sorted.report.subtree_sorts > 3, "{}", sorted.report.summary());
+        assert!(sorted.report.lemma_4_6_holds());
+        let got = events_to_dom(&sorted.to_events().unwrap()).unwrap();
+        let expect = sorted_dom(&parse_dom(figure_1_d1().as_bytes()).unwrap(), &spec(), None);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn huge_threshold_degenerates_to_one_root_sort() {
+        let opts = NexsortOptions { threshold: Some(1 << 30), ..Default::default() };
+        let sorted = sort_doc(figure_1_d1(), opts);
+        assert_eq!(sorted.report.subtree_sorts, 1);
+        assert!(sorted.report.lemma_4_6_holds());
+    }
+
+    #[test]
+    fn report_statistics_match_the_document() {
+        let sorted = sort_doc(figure_1_d1(), NexsortOptions::default());
+        let dom = parse_dom(figure_1_d1().as_bytes()).unwrap();
+        assert_eq!(sorted.report.n_records, dom.num_nodes());
+        assert_eq!(sorted.report.max_fanout, dom.max_fanout() as u64);
+        assert_eq!(sorted.report.max_level, dom.height());
+    }
+
+    #[test]
+    fn too_small_memory_is_rejected_up_front() {
+        let disk = Disk::new_mem(128);
+        let opts = NexsortOptions { mem_frames: 4, ..Default::default() };
+        assert!(Nexsort::new(disk, opts, spec()).is_err());
+    }
+
+    #[test]
+    fn malformed_record_streams_are_rejected() {
+        let disk = Disk::new_mem(128);
+        let nx = Nexsort::new(disk.clone(), NexsortOptions::default(), spec()).unwrap();
+        // Stage bytes that are not a valid record stream as a rec extent.
+        let bogus = stage_input(&disk, b"definitely not records").unwrap();
+        assert!(nx.sort_rec_extent(&bogus, TagDict::new()).is_err());
+    }
+}

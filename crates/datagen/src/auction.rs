@@ -1,0 +1,213 @@
+//! A realistic mixed-content workload: an auction site (sellers, items,
+//! bids), loosely inspired by the XMark benchmark family.
+//!
+//! Unlike the paper's uniform generators, this one produces heterogeneous
+//! fan-outs, multiple tag types keyed by *different* attributes, text
+//! content, and a natural merge scenario (two regional sites sharing
+//! sellers) -- the kind of document a downstream user of an XML sorter
+//! actually has.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nexsort_xml::{Event, EventSource, KeyRule, Result, SortSpec};
+
+/// Configuration of one auction-site document.
+#[derive(Debug, Clone)]
+pub struct AuctionConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of sellers.
+    pub sellers: u64,
+    /// Maximum items per seller (uniform 1..=max).
+    pub max_items: u64,
+    /// Maximum bids per item (uniform 0..=max).
+    pub max_bids: u64,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        Self { seed: 7, sellers: 20, max_items: 8, max_bids: 6 }
+    }
+}
+
+/// The ordering criterion a sorted auction site uses: sellers by id, items
+/// by sku, bids by amount (highest first), descriptions untouched.
+pub fn auction_spec() -> SortSpec {
+    SortSpec::uniform(KeyRule::doc_order())
+        .with_rule("seller", KeyRule::attr_numeric("id"))
+        .with_rule("item", KeyRule::attr("sku"))
+        .with_rule("bid", KeyRule::attr_numeric("amount").desc())
+}
+
+enum Pending {
+    Start(&'static str, Vec<(&'static str, String)>),
+    Text(String),
+    End(&'static str),
+}
+
+/// Streaming generator for an auction-site document.
+pub struct AuctionGen {
+    rng: StdRng,
+    cfg: AuctionConfig,
+    queue: std::collections::VecDeque<Pending>,
+    next_seller: u64,
+    started: bool,
+    done: bool,
+}
+
+const ADJECTIVES: [&str; 8] =
+    ["vintage", "rare", "modern", "antique", "pristine", "odd", "heavy", "tiny"];
+const NOUNS: [&str; 8] =
+    ["lamp", "desk", "violin", "atlas", "camera", "clock", "globe", "chair"];
+
+impl AuctionGen {
+    /// A generator for `cfg`.
+    pub fn new(cfg: AuctionConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            queue: std::collections::VecDeque::new(),
+            next_seller: 0,
+            started: false,
+            done: false,
+        }
+    }
+
+    fn gen_seller(&mut self) {
+        let seller_id = self.rng.gen_range(0..3 * self.cfg.sellers);
+        self.queue.push_back(Pending::Start("seller", vec![("id", seller_id.to_string())]));
+        let items = self.rng.gen_range(1..=self.cfg.max_items);
+        for _ in 0..items {
+            let sku = format!(
+                "{}-{}-{:04}",
+                ADJECTIVES[self.rng.gen_range(0..ADJECTIVES.len())],
+                NOUNS[self.rng.gen_range(0..NOUNS.len())],
+                self.rng.gen_range(0..10_000u32)
+            );
+            self.queue.push_back(Pending::Start("item", vec![("sku", sku.clone())]));
+            self.queue.push_back(Pending::Start("description", vec![]));
+            self.queue.push_back(Pending::Text(format!("A {} in working order.", sku)));
+            self.queue.push_back(Pending::End("description"));
+            let bids = self.rng.gen_range(0..=self.cfg.max_bids);
+            for _ in 0..bids {
+                let amount = self.rng.gen_range(1..100_000u32);
+                let bidder = self.rng.gen_range(0..50_000u32);
+                self.queue.push_back(Pending::Start(
+                    "bid",
+                    vec![("amount", amount.to_string()), ("bidder", format!("u{bidder}"))],
+                ));
+                self.queue.push_back(Pending::End("bid"));
+            }
+            self.queue.push_back(Pending::End("item"));
+        }
+        self.queue.push_back(Pending::End("seller"));
+    }
+}
+
+impl EventSource for AuctionGen {
+    fn next_event(&mut self) -> Result<Option<Event>> {
+        if self.done {
+            return Ok(None);
+        }
+        if !self.started {
+            self.started = true;
+            return Ok(Some(Event::Start { name: b"site".to_vec(), attrs: vec![] }));
+        }
+        loop {
+            if let Some(p) = self.queue.pop_front() {
+                return Ok(Some(match p {
+                    Pending::Start(name, attrs) => Event::Start {
+                        name: name.as_bytes().to_vec(),
+                        attrs: attrs
+                            .into_iter()
+                            .map(|(k, v)| (k.as_bytes().to_vec(), v.into_bytes()))
+                            .collect(),
+                    },
+                    Pending::Text(t) => Event::Text { content: t.into_bytes() },
+                    Pending::End(name) => Event::End { name: name.as_bytes().to_vec() },
+                }));
+            }
+            if self.next_seller < self.cfg.sellers {
+                self.next_seller += 1;
+                self.gen_seller();
+                continue;
+            }
+            self.done = true;
+            return Ok(Some(Event::End { name: b"site".to_vec() }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect_events;
+    use nexsort_xml::events_to_dom;
+
+    #[test]
+    fn generates_well_formed_heterogeneous_documents() {
+        let mut g = AuctionGen::new(AuctionConfig::default());
+        let events = collect_events(&mut g).unwrap();
+        let dom = events_to_dom(&events).unwrap();
+        assert_eq!(dom.name, b"site");
+        assert_eq!(dom.children.len(), 20);
+        let xml = dom.to_xml(false);
+        let reparsed = nexsort_xml::parse_events(&xml).unwrap();
+        assert_eq!(events, reparsed);
+        // Mixed node types present.
+        let s = String::from_utf8(xml).unwrap();
+        assert!(s.contains("<bid ") && s.contains("<description>") && s.contains("working order"));
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = collect_events(&mut AuctionGen::new(AuctionConfig::default())).unwrap();
+        let b = collect_events(&mut AuctionGen::new(AuctionConfig::default())).unwrap();
+        assert_eq!(a, b);
+        let c = collect_events(&mut AuctionGen::new(AuctionConfig {
+            seed: 99,
+            ..Default::default()
+        }))
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spec_sorts_bids_descending_by_amount() {
+        use nexsort_baseline::sorted_dom;
+        let mut g = AuctionGen::new(AuctionConfig { sellers: 5, ..Default::default() });
+        let events = collect_events(&mut g).unwrap();
+        let dom = events_to_dom(&events).unwrap();
+        let sorted = sorted_dom(&dom, &auction_spec(), None);
+        // Find an item with >= 2 bids and check descending amounts.
+        fn check(e: &nexsort_xml::Element) -> bool {
+            let mut found = false;
+            if e.name == b"item" {
+                let amounts: Vec<i64> = e
+                    .children
+                    .iter()
+                    .filter_map(|c| match c {
+                        nexsort_xml::XNode::Elem(b) if b.name == b"bid" => Some(
+                            String::from_utf8_lossy(b.attr(b"amount").unwrap())
+                                .parse()
+                                .unwrap(),
+                        ),
+                        _ => None,
+                    })
+                    .collect();
+                if amounts.len() >= 2 {
+                    assert!(amounts.windows(2).all(|w| w[0] >= w[1]), "{amounts:?}");
+                    found = true;
+                }
+            }
+            for c in &e.children {
+                if let nexsort_xml::XNode::Elem(el) = c {
+                    found |= check(el);
+                }
+            }
+            found
+        }
+        assert!(check(&sorted), "expected at least one multi-bid item");
+    }
+}

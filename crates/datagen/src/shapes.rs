@@ -1,0 +1,98 @@
+//! The Table 2 input shapes for the tree-shape experiment (Figure 7).
+//!
+//! | Height | Fan-out for each level | Size (elements) |
+//! |-------:|------------------------|----------------:|
+//! | 2      | 3000000                | 3000001         |
+//! | 3      | 1733, 1733             | 3005023         |
+//! | 4      | 144, 144, 144          | 3006865         |
+//! | 5      | 41, 41, 42, 42         | 3037609         |
+//! | 6      | 19, 19, 20, 20, 20     | 3040001         |
+//!
+//! A scale factor shrinks the documents while preserving each shape's
+//! *character*: the per-level fan-outs are divided by the height-th root of
+//! the factor, so the five documents stay near one another in total size --
+//! exactly the property the experiment depends on ("keeping its size roughly
+//! constant").
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Shape {
+    /// Tree height (levels, root = 1).
+    pub height: u32,
+    /// Exact fan-out for levels `1..height`.
+    pub fanouts: Vec<u64>,
+    /// Element count of the paper's full-size document.
+    pub paper_size: u64,
+}
+
+/// The five Table 2 shapes, scaled down by `scale` (1 reproduces the paper's
+/// ~3-million-element documents; the harness default is 32, i.e. ~100k
+/// elements, which preserves every N/B, M/B and k ratio relevant to the
+/// experiment at 1/32 of the wall-clock).
+pub fn table2_shapes(scale: u64) -> Vec<Table2Shape> {
+    let paper: [(u32, &[u64], u64); 5] = [
+        (2, &[3_000_000], 3_000_001),
+        (3, &[1733, 1733], 3_005_023),
+        (4, &[144, 144, 144], 3_006_865),
+        (5, &[41, 41, 42, 42], 3_037_609),
+        (6, &[19, 19, 20, 20, 20], 3_040_001),
+    ];
+    paper
+        .into_iter()
+        .map(|(height, fanouts, paper_size)| {
+            let levels = fanouts.len() as f64;
+            let shrink = (scale.max(1) as f64).powf(1.0 / levels);
+            let scaled: Vec<u64> =
+                fanouts.iter().map(|&f| ((f as f64 / shrink).round() as u64).max(2)).collect();
+            Table2Shape { height, fanouts: scaled, paper_size }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactGen;
+
+    #[test]
+    fn unscaled_shapes_reproduce_the_paper_sizes() {
+        for shape in table2_shapes(1) {
+            assert_eq!(
+                ExactGen::total_elements(&shape.fanouts),
+                shape.paper_size,
+                "height {}",
+                shape.height
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_shapes_stay_near_one_another() {
+        let shapes = table2_shapes(32);
+        let sizes: Vec<u64> =
+            shapes.iter().map(|s| ExactGen::total_elements(&s.fanouts)).collect();
+        let min = *sizes.iter().min().unwrap() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        assert!(
+            max / min < 2.0,
+            "scaled sizes should stay comparable: {sizes:?}"
+        );
+        // And around 3M/32 ~ 94k.
+        assert!(sizes.iter().all(|&s| (40_000..250_000).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn scaling_preserves_the_height_progression() {
+        let shapes = table2_shapes(64);
+        let heights: Vec<u32> = shapes.iter().map(|s| s.height).collect();
+        assert_eq!(heights, vec![2, 3, 4, 5, 6]);
+        for s in &shapes {
+            assert_eq!(s.fanouts.len() as u32, s.height - 1);
+        }
+        // Fan-out must strictly decrease with height (the experiment's
+        // driver: taller tree, smaller k).
+        for w in shapes.windows(2) {
+            assert!(w[0].fanouts[0] > w[1].fanouts[0]);
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Block devices and the accounting [`Disk`] wrapper.
+//!
+//! The paper measures algorithms in the standard external-memory model of
+//! Aggarwal and Vitter: data moves between internal memory and disk in blocks
+//! of a fixed size, and the cost of an algorithm is the number of block
+//! transfers. [`BlockDevice`] is the raw storage; [`Disk`] is the only way
+//! algorithms touch it, and every transfer through `Disk` is tagged with an
+//! [`IoCat`] and counted, reproducing the explicit I/O accounting the paper
+//! got from TPIE.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::error::{ExtError, Result};
+use crate::stats::{IoCat, IoStats};
+
+/// Raw block storage: fixed-size blocks addressed by a dense `u64` id.
+pub trait BlockDevice {
+    /// The block size in bytes. Constant for the lifetime of the device.
+    fn block_size(&self) -> usize;
+    /// Number of blocks ever allocated (ids are `0..num_blocks`).
+    fn num_blocks(&self) -> u64;
+    /// Allocate a fresh zeroed block and return its id. Recycles freed blocks.
+    fn allocate(&mut self) -> u64;
+    /// Return a block to the allocator for reuse.
+    fn free(&mut self, id: u64) -> Result<()>;
+    /// Read a whole block into `buf` (`buf.len() == block_size`).
+    fn read(&mut self, id: u64, buf: &mut [u8]) -> Result<()>;
+    /// Overwrite a whole block from `data` (`data.len() <= block_size`; the
+    /// remainder of the block is unspecified and must not be relied upon).
+    fn write(&mut self, id: u64, data: &[u8]) -> Result<()>;
+}
+
+/// An in-memory block device: the default substrate for tests and benches.
+///
+/// Keeping blocks in host RAM does not change what is being measured -- the
+/// experiments report block-transfer *counts*, which are identical whatever
+/// medium backs the blocks.
+pub struct MemDevice {
+    block_size: usize,
+    blocks: Vec<Box<[u8]>>,
+    free_list: Vec<u64>,
+    high_water: u64,
+}
+
+impl MemDevice {
+    /// A device with the given block size in bytes (must be nonzero).
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be nonzero");
+        Self { block_size, blocks: Vec::new(), free_list: Vec::new(), high_water: 0 }
+    }
+
+    /// Maximum number of live (allocated, unfreed) blocks seen so far.
+    pub fn high_water_blocks(&self) -> u64 {
+        self.high_water
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn allocate(&mut self) -> u64 {
+        let id = if let Some(id) = self.free_list.pop() {
+            self.blocks[id as usize].fill(0);
+            id
+        } else {
+            self.blocks.push(vec![0u8; self.block_size].into_boxed_slice());
+            (self.blocks.len() - 1) as u64
+        };
+        let live = self.blocks.len() as u64 - self.free_list.len() as u64;
+        self.high_water = self.high_water.max(live);
+        id
+    }
+
+    fn free(&mut self, id: u64) -> Result<()> {
+        if id >= self.blocks.len() as u64 {
+            return Err(ExtError::BadBlock { block: id, total: self.blocks.len() as u64 });
+        }
+        self.free_list.push(id);
+        Ok(())
+    }
+
+    fn read(&mut self, id: u64, buf: &mut [u8]) -> Result<()> {
+        let src = self
+            .blocks
+            .get(id as usize)
+            .ok_or(ExtError::BadBlock { block: id, total: self.blocks.len() as u64 })?;
+        buf[..self.block_size].copy_from_slice(src);
+        Ok(())
+    }
+
+    fn write(&mut self, id: u64, data: &[u8]) -> Result<()> {
+        let total = self.blocks.len() as u64;
+        let dst = self
+            .blocks
+            .get_mut(id as usize)
+            .ok_or(ExtError::BadBlock { block: id, total })?;
+        dst[..data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// A file-backed block device, for runs larger than host RAM or for running
+/// the experiments against a real filesystem.
+pub struct FileDevice {
+    block_size: usize,
+    file: File,
+    num_blocks: u64,
+    free_list: Vec<u64>,
+}
+
+impl FileDevice {
+    /// Create (truncating) a device backed by the file at `path`.
+    pub fn create(path: &Path, block_size: usize) -> Result<Self> {
+        assert!(block_size > 0, "block size must be nonzero");
+        let file = File::options().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(Self { block_size, file, num_blocks: 0, free_list: Vec::new() })
+    }
+}
+
+impl BlockDevice for FileDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn allocate(&mut self) -> u64 {
+        if let Some(id) = self.free_list.pop() {
+            return id;
+        }
+        let id = self.num_blocks;
+        self.num_blocks += 1;
+        id
+    }
+
+    fn free(&mut self, id: u64) -> Result<()> {
+        if id >= self.num_blocks {
+            return Err(ExtError::BadBlock { block: id, total: self.num_blocks });
+        }
+        self.free_list.push(id);
+        Ok(())
+    }
+
+    fn read(&mut self, id: u64, buf: &mut [u8]) -> Result<()> {
+        if id >= self.num_blocks {
+            return Err(ExtError::BadBlock { block: id, total: self.num_blocks });
+        }
+        self.file.seek(SeekFrom::Start(id * self.block_size as u64))?;
+        // A freshly-allocated block may not have been written yet; a short
+        // read past EOF yields zeroes, matching MemDevice semantics.
+        let mut filled = 0;
+        while filled < self.block_size {
+            let n = self.file.read(&mut buf[filled..self.block_size])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        buf[filled..self.block_size].fill(0);
+        Ok(())
+    }
+
+    fn write(&mut self, id: u64, data: &[u8]) -> Result<()> {
+        if id >= self.num_blocks {
+            return Err(ExtError::BadBlock { block: id, total: self.num_blocks });
+        }
+        self.file.seek(SeekFrom::Start(id * self.block_size as u64))?;
+        self.file.write_all(data)?;
+        Ok(())
+    }
+}
+
+/// The accounting front door to a block device.
+///
+/// All substrate structures (streams, stacks, the run store) perform their
+/// transfers through a shared `Rc<Disk>`, tagging each with the [`IoCat`]
+/// that names its purpose in the paper's cost breakdown.
+pub struct Disk {
+    dev: RefCell<Box<dyn BlockDevice>>,
+    stats: IoStats,
+    block_size: usize,
+    trace: RefCell<Option<Vec<TraceEntry>>>,
+}
+
+/// One recorded block transfer (see [`Disk::start_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// True for a read, false for a write.
+    pub is_read: bool,
+    /// The block id touched.
+    pub block: u64,
+    /// The purpose the transfer was charged to.
+    pub cat: IoCat,
+}
+
+impl Disk {
+    /// Wrap an arbitrary device.
+    pub fn new(dev: Box<dyn BlockDevice>) -> Rc<Self> {
+        let block_size = dev.block_size();
+        Rc::new(Self {
+            dev: RefCell::new(dev),
+            stats: IoStats::new(),
+            block_size,
+            trace: RefCell::new(None),
+        })
+    }
+
+    /// Start recording every block transfer (id + direction + category).
+    /// Used to inspect access patterns -- e.g. asserting that a pass is
+    /// sequential, or visualizing stack paging. Any previous trace is
+    /// discarded.
+    pub fn start_trace(&self) {
+        *self.trace.borrow_mut() = Some(Vec::new());
+    }
+
+    /// Stop tracing and return the recorded transfers (empty if tracing was
+    /// never started).
+    pub fn take_trace(&self) -> Vec<TraceEntry> {
+        self.trace.borrow_mut().take().unwrap_or_default()
+    }
+
+    /// An in-memory disk with the given block size -- the usual choice.
+    pub fn new_mem(block_size: usize) -> Rc<Self> {
+        Self::new(Box::new(MemDevice::new(block_size)))
+    }
+
+    /// A file-backed disk at `path` (truncates any existing file).
+    pub fn new_file(path: &Path, block_size: usize) -> Result<Rc<Self>> {
+        Ok(Self::new(Box::new(FileDevice::create(path, block_size)?)))
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Handle onto the shared I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+
+    /// Number of blocks ever allocated on the underlying device.
+    pub fn num_blocks(&self) -> u64 {
+        self.dev.borrow().num_blocks()
+    }
+
+    /// Allocate a fresh block. Allocation itself is free in the I/O model;
+    /// only transfers cost.
+    pub fn alloc_block(&self) -> u64 {
+        self.dev.borrow_mut().allocate()
+    }
+
+    /// Return a block for reuse (e.g. popped stack blocks).
+    pub fn free_block(&self, id: u64) -> Result<()> {
+        self.dev.borrow_mut().free(id)
+    }
+
+    /// Read block `id` into `buf`, charging one read to `cat`.
+    pub fn read_block(&self, id: u64, buf: &mut [u8], cat: IoCat) -> Result<()> {
+        self.dev.borrow_mut().read(id, buf)?;
+        self.stats.add_reads(cat, 1);
+        if let Some(t) = self.trace.borrow_mut().as_mut() {
+            t.push(TraceEntry { is_read: true, block: id, cat });
+        }
+        Ok(())
+    }
+
+    /// Write `data` to block `id`, charging one write to `cat`.
+    pub fn write_block(&self, id: u64, data: &[u8], cat: IoCat) -> Result<()> {
+        debug_assert!(data.len() <= self.block_size);
+        self.dev.borrow_mut().write(id, data)?;
+        self.stats.add_writes(cat, 1);
+        if let Some(t) = self.trace.borrow_mut().as_mut() {
+            t.push(TraceEntry { is_read: false, block: id, cat });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(disk: &Disk) {
+        let a = disk.alloc_block();
+        let b = disk.alloc_block();
+        assert_ne!(a, b);
+        let bs = disk.block_size();
+        let data: Vec<u8> = (0..bs).map(|i| (i % 251) as u8).collect();
+        disk.write_block(a, &data, IoCat::RunWrite).unwrap();
+        let mut buf = vec![0u8; bs];
+        disk.read_block(a, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(buf, data);
+        // Block b was never written: reads as zeroes.
+        disk.read_block(b, &mut buf, IoCat::RunRead).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn mem_device_roundtrip_and_accounting() {
+        let disk = Disk::new_mem(512);
+        roundtrip(&disk);
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.writes(IoCat::RunWrite), 1);
+        assert_eq!(snap.reads(IoCat::RunRead), 2);
+        assert_eq!(snap.grand_total(), 3);
+    }
+
+    #[test]
+    fn file_device_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("nexsort-dev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocks.bin");
+        let disk = Disk::new_file(&path, 256).unwrap();
+        roundtrip(&disk);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_block_write_preserves_length_contract() {
+        let disk = Disk::new_mem(128);
+        let id = disk.alloc_block();
+        disk.write_block(id, b"short", IoCat::DataStack).unwrap();
+        let mut buf = vec![0u8; 128];
+        disk.read_block(id, &mut buf, IoCat::DataStack).unwrap();
+        assert_eq!(&buf[..5], b"short");
+    }
+
+    #[test]
+    fn freed_blocks_are_recycled_and_zeroed_in_mem_device() {
+        let mut dev = MemDevice::new(64);
+        let a = dev.allocate();
+        dev.write(a, &[0xAA; 64]).unwrap();
+        dev.free(a).unwrap();
+        let b = dev.allocate();
+        assert_eq!(a, b, "free list should recycle");
+        let mut buf = [0xFFu8; 64];
+        dev.read(b, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0), "recycled block must be zeroed");
+    }
+
+    #[test]
+    fn high_water_tracks_live_blocks() {
+        let mut dev = MemDevice::new(64);
+        let a = dev.allocate();
+        let _b = dev.allocate();
+        assert_eq!(dev.high_water_blocks(), 2);
+        dev.free(a).unwrap();
+        let _c = dev.allocate();
+        assert_eq!(dev.high_water_blocks(), 2, "reuse should not raise high water");
+    }
+
+    #[test]
+    fn bad_block_ids_error() {
+        let disk = Disk::new_mem(64);
+        let mut buf = vec![0u8; 64];
+        assert!(disk.read_block(0, &mut buf, IoCat::InputRead).is_err());
+        assert!(disk.write_block(5, b"x", IoCat::InputRead).is_err());
+        assert!(disk.free_block(3).is_err());
+    }
+
+    #[test]
+    fn file_device_rejects_unallocated_ids() {
+        let dir = std::env::temp_dir().join(format!("nexsort-dev2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocks2.bin");
+        let mut dev = FileDevice::create(&path, 64).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(dev.read(0, &mut buf).is_err());
+        let id = dev.allocate();
+        assert!(dev.read(id, &mut buf).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::budget::MemoryBudget;
+    use crate::extent::{ByteReader, ByteSink, ExtentReader, ExtentWriter};
+
+    #[test]
+    fn trace_records_transfers_in_order() {
+        let disk = Disk::new_mem(64);
+        let budget = MemoryBudget::new(4);
+        disk.start_trace();
+        let mut w = ExtentWriter::new(disk.clone(), &budget, IoCat::RunWrite).unwrap();
+        w.write_all(&[1u8; 200]).unwrap();
+        let ext = w.finish().unwrap();
+        let mut r = ExtentReader::new(disk.clone(), &budget, &ext, IoCat::RunRead).unwrap();
+        let mut buf = [0u8; 200];
+        r.read_exact(&mut buf).unwrap();
+        let trace = disk.take_trace();
+        assert_eq!(trace.len(), 8); // 4 writes + 4 reads
+        assert!(trace[..4].iter().all(|t| !t.is_read && t.cat == IoCat::RunWrite));
+        assert!(trace[4..].iter().all(|t| t.is_read && t.cat == IoCat::RunRead));
+        // Sequential passes touch strictly increasing block ids.
+        let write_blocks: Vec<u64> = trace[..4].iter().map(|t| t.block).collect();
+        assert!(write_blocks.windows(2).all(|w| w[0] < w[1]), "{write_blocks:?}");
+        let read_blocks: Vec<u64> = trace[4..].iter().map(|t| t.block).collect();
+        assert_eq!(write_blocks, read_blocks, "read pass revisits the same blocks");
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_take_is_terminal() {
+        let disk = Disk::new_mem(64);
+        let id = disk.alloc_block();
+        disk.write_block(id, b"x", IoCat::DataStack).unwrap();
+        assert!(disk.take_trace().is_empty());
+        disk.start_trace();
+        disk.write_block(id, b"y", IoCat::DataStack).unwrap();
+        assert_eq!(disk.take_trace().len(), 1);
+        // Tracing stopped: further transfers are not recorded.
+        disk.write_block(id, b"z", IoCat::DataStack).unwrap();
+        assert!(disk.take_trace().is_empty());
+    }
+}

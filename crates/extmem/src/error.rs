@@ -1,0 +1,98 @@
+//! Error type shared across the external-memory substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the external-memory substrate.
+///
+/// The substrate simulates a block device, so most failures are logic errors
+/// (out-of-range block, truncated stream) rather than true I/O failures; the
+/// `Io` variant carries real OS errors from the file-backed device.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ExtError {
+    /// A block id referenced a block that was never allocated.
+    BadBlock { block: u64, total: u64 },
+    /// A read ran past the end of an extent or run.
+    UnexpectedEof { wanted: usize, available: usize },
+    /// A stack operation referenced bytes below the bottom of the stack.
+    StackUnderflow { wanted: usize, len: usize },
+    /// The memory budget would be exceeded by a reservation.
+    BudgetExceeded { requested: usize, free: usize },
+    /// A run id referenced a run that does not exist in the store.
+    BadRun { run: u32, total: u32 },
+    /// A record or structure failed to decode.
+    Corrupt(String),
+    /// An underlying OS error from the file-backed device.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ExtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtError::BadBlock { block, total } => {
+                write!(f, "block {block} out of range (device has {total})")
+            }
+            ExtError::UnexpectedEof { wanted, available } => {
+                write!(f, "unexpected end of data: wanted {wanted} bytes, {available} available")
+            }
+            ExtError::StackUnderflow { wanted, len } => {
+                write!(f, "stack underflow: wanted {wanted} bytes, stack holds {len}")
+            }
+            ExtError::BudgetExceeded { requested, free } => {
+                write!(f, "memory budget exceeded: requested {requested} frames, {free} free")
+            }
+            ExtError::BadRun { run, total } => {
+                write!(f, "run {run} out of range (store has {total})")
+            }
+            ExtError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            ExtError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExtError {
+    fn from(e: std::io::Error) -> Self {
+        ExtError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the substrate.
+pub type Result<T> = std::result::Result<T, ExtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let s = ExtError::BadBlock { block: 9, total: 4 }.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        let s = ExtError::UnexpectedEof { wanted: 10, available: 3 }.to_string();
+        assert!(s.contains("10") && s.contains('3'));
+        let s = ExtError::StackUnderflow { wanted: 2, len: 1 }.to_string();
+        assert!(s.contains("underflow"));
+        let s = ExtError::BudgetExceeded { requested: 5, free: 2 }.to_string();
+        assert!(s.contains("budget"));
+        let s = ExtError::BadRun { run: 7, total: 0 }.to_string();
+        assert!(s.contains("run 7"));
+        let s = ExtError::Corrupt("bad tag".into()).to_string();
+        assert!(s.contains("bad tag"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let e: ExtError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ExtError::Corrupt("x".into())).is_none());
+    }
+}

@@ -1,0 +1,581 @@
+//! Extents: byte sequences laid out over device blocks, with forward,
+//! backward, and append cursors.
+//!
+//! An [`Extent`] is the unit of on-disk storage for everything in the system:
+//! the input document, sorted runs, merge scratch, and the backing store of
+//! the external stacks. Cursors hold exactly one internal-memory block frame
+//! (reserved from the [`MemoryBudget`]) and count one block transfer each
+//! time the frame is refilled or flushed, so a sequential pass over an extent
+//! of `L` bytes costs exactly `ceil(L / B)` I/Os -- the unit the paper's
+//! analysis is written in.
+
+use std::rc::Rc;
+
+use crate::budget::{FrameGuard, MemoryBudget};
+use crate::device::Disk;
+use crate::error::{ExtError, Result};
+use crate::stats::IoCat;
+
+/// A byte sequence stored across whole device blocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Extent {
+    blocks: Vec<u64>,
+    len: u64,
+}
+
+impl Extent {
+    /// An empty extent occupying no blocks.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the extent holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of device blocks backing the extent.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block ids, in order.
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    pub(crate) fn set_raw(&mut self, blocks: Vec<u64>, len: u64) {
+        self.blocks = blocks;
+        self.len = len;
+    }
+
+    /// Return all blocks to the device allocator. The extent becomes empty.
+    pub fn free(&mut self, disk: &Disk) -> Result<()> {
+        for &b in &self.blocks {
+            disk.free_block(b)?;
+        }
+        self.blocks.clear();
+        self.len = 0;
+        Ok(())
+    }
+}
+
+/// Minimal byte-source abstraction so record codecs can run over extents,
+/// stack ranges, and in-memory slices alike.
+pub trait ByteReader {
+    /// Fill `buf` completely or fail with `UnexpectedEof`.
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()>;
+    /// Bytes left to read.
+    fn remaining(&self) -> u64;
+
+    /// Read a single byte.
+    fn read_u8(&mut self) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Read a little-endian `u32`.
+    fn read_u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `u64`.
+    fn read_u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+impl<R: ByteReader + ?Sized> ByteReader for &mut R {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        (**self).read_exact(buf)
+    }
+
+    fn remaining(&self) -> u64 {
+        (**self).remaining()
+    }
+}
+
+/// Minimal byte-sink abstraction, mirror of [`ByteReader`].
+pub trait ByteSink {
+    /// Append all of `buf`.
+    fn write_all(&mut self, buf: &[u8]) -> Result<()>;
+
+    /// Append a single byte.
+    fn write_u8(&mut self, v: u8) -> Result<()> {
+        self.write_all(&[v])
+    }
+
+    /// Append a little-endian `u32`.
+    fn write_u32(&mut self, v: u32) -> Result<()> {
+        self.write_all(&v.to_le_bytes())
+    }
+
+    /// Append a little-endian `u64`.
+    fn write_u64(&mut self, v: u64) -> Result<()> {
+        self.write_all(&v.to_le_bytes())
+    }
+}
+
+impl ByteSink for Vec<u8> {
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.extend_from_slice(buf);
+        Ok(())
+    }
+}
+
+/// A [`ByteReader`] over an in-memory slice.
+pub struct SliceReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl ByteReader for SliceReader<'_> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        let available = self.data.len() - self.pos;
+        if buf.len() > available {
+            return Err(ExtError::UnexpectedEof { wanted: buf.len(), available });
+        }
+        buf.copy_from_slice(&self.data[self.pos..self.pos + buf.len()]);
+        self.pos += buf.len();
+        Ok(())
+    }
+
+    fn remaining(&self) -> u64 {
+        (self.data.len() - self.pos) as u64
+    }
+}
+
+/// Append-only writer building an [`Extent`], holding one block frame.
+pub struct ExtentWriter {
+    disk: Rc<Disk>,
+    cat: IoCat,
+    _frame: FrameGuard,
+    buf: Vec<u8>,
+    blocks: Vec<u64>,
+    len: u64,
+}
+
+impl ExtentWriter {
+    /// Start a new extent; charges writes to `cat`; pins one frame.
+    pub fn new(disk: Rc<Disk>, budget: &MemoryBudget, cat: IoCat) -> Result<Self> {
+        let frame = budget.reserve(1)?;
+        let bs = disk.block_size();
+        Ok(Self { disk, cat, _frame: frame, buf: Vec::with_capacity(bs), blocks: Vec::new(), len: 0 })
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        let id = self.disk.alloc_block();
+        self.disk.write_block(id, &self.buf, self.cat)?;
+        self.blocks.push(id);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush any partial block and return the finished extent.
+    pub fn finish(mut self) -> Result<Extent> {
+        if !self.buf.is_empty() {
+            self.flush_block()?;
+        }
+        Ok(Extent { blocks: std::mem::take(&mut self.blocks), len: self.len })
+    }
+}
+
+impl ByteSink for ExtentWriter {
+    fn write_all(&mut self, mut buf: &[u8]) -> Result<()> {
+        let bs = self.disk.block_size();
+        while !buf.is_empty() {
+            let space = bs - self.buf.len();
+            let take = space.min(buf.len());
+            self.buf.extend_from_slice(&buf[..take]);
+            self.len += take as u64;
+            buf = &buf[take..];
+            if self.buf.len() == bs {
+                self.flush_block()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Forward cursor over an extent, holding one block frame; supports seeking.
+pub struct ExtentReader {
+    disk: Rc<Disk>,
+    cat: IoCat,
+    _frame: FrameGuard,
+    blocks: Vec<u64>,
+    len: u64,
+    pos: u64,
+    frame: Vec<u8>,
+    loaded: Option<usize>,
+}
+
+impl ExtentReader {
+    /// Read `extent` from the start; charges reads to `cat`; pins one frame.
+    pub fn new(disk: Rc<Disk>, budget: &MemoryBudget, extent: &Extent, cat: IoCat) -> Result<Self> {
+        let frame = budget.reserve(1)?;
+        let bs = disk.block_size();
+        Ok(Self {
+            disk,
+            cat,
+            _frame: frame,
+            blocks: extent.blocks.clone(),
+            len: extent.len,
+            pos: 0,
+            frame: vec![0u8; bs],
+            loaded: None,
+        })
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Total byte length of the extent.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the extent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Jump to an absolute offset. Costs nothing until the next read.
+    pub fn seek(&mut self, pos: u64) {
+        debug_assert!(pos <= self.len);
+        self.pos = pos;
+    }
+
+    fn load(&mut self, block_idx: usize) -> Result<()> {
+        if self.loaded != Some(block_idx) {
+            self.disk.read_block(self.blocks[block_idx], &mut self.frame, self.cat)?;
+            self.loaded = Some(block_idx);
+        }
+        Ok(())
+    }
+}
+
+impl ByteReader for ExtentReader {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        let available = (self.len - self.pos) as usize;
+        if buf.len() > available {
+            return Err(ExtError::UnexpectedEof { wanted: buf.len(), available });
+        }
+        let bs = self.disk.block_size() as u64;
+        let mut filled = 0;
+        while filled < buf.len() {
+            let block_idx = (self.pos / bs) as usize;
+            let off = (self.pos % bs) as usize;
+            self.load(block_idx)?;
+            let take = (bs as usize - off).min(buf.len() - filled);
+            buf[filled..filled + take].copy_from_slice(&self.frame[off..off + take]);
+            filled += take;
+            self.pos += take as u64;
+        }
+        Ok(())
+    }
+
+    fn remaining(&self) -> u64 {
+        self.len - self.pos
+    }
+}
+
+/// Backward cursor over an extent: reads ranges that *end* at the cursor.
+///
+/// Used by the stream-reversal pre-pass that resolves end-of-element sort
+/// keys before an external subtree sort (see `nexsort::subtree`). A full
+/// backward pass costs `ceil(L / B)` reads, same as a forward pass.
+pub struct ExtentRevCursor {
+    disk: Rc<Disk>,
+    cat: IoCat,
+    _frame: FrameGuard,
+    blocks: Vec<u64>,
+    pos: u64,
+    frame: Vec<u8>,
+    loaded: Option<usize>,
+}
+
+impl ExtentRevCursor {
+    /// Position the cursor at the end of `extent`.
+    pub fn new(disk: Rc<Disk>, budget: &MemoryBudget, extent: &Extent, cat: IoCat) -> Result<Self> {
+        let frame = budget.reserve(1)?;
+        let bs = disk.block_size();
+        Ok(Self {
+            disk,
+            cat,
+            _frame: frame,
+            blocks: extent.blocks.clone(),
+            pos: extent.len,
+            frame: vec![0u8; bs],
+            loaded: None,
+        })
+    }
+
+    /// Bytes remaining before the cursor (i.e. still readable).
+    pub fn remaining(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reposition the cursor at an absolute offset (it will read the bytes
+    /// *before* `pos`). Costs nothing until the next read.
+    pub fn seek_to(&mut self, pos: u64) {
+        self.pos = pos;
+    }
+
+    fn load(&mut self, block_idx: usize) -> Result<()> {
+        if self.loaded != Some(block_idx) {
+            self.disk.read_block(self.blocks[block_idx], &mut self.frame, self.cat)?;
+            self.loaded = Some(block_idx);
+        }
+        Ok(())
+    }
+
+    /// Read the `buf.len()` bytes immediately before the cursor (in forward
+    /// order) and move the cursor back past them.
+    pub fn read_back(&mut self, buf: &mut [u8]) -> Result<()> {
+        if (buf.len() as u64) > self.pos {
+            return Err(ExtError::UnexpectedEof { wanted: buf.len(), available: self.pos as usize });
+        }
+        let bs = self.disk.block_size() as u64;
+        let start = self.pos - buf.len() as u64;
+        // Fill from the tail backward so the resident frame walks down-block,
+        // keeping a sequential backward pass at one load per block.
+        let mut end = self.pos;
+        while end > start {
+            let last = end - 1;
+            let block_idx = (last / bs) as usize;
+            let block_start = block_idx as u64 * bs;
+            let lo = start.max(block_start);
+            self.load(block_idx)?;
+            let src_lo = (lo - block_start) as usize;
+            let src_hi = (end - block_start) as usize;
+            let dst_lo = (lo - start) as usize;
+            let dst_hi = (end - start) as usize;
+            buf[dst_lo..dst_hi].copy_from_slice(&self.frame[src_lo..src_hi]);
+            end = lo;
+        }
+        self.pos = start;
+        Ok(())
+    }
+
+    /// Read a little-endian `u32` that ends at the cursor.
+    pub fn read_back_u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_back(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IoCat;
+
+    fn setup(block_size: usize, frames: usize) -> (Rc<Disk>, MemoryBudget) {
+        (Disk::new_mem(block_size), MemoryBudget::new(frames))
+    }
+
+    fn build_extent(disk: &Rc<Disk>, budget: &MemoryBudget, data: &[u8]) -> Extent {
+        let mut w = ExtentWriter::new(disk.clone(), budget, IoCat::SortScratch).unwrap();
+        w.write_all(data).unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_across_blocks() {
+        let (disk, budget) = setup(16, 4);
+        let data: Vec<u8> = (0..100u8).collect();
+        let ext = build_extent(&disk, &budget, &data);
+        assert_eq!(ext.len(), 100);
+        assert_eq!(ext.num_blocks(), 7); // ceil(100/16)
+        let mut r = ExtentReader::new(disk, &budget, &ext, IoCat::SortScratch).unwrap();
+        let mut out = vec![0u8; 100];
+        r.read_exact(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn sequential_pass_costs_exactly_ceil_len_over_b_ios() {
+        let (disk, budget) = setup(64, 4);
+        let data = vec![7u8; 1000];
+        let before = disk.stats().snapshot();
+        let ext = build_extent(&disk, &budget, &data);
+        let after_write = disk.stats().snapshot().since(&before);
+        assert_eq!(after_write.writes(IoCat::SortScratch), 16); // ceil(1000/64)
+
+        let before = disk.stats().snapshot();
+        let mut r = ExtentReader::new(disk.clone(), &budget, &ext, IoCat::SortScratch).unwrap();
+        let mut out = vec![0u8; 1000];
+        r.read_exact(&mut out).unwrap();
+        let after_read = disk.stats().snapshot().since(&before);
+        assert_eq!(after_read.reads(IoCat::SortScratch), 16);
+    }
+
+    #[test]
+    fn reads_spanning_block_boundaries_assemble_correctly() {
+        let (disk, budget) = setup(8, 4);
+        let data: Vec<u8> = (0..40u8).collect();
+        let ext = build_extent(&disk, &budget, &data);
+        let mut r = ExtentReader::new(disk, &budget, &ext, IoCat::SortScratch).unwrap();
+        let mut chunk = [0u8; 13]; // deliberately not aligned to 8
+        r.read_exact(&mut chunk).unwrap();
+        assert_eq!(&chunk[..], &data[0..13]);
+        r.read_exact(&mut chunk).unwrap();
+        assert_eq!(&chunk[..], &data[13..26]);
+    }
+
+    #[test]
+    fn eof_is_detected_before_any_partial_fill() {
+        let (disk, budget) = setup(8, 4);
+        let ext = build_extent(&disk, &budget, b"hello");
+        let mut r = ExtentReader::new(disk, &budget, &ext, IoCat::SortScratch).unwrap();
+        let mut buf = [0u8; 6];
+        match r.read_exact(&mut buf) {
+            Err(ExtError::UnexpectedEof { wanted: 6, available: 5 }) => {}
+            other => panic!("expected EOF error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seek_supports_random_access() {
+        let (disk, budget) = setup(8, 4);
+        let data: Vec<u8> = (0..64u8).collect();
+        let ext = build_extent(&disk, &budget, &data);
+        let mut r = ExtentReader::new(disk, &budget, &ext, IoCat::SortScratch).unwrap();
+        r.seek(40);
+        assert_eq!(r.read_u8().unwrap(), 40);
+        r.seek(7);
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.position(), 8);
+    }
+
+    #[test]
+    fn rev_cursor_reads_backward_in_forward_order() {
+        let (disk, budget) = setup(8, 4);
+        let data: Vec<u8> = (0..30u8).collect();
+        let ext = build_extent(&disk, &budget, &data);
+        let mut rc = ExtentRevCursor::new(disk, &budget, &ext, IoCat::SortScratch).unwrap();
+        let mut tail = [0u8; 12];
+        rc.read_back(&mut tail).unwrap();
+        assert_eq!(&tail[..], &data[18..30]);
+        let mut mid = [0u8; 10];
+        rc.read_back(&mut mid).unwrap();
+        assert_eq!(&mid[..], &data[8..18]);
+        assert_eq!(rc.remaining(), 8);
+        let mut head = [0u8; 9];
+        assert!(rc.read_back(&mut head).is_err());
+    }
+
+    #[test]
+    fn backward_pass_costs_one_read_per_block() {
+        let (disk, budget) = setup(32, 4);
+        let data = vec![1u8; 320];
+        let ext = build_extent(&disk, &budget, &data);
+        let before = disk.stats().snapshot();
+        let mut rc = ExtentRevCursor::new(disk.clone(), &budget, &ext, IoCat::RunRead).unwrap();
+        let mut buf = [0u8; 5];
+        while rc.remaining() >= 5 {
+            rc.read_back(&mut buf).unwrap();
+        }
+        let delta = disk.stats().snapshot().since(&before);
+        assert_eq!(delta.reads(IoCat::RunRead), 10); // 320/32 blocks, each loaded once
+    }
+
+    #[test]
+    fn cursors_reserve_and_release_budget_frames() {
+        let (disk, budget) = setup(8, 2);
+        let ext = build_extent(&disk, &budget, b"abc");
+        assert_eq!(budget.used_frames(), 0);
+        {
+            let _r1 = ExtentReader::new(disk.clone(), &budget, &ext, IoCat::InputRead).unwrap();
+            let _r2 = ExtentReader::new(disk.clone(), &budget, &ext, IoCat::InputRead).unwrap();
+            assert_eq!(budget.used_frames(), 2);
+            assert!(ExtentReader::new(disk.clone(), &budget, &ext, IoCat::InputRead).is_err());
+        }
+        assert_eq!(budget.used_frames(), 0);
+    }
+
+    #[test]
+    fn freeing_an_extent_recycles_its_blocks() {
+        let (disk, budget) = setup(8, 4);
+        let mut ext = build_extent(&disk, &budget, &[9u8; 100]);
+        let before = disk.num_blocks();
+        ext.free(&disk).unwrap();
+        assert!(ext.is_empty());
+        // New allocations should reuse the freed blocks, not grow the device.
+        let _ext2 = build_extent(&disk, &budget, &[3u8; 100]);
+        assert_eq!(disk.num_blocks(), before);
+    }
+
+    #[test]
+    fn slice_reader_matches_extent_reader_semantics() {
+        let data = b"0123456789";
+        let mut r = SliceReader::new(data);
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b).unwrap();
+        assert_eq!(&b, b"0123");
+        assert_eq!(r.remaining(), 6);
+        assert_eq!(r.position(), 4);
+        let mut too_big = [0u8; 7];
+        assert!(r.read_exact(&mut too_big).is_err());
+    }
+
+    #[test]
+    fn numeric_helpers_roundtrip() {
+        let mut v: Vec<u8> = Vec::new();
+        v.write_u8(7).unwrap();
+        v.write_u32(0xDEADBEEF).unwrap();
+        v.write_u64(0x0123_4567_89AB_CDEF).unwrap();
+        let mut r = SliceReader::new(&v);
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.read_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn empty_extent_behaves() {
+        let (disk, budget) = setup(8, 4);
+        let w = ExtentWriter::new(disk.clone(), &budget, IoCat::SortScratch).unwrap();
+        assert!(w.is_empty());
+        let ext = w.finish().unwrap();
+        assert!(ext.is_empty());
+        assert_eq!(ext.num_blocks(), 0);
+        let mut r = ExtentReader::new(disk, &budget, &ext, IoCat::SortScratch).unwrap();
+        assert!(r.is_empty());
+        assert!(r.read_u8().is_err());
+    }
+}

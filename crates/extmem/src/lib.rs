@@ -1,0 +1,45 @@
+//! # nexsort-extmem
+//!
+//! External-memory substrate for the NEXSORT reproduction (Silberstein &
+//! Yang, *NEXSORT: Sorting XML in External Memory*, ICDE 2004).
+//!
+//! The paper implements NEXSORT and its external-merge-sort baseline on TPIE
+//! to obtain explicit control and accounting of block I/Os under a bounded
+//! internal memory. This crate rebuilds that substrate from scratch:
+//!
+//! * [`Disk`] / [`BlockDevice`]: a block device (in-memory or file-backed)
+//!   whose every transfer is tagged with an [`IoCat`] and counted in
+//!   [`IoStats`], reproducing the cost breakdown of Section 4.2;
+//! * [`MemoryBudget`]: the model's `M` blocks of internal memory, enforced
+//!   via RAII frame reservations (Figure 5 sweeps exactly this knob);
+//! * [`Extent`] with forward/backward/append cursors: sequential storage at
+//!   `ceil(L/B)` I/Os per pass;
+//! * [`ExtStack`]: externally-paged stacks with the paper's no-prefetch
+//!   policy (data, path, and output-location stacks of Section 3.1);
+//! * [`RunStore`]: sorted runs linked by pointers into a tree (Figure 3);
+//! * [`KWayMerger`]: the merging engine for external merge sort.
+//!
+//! Everything here is deliberately single-threaded (`Rc`/`Cell`), matching
+//! the sequential I/O model the paper analyses.
+
+#![warn(missing_docs)]
+
+mod budget;
+mod device;
+mod error;
+mod extent;
+mod kway;
+mod run_store;
+mod stack;
+mod stats;
+
+pub use budget::{FrameGuard, MemoryBudget};
+pub use device::{BlockDevice, Disk, FileDevice, MemDevice, TraceEntry};
+pub use error::{ExtError, Result};
+pub use extent::{
+    ByteReader, ByteSink, Extent, ExtentReader, ExtentRevCursor, ExtentWriter, SliceReader,
+};
+pub use kway::{KWayMerger, MergeStream, VecStream};
+pub use run_store::{RunId, RunStore, RunWriter};
+pub use stack::ExtStack;
+pub use stats::{IoCat, IoSnapshot, IoStats};

@@ -1,0 +1,203 @@
+//! Storage for sorted runs, connected by run pointers into a tree.
+//!
+//! In the sorting phase NEXSORT collapses each sufficiently large complete
+//! subtree into a *sorted run* on disk, leaving behind a pointer; the runs
+//! form a tree (Figure 3) that the output phase traverses depth-first. The
+//! [`RunStore`] owns the runs' extents and hands out accounting cursors.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::budget::MemoryBudget;
+use crate::device::Disk;
+use crate::error::{ExtError, Result};
+use crate::extent::{ByteSink, Extent, ExtentReader, ExtentWriter};
+use crate::stats::IoCat;
+
+/// Identifier of a sorted run within a [`RunStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RunId(pub u32);
+
+/// A collection of sorted runs on one disk.
+pub struct RunStore {
+    disk: Rc<Disk>,
+    runs: RefCell<Vec<Extent>>,
+}
+
+impl RunStore {
+    /// An empty store on `disk`.
+    pub fn new(disk: Rc<Disk>) -> Rc<Self> {
+        Rc::new(Self { disk, runs: RefCell::new(Vec::new()) })
+    }
+
+    /// The disk the runs live on.
+    pub fn disk(&self) -> &Rc<Disk> {
+        &self.disk
+    }
+
+    /// Begin writing a new run; writes are charged to `cat` (normally
+    /// [`IoCat::RunWrite`], or [`IoCat::SortScratch`] for intermediate runs
+    /// of an external merge).
+    pub fn create(self: &Rc<Self>, budget: &MemoryBudget, cat: IoCat) -> Result<RunWriter> {
+        let inner = ExtentWriter::new(self.disk.clone(), budget, cat)?;
+        Ok(RunWriter { store: self.clone(), inner: Some(inner) })
+    }
+
+    /// Open run `id` for sequential reading, charging reads to `cat`.
+    pub fn open(&self, id: RunId, budget: &MemoryBudget, cat: IoCat) -> Result<ExtentReader> {
+        let runs = self.runs.borrow();
+        let ext = runs
+            .get(id.0 as usize)
+            .ok_or(ExtError::BadRun { run: id.0, total: runs.len() as u32 })?;
+        ExtentReader::new(self.disk.clone(), budget, ext, cat)
+    }
+
+    /// Length of run `id` in bytes.
+    pub fn run_len(&self, id: RunId) -> Result<u64> {
+        let runs = self.runs.borrow();
+        runs.get(id.0 as usize)
+            .map(Extent::len)
+            .ok_or(ExtError::BadRun { run: id.0, total: runs.len() as u32 })
+    }
+
+    /// Number of runs created so far (the paper's `x`, plus any scratch runs).
+    pub fn num_runs(&self) -> u32 {
+        self.runs.borrow().len() as u32
+    }
+
+    /// Total device blocks across all live runs (Lemma 4.8 measures this).
+    pub fn total_blocks(&self) -> u64 {
+        self.runs.borrow().iter().map(|e| e.num_blocks() as u64).sum()
+    }
+
+    /// Free the blocks of run `id` (used to discard scratch runs after a
+    /// merge pass). The id remains valid but the run becomes empty.
+    pub fn discard(&self, id: RunId) -> Result<()> {
+        let mut runs = self.runs.borrow_mut();
+        let total = runs.len() as u32;
+        let ext = runs.get_mut(id.0 as usize).ok_or(ExtError::BadRun { run: id.0, total })?;
+        ext.free(&self.disk)
+    }
+
+    fn install(&self, ext: Extent) -> RunId {
+        let mut runs = self.runs.borrow_mut();
+        runs.push(ext);
+        RunId(runs.len() as u32 - 1)
+    }
+}
+
+/// Append-only writer for one run; finishing registers it in the store.
+pub struct RunWriter {
+    store: Rc<RunStore>,
+    inner: Option<ExtentWriter>,
+}
+
+impl RunWriter {
+    /// Bytes written so far.
+    pub fn len(&self) -> u64 {
+        self.inner.as_ref().map_or(0, ExtentWriter::len)
+    }
+
+    /// True if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flush and register the run, returning its id.
+    pub fn finish(mut self) -> Result<RunId> {
+        let ext = self.inner.take().expect("finish called once").finish()?;
+        Ok(self.store.install(ext))
+    }
+}
+
+impl ByteSink for RunWriter {
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.inner.as_mut().expect("writer not finished").write_all(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent::ByteReader;
+
+    fn setup() -> (Rc<Disk>, MemoryBudget, Rc<RunStore>) {
+        let disk = Disk::new_mem(32);
+        let budget = MemoryBudget::new(8);
+        let store = RunStore::new(disk.clone());
+        (disk, budget, store)
+    }
+
+    #[test]
+    fn create_finish_open_roundtrip() {
+        let (_disk, budget, store) = setup();
+        let mut w = store.create(&budget, IoCat::RunWrite).unwrap();
+        w.write_all(b"sorted subtree payload").unwrap();
+        let id = w.finish().unwrap();
+        assert_eq!(store.run_len(id).unwrap(), 22);
+        let mut r = store.open(id, &budget, IoCat::RunRead).unwrap();
+        let mut buf = vec![0u8; 22];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"sorted subtree payload");
+    }
+
+    #[test]
+    fn run_ids_are_dense_and_ordered() {
+        let (_disk, budget, store) = setup();
+        let a = store.create(&budget, IoCat::RunWrite).unwrap().finish().unwrap();
+        let b = store.create(&budget, IoCat::RunWrite).unwrap().finish().unwrap();
+        assert_eq!(a, RunId(0));
+        assert_eq!(b, RunId(1));
+        assert_eq!(store.num_runs(), 2);
+    }
+
+    #[test]
+    fn total_blocks_counts_all_runs() {
+        let (_disk, budget, store) = setup();
+        for len in [10usize, 64, 100] {
+            let mut w = store.create(&budget, IoCat::RunWrite).unwrap();
+            w.write_all(&vec![1u8; len]).unwrap();
+            w.finish().unwrap();
+        }
+        // ceil(10/32)+ceil(64/32)+ceil(100/32) = 1+2+4
+        assert_eq!(store.total_blocks(), 7);
+    }
+
+    #[test]
+    fn bad_run_id_errors() {
+        let (_disk, budget, store) = setup();
+        assert!(store.open(RunId(3), &budget, IoCat::RunRead).is_err());
+        assert!(store.run_len(RunId(0)).is_err());
+        assert!(store.discard(RunId(9)).is_err());
+    }
+
+    #[test]
+    fn discard_recycles_blocks() {
+        let (disk, budget, store) = setup();
+        let mut w = store.create(&budget, IoCat::SortScratch).unwrap();
+        w.write_all(&vec![2u8; 320]).unwrap();
+        let id = w.finish().unwrap();
+        let blocks_before = disk.num_blocks();
+        store.discard(id).unwrap();
+        assert_eq!(store.run_len(id).unwrap(), 0);
+        // Writing a same-sized run reuses the freed blocks.
+        let mut w = store.create(&budget, IoCat::SortScratch).unwrap();
+        w.write_all(&vec![3u8; 320]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(disk.num_blocks(), blocks_before);
+    }
+
+    #[test]
+    fn writes_and_reads_charge_their_categories() {
+        let (disk, budget, store) = setup();
+        let mut w = store.create(&budget, IoCat::RunWrite).unwrap();
+        w.write_all(&[4u8; 100]).unwrap();
+        let id = w.finish().unwrap();
+        let mut r = store.open(id, &budget, IoCat::RunRead).unwrap();
+        let mut buf = vec![0u8; 100];
+        r.read_exact(&mut buf).unwrap();
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.writes(IoCat::RunWrite), 4); // ceil(100/32)
+        assert_eq!(snap.reads(IoCat::RunRead), 4);
+    }
+}

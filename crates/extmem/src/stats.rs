@@ -1,0 +1,320 @@
+//! Per-category I/O accounting.
+//!
+//! The paper's entire analysis (Section 4.2) is a breakdown of block I/Os by
+//! purpose: reading the input, sorting subtrees, paging the data stack, paging
+//! the path stack, reading sorted-run blocks, paging the output-location
+//! stack, and writing the output. Every block transfer in this substrate is
+//! tagged with an [`IoCat`] so experiments can report exactly that breakdown
+//! and tests can check each of Lemmas 4.9-4.13 individually.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The purpose of a block transfer, mirroring the cost breakdown in
+/// Section 4.2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IoCat {
+    /// Reading the input document ("Reading the input": O(N/B)).
+    InputRead,
+    /// Writing the final sorted document ("Writing the output": O(N/B)).
+    OutputWrite,
+    /// Paging the data stack (Lemma 4.10: O(N/B)).
+    DataStack,
+    /// Paging the path stack (Lemma 4.11: O(N/B) with >= 2 resident frames).
+    PathStack,
+    /// Paging the output-location stack (Lemma 4.13: O(N/t)).
+    OutLocStack,
+    /// Paging the stack of unclosed tags used to reconstruct end tags during
+    /// output (Section 3.2, "a structure similar to the path stack").
+    OutTagStack,
+    /// Writing sorted runs (part of "Sorting subtrees", Lemma 4.9).
+    RunWrite,
+    /// Reading blocks in sorted runs during the output phase (Lemma 4.12).
+    RunRead,
+    /// Scratch reads/writes performed by external-memory subtree sorts and by
+    /// the key-path merge-sort baseline (run formation and merge passes).
+    SortScratch,
+}
+
+impl IoCat {
+    /// All categories, in a stable report order.
+    pub const ALL: [IoCat; 9] = [
+        IoCat::InputRead,
+        IoCat::OutputWrite,
+        IoCat::DataStack,
+        IoCat::PathStack,
+        IoCat::OutLocStack,
+        IoCat::OutTagStack,
+        IoCat::RunWrite,
+        IoCat::RunRead,
+        IoCat::SortScratch,
+    ];
+
+    /// Short human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoCat::InputRead => "input-read",
+            IoCat::OutputWrite => "output-write",
+            IoCat::DataStack => "data-stack",
+            IoCat::PathStack => "path-stack",
+            IoCat::OutLocStack => "outloc-stack",
+            IoCat::OutTagStack => "outtag-stack",
+            IoCat::RunWrite => "run-write",
+            IoCat::RunRead => "run-read",
+            IoCat::SortScratch => "sort-scratch",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            IoCat::InputRead => 0,
+            IoCat::OutputWrite => 1,
+            IoCat::DataStack => 2,
+            IoCat::PathStack => 3,
+            IoCat::OutLocStack => 4,
+            IoCat::OutTagStack => 5,
+            IoCat::RunWrite => 6,
+            IoCat::RunRead => 7,
+            IoCat::SortScratch => 8,
+        }
+    }
+}
+
+impl fmt::Display for IoCat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+const NCATS: usize = 9;
+
+#[derive(Default)]
+struct Counters {
+    reads: [Cell<u64>; NCATS],
+    writes: [Cell<u64>; NCATS],
+}
+
+/// Shared, cheaply-clonable I/O counters.
+///
+/// Cloning an `IoStats` yields a handle onto the same counters; the device
+/// and every paged structure hold one, so a single snapshot sees all traffic.
+#[derive(Clone, Default)]
+pub struct IoStats {
+    inner: Rc<Counters>,
+}
+
+impl IoStats {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` block reads in category `cat`.
+    pub fn add_reads(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.reads[cat.index()];
+        c.set(c.get() + n);
+    }
+
+    /// Record `n` block writes in category `cat`.
+    pub fn add_writes(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.writes[cat.index()];
+        c.set(c.get() + n);
+    }
+
+    /// Roll back `n` block reads from `cat` (saturating). Used to make
+    /// harness setup work (staging inputs) invisible to measurements.
+    pub fn sub_reads(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.reads[cat.index()];
+        c.set(c.get().saturating_sub(n));
+    }
+
+    /// Roll back `n` block writes from `cat` (saturating).
+    pub fn sub_writes(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.writes[cat.index()];
+        c.set(c.get().saturating_sub(n));
+    }
+
+    /// Block reads charged to `cat` so far.
+    pub fn reads(&self, cat: IoCat) -> u64 {
+        self.inner.reads[cat.index()].get()
+    }
+
+    /// Block writes charged to `cat` so far.
+    pub fn writes(&self, cat: IoCat) -> u64 {
+        self.inner.writes[cat.index()].get()
+    }
+
+    /// Reads + writes charged to `cat`.
+    pub fn total(&self, cat: IoCat) -> u64 {
+        self.reads(cat) + self.writes(cat)
+    }
+
+    /// Grand total of all block transfers, every category.
+    pub fn grand_total(&self) -> u64 {
+        IoCat::ALL.iter().map(|&c| self.total(c)).sum()
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        for i in 0..NCATS {
+            self.inner.reads[i].set(0);
+            self.inner.writes[i].set(0);
+        }
+    }
+
+    /// An owned point-in-time copy of all counters, for before/after diffs.
+    pub fn snapshot(&self) -> IoSnapshot {
+        let mut reads = [0u64; NCATS];
+        let mut writes = [0u64; NCATS];
+        for i in 0..NCATS {
+            reads[i] = self.inner.reads[i].get();
+            writes[i] = self.inner.writes[i].get();
+        }
+        IoSnapshot { reads, writes }
+    }
+}
+
+impl fmt::Debug for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// An immutable copy of the counters; subtraction gives interval costs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    reads: [u64; NCATS],
+    writes: [u64; NCATS],
+}
+
+impl IoSnapshot {
+    /// Block reads charged to `cat` in this snapshot.
+    pub fn reads(&self, cat: IoCat) -> u64 {
+        self.reads[cat.index()]
+    }
+
+    /// Block writes charged to `cat` in this snapshot.
+    pub fn writes(&self, cat: IoCat) -> u64 {
+        self.writes[cat.index()]
+    }
+
+    /// Reads + writes charged to `cat` in this snapshot.
+    pub fn total(&self, cat: IoCat) -> u64 {
+        self.reads(cat) + self.writes(cat)
+    }
+
+    /// Grand total of all block transfers in this snapshot.
+    pub fn grand_total(&self) -> u64 {
+        IoCat::ALL.iter().map(|&c| self.total(c)).sum()
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        let mut out = *self;
+        for i in 0..NCATS {
+            out.reads[i] = out.reads[i].saturating_sub(earlier.reads[i]);
+            out.writes[i] = out.writes[i].saturating_sub(earlier.writes[i]);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("IoSnapshot");
+        for cat in IoCat::ALL {
+            if self.total(cat) > 0 {
+                d.field(cat.label(), &(self.reads(cat), self.writes(cat)));
+            }
+        }
+        d.finish()
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<14} {:>12} {:>12} {:>12}", "category", "reads", "writes", "total")?;
+        for cat in IoCat::ALL {
+            if self.total(cat) > 0 {
+                writeln!(
+                    f,
+                    "{:<14} {:>12} {:>12} {:>12}",
+                    cat.label(),
+                    self.reads(cat),
+                    self.writes(cat),
+                    self.total(cat)
+                )?;
+            }
+        }
+        write!(f, "{:<14} {:>12} {:>12} {:>12}", "TOTAL", "", "", self.grand_total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_category() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::InputRead, 3);
+        s.add_writes(IoCat::InputRead, 1);
+        s.add_reads(IoCat::DataStack, 5);
+        assert_eq!(s.reads(IoCat::InputRead), 3);
+        assert_eq!(s.writes(IoCat::InputRead), 1);
+        assert_eq!(s.total(IoCat::InputRead), 4);
+        assert_eq!(s.total(IoCat::DataStack), 5);
+        assert_eq!(s.grand_total(), 9);
+    }
+
+    #[test]
+    fn clones_share_the_same_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        a.add_reads(IoCat::RunRead, 2);
+        b.add_writes(IoCat::RunWrite, 7);
+        assert_eq!(b.reads(IoCat::RunRead), 2);
+        assert_eq!(a.writes(IoCat::RunWrite), 7);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_an_interval() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::SortScratch, 10);
+        let before = s.snapshot();
+        s.add_reads(IoCat::SortScratch, 4);
+        s.add_writes(IoCat::OutputWrite, 2);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.reads(IoCat::SortScratch), 4);
+        assert_eq!(delta.writes(IoCat::OutputWrite), 2);
+        assert_eq!(delta.grand_total(), 6);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::PathStack, 9);
+        s.reset();
+        assert_eq!(s.grand_total(), 0);
+    }
+
+    #[test]
+    fn display_lists_only_nonzero_categories_plus_total() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::InputRead, 1);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("input-read"));
+        assert!(!text.contains("outtag-stack"));
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn all_categories_have_distinct_indices_and_labels() {
+        let mut seen = std::collections::HashSet::new();
+        for cat in IoCat::ALL {
+            assert!(seen.insert(cat.label()), "duplicate label {}", cat.label());
+        }
+        assert_eq!(seen.len(), IoCat::ALL.len());
+    }
+}

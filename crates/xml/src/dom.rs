@@ -1,0 +1,343 @@
+//! A small in-memory DOM.
+//!
+//! The paper's first straw-man ("internal-memory recursive sort", Section 1)
+//! reads the whole document into a DOM-like representation; this module is
+//! that representation. It also powers the test oracles: structural equality,
+//! sibling-permutation equivalence, and document statistics (N, k, height)
+//! used to evaluate the analytical bounds.
+
+use crate::error::{Result, XmlError};
+use crate::event::Event;
+use crate::key::{KeyValue, SortSpec};
+
+/// A child of an element: a sub-element or a text node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum XNode {
+    /// An element subtree.
+    Elem(Element),
+    /// A text node.
+    Text(Vec<u8>),
+}
+
+/// An element with attributes and ordered children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Element {
+    /// Element name bytes.
+    pub name: Vec<u8>,
+    /// Attributes in document order.
+    pub attrs: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Children in document order.
+    pub children: Vec<XNode>,
+}
+
+impl Element {
+    /// A childless element.
+    pub fn new(name: &str) -> Self {
+        Element { name: name.as_bytes().to_vec(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder: add an attribute.
+    pub fn with_attr(mut self, key: &str, value: &str) -> Self {
+        self.attrs.push((key.as_bytes().to_vec(), value.as_bytes().to_vec()));
+        self
+    }
+
+    /// Builder: add an element child.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(XNode::Elem(child));
+        self
+    }
+
+    /// Builder: add a text child.
+    pub fn with_text(mut self, text: &str) -> Self {
+        self.children.push(XNode::Text(text.as_bytes().to_vec()));
+        self
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, key: &[u8]) -> Option<&[u8]> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_slice())
+    }
+
+    /// Total node count (elements + text nodes), the paper's `N`.
+    pub fn num_nodes(&self) -> u64 {
+        1 + self
+            .children
+            .iter()
+            .map(|c| match c {
+                XNode::Elem(e) => e.num_nodes(),
+                XNode::Text(_) => 1,
+            })
+            .sum::<u64>()
+    }
+
+    /// Maximum fan-out over the whole tree, the paper's `k`.
+    pub fn max_fanout(&self) -> usize {
+        let mut k = self.children.len();
+        for c in &self.children {
+            if let XNode::Elem(e) = c {
+                k = k.max(e.max_fanout());
+            }
+        }
+        k
+    }
+
+    /// Height of the tree (a lone root has height 1, Table 2 convention).
+    pub fn height(&self) -> u32 {
+        1 + self
+            .children
+            .iter()
+            .map(|c| match c {
+                XNode::Elem(e) => e.height(),
+                XNode::Text(_) => 1,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The element's sort key under `spec` (DOM-side evaluation, including
+    /// deferred text/child-path sources and composite rules).
+    pub fn key_under(&self, spec: &SortSpec) -> KeyValue {
+        self.key_by_rule(spec.rule_for(&self.name))
+    }
+
+    fn key_by_rule(&self, rule: &crate::key::KeyRule) -> KeyValue {
+        use crate::key::KeySource;
+        let raw = match &rule.source {
+            KeySource::DocOrder => KeyValue::Missing,
+            KeySource::TagName => KeyValue::from_bytes(&self.name, rule.ty),
+            KeySource::Attribute(a) => {
+                self.attr(a).map_or(KeyValue::Missing, |v| KeyValue::from_bytes(v, rule.ty))
+            }
+            KeySource::Composite(rules) => {
+                KeyValue::Tuple(rules.iter().map(|r| self.key_by_rule(r)).collect())
+            }
+            KeySource::Text => self
+                .children
+                .iter()
+                .find_map(|c| match c {
+                    XNode::Text(t) => Some(KeyValue::from_bytes(t, rule.ty)),
+                    XNode::Elem(_) => None,
+                })
+                .unwrap_or(KeyValue::Missing),
+            KeySource::ChildPath(path) => {
+                let mut cur = self;
+                let mut found = true;
+                for comp in path {
+                    match cur.children.iter().find_map(|c| match c {
+                        XNode::Elem(e) if e.name == *comp => Some(e),
+                        _ => None,
+                    }) {
+                        Some(next) => cur = next,
+                        None => {
+                            found = false;
+                            break;
+                        }
+                    }
+                }
+                if found {
+                    cur.children
+                        .iter()
+                        .find_map(|c| match c {
+                            XNode::Text(t) => Some(KeyValue::from_bytes(t, rule.ty)),
+                            XNode::Elem(_) => None,
+                        })
+                        .unwrap_or(KeyValue::Missing)
+                } else {
+                    KeyValue::Missing
+                }
+            }
+        };
+        rule.oriented(raw)
+    }
+
+    /// Emit the subtree as events in document order.
+    pub fn to_events(&self, out: &mut Vec<Event>) {
+        out.push(Event::Start { name: self.name.clone(), attrs: self.attrs.clone() });
+        for c in &self.children {
+            match c {
+                XNode::Elem(e) => e.to_events(out),
+                XNode::Text(t) => out.push(Event::Text { content: t.clone() }),
+            }
+        }
+        out.push(Event::End { name: self.name.clone() });
+    }
+
+    /// Serialize to XML text.
+    pub fn to_xml(&self, pretty: bool) -> Vec<u8> {
+        let mut events = Vec::new();
+        self.to_events(&mut events);
+        crate::writer::events_to_xml(&events, pretty)
+    }
+
+    /// Recursively sort every element's children into a canonical order
+    /// (by full subtree content), so two trees that are equal up to sibling
+    /// permutations become structurally identical.
+    pub fn canonicalize(&mut self) {
+        for c in &mut self.children {
+            if let XNode::Elem(e) = c {
+                e.canonicalize();
+            }
+        }
+        self.children.sort();
+    }
+
+    /// True if `self` and `other` are the same tree up to reordering of
+    /// siblings -- i.e. `other` is a *legal* sort outcome of `self` (every
+    /// parent-child relationship is preserved; Section 4.1's legality).
+    pub fn permutation_equivalent(&self, other: &Element) -> bool {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.canonicalize();
+        b.canonicalize();
+        a == b
+    }
+}
+
+/// Build a DOM from an event stream (must contain exactly one root).
+pub fn events_to_dom(events: &[Event]) -> Result<Element> {
+    let mut stack: Vec<Element> = Vec::new();
+    let mut root: Option<Element> = None;
+    for ev in events {
+        match ev {
+            Event::Start { name, attrs } => {
+                stack.push(Element {
+                    name: name.clone(),
+                    attrs: attrs.clone(),
+                    children: Vec::new(),
+                });
+            }
+            Event::Text { content } => match stack.last_mut() {
+                Some(top) => top.children.push(XNode::Text(content.clone())),
+                None => return Err(XmlError::Record("text outside the root element".into())),
+            },
+            Event::End { name } => {
+                let done = stack
+                    .pop()
+                    .ok_or_else(|| XmlError::Record("end tag with no open element".into()))?;
+                if done.name != *name {
+                    return Err(XmlError::Record("mismatched end tag".into()));
+                }
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(XNode::Elem(done)),
+                    None => {
+                        if root.is_some() {
+                            return Err(XmlError::Record("multiple root elements".into()));
+                        }
+                        root = Some(done);
+                    }
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(XmlError::Record("event stream ended with open elements".into()));
+    }
+    root.ok_or_else(|| XmlError::Record("empty event stream".into()))
+}
+
+/// Parse XML text straight into a DOM (convenience).
+pub fn parse_dom(input: &[u8]) -> Result<Element> {
+    events_to_dom(&crate::parser::parse_events(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyRule;
+
+    fn sample() -> Element {
+        parse_dom(
+            b"<company><region name=\"NE\"/><region name=\"AC\">\
+              <branch name=\"Durham\"><employee ID=\"454\"/></branch></region></company>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dom_construction_and_stats() {
+        let d = sample();
+        assert_eq!(d.name, b"company");
+        assert_eq!(d.num_nodes(), 5);
+        assert_eq!(d.max_fanout(), 2);
+        assert_eq!(d.height(), 4);
+    }
+
+    #[test]
+    fn events_roundtrip_through_dom() {
+        let d = sample();
+        let mut events = Vec::new();
+        d.to_events(&mut events);
+        let back = events_to_dom(&events).unwrap();
+        assert_eq!(d, back);
+        let reparsed = parse_dom(&d.to_xml(false)).unwrap();
+        assert_eq!(d, reparsed);
+    }
+
+    #[test]
+    fn key_evaluation_on_the_dom() {
+        let spec = SortSpec::by_attribute("name")
+            .with_rule("employee", KeyRule::attr_numeric("ID"))
+            .with_rule("person", KeyRule::child_path(&["info", "last"]))
+            .with_rule("note", KeyRule::text());
+        let d = sample();
+        assert_eq!(d.key_under(&spec), KeyValue::Missing); // company has no name attr
+        let person = parse_dom(
+            b"<person><info><last>Yang</last></info></person>",
+        )
+        .unwrap();
+        assert_eq!(person.key_under(&spec), KeyValue::Bytes(b"Yang".to_vec()));
+        let note = parse_dom(b"<note>remember</note>").unwrap();
+        assert_eq!(note.key_under(&spec), KeyValue::Bytes(b"remember".to_vec()));
+        let empty_person = parse_dom(b"<person><info/></person>").unwrap();
+        assert_eq!(empty_person.key_under(&spec), KeyValue::Missing);
+    }
+
+    #[test]
+    fn permutation_equivalence_accepts_sibling_reorder_only() {
+        let a = parse_dom(b"<r><x i=\"1\"/><x i=\"2\"><y/></x></r>").unwrap();
+        let b = parse_dom(b"<r><x i=\"2\"><y/></x><x i=\"1\"/></r>").unwrap();
+        assert!(a.permutation_equivalent(&b));
+        // Moving y out of its parent is NOT legal.
+        let c = parse_dom(b"<r><x i=\"1\"><y/></x><x i=\"2\"/></r>").unwrap();
+        assert!(!a.permutation_equivalent(&c));
+        // Changing content is not equivalent either.
+        let d = parse_dom(b"<r><x i=\"1\"/><x i=\"3\"><y/></x></r>").unwrap();
+        assert!(!a.permutation_equivalent(&d));
+    }
+
+    #[test]
+    fn permutation_equivalence_handles_duplicate_subtrees() {
+        let a = parse_dom(b"<r><x/><x/><y/></r>").unwrap();
+        let b = parse_dom(b"<r><y/><x/><x/></r>").unwrap();
+        assert!(a.permutation_equivalent(&b));
+        let c = parse_dom(b"<r><y/><x/><x/><x/></r>").unwrap();
+        assert!(!a.permutation_equivalent(&c));
+    }
+
+    #[test]
+    fn malformed_event_streams_are_rejected() {
+        assert!(events_to_dom(&[Event::start("a", &[])]).is_err());
+        assert!(events_to_dom(&[Event::end("a")]).is_err());
+        assert!(events_to_dom(&[Event::text("x")]).is_err());
+        assert!(events_to_dom(&[]).is_err());
+        let two_roots = [
+            Event::start("a", &[]),
+            Event::end("a"),
+            Event::start("b", &[]),
+            Event::end("b"),
+        ];
+        assert!(events_to_dom(&two_roots).is_err());
+    }
+
+    #[test]
+    fn builder_api_constructs_documents() {
+        let d = Element::new("company")
+            .with_child(Element::new("region").with_attr("name", "NE").with_text("hq"));
+        assert_eq!(d.num_nodes(), 3);
+        assert_eq!(
+            d.to_xml(false),
+            b"<company><region name=\"NE\">hq</region></company>".to_vec()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the XML data-model crate.
+
+use std::fmt;
+
+use nexsort_extmem::ExtError;
+
+/// Errors from parsing, encoding, or interpreting XML data.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum XmlError {
+    /// Malformed XML input, with the byte offset where it was detected.
+    Parse { offset: u64, msg: String },
+    /// A record failed to decode or violated a structural invariant.
+    Record(String),
+    /// A symbol id had no entry in the tag dictionary.
+    UnknownSymbol(u32),
+    /// An error bubbled up from the external-memory substrate.
+    Ext(ExtError),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { offset, msg } => write!(f, "XML parse error at byte {offset}: {msg}"),
+            XmlError::Record(msg) => write!(f, "record error: {msg}"),
+            XmlError::UnknownSymbol(id) => write!(f, "unknown symbol id {id}"),
+            XmlError::Ext(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmlError::Ext(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExtError> for XmlError {
+    fn from(e: ExtError) -> Self {
+        XmlError::Ext(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = XmlError::Parse { offset: 12, msg: "unexpected '<'".into() };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(XmlError::UnknownSymbol(5).to_string().contains('5'));
+        assert!(XmlError::Record("short".into()).to_string().contains("short"));
+    }
+
+    #[test]
+    fn ext_errors_convert_and_chain() {
+        let e: XmlError = ExtError::Corrupt("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

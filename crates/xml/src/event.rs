@@ -1,0 +1,136 @@
+//! SAX-style XML events: the unit the sorting phase scans (Figure 4 line 3,
+//! "a start tag, an end tag, or a piece of text").
+
+use std::fmt;
+
+/// One unit of XML data in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name a="v" ...>`
+    Start {
+        /// Element name bytes.
+        name: Vec<u8>,
+        /// Attributes in document order.
+        attrs: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// `</name>`
+    End {
+        /// Element name bytes (matches the corresponding `Start`).
+        name: Vec<u8>,
+    },
+    /// Character data between tags (entity-decoded).
+    Text {
+        /// The decoded text content.
+        content: Vec<u8>,
+    },
+}
+
+impl Event {
+    /// Convenience constructor for a start tag.
+    pub fn start(name: &str, attrs: &[(&str, &str)]) -> Self {
+        Event::Start {
+            name: name.as_bytes().to_vec(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Convenience constructor for an end tag.
+    pub fn end(name: &str) -> Self {
+        Event::End { name: name.as_bytes().to_vec() }
+    }
+
+    /// Convenience constructor for text content.
+    pub fn text(content: &str) -> Self {
+        Event::Text { content: content.as_bytes().to_vec() }
+    }
+
+    /// Attribute value lookup on a start tag; `None` otherwise.
+    pub fn attr(&self, key: &[u8]) -> Option<&[u8]> {
+        match self {
+            Event::Start { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_slice())
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Start { name, attrs } => {
+                write!(f, "<{}", String::from_utf8_lossy(name))?;
+                for (k, v) in attrs {
+                    write!(
+                        f,
+                        " {}=\"{}\"",
+                        String::from_utf8_lossy(k),
+                        String::from_utf8_lossy(v)
+                    )?;
+                }
+                write!(f, ">")
+            }
+            Event::End { name } => write!(f, "</{}>", String::from_utf8_lossy(name)),
+            Event::Text { content } => write!(f, "{}", String::from_utf8_lossy(content)),
+        }
+    }
+}
+
+/// Anything that yields XML events in document order.
+///
+/// Implemented by the streaming parser, generators, and record decoders, so
+/// the sorters accept input from any of them.
+pub trait EventSource {
+    /// The next event, or `None` at end of document.
+    fn next_event(&mut self) -> crate::error::Result<Option<Event>>;
+}
+
+/// An [`EventSource`] over a pre-built vector of events.
+pub struct VecEvents {
+    events: std::vec::IntoIter<Event>,
+}
+
+impl VecEvents {
+    /// Stream the given events.
+    pub fn new(events: Vec<Event>) -> Self {
+        Self { events: events.into_iter() }
+    }
+}
+
+impl EventSource for VecEvents {
+    fn next_event(&mut self) -> crate::error::Result<Option<Event>> {
+        Ok(self.events.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_attr_lookup() {
+        let e = Event::start("employee", &[("ID", "454"), ("dept", "x")]);
+        assert_eq!(e.attr(b"ID"), Some(&b"454"[..]));
+        assert_eq!(e.attr(b"missing"), None);
+        assert_eq!(Event::end("employee").attr(b"ID"), None);
+        assert_eq!(Event::text("hi").attr(b"ID"), None);
+    }
+
+    #[test]
+    fn display_renders_tags() {
+        assert_eq!(Event::start("a", &[("k", "v")]).to_string(), "<a k=\"v\">");
+        assert_eq!(Event::end("a").to_string(), "</a>");
+        assert_eq!(Event::text("body").to_string(), "body");
+    }
+
+    #[test]
+    fn vec_source_streams_in_order() {
+        let mut s = VecEvents::new(vec![Event::start("a", &[]), Event::end("a")]);
+        assert_eq!(s.next_event().unwrap(), Some(Event::start("a", &[])));
+        assert_eq!(s.next_event().unwrap(), Some(Event::end("a")));
+        assert_eq!(s.next_event().unwrap(), None);
+    }
+}

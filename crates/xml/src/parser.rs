@@ -1,0 +1,661 @@
+//! A from-scratch streaming (SAX-style) XML parser.
+//!
+//! NEXSORT's sorting phase is a single event-driven scan of the input
+//! (Figure 4 line 2, "can be implemented using a simple event-based XML
+//! parser"). This parser pulls events from any [`ByteReader`] -- in
+//! particular from a device-resident extent, so parsing the input charges
+//! the `input-read` I/O category exactly once per block.
+//!
+//! Supported: elements, attributes (single- or double-quoted), self-closing
+//! tags, character data with the five predefined entities plus numeric
+//! character references, CDATA sections, comments, processing instructions,
+//! the XML declaration, and a (skipped) DOCTYPE with internal subset.
+//! Not supported (not needed for data-centric documents): external entities
+//! and namespaces-aware processing (prefixes are kept verbatim in names).
+
+use std::collections::VecDeque;
+
+use nexsort_extmem::ByteReader;
+
+use crate::error::{Result, XmlError};
+use crate::event::{Event, EventSource};
+
+/// Streaming pull parser over a byte source.
+pub struct XmlParser<R: ByteReader> {
+    src: R,
+    peeked: Option<u8>,
+    pos: u64,
+    pending: VecDeque<Event>,
+    open: Vec<Vec<u8>>,
+    keep_whitespace: bool,
+    done: bool,
+    seen_root: bool,
+}
+
+impl<R: ByteReader> XmlParser<R> {
+    /// Parse from `src`, dropping whitespace-only text (the default for
+    /// data-centric documents; see [`XmlParser::keep_whitespace`]).
+    pub fn new(src: R) -> Self {
+        Self {
+            src,
+            peeked: None,
+            pos: 0,
+            pending: VecDeque::new(),
+            open: Vec::new(),
+            keep_whitespace: false,
+            done: false,
+            seen_root: false,
+        }
+    }
+
+    /// Retain whitespace-only text nodes instead of dropping them.
+    pub fn keep_whitespace(mut self, keep: bool) -> Self {
+        self.keep_whitespace = keep;
+        self
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(XmlError::Parse { offset: self.pos, msg: msg.into() })
+    }
+
+    fn peek_byte(&mut self) -> Result<Option<u8>> {
+        if self.peeked.is_none() {
+            if self.src.remaining() == 0 {
+                return Ok(None);
+            }
+            let b = self.src.read_u8()?;
+            self.peeked = Some(b);
+        }
+        Ok(self.peeked)
+    }
+
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        let b = self.peek_byte()?;
+        if b.is_some() {
+            self.peeked = None;
+            self.pos += 1;
+        }
+        Ok(b)
+    }
+
+    fn expect_byte(&mut self) -> Result<u8> {
+        match self.next_byte()? {
+            Some(b) => Ok(b),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &[u8]) -> Result<()> {
+        for &want in lit {
+            let got = self.expect_byte()?;
+            if got != want {
+                return self.err(format!(
+                    "expected {:?}, found byte {:?}",
+                    String::from_utf8_lossy(lit),
+                    got as char
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_ws(&mut self) -> Result<()> {
+        while let Some(b) = self.peek_byte()? {
+            if b.is_ascii_whitespace() {
+                self.next_byte()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn read_name(&mut self) -> Result<Vec<u8>> {
+        let first = self.expect_byte()?;
+        if !Self::is_name_start(first) {
+            return self.err(format!("invalid name start character {:?}", first as char));
+        }
+        let mut name = vec![first];
+        while let Some(b) = self.peek_byte()? {
+            if Self::is_name_char(b) {
+                name.push(b);
+                self.next_byte()?;
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    fn read_entity(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        // '&' already consumed.
+        let mut ent = Vec::new();
+        loop {
+            match self.next_byte()? {
+                Some(b';') => break,
+                Some(b) if ent.len() < 12 => ent.push(b),
+                Some(_) => return self.err("entity reference too long"),
+                None => return self.err("unterminated entity reference"),
+            }
+        }
+        match ent.as_slice() {
+            b"lt" => out.push(b'<'),
+            b"gt" => out.push(b'>'),
+            b"amp" => out.push(b'&'),
+            b"apos" => out.push(b'\''),
+            b"quot" => out.push(b'"'),
+            _ if ent.first() == Some(&b'#') => {
+                let digits = &ent[1..];
+                let cp = if digits.first() == Some(&b'x') || digits.first() == Some(&b'X') {
+                    u32::from_str_radix(&String::from_utf8_lossy(&digits[1..]), 16).ok()
+                } else {
+                    String::from_utf8_lossy(digits).parse::<u32>().ok()
+                };
+                let Some(cp) = cp else {
+                    return self.err("bad numeric character reference");
+                };
+                match char::from_u32(cp) {
+                    Some(c) => {
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    None => return self.err("numeric character reference out of range"),
+                }
+            }
+            _ => {
+                return self.err(format!(
+                    "unknown entity &{};",
+                    String::from_utf8_lossy(&ent)
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn read_attr_value(&mut self) -> Result<Vec<u8>> {
+        let quote = self.expect_byte()?;
+        if quote != b'"' && quote != b'\'' {
+            return self.err("attribute value must be quoted");
+        }
+        let mut val = Vec::new();
+        loop {
+            match self.expect_byte()? {
+                b if b == quote => break,
+                b'&' => self.read_entity(&mut val)?,
+                b'<' => return self.err("'<' not allowed in attribute value"),
+                b => val.push(b),
+            }
+        }
+        Ok(val)
+    }
+
+    /// Skip a `<!-- ... -->` comment; the leading `<!` has been consumed and
+    /// the next two bytes are known to be `--`.
+    fn skip_comment(&mut self) -> Result<()> {
+        self.expect_literal(b"--")?;
+        let mut dashes = 0;
+        loop {
+            match self.expect_byte()? {
+                b'-' => dashes += 1,
+                b'>' if dashes >= 2 => return Ok(()),
+                _ => dashes = 0,
+            }
+        }
+    }
+
+    /// Skip `<!DOCTYPE ...>` including a bracketed internal subset.
+    fn skip_doctype(&mut self) -> Result<()> {
+        let mut depth = 0i32; // '[' nesting
+        loop {
+            match self.expect_byte()? {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth <= 0 => return Ok(()),
+                _ => {}
+            }
+        }
+    }
+
+    /// Skip `<? ... ?>`.
+    fn skip_pi(&mut self) -> Result<()> {
+        let mut question = false;
+        loop {
+            match self.expect_byte()? {
+                b'?' => question = true,
+                b'>' if question => return Ok(()),
+                _ => question = false,
+            }
+        }
+    }
+
+    /// Read `<![CDATA[ ... ]]>` content; the `<!` is consumed, `[` is next.
+    fn read_cdata(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        self.expect_literal(b"[CDATA[")?;
+        let mut brackets = 0;
+        loop {
+            match self.expect_byte()? {
+                b']' => {
+                    brackets += 1;
+                    if brackets > 2 {
+                        out.push(b']');
+                        brackets = 2;
+                    }
+                }
+                b'>' if brackets >= 2 => return Ok(()),
+                b => {
+                    for _ in 0..brackets {
+                        out.push(b']');
+                    }
+                    brackets = 0;
+                    out.push(b);
+                }
+            }
+        }
+    }
+
+    /// Parse one markup construct starting at `<` (already consumed),
+    /// enqueueing any resulting events.
+    fn parse_markup(&mut self) -> Result<()> {
+        match self.peek_byte()? {
+            Some(b'/') => {
+                self.next_byte()?;
+                let name = self.read_name()?;
+                self.skip_ws()?;
+                if self.expect_byte()? != b'>' {
+                    return self.err("malformed end tag");
+                }
+                match self.open.pop() {
+                    Some(top) if top == name => {}
+                    Some(top) => {
+                        return self.err(format!(
+                            "mismatched end tag </{}>, open element is <{}>",
+                            String::from_utf8_lossy(&name),
+                            String::from_utf8_lossy(&top)
+                        ))
+                    }
+                    None => {
+                        return self.err(format!(
+                            "end tag </{}> with no open element",
+                            String::from_utf8_lossy(&name)
+                        ))
+                    }
+                }
+                self.pending.push_back(Event::End { name });
+                Ok(())
+            }
+            Some(b'!') => {
+                self.next_byte()?;
+                match self.peek_byte()? {
+                    Some(b'-') => self.skip_comment(),
+                    Some(b'[') => {
+                        let mut content = Vec::new();
+                        self.read_cdata(&mut content)?;
+                        if self.open.is_empty() {
+                            return self.err("CDATA outside the root element");
+                        }
+                        self.pending.push_back(Event::Text { content });
+                        Ok(())
+                    }
+                    Some(b'D') => {
+                        if self.seen_root {
+                            return self.err("DOCTYPE after the root element");
+                        }
+                        self.skip_doctype()
+                    }
+                    _ => self.err("unrecognized '<!' construct"),
+                }
+            }
+            Some(b'?') => {
+                self.next_byte()?;
+                self.skip_pi()
+            }
+            Some(_) => {
+                let name = self.read_name()?;
+                let mut attrs = Vec::new();
+                loop {
+                    self.skip_ws()?;
+                    match self.peek_byte()? {
+                        Some(b'>') => {
+                            self.next_byte()?;
+                            self.open.push(name.clone());
+                            self.seen_root = true;
+                            self.pending.push_back(Event::Start { name, attrs });
+                            return Ok(());
+                        }
+                        Some(b'/') => {
+                            self.next_byte()?;
+                            if self.expect_byte()? != b'>' {
+                                return self.err("expected '>' after '/'");
+                            }
+                            self.seen_root = true;
+                            self.pending.push_back(Event::Start { name: name.clone(), attrs });
+                            self.pending.push_back(Event::End { name });
+                            return Ok(());
+                        }
+                        Some(b) if Self::is_name_start(b) => {
+                            let key = self.read_name()?;
+                            self.skip_ws()?;
+                            if self.expect_byte()? != b'=' {
+                                return self.err("expected '=' after attribute name");
+                            }
+                            self.skip_ws()?;
+                            let val = self.read_attr_value()?;
+                            if attrs.iter().any(|(k, _)| *k == key) {
+                                return self.err(format!(
+                                    "duplicate attribute {:?}",
+                                    String::from_utf8_lossy(&key)
+                                ));
+                            }
+                            attrs.push((key, val));
+                        }
+                        Some(b) => {
+                            return self.err(format!(
+                                "unexpected character {:?} in start tag",
+                                b as char
+                            ))
+                        }
+                        None => return self.err("unterminated start tag"),
+                    }
+                }
+            }
+            None => self.err("dangling '<' at end of input"),
+        }
+    }
+
+    /// Accumulate character data up to the next `<` (or end of input).
+    fn parse_text(&mut self) -> Result<()> {
+        let mut content = Vec::new();
+        loop {
+            match self.peek_byte()? {
+                Some(b'<') | None => break,
+                Some(b'&') => {
+                    self.next_byte()?;
+                    self.read_entity(&mut content)?;
+                }
+                Some(b) => {
+                    content.push(b);
+                    self.next_byte()?;
+                }
+            }
+        }
+        let all_ws = content.iter().all(u8::is_ascii_whitespace);
+        if self.open.is_empty() {
+            // Outside the root only whitespace is allowed.
+            if all_ws {
+                return Ok(());
+            }
+            return self.err("character data outside the root element");
+        }
+        if all_ws && !self.keep_whitespace {
+            return Ok(());
+        }
+        self.pending.push_back(Event::Text { content });
+        Ok(())
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        match self.peek_byte()? {
+            None => {
+                if let Some(open) = self.open.last() {
+                    return self.err(format!(
+                        "input ended with <{}> still open",
+                        String::from_utf8_lossy(open)
+                    ));
+                }
+                if !self.seen_root {
+                    return self.err("document has no root element");
+                }
+                self.done = true;
+                Ok(())
+            }
+            Some(b'<') => {
+                self.next_byte()?;
+                self.parse_markup()
+            }
+            Some(_) => self.parse_text(),
+        }
+    }
+}
+
+impl<R: ByteReader> EventSource for XmlParser<R> {
+    fn next_event(&mut self) -> Result<Option<Event>> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                return Ok(Some(ev));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.advance()?;
+        }
+    }
+}
+
+/// Parse a complete byte slice into an event vector (convenience).
+pub fn parse_events(input: &[u8]) -> Result<Vec<Event>> {
+    let mut p = XmlParser::new(nexsort_extmem::SliceReader::new(input));
+    let mut out = Vec::new();
+    while let Some(ev) = p.next_event()? {
+        out.push(ev);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(input: &str) -> Vec<Event> {
+        parse_events(input.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn simple_document() {
+        let events = ev("<a><b x=\"1\">hi</b></a>");
+        assert_eq!(
+            events,
+            vec![
+                Event::start("a", &[]),
+                Event::start("b", &[("x", "1")]),
+                Event::text("hi"),
+                Event::end("b"),
+                Event::end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_tags_expand_to_start_end() {
+        assert_eq!(
+            ev("<a><b/><c x='2'/></a>"),
+            vec![
+                Event::start("a", &[]),
+                Event::start("b", &[]),
+                Event::end("b"),
+                Event::start("c", &[("x", "2")]),
+                Event::end("c"),
+                Event::end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn prolog_doctype_comments_and_pis_are_skipped() {
+        let doc = "<?xml version=\"1.0\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n\
+                   <!-- top --><a><!-- inner --><?pi data?><b/></a><!-- after -->";
+        let events = ev(doc);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], Event::start("a", &[]));
+    }
+
+    #[test]
+    fn entities_decode_in_text_and_attributes() {
+        let events = ev("<a t=\"x &lt; y &#65;\">a&amp;b &gt; c &#x41;</a>");
+        assert_eq!(events[0].attr(b"t"), Some(&b"x < y A"[..]));
+        assert_eq!(events[1], Event::text("a&b > c A"));
+    }
+
+    #[test]
+    fn cdata_passes_raw_content() {
+        let events = ev("<a><![CDATA[x < & > ]] y]]></a>");
+        assert_eq!(events[1], Event::text("x < & > ]] y"));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_unless_requested() {
+        let events = ev("<a>\n  <b/>\n</a>");
+        assert_eq!(events.len(), 4);
+        let mut p = XmlParser::new(nexsort_extmem::SliceReader::new(b"<a>\n  <b/>\n</a>" as &[u8]))
+            .keep_whitespace(true);
+        let mut n = 0;
+        while p.next_event().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn single_quoted_attributes_and_whitespace_in_tags() {
+        let events = ev("<a  k1 = 'v1'\n k2=\"v2\" ></a>");
+        assert_eq!(events[0], Event::start("a", &[("k1", "v1"), ("k2", "v2")]));
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected_with_position() {
+        match parse_events(b"<a><b></a></b>") {
+            Err(XmlError::Parse { offset, msg }) => {
+                assert!(offset > 0);
+                assert!(msg.contains("mismatched"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected() {
+        assert!(parse_events(b"<a><b>").is_err());
+        assert!(parse_events(b"<a").is_err());
+        assert!(parse_events(b"<a x=>").is_err());
+        assert!(parse_events(b"").is_err());
+    }
+
+    #[test]
+    fn stray_content_outside_root_is_rejected() {
+        assert!(parse_events(b"hello<a/>").is_err());
+        assert!(parse_events(b"</a>").is_err());
+    }
+
+    #[test]
+    fn duplicate_attributes_are_rejected() {
+        assert!(parse_events(b"<a x=\"1\" x=\"2\"/>").is_err());
+    }
+
+    #[test]
+    fn unknown_entities_are_rejected() {
+        assert!(parse_events(b"<a>&unknown;</a>").is_err());
+        assert!(parse_events(b"<a>&#xGG;</a>").is_err());
+        assert!(parse_events(b"<a>&#1114112;</a>").is_err()); // beyond char::MAX
+    }
+
+    #[test]
+    fn names_allow_xml_identifier_characters() {
+        let events = ev("<ns:el-em.2 _a=\"1\"/>");
+        assert_eq!(events[0], Event::start("ns:el-em.2", &[("_a", "1")]));
+    }
+
+    #[test]
+    fn deeply_nested_document_parses_iteratively() {
+        let depth = 5000;
+        let mut doc = String::new();
+        for i in 0..depth {
+            doc.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..depth).rev() {
+            doc.push_str(&format!("</n{i}>"));
+        }
+        let events = ev(&doc);
+        assert_eq!(events.len(), 2 * depth);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn doctype_with_nested_internal_subset() {
+        let doc = b"<!DOCTYPE a [ <!ENTITY x \"y\"> [nested] ]><a/>";
+        let events = parse_events(doc).unwrap();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn processing_instructions_everywhere() {
+        let doc = b"<?xml version=\"1.0\"?><?style q?><a><?inner x?></a><?post y?>";
+        let events = parse_events(doc).unwrap();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn comments_with_tricky_dashes() {
+        let doc = b"<a><!-- - -- almost-end --- --><b/></a>";
+        let events = parse_events(doc).unwrap();
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn attribute_values_spanning_lines_and_quotes() {
+        let doc = b"<a k=\"line1\nline2\" q='has \"double\" quotes'/>";
+        let events = parse_events(doc).unwrap();
+        assert_eq!(events[0].attr(b"k"), Some(&b"line1\nline2"[..]));
+        assert_eq!(events[0].attr(b"q"), Some(&b"has \"double\" quotes"[..]));
+    }
+
+    #[test]
+    fn utf8_multibyte_content_and_names_pass_through() {
+        let doc = "<r\u{e9}sum\u{e9} lang=\"fran\u{e7}ais\">caf\u{e9} \u{2603}</r\u{e9}sum\u{e9}>";
+        let events = parse_events(doc.as_bytes()).unwrap();
+        assert_eq!(events.len(), 3);
+        match &events[1] {
+            Event::Text { content } => {
+                assert_eq!(String::from_utf8_lossy(content), "caf\u{e9} \u{2603}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comment_inside_text_splits_text_nodes() {
+        let events = parse_events(b"<a>before<!-- x -->after</a>").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                Event::start("a", &[]),
+                Event::text("before"),
+                Event::text("after"),
+                Event::end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_error_cleanly() {
+        for doc in [
+            &b"<a><!-- never closed"[..],
+            b"<a><![CDATA[ never closed",
+            b"<!DOCTYPE a [ <a/>",
+            b"<a k=\"unclosed value/>",
+            b"<a>&unterminated",
+        ] {
+            assert!(parse_events(doc).is_err(), "{:?}", String::from_utf8_lossy(doc));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Tag/attribute-name dictionary compression (Section 3.2).
+//!
+//! "Each unique string can be converted to an integer before sorting and back
+//! during output." The [`TagDict`] is that conversion table; [`NameRef`] lets
+//! records carry either a dictionary id (compaction on) or the raw name
+//! (compaction off), so the compaction ablation compares honest byte sizes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Result, XmlError};
+
+/// Interned-name dictionary: byte string <-> dense `u32` id.
+#[derive(Debug, Default, Clone)]
+pub struct TagDict {
+    names: Vec<Vec<u8>>,
+    ids: HashMap<Vec<u8>, u32>,
+}
+
+impl TagDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &[u8]) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_vec());
+        self.ids.insert(name.to_vec(), id);
+        id
+    }
+
+    /// Resolve an id back to its name.
+    pub fn resolve(&self, id: u32) -> Result<&[u8]> {
+        self.names.get(id as usize).map(Vec::as_slice).ok_or(XmlError::UnknownSymbol(id))
+    }
+
+    /// Look up an existing id without interning.
+    pub fn lookup(&self, name: &[u8]) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Approximate resident size in bytes (reported as metadata overhead).
+    pub fn approx_bytes(&self) -> usize {
+        self.names.iter().map(|n| n.len() * 2 + 16).sum()
+    }
+}
+
+/// A name stored in a record: interned (compaction on) or inline.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NameRef {
+    /// Dictionary id; resolve via the document's [`TagDict`].
+    Sym(u32),
+    /// The raw name bytes, stored in the record itself.
+    Inline(Vec<u8>),
+}
+
+impl NameRef {
+    /// Resolve to name bytes against `dict`.
+    pub fn resolve<'a>(&'a self, dict: &'a TagDict) -> Result<&'a [u8]> {
+        match self {
+            NameRef::Sym(id) => dict.resolve(*id),
+            NameRef::Inline(b) => Ok(b),
+        }
+    }
+
+    /// Bytes this name contributes to an encoded record (excl. tag byte).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            NameRef::Sym(id) => crate::varint::uvarint_len(u64::from(*id)),
+            NameRef::Inline(b) => crate::varint::uvarint_len(b.len() as u64) + b.len(),
+        }
+    }
+}
+
+impl fmt::Display for NameRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameRef::Sym(id) => write!(f, "#{id}"),
+            NameRef::Inline(b) => write!(f, "{}", String::from_utf8_lossy(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = TagDict::new();
+        let a = d.intern(b"region");
+        let b = d.intern(b"branch");
+        let a2 = d.intern(b"region");
+        assert_eq!(a, a2);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips_and_rejects_unknown() {
+        let mut d = TagDict::new();
+        let id = d.intern(b"employee");
+        assert_eq!(d.resolve(id).unwrap(), b"employee");
+        assert!(d.resolve(99).is_err());
+        assert_eq!(d.lookup(b"employee"), Some(id));
+        assert_eq!(d.lookup(b"nope"), None);
+    }
+
+    #[test]
+    fn nameref_resolution_both_forms() {
+        let mut d = TagDict::new();
+        let id = d.intern(b"salary");
+        assert_eq!(NameRef::Sym(id).resolve(&d).unwrap(), b"salary");
+        assert_eq!(NameRef::Inline(b"bonus".to_vec()).resolve(&d).unwrap(), b"bonus");
+        assert!(NameRef::Sym(42).resolve(&d).is_err());
+    }
+
+    #[test]
+    fn interned_names_encode_smaller_than_inline() {
+        let long = NameRef::Inline(b"averyverylongelementname".to_vec());
+        let sym = NameRef::Sym(3);
+        assert!(sym.encoded_len() < long.encoded_len());
+    }
+}

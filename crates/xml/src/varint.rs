@@ -1,0 +1,141 @@
+//! LEB128 variable-length integers for the record codec.
+//!
+//! The compaction techniques of Section 3.2 shrink records aggressively;
+//! varints keep levels, symbol ids, and sequence numbers at one or two bytes
+//! in the common case.
+
+use nexsort_extmem::{ByteReader, ByteSink, ExtError};
+
+use crate::error::{Result, XmlError};
+
+/// Append `v` as an unsigned LEB128 varint.
+pub fn write_uvarint(sink: &mut impl ByteSink, mut v: u64) -> Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            sink.write_u8(byte)?;
+            return Ok(());
+        }
+        sink.write_u8(byte | 0x80)?;
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+pub fn read_uvarint(src: &mut impl ByteReader) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = src.read_u8()?;
+        if shift == 63 && byte > 1 {
+            return Err(XmlError::Ext(ExtError::Corrupt("varint overflows u64".into())));
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Append `v` zigzag-encoded (small magnitudes stay small either sign).
+pub fn write_ivarint(sink: &mut impl ByteSink, v: i64) -> Result<()> {
+    write_uvarint(sink, ((v << 1) ^ (v >> 63)) as u64)
+}
+
+/// Read a zigzag-encoded signed varint.
+pub fn read_ivarint(src: &mut impl ByteReader) -> Result<i64> {
+    let u = read_uvarint(src)?;
+    Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+}
+
+/// Encoded size of `v` as an unsigned varint, in bytes.
+pub fn uvarint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Append a length-prefixed byte string.
+pub fn write_bytes(sink: &mut impl ByteSink, b: &[u8]) -> Result<()> {
+    write_uvarint(sink, b.len() as u64)?;
+    sink.write_all(b)?;
+    Ok(())
+}
+
+/// Read a length-prefixed byte string.
+pub fn read_bytes(src: &mut impl ByteReader) -> Result<Vec<u8>> {
+    let len = read_uvarint(src)? as usize;
+    if len as u64 > src.remaining() {
+        return Err(XmlError::Ext(ExtError::Corrupt(format!(
+            "byte-string length {len} exceeds remaining input"
+        ))));
+    }
+    let mut buf = vec![0u8; len];
+    src.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexsort_extmem::SliceReader;
+
+    #[test]
+    fn uvarint_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v).unwrap();
+            assert_eq!(buf.len(), uvarint_len(v), "length mismatch for {v}");
+            let mut r = SliceReader::new(&buf);
+            assert_eq!(read_uvarint(&mut r).unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrip_both_signs() {
+        for v in [0i64, 1, -1, 63, -64, 1000, -1000, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_ivarint(&mut buf, v).unwrap();
+            let mut r = SliceReader::new(&buf);
+            assert_eq!(read_ivarint(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v).unwrap();
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0xFFu8; 11];
+        let mut r = SliceReader::new(&buf);
+        assert!(read_uvarint(&mut r).is_err());
+    }
+
+    #[test]
+    fn byte_strings_roundtrip() {
+        for s in [&b""[..], b"a", b"hello world", &[0u8; 500]] {
+            let mut buf = Vec::new();
+            write_bytes(&mut buf, s).unwrap();
+            let mut r = SliceReader::new(&buf);
+            assert_eq!(read_bytes(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn truncated_byte_string_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, u64::MAX).unwrap(); // claims a huge length
+        let mut r = SliceReader::new(&buf);
+        assert!(read_bytes(&mut r).is_err());
+    }
+}

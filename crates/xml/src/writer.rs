@@ -1,0 +1,172 @@
+//! XML serialization: events back to text, the inverse of the parser.
+
+use nexsort_extmem::ByteSink;
+
+use crate::error::Result;
+use crate::event::Event;
+
+/// Escape character data (`&`, `<`, `>`).
+fn escape_text(content: &[u8], out: &mut Vec<u8>) {
+    for &b in content {
+        match b {
+            b'&' => out.extend_from_slice(b"&amp;"),
+            b'<' => out.extend_from_slice(b"&lt;"),
+            b'>' => out.extend_from_slice(b"&gt;"),
+            _ => out.push(b),
+        }
+    }
+}
+
+/// Escape an attribute value (`&`, `<`, `"`).
+fn escape_attr(value: &[u8], out: &mut Vec<u8>) {
+    for &b in value {
+        match b {
+            b'&' => out.extend_from_slice(b"&amp;"),
+            b'<' => out.extend_from_slice(b"&lt;"),
+            b'"' => out.extend_from_slice(b"&quot;"),
+            _ => out.push(b),
+        }
+    }
+}
+
+/// Serializes events to XML text, optionally pretty-printed.
+pub struct XmlWriter<S: ByteSink> {
+    sink: S,
+    pretty: bool,
+    depth: usize,
+    /// The last thing written was a start tag (pretty-printing state).
+    after_start: bool,
+    /// The element being closed contained only text (inline close).
+    had_text: bool,
+    scratch: Vec<u8>,
+}
+
+impl<S: ByteSink> XmlWriter<S> {
+    /// Compact output (no added whitespace) -- byte-faithful round-trips.
+    pub fn new(sink: S) -> Self {
+        Self { sink, pretty: false, depth: 0, after_start: false, had_text: false, scratch: Vec::new() }
+    }
+
+    /// Indented output for human inspection.
+    ///
+    /// Caveat (inherent to streaming pretty-printers): indentation inserts
+    /// whitespace between tags, which is only round-trip-safe for documents
+    /// without *mixed content* -- a text node with element siblings will
+    /// absorb the inserted whitespace on re-parse. Use compact output when
+    /// byte-faithful round-trips of mixed content matter.
+    pub fn pretty(mut self, pretty: bool) -> Self {
+        self.pretty = pretty;
+        self
+    }
+
+    fn newline_indent(&mut self) -> Result<()> {
+        self.sink.write_u8(b'\n')?;
+        for _ in 0..self.depth {
+            self.sink.write_all(b"  ")?;
+        }
+        Ok(())
+    }
+
+    /// Write one event.
+    pub fn write(&mut self, ev: &Event) -> Result<()> {
+        match ev {
+            Event::Start { name, attrs } => {
+                if self.pretty && self.depth > 0 {
+                    self.newline_indent()?;
+                }
+                self.sink.write_u8(b'<')?;
+                self.sink.write_all(name)?;
+                for (k, v) in attrs {
+                    self.sink.write_u8(b' ')?;
+                    self.sink.write_all(k)?;
+                    self.sink.write_all(b"=\"")?;
+                    self.scratch.clear();
+                    escape_attr(v, &mut self.scratch);
+                    self.sink.write_all(&self.scratch)?;
+                    self.sink.write_u8(b'"')?;
+                }
+                self.sink.write_u8(b'>')?;
+                self.depth += 1;
+                self.after_start = true;
+                self.had_text = false;
+            }
+            Event::End { name } => {
+                self.depth = self.depth.saturating_sub(1);
+                if self.pretty && !self.after_start && !self.had_text {
+                    self.newline_indent()?;
+                }
+                self.sink.write_all(b"</")?;
+                self.sink.write_all(name)?;
+                self.sink.write_u8(b'>')?;
+                self.after_start = false;
+                self.had_text = false;
+            }
+            Event::Text { content } => {
+                self.scratch.clear();
+                escape_text(content, &mut self.scratch);
+                self.sink.write_all(&self.scratch)?;
+                self.had_text = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish, returning the sink.
+    pub fn into_inner(self) -> S {
+        self.sink
+    }
+}
+
+/// Serialize a full event sequence to a byte vector (convenience).
+pub fn events_to_xml(events: &[Event], pretty: bool) -> Vec<u8> {
+    let mut w = XmlWriter::new(Vec::new()).pretty(pretty);
+    for ev in events {
+        w.write(ev).expect("Vec sink cannot fail");
+    }
+    w.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_events;
+
+    #[test]
+    fn compact_output_roundtrips_through_the_parser() {
+        let doc = b"<a k=\"v&amp;w\"><b>x &lt; y</b><c/></a>";
+        let events = parse_events(doc).unwrap();
+        let text = events_to_xml(&events, false);
+        let reparsed = parse_events(&text).unwrap();
+        assert_eq!(events, reparsed);
+    }
+
+    #[test]
+    fn escaping_covers_special_characters() {
+        let events = vec![
+            Event::start("a", &[("k", "a\"b<c&d")]),
+            Event::text("1<2 & 3>2"),
+            Event::end("a"),
+        ];
+        let text = events_to_xml(&events, false);
+        let s = String::from_utf8(text.clone()).unwrap();
+        assert!(s.contains("&quot;") && s.contains("&lt;") && s.contains("&amp;"));
+        assert_eq!(parse_events(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses_equal() {
+        let events = parse_events(b"<a><b><c>leaf</c></b><d/></a>").unwrap();
+        let text = events_to_xml(&events, true);
+        let s = String::from_utf8(text.clone()).unwrap();
+        assert!(s.contains("\n  <b>"));
+        assert!(s.contains("\n    <c>leaf</c>"));
+        assert_eq!(parse_events(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn text_heavy_content_stays_inline() {
+        let events = vec![Event::start("p", &[]), Event::text("body"), Event::end("p")];
+        let s = String::from_utf8(events_to_xml(&events, true)).unwrap();
+        assert_eq!(s, "<p>body</p>");
+    }
+}

@@ -1,0 +1,51 @@
+//! Depth-limited sorting (Section 3.2): stop recursive sorting at a chosen
+//! level, treating deeper subtrees as atomic units -- "useful under
+//! conditions where sorting XML from head to toe would be overkill".
+//!
+//! ```sh
+//! cargo run -p nexsort-examples --example depth_limited
+//! ```
+
+use nexsort::{Nexsort, NexsortOptions};
+use nexsort_baseline::stage_input;
+use nexsort_extmem::Disk;
+use nexsort_xml::SortSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Orders hold line items whose internal order is meaningful (a packing
+    // sequence, say) -- sorting should order customers and orders, but leave
+    // each order's lines untouched.
+    let document = br#"<customers>
+      <customer name="zhou">
+        <order name="Z-9"><line name="widget"/><line name="bolt"/></order>
+        <order name="A-1"><line name="nut"/><line name="anvil"/></order>
+      </customer>
+      <customer name="abel">
+        <order name="Q-7"><line name="zip"/><line name="axe"/></order>
+      </customer>
+    </customers>"#;
+
+    let disk = Disk::new_mem(4096);
+    let spec = SortSpec::by_attribute("name");
+    let input = stage_input(&disk, document)?;
+
+    // Head-to-toe sort: every level ordered, including the line items.
+    let full = Nexsort::new(disk.clone(), NexsortOptions::default(), spec.clone())?
+        .sort_xml_extent(&input)?;
+    println!("--- head-to-toe sort (lines reordered too) ---");
+    println!("{}", String::from_utf8(full.to_xml(true)?)?);
+
+    // Depth limit 2: customers (level 2) and orders (level 3) are ordered;
+    // subtrees rooted below level 3 -- the line items -- stay as they are.
+    let opts = NexsortOptions { depth_limit: Some(2), ..Default::default() };
+    let limited = Nexsort::new(disk.clone(), opts, spec)?.sort_xml_extent(&input)?;
+    println!("--- depth-limited sort (d = 2: line items untouched) ---");
+    let xml = String::from_utf8(limited.to_xml(true)?)?;
+    println!("{xml}");
+
+    // The original packing order widget-before-bolt survives.
+    assert!(xml.find("widget").unwrap() < xml.find("bolt").unwrap());
+    // ...while orders inside each customer are sorted (A-1 before Z-9).
+    assert!(xml.find("A-1").unwrap() < xml.find("Z-9").unwrap());
+    Ok(())
+}
