@@ -188,7 +188,8 @@ mod tests {
 
     #[test]
     fn deferred_keys_sort_via_the_resolution_pre_pass() {
-        let s = SortSpec::uniform(KeyRule::doc_order()).with_rule("item", KeyRule::child_path(&["k"]));
+        let s =
+            SortSpec::uniform(KeyRule::doc_order()).with_rule("item", KeyRule::child_path(&["k"]));
         let doc = "<list><item><k>pear</k></item><item><k>apple</k></item>\
                    <item><k>mango</k></item></list>";
         let disk = Disk::new_mem(128);

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use nexsort_extmem::{
-    ByteSink, ExtentReader, IoCat, KWayMerger, MemoryBudget, MergeStream, RunId, RunStore,
+    ByteSink, ExtentReader, IoCat, IoPhase, KWayMerger, MemoryBudget, MergeStream, RunId, RunStore,
 };
 use nexsort_xml::{PathedRec, Rec, Result, XmlError};
 
@@ -99,7 +99,14 @@ pub fn external_merge_sort(
     let block_size = disk.block_size() as u64;
     let mut report = ExtSortReport::default();
 
+    // Label the disk with the phase each transfer belongs to, so an
+    // unrecoverable fault is reported against run formation / merge pass k /
+    // the final merge. The caller's phase is restored on success; on error
+    // the failing phase stays in force for failure classification.
+    let entry_phase = disk.phase();
+
     // ---- Run formation ----
+    disk.set_phase(IoPhase::RunFormation);
     let mut runs: VecDeque<RunId> = VecDeque::new();
     {
         // One frame stays free for the spill writer.
@@ -117,9 +124,9 @@ pub fn external_merge_sort(
         let mut scratch = Vec::new();
 
         let spill = |buf: &mut Vec<PathedRec>,
-                         scratch: &mut Vec<u8>,
-                         report: &mut ExtSortReport,
-                         runs: &mut VecDeque<RunId>|
+                     scratch: &mut Vec<u8>,
+                     report: &mut ExtSortReport,
+                     runs: &mut VecDeque<RunId>|
          -> Result<()> {
             buf.sort_by(PathedRec::cmp_order);
             let mut w = store.create(budget, opts.scratch_cat)?;
@@ -166,6 +173,7 @@ pub fn external_merge_sort(
 
     // Intermediate merges until the remainder fits in one final merge.
     while runs.len() > fan_in {
+        disk.set_phase(IoPhase::MergePass(report.intermediate_merges + 1));
         let group: Vec<RunId> = runs.drain(..fan_in).collect();
         let streams = open_streams(&group, opts.scratch_cat)?;
         let mut merger = KWayMerger::new(streams, |a: &PathedRec, b: &PathedRec| a.cmp_order(b))?;
@@ -193,6 +201,7 @@ pub fn external_merge_sort(
     report.passes += levels.max(1); // the final merge is always one pass
 
     // ---- Final merge: strip paths, write the sorted output run ----
+    disk.set_phase(IoPhase::FinalMerge);
     let group: Vec<RunId> = runs.drain(..).collect();
     let streams = open_streams(&group, opts.scratch_cat)?;
     let mut merger = KWayMerger::new(streams, |a: &PathedRec, b: &PathedRec| a.cmp_order(b))?;
@@ -211,6 +220,7 @@ pub fn external_merge_sort(
     for id in group {
         store.discard(id)?;
     }
+    disk.set_phase(entry_phase);
     Ok((final_run, report))
 }
 
@@ -273,11 +283,8 @@ mod tests {
         let (out, report, _) = sort_with(8, 50);
         assert_eq!(report.items as usize, out.len());
         // Items at level 2 must be ascending by key; leaves follow parents.
-        let keys: Vec<String> = out
-            .iter()
-            .filter(|r| r.level() == 2)
-            .map(|r| r.key().display_lossy())
-            .collect();
+        let keys: Vec<String> =
+            out.iter().filter(|r| r.level() == 2).map(|r| r.key().display_lossy()).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);

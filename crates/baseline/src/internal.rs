@@ -41,14 +41,10 @@ fn sort_dom_at(el: &mut Element, spec: &SortSpec, depth_limit: Option<u32>, leve
     // Decorate with original positions for the document-order tiebreak, then
     // reorder (the "pointer reordering" of the paper, done by index).
     let mut order: Vec<usize> = (0..el.children.len()).collect();
-    order.sort_by(|&i, &j| {
-        node_key_cmp(&(i, &el.children[i]), &(j, &el.children[j]), spec)
-    });
+    order.sort_by(|&i, &j| node_key_cmp(&(i, &el.children[i]), &(j, &el.children[j]), spec));
     let mut taken: Vec<Option<XNode>> = el.children.drain(..).map(Some).collect();
-    el.children = order
-        .into_iter()
-        .map(|i| taken[i].take().expect("each index moved once"))
-        .collect();
+    el.children =
+        order.into_iter().map(|i| taken[i].take().expect("each index moved once")).collect();
 }
 
 /// Convenience: a sorted copy.
@@ -87,11 +83,7 @@ fn sort_rnode(node: &mut RNode, depth_limit: Option<u32>) {
 /// `sort_roots`, the root list itself is also ordered. Patches are consumed
 /// (the output carries final keys only). `depth_limit` is in *absolute*
 /// levels, matching the records' level numbers.
-pub fn sort_recs(
-    recs: Vec<Rec>,
-    sort_roots: bool,
-    depth_limit: Option<u32>,
-) -> Result<Vec<Rec>> {
+pub fn sort_recs(recs: Vec<Rec>, sort_roots: bool, depth_limit: Option<u32>) -> Result<Vec<Rec>> {
     let mut roots: Vec<RNode> = Vec::new();
     let mut stack: Vec<RNode> = Vec::new(); // open elements, increasing level
 
@@ -159,7 +151,7 @@ pub fn sort_recs(
 mod tests {
     use super::*;
     use nexsort_xml::{
-        events_to_recs, parse_dom, parse_events, recs_to_events, events_to_dom, KeyRule, TagDict,
+        events_to_dom, events_to_recs, parse_dom, parse_events, recs_to_events, KeyRule, TagDict,
     };
 
     fn spec() -> SortSpec {
@@ -186,18 +178,18 @@ mod tests {
 
     #[test]
     fn dom_sort_output_is_a_legal_permutation() {
-        let d = parse_dom(
-            b"<r><a name=\"z\"><b name=\"2\"/><b name=\"1\"/></a><a name=\"a\"/></r>",
-        )
-        .unwrap();
+        let d =
+            parse_dom(b"<r><a name=\"z\"><b name=\"2\"/><b name=\"1\"/></a><a name=\"a\"/></r>")
+                .unwrap();
         let s = sorted_dom(&d, &spec(), None);
         assert!(d.permutation_equivalent(&s));
     }
 
     #[test]
     fn dom_sort_is_idempotent() {
-        let d = parse_dom(b"<r><a name=\"b\"/><a name=\"a\"><c name=\"2\"/><c name=\"1\"/></a></r>")
-            .unwrap();
+        let d =
+            parse_dom(b"<r><a name=\"b\"/><a name=\"a\"><c name=\"2\"/><c name=\"1\"/></a></r>")
+                .unwrap();
         let once = sorted_dom(&d, &spec(), None);
         let twice = sorted_dom(&once, &spec(), None);
         assert_eq!(once, twice);
@@ -205,10 +197,9 @@ mod tests {
 
     #[test]
     fn depth_limit_freezes_deeper_levels() {
-        let d = parse_dom(
-            b"<r><a name=\"z\"><c name=\"2\"/><c name=\"1\"/></a><a name=\"y\"/></r>",
-        )
-        .unwrap();
+        let d =
+            parse_dom(b"<r><a name=\"z\"><c name=\"2\"/><c name=\"1\"/></a><a name=\"y\"/></r>")
+                .unwrap();
         // d=1: only the root's children are sorted; the c's keep document order.
         let s = sorted_dom(&d, &spec(), Some(1));
         let xml = String::from_utf8(s.to_xml(false)).unwrap();
@@ -222,8 +213,9 @@ mod tests {
 
     #[test]
     fn equal_keys_keep_document_order() {
-        let d = parse_dom(b"<r><x name=\"same\" id=\"first\"/><x name=\"same\" id=\"second\"/></r>")
-            .unwrap();
+        let d =
+            parse_dom(b"<r><x name=\"same\" id=\"first\"/><x name=\"same\" id=\"second\"/></r>")
+                .unwrap();
         let s = sorted_dom(&d, &spec(), None);
         let xml = String::from_utf8(s.to_xml(false)).unwrap();
         assert!(xml.find("first").unwrap() < xml.find("second").unwrap());
@@ -247,7 +239,8 @@ mod tests {
     #[test]
     fn rec_sort_applies_deferred_key_patches() {
         let doc = "<list><item><k>zebra</k></item><item><k>apple</k></item></list>";
-        let s = SortSpec::uniform(KeyRule::doc_order()).with_rule("item", KeyRule::child_path(&["k"]));
+        let s =
+            SortSpec::uniform(KeyRule::doc_order()).with_rule("item", KeyRule::child_path(&["k"]));
         let events = parse_events(doc.as_bytes()).unwrap();
         let mut dict = TagDict::new();
         let recs = events_to_recs(&events, &s, &mut dict, true).unwrap();

@@ -96,9 +96,7 @@ pub fn resolve_deferred(
 mod tests {
     use super::*;
     use crate::source::{stage_recs, ExtentRecSource, RecSource};
-    use nexsort_xml::{
-        events_to_recs, parse_events, apply_patches, KeyRule, SortSpec, TagDict,
-    };
+    use nexsort_xml::{apply_patches, events_to_recs, parse_events, KeyRule, SortSpec, TagDict};
 
     fn recs_of(doc: &str, spec: &SortSpec) -> Vec<Rec> {
         let events = parse_events(doc.as_bytes()).unwrap();
@@ -201,8 +199,7 @@ mod tests {
         let resolved =
             resolve_deferred(&disk, &budget, &ext, start, ext.len() - start, IoCat::SortScratch)
                 .unwrap();
-        let mut src =
-            ExtentRecSource::new(disk, &budget, &resolved, IoCat::SortScratch).unwrap();
+        let mut src = ExtentRecSource::new(disk, &budget, &resolved, IoCat::SortScratch).unwrap();
         let mut out = Vec::new();
         while let Some(r) = src.next_rec().unwrap() {
             out.push(r);

@@ -6,7 +6,7 @@
 //! extent (used by the benchmarks to factor out parse CPU, and internally
 //! after the deferred-key resolution pre-pass).
 
-use nexsort_extmem::{ByteReader, Extent, ExtentReader, IoCat, MemoryBudget, Disk};
+use nexsort_extmem::{ByteReader, Disk, Extent, ExtentReader, IoCat, MemoryBudget};
 use nexsort_xml::{
     EventSource, KeyValue, PathComp, PathedRec, Rec, RecBuilder, RecDecoder, Result, SortSpec,
     TagDict, XmlError, XmlParser,
@@ -199,10 +199,7 @@ impl<S: RecSource> PathedSource for PathedAdapter<S> {
         let masked = self.depth_limit.is_some_and(|d| rec.level() > d + 1);
         let key = if masked { KeyValue::Missing } else { rec.key().clone() };
         self.path.push(PathComp { key, seq: rec.seq() });
-        Ok(Some(PathedRec {
-            path: nexsort_xml::KeyPath { comps: self.path.clone() },
-            rec,
-        }))
+        Ok(Some(PathedRec { path: nexsort_xml::KeyPath { comps: self.path.clone() }, rec }))
     }
 }
 
@@ -215,7 +212,8 @@ pub fn stage_input(disk: &Rc<Disk>, data: &[u8]) -> nexsort_extmem::Result<Exten
     let staging_budget = MemoryBudget::new(1);
     let stats = disk.stats();
     let before = stats.snapshot();
-    let mut w = nexsort_extmem::ExtentWriter::new(disk.clone(), &staging_budget, IoCat::SortScratch)?;
+    let mut w =
+        nexsort_extmem::ExtentWriter::new(disk.clone(), &staging_budget, IoCat::SortScratch)?;
     w.write_all(data)?;
     let ext = w.finish()?;
     // Roll back the accounting: staging is setup, not algorithm cost.

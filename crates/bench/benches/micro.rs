@@ -3,9 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use nexsort_baseline::sort_recs;
-use nexsort_extmem::{Disk, ExtStack, IoCat, KWayMerger, MemoryBudget, VecStream};
 use nexsort_extmem::ByteReader as _;
 use nexsort_extmem::SliceReader;
+use nexsort_extmem::{Disk, ExtStack, IoCat, KWayMerger, MemoryBudget, VecStream};
 use nexsort_xml::{events_to_recs, parse_events, Rec, SortSpec, TagDict};
 
 fn sample_xml(n: usize) -> Vec<u8> {

@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use nexsort_bench::{
-    bench_spec, fanouts_for, measure_mergesort, measure_nexsort, RunConfig,
-};
+use nexsort_bench::{bench_spec, fanouts_for, measure_mergesort, measure_nexsort, RunConfig};
 use nexsort_datagen::{table2_shapes, ExactGen, GenConfig, IbmGen};
 
 const BS: usize = 1024;

@@ -10,14 +10,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nexsort_bench::{
-    ablate_compaction, ablate_frames, bounds_vs_measured, fig5, fig6, fig7, table1, table2,
-    threshold_experiment, ExpScale, ExpTable,
+    ablate_compaction, ablate_frames, bounds_vs_measured, fault_sweep, fig5, fig6, fig7, table1,
+    table2, threshold_experiment, ExpScale, ExpTable,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xsort-bench [--quick|--full] [--csv DIR] \
-         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds]..."
+         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults]..."
     );
     ExitCode::FAILURE
 }
@@ -57,6 +57,7 @@ fn main() -> ExitCode {
             "ablate-compaction" => ablate_compaction(scale).map_err(|e| e.to_string())?,
             "ablate-frames" => ablate_frames(scale).map_err(|e| e.to_string())?,
             "bounds" => bounds_vs_measured(scale).map_err(|e| e.to_string())?,
+            "faults" => fault_sweep(scale).map_err(|e| e.to_string())?,
             _ => return Ok(None),
         };
         Ok(Some(t))
@@ -72,6 +73,7 @@ fn main() -> ExitCode {
         "ablate-compaction",
         "ablate-frames",
         "bounds",
+        "faults",
     ];
     let mut queue: Vec<&str> = Vec::new();
     for t in &targets {

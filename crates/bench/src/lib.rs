@@ -12,10 +12,11 @@ mod runner;
 mod table;
 
 pub use experiments::{
-    ablate_compaction, ablate_frames, bench_spec, bounds_vs_measured, fanouts_for, fig5, fig6,
-    fig7, table1, table2, threshold_experiment, ExpScale,
+    ablate_compaction, ablate_frames, bench_spec, bounds_vs_measured, fanouts_for, fault_sweep,
+    fig5, fig6, fig7, table1, table2, threshold_experiment, ExpScale,
 };
 pub use runner::{
-    measure_mergesort, measure_nexsort, outputs_agree, Measurement, RunConfig, SIM_MS_PER_IO,
+    measure_mergesort, measure_nexsort, measure_nexsort_faulty, outputs_agree, Measurement,
+    RunConfig, SIM_MS_PER_IO,
 };
 pub use table::ExpTable;

@@ -11,8 +11,8 @@ use std::time::Duration;
 use nexsort::{Nexsort, NexsortOptions};
 use nexsort_baseline::{sort_rec_extent, BaselineOptions};
 use nexsort_datagen::stage_as_recs;
-use nexsort_extmem::{Disk, IoCat, IoSnapshot};
-use nexsort_xml::{EventSource, Result, SortSpec};
+use nexsort_extmem::{Disk, FaultCounts, FaultPlan, IoCat, IoSnapshot, MemDevice, RetryPolicy};
+use nexsort_xml::{EventSource, Result, SortSpec, XmlError};
 
 /// Simulated disk service time per block transfer. The paper's testbed did
 /// ~64 KB transfers on a 2003-era disk (roughly 12 ms each, seek-dominated);
@@ -143,6 +143,64 @@ pub fn measure_nexsort(
         ),
         wall: report.elapsed + out_report.elapsed,
     })
+}
+
+/// Measure NEXSORT end-to-end on a fault-injecting, checksummed disk with
+/// `retries` transient-fault retries per transfer. Returns the measurement
+/// plus the count of faults actually injected; an unrecoverable fault is
+/// reported as an error carrying the structured failure description
+/// (phase, failing transfer, attempts).
+pub fn measure_nexsort_faulty(
+    gen: &mut dyn EventSource,
+    spec: &SortSpec,
+    cfg: &RunConfig,
+    plan: FaultPlan,
+    retries: u32,
+) -> Result<(Measurement, FaultCounts)> {
+    let (disk, injector) = Disk::new_faulty(Box::new(MemDevice::new(cfg.block_size)), plan);
+    if retries > 0 {
+        disk.set_retry_policy(RetryPolicy::retries(retries));
+    }
+    let staged = stage_as_recs(&disk, gen, spec, cfg.compaction)?;
+    let opts = NexsortOptions {
+        mem_frames: cfg.mem_frames,
+        threshold: cfg.threshold,
+        depth_limit: cfg.depth_limit,
+        compaction: cfg.compaction,
+        degeneration: cfg.degeneration,
+        path_stack_frames: cfg.path_stack_frames,
+        data_stack_frames: 1,
+    };
+    let sorter = Nexsort::new(disk.clone(), opts, spec.clone())?;
+    let sorted = sorter
+        .try_sort_rec_extent(&staged.extent, staged.dict.clone())
+        .map_err(|f| XmlError::Record(f.to_string()))?;
+    let (_out_run, out_report) = sorted.write_output_run()?;
+
+    let report = &sorted.report;
+    let sort_ios = report.io.grand_total();
+    let output_ios = out_report.io.grand_total();
+    let breakdown = disk.stats().snapshot();
+    let m = Measurement {
+        algo: "nexsort+faults".into(),
+        n_elements: staged.n_elements,
+        input_bytes: staged.bytes,
+        input_blocks: staged.bytes.div_ceil(cfg.block_size as u64),
+        max_fanout: report.max_fanout,
+        height: report.max_level,
+        mem_frames: cfg.mem_frames,
+        sort_ios,
+        output_ios,
+        breakdown,
+        structure: u64::from(report.subtree_sorts),
+        detail: format!(
+            "retried={} backoff={}",
+            breakdown.total_retries(),
+            breakdown.backoff_units()
+        ),
+        wall: report.elapsed + out_report.elapsed,
+    };
+    Ok((m, injector.counts()))
 }
 
 /// Measure the key-path external merge-sort baseline end-to-end. Its final
@@ -291,8 +349,8 @@ mod tests {
         );
         // ...and degeneration repairs it (within a small margin).
         let mut g = ExactGen::new(&[600], GenConfig::default());
-        let dg = measure_nexsort(&mut g, &spec(), &RunConfig { degeneration: true, ..cfg })
-            .unwrap();
+        let dg =
+            measure_nexsort(&mut g, &spec(), &RunConfig { degeneration: true, ..cfg }).unwrap();
         assert!(
             (dg.total_ios() as f64) <= ms.total_ios() as f64 * 1.15,
             "degeneration {} should be within 15% of merge sort {}",

@@ -5,7 +5,9 @@ use std::rc::Rc;
 
 use nexsort::{Nexsort, NexsortOptions, SortedDoc};
 use nexsort_baseline::{sort_xml_extent, stage_input, BaselineOptions};
-use nexsort_extmem::{Disk, Extent};
+use nexsort_extmem::{
+    BlockDevice, Disk, Extent, FaultInjector, FaultPlan, FileDevice, MemDevice, RetryPolicy,
+};
 use nexsort_merge::{BatchUpdate, MergeOptions, StructuralMerge};
 use nexsort_xml::SortSpec;
 
@@ -51,8 +53,26 @@ pub struct Cli {
     pub pretty: bool,
     /// Print the sort report to stderr.
     pub stats: bool,
+    /// Probability of a transient I/O error per transfer (fault injection).
+    pub fault_rate: f64,
+    /// Probability of bit corruption per transfer (fault injection).
+    pub fault_flips: f64,
+    /// Probability of a torn (partial) write (fault injection).
+    pub fault_torn: f64,
+    /// Seed of the deterministic fault-injection RNG.
+    pub fault_seed: u64,
+    /// Retries per transfer for transient faults (`None` = pick a default:
+    /// 3 when faults are injected, otherwise 0).
+    pub retries: Option<u32>,
     /// The ordering criterion.
     pub spec: SortSpec,
+}
+
+impl Cli {
+    /// True when any fault-injection rate is nonzero.
+    pub fn faults_enabled(&self) -> bool {
+        self.fault_rate > 0.0 || self.fault_flips > 0.0 || self.fault_torn > 0.0
+    }
 }
 
 /// Output format of the `sort` command.
@@ -128,6 +148,14 @@ OPTIONS:
       --pretty          indent the output
       --stats           print the I/O report to stderr
 
+FAULT INJECTION (deterministic; the device checksums every block):
+      --fault-rate P    transient I/O error probability per transfer (0..1)
+      --fault-flips P   bit-corruption probability per transfer (0..1)
+      --fault-torn P    torn (partial) write probability (0..1)
+      --fault-seed N    fault-injection RNG seed        (default: 42)
+      --retries N       retry transient faults up to N times per transfer
+                        (default: 3 when faults are injected, else 0)
+
 RULE syntax: '@attr', '@attr:num', '@attr:desc', 'tag', 'text',
              'path=a/b/c', 'doc', composites with '+': '@last+@first'.
 
@@ -159,11 +187,23 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut default_rule: Option<String> = None;
     let mut keys: Vec<String> = Vec::new();
     let mut seed = 42u64;
+    let mut fault_rate = 0.0f64;
+    let mut fault_flips = 0.0f64;
+    let mut fault_torn = 0.0f64;
+    let mut fault_seed = 42u64;
+    let mut retries: Option<u32> = None;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                          flag: &str|
+                      flag: &str|
      -> Result<String, String> {
         it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parse_rate = |s: String, flag: &str| -> Result<f64, String> {
+        let v: f64 = s.parse().map_err(|_| format!("{flag} needs a probability"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{flag} must be within 0..=1, got {v}"));
+        }
+        Ok(v)
     };
 
     while let Some(arg) = it.next() {
@@ -202,6 +242,21 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown format {other:?}")),
                 }
             }
+            "--fault-rate" => fault_rate = parse_rate(next_value(&mut it, arg)?, arg)?,
+            "--fault-flips" => fault_flips = parse_rate(next_value(&mut it, arg)?, arg)?,
+            "--fault-torn" => fault_torn = parse_rate(next_value(&mut it, arg)?, arg)?,
+            "--fault-seed" => {
+                fault_seed = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "--fault-seed needs an integer".to_string())?
+            }
+            "--retries" => {
+                retries = Some(
+                    next_value(&mut it, arg)?
+                        .parse::<u32>()
+                        .map_err(|_| "--retries needs a nonnegative integer".to_string())?,
+                )
+            }
             "--pretty" => pretty = true,
             "--stats" => stats = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -213,10 +268,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let command = match (sub.as_str(), positional.len()) {
         ("sort", 1) => Command::Sort { input: positional.remove(0) },
         ("check", 1) => Command::Check { input: positional.remove(0) },
-        ("gen", 1) => Command::Gen {
-            shape: positional.remove(0).to_string_lossy().into_owned(),
-            seed,
-        },
+        ("gen", 1) => {
+            Command::Gen { shape: positional.remove(0).to_string_lossy().into_owned(), seed }
+        }
         ("merge", 2) => {
             let right = positional.pop().expect("len 2");
             let left = positional.pop().expect("len 1");
@@ -227,9 +281,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let base = positional.pop().expect("len 1");
             Command::Update { base, updates }
         }
-        ("sort" | "check" | "gen", n) => {
-            return Err(format!("{sub} expects 1 argument, got {n}"))
-        }
+        ("sort" | "check" | "gen", n) => return Err(format!("{sub} expects 1 argument, got {n}")),
         ("merge" | "update", n) => return Err(format!("{sub} expects 2 input files, got {n}")),
         (other, _) => return Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     };
@@ -250,6 +302,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         format,
         pretty,
         stats,
+        fault_rate,
+        fault_flips,
+        fault_torn,
+        fault_seed,
+        retries,
         spec,
     })
 }
@@ -258,12 +315,39 @@ fn mem_frames(cli: &Cli) -> usize {
     ((cli.mem_bytes / cli.block_size).max(NexsortOptions::MIN_MEM_FRAMES as u64)) as usize
 }
 
-fn make_disk(cli: &Cli) -> Result<Rc<Disk>, String> {
-    match &cli.device {
-        Some(path) => Disk::new_file(path, cli.block_size as usize)
-            .map_err(|e| format!("cannot open device file {path:?}: {e}")),
-        None => Ok(Disk::new_mem(cli.block_size as usize)),
+fn make_disk(cli: &Cli) -> Result<(Rc<Disk>, Option<FaultInjector>), String> {
+    if !cli.faults_enabled() {
+        let disk = match &cli.device {
+            Some(path) => Disk::new_file(path, cli.block_size as usize)
+                .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
+            None => Disk::new_mem(cli.block_size as usize),
+        };
+        if let Some(n) = cli.retries {
+            if n > 0 {
+                disk.set_retry_policy(RetryPolicy::retries(n));
+            }
+        }
+        return Ok((disk, None));
     }
+    let base: Box<dyn BlockDevice> = match &cli.device {
+        Some(path) => Box::new(
+            FileDevice::create(path, cli.block_size as usize)
+                .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
+        ),
+        None => Box::new(MemDevice::new(cli.block_size as usize)),
+    };
+    let plan = FaultPlan::new(cli.fault_seed)
+        .with_read_error_rate(cli.fault_rate)
+        .with_write_error_rate(cli.fault_rate)
+        .with_read_flip_rate(cli.fault_flips)
+        .with_write_flip_rate(cli.fault_flips)
+        .with_torn_write_rate(cli.fault_torn);
+    let (disk, injector) = Disk::new_faulty(base, plan);
+    let n = cli.retries.unwrap_or(3);
+    if n > 0 {
+        disk.set_retry_policy(RetryPolicy::retries(n));
+    }
+    Ok((disk, Some(injector)))
 }
 
 /// A staged input document: XML text, or pre-encoded records + dictionary.
@@ -300,14 +384,20 @@ fn sort_one(cli: &Cli, disk: &Rc<Disk>, input: &Staged) -> Result<SortedDoc, Str
         ..Default::default()
     };
     let sorter = Nexsort::new(disk.clone(), opts, cli.spec.clone()).map_err(|e| e.to_string())?;
+    // The try_* variants classify unrecoverable faults into a structured
+    // SortFailure naming the phase, failing transfer, and I/O spent.
     let doc = match input {
-        Staged::Xml(ext) => sorter.sort_xml_extent(ext),
-        Staged::Recs(ext, dict) => sorter.sort_rec_extent(ext, dict.clone()),
+        Staged::Xml(ext) => sorter.try_sort_xml_extent(ext),
+        Staged::Recs(ext, dict) => sorter.try_sort_rec_extent(ext, dict.clone()),
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(|f| f.to_string())?;
     if cli.stats {
         eprintln!("sort: {}", doc.report.summary());
         eprintln!("{}", doc.report.io);
+        let retried = doc.report.io.total_retries();
+        if retried > 0 {
+            eprintln!("sort: {retried} transfer(s) healed by retry");
+        }
     }
     Ok(doc)
 }
@@ -324,8 +414,8 @@ fn emit(cli: &Cli, xml: Vec<u8>) -> Result<(), String> {
 
 /// Execute a parsed command line.
 pub fn run(cli: &Cli) -> Result<(), String> {
-    let disk = make_disk(cli)?;
-    match &cli.command {
+    let (disk, injector) = make_disk(cli)?;
+    let result = match &cli.command {
         Command::Sort { input } => {
             let staged = load(cli, &disk, input)?;
             let out = if cli.algo == Algo::Mergesort {
@@ -407,8 +497,7 @@ pub fn run(cli: &Cli) -> Result<(), String> {
             emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
         }
         Command::Check { input } => {
-            let bytes =
-                std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+            let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
             let recs = if nexsort_xml::is_xrec(&bytes) {
                 let mut src = nexsort_extmem::SliceReader::new(&bytes);
                 let (dict, recs, _flags) = nexsort_xml::read_xrec(&mut src).map_err(xml_err)?;
@@ -419,8 +508,7 @@ pub fn run(cli: &Cli) -> Result<(), String> {
             } else {
                 let events = nexsort_xml::parse_events(&bytes).map_err(xml_err)?;
                 let mut dict = nexsort_xml::TagDict::new();
-                nexsort_xml::events_to_recs(&events, &cli.spec, &mut dict, true)
-                    .map_err(xml_err)?
+                nexsort_xml::events_to_recs(&events, &cli.spec, &mut dict, true).map_err(xml_err)?
             };
             let recs = nexsort_xml::apply_patches(recs).map_err(xml_err)?;
             // O(height) streaming check: last sibling key per level.
@@ -474,10 +562,8 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                     _ => return Err("ibm: expects HEIGHT,MAXFAN[,MAXELEMS]".into()),
                 }
             } else if let Some(spec) = shape.strip_prefix("auction:") {
-                let sellers = spec
-                    .trim()
-                    .parse::<u64>()
-                    .map_err(|_| format!("bad seller count {spec:?}"))?;
+                let sellers =
+                    spec.trim().parse::<u64>().map_err(|_| format!("bad seller count {spec:?}"))?;
                 Box::new(AuctionGen::new(AuctionConfig {
                     seed: *seed,
                     sellers,
@@ -513,7 +599,19 @@ pub fn run(cli: &Cli) -> Result<(), String> {
             let events = nexsort_xml::recs_to_events(&out, &dict).map_err(|e| e.to_string())?;
             emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
         }
+    };
+    if cli.stats {
+        if let Some(inj) = &injector {
+            let counts = inj.counts();
+            eprintln!(
+                "faults injected: {} over {} reads / {} writes ({counts:?})",
+                counts.total(),
+                inj.read_ops(),
+                inj.write_ops(),
+            );
+        }
     }
+    result
 }
 
 #[cfg(test)]
@@ -571,6 +669,92 @@ mod tests {
         }
         assert!(parse_args(&args(&["merge", "a.xml"])).is_err());
         assert!(parse_args(&args(&["update", "a.xml", "b.xml", "c.xml"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let cli = parse_args(&args(&[
+            "sort",
+            "in.xml",
+            "--fault-rate",
+            "0.02",
+            "--fault-flips",
+            "0.001",
+            "--fault-torn",
+            "0.005",
+            "--fault-seed",
+            "9",
+            "--retries",
+            "5",
+        ]))
+        .unwrap();
+        assert!(cli.faults_enabled());
+        assert_eq!(cli.fault_rate, 0.02);
+        assert_eq!(cli.fault_flips, 0.001);
+        assert_eq!(cli.fault_torn, 0.005);
+        assert_eq!(cli.fault_seed, 9);
+        assert_eq!(cli.retries, Some(5));
+        assert!(!parse_args(&args(&["sort", "x.xml"])).unwrap().faults_enabled());
+        assert!(parse_args(&args(&["sort", "x.xml", "--fault-rate", "1.5"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--fault-rate", "-0.1"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--retries", "-1"])).is_err());
+    }
+
+    #[test]
+    fn faulty_sort_heals_by_retry_and_matches_the_clean_output() {
+        let dir = std::env::temp_dir().join(format!("xsort-flt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let clean = dir.join("clean.xml");
+        let faulty = dir.join("faulty.xml");
+        let gen =
+            parse_args(&args(&["gen", "exact:30,6", "--seed", "5", "-o", raw.to_str().unwrap()]))
+                .unwrap();
+        run(&gen).unwrap();
+
+        let base = ["--default", "@k", "--block", "256", "--mem", "4K"];
+        let mut a = vec!["sort", raw.to_str().unwrap(), "-o", clean.to_str().unwrap()];
+        a.extend_from_slice(&base);
+        run(&parse_args(&args(&a)).unwrap()).unwrap();
+
+        let mut b = vec!["sort", raw.to_str().unwrap(), "-o", faulty.to_str().unwrap()];
+        b.extend_from_slice(&base);
+        b.extend_from_slice(&["--fault-rate", "0.02", "--fault-seed", "11"]);
+        run(&parse_args(&args(&b)).unwrap()).unwrap();
+
+        assert_eq!(
+            std::fs::read(&clean).unwrap(),
+            std::fs::read(&faulty).unwrap(),
+            "retries must make the faulty sort byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unrecoverable_faults_surface_a_structured_failure() {
+        let dir = std::env::temp_dir().join(format!("xsort-fl2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let gen = parse_args(&args(&["gen", "exact:40,4", "-o", raw.to_str().unwrap()])).unwrap();
+        run(&gen).unwrap();
+        // Massive corruption with no retries: the sort must fail and the
+        // message must name the failure site.
+        let cli = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "--default",
+            "@k",
+            "--block",
+            "256",
+            "--fault-flips",
+            "0.5",
+            "--retries",
+            "0",
+        ]))
+        .unwrap();
+        let err = run(&cli).unwrap_err();
+        assert!(err.contains("sort failed during"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -681,14 +865,14 @@ mod checkgen_tests {
         let raw = dir.join("raw.xml");
         let sorted = dir.join("sorted.xml");
 
-        let cli = parse_args(&args(&["gen", "exact:8,4", "--seed", "3", "-o", raw.to_str().unwrap()]))
-            .unwrap();
+        let cli =
+            parse_args(&args(&["gen", "exact:8,4", "--seed", "3", "-o", raw.to_str().unwrap()]))
+                .unwrap();
         run(&cli).unwrap();
         assert!(std::fs::metadata(&raw).unwrap().len() > 100);
 
         // An unsorted generated document fails the check...
-        let cli =
-            parse_args(&args(&["check", raw.to_str().unwrap(), "--default", "@k"])).unwrap();
+        let cli = parse_args(&args(&["check", raw.to_str().unwrap(), "--default", "@k"])).unwrap();
         assert!(run(&cli).is_err());
 
         // ...and passes after sorting.
@@ -714,8 +898,7 @@ mod checkgen_tests {
             let dir = std::env::temp_dir().join(format!("xsort-g3-{}", std::process::id()));
             std::fs::create_dir_all(&dir).unwrap();
             let out = dir.join("g.xml");
-            let cli =
-                parse_args(&args(&["gen", shape, "-o", out.to_str().unwrap()])).unwrap();
+            let cli = parse_args(&args(&["gen", shape, "-o", out.to_str().unwrap()])).unwrap();
             run(&cli).unwrap();
             let bytes = std::fs::read(&out).unwrap();
             assert!(nexsort_xml::parse_events(&bytes).is_ok(), "{shape}");
@@ -737,20 +920,12 @@ mod checkgen_tests {
         std::fs::create_dir_all(&dir).unwrap();
         let f = dir.join("d.xml");
         // Sorted at level 2, unsorted at level 3.
-        std::fs::write(&f, b"<r><a k=\"1\"><c k=\"9\"/><c k=\"2\"/></a><a k=\"5\"/></r>")
-            .unwrap();
-        let full =
-            parse_args(&args(&["check", f.to_str().unwrap(), "--default", "@k"])).unwrap();
+        std::fs::write(&f, b"<r><a k=\"1\"><c k=\"9\"/><c k=\"2\"/></a><a k=\"5\"/></r>").unwrap();
+        let full = parse_args(&args(&["check", f.to_str().unwrap(), "--default", "@k"])).unwrap();
         assert!(run(&full).is_err());
-        let limited = parse_args(&args(&[
-            "check",
-            f.to_str().unwrap(),
-            "--default",
-            "@k",
-            "--depth",
-            "1",
-        ]))
-        .unwrap();
+        let limited =
+            parse_args(&args(&["check", f.to_str().unwrap(), "--default", "@k", "--depth", "1"]))
+                .unwrap();
         run(&limited).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -792,8 +967,7 @@ mod xrec_cli_tests {
 
         // ...check it without re-parsing XML...
         let cli =
-            parse_args(&args(&["check", xrec.to_str().unwrap(), "--default", "@id:num"]))
-                .unwrap();
+            parse_args(&args(&["check", xrec.to_str().unwrap(), "--default", "@id:num"])).unwrap();
         run(&cli).unwrap();
 
         // ...and merge it with an XML document (mixed input formats).

@@ -74,9 +74,8 @@ pub fn parse_rule(rule: &str) -> Result<KeyRule, String> {
 
 /// Parse a `--key` argument: `TAG=RULE`.
 pub fn parse_key_arg(arg: &str) -> Result<(String, KeyRule), String> {
-    let (tag, rule) = arg
-        .split_once('=')
-        .ok_or_else(|| format!("--key expects TAG=RULE, got {arg:?}"))?;
+    let (tag, rule) =
+        arg.split_once('=').ok_or_else(|| format!("--key expects TAG=RULE, got {arg:?}"))?;
     if tag.is_empty() {
         return Err("--key has an empty tag name".into());
     }
@@ -153,11 +152,9 @@ mod tests {
 
     #[test]
     fn key_args_and_spec_assembly() {
-        let spec = build_spec(
-            Some("@name"),
-            &["employee=@ID:num".to_string(), "note=doc".to_string()],
-        )
-        .unwrap();
+        let spec =
+            build_spec(Some("@name"), &["employee=@ID:num".to_string(), "note=doc".to_string()])
+                .unwrap();
         assert_eq!(spec.rule_for(b"employee"), &KeyRule::attr_numeric("ID"));
         assert_eq!(spec.rule_for(b"note"), &KeyRule::doc_order());
         assert_eq!(spec.rule_for(b"region"), &KeyRule::attr("name"));

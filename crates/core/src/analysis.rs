@@ -225,10 +225,7 @@ mod prediction_tests {
     #[test]
     fn nexsort_prediction_scales_linearly() {
         assert_eq!(predict_nexsort_total(1000, 0), 6000);
-        assert_eq!(
-            predict_nexsort_total(2000, 100) - predict_nexsort_total(1000, 100),
-            6000
-        );
+        assert_eq!(predict_nexsort_total(2000, 100) - predict_nexsort_total(1000, 100), 6000);
     }
 
     #[test]

@@ -30,7 +30,8 @@ use std::time::Instant;
 
 use nexsort_baseline::{sort_recs, RecSource};
 use nexsort_extmem::{
-    ByteSink, Disk, ExtentReader, IoCat, KWayMerger, MemoryBudget, MergeStream, RunId, RunStore,
+    ByteSink, Disk, ExtentReader, IoCat, IoPhase, KWayMerger, MemoryBudget, MergeStream, RunId,
+    RunStore,
 };
 use nexsort_xml::{KeyPath, PathComp, PathedRec, PtrRec, Rec, Result, SortSpec, XmlError};
 
@@ -132,6 +133,10 @@ impl Degenerate<'_> {
             pathed.push(PathedRec { path: KeyPath { comps: path.clone() }, rec });
         }
         pathed.sort_by(PathedRec::cmp_order);
+        // Spilling an incomplete run is run formation; on an error the
+        // phase stays set for failure classification.
+        let entry_phase = self.store.disk().phase();
+        self.store.disk().set_phase(IoPhase::RunFormation);
         let mut w = self.store.create(self.budget, IoCat::SortScratch)?;
         let mut buf = Vec::new();
         for p in &pathed {
@@ -149,6 +154,7 @@ impl Degenerate<'_> {
             f.start_idx = None;
         }
         self.total_staged_bytes = 0;
+        self.store.disk().set_phase(entry_phase);
         Ok(())
     }
 
@@ -161,6 +167,7 @@ impl Degenerate<'_> {
             Ok(PStream { reader, left })
         };
         while runs.len() > fan_in {
+            self.store.disk().set_phase(IoPhase::MergePass(self.report.degenerate_merges + 1));
             let group: Vec<RunId> = runs.drain(..fan_in).collect();
             let streams = group
                 .iter()
@@ -182,6 +189,7 @@ impl Degenerate<'_> {
             self.report.degenerate_merges += 1;
         }
         // Final merge strips key paths: the complete, sorted root run.
+        self.store.disk().set_phase(IoPhase::FinalMerge);
         let streams = runs
             .iter()
             .map(|&id| open(&self.store, self.budget, id))
@@ -227,8 +235,7 @@ impl Degenerate<'_> {
                     self.report.sum_sorted_records += sub.len() as u64;
                     let sorted = sort_recs(sub, false, self.opts.depth_limit)?;
                     if is_root {
-                        self.root_has_ptrs =
-                            sorted.iter().any(|r| matches!(r, Rec::RunPtr(_)));
+                        self.root_has_ptrs = sorted.iter().any(|r| matches!(r, Rec::RunPtr(_)));
                     }
                     let root = match sorted.first() {
                         Some(Rec::Elem(e)) if e.level == frame.level => {
@@ -241,6 +248,8 @@ impl Degenerate<'_> {
                             )))
                         }
                     };
+                    let entry_phase = self.store.disk().phase();
+                    self.store.disk().set_phase(IoPhase::RunFormation);
                     let mut w = self.store.create(self.budget, IoCat::RunWrite)?;
                     let mut buf = Vec::new();
                     for r in &sorted {
@@ -249,6 +258,7 @@ impl Degenerate<'_> {
                         w.write_all(&buf)?;
                     }
                     let run = w.finish()?;
+                    self.store.disk().set_phase(entry_phase);
                     if is_root {
                         self.root_run = Some(run);
                     } else {
@@ -292,6 +302,8 @@ pub(crate) fn sort_degenerate(
     let start_time = Instant::now();
     let stats = disk.stats();
     let io_before = stats.snapshot();
+    let entry_phase = disk.phase();
+    disk.set_phase(IoPhase::InputScan);
     let block_size = disk.block_size();
     let threshold = opts.threshold_bytes(block_size);
     let mut report = SortReport::new(block_size, opts.mem_frames, threshold);
@@ -395,6 +407,7 @@ pub(crate) fn sort_degenerate(
     report.root_flat = !st.root_has_ptrs;
     report.io = stats.snapshot().since(&io_before);
     report.elapsed = start_time.elapsed();
+    disk.set_phase(entry_phase);
     Ok((st.store, root_run, report))
 }
 

@@ -35,12 +35,14 @@
 
 pub mod analysis;
 mod degenerate;
+mod failure;
 mod options;
 mod output;
 mod report;
 mod sorter;
 mod subtree;
 
+pub use failure::SortFailure;
 pub use options::NexsortOptions;
 pub use output::{DocCursor, OutputReport, SortedDoc};
 pub use report::SortReport;

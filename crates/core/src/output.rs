@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use nexsort_baseline::RecSource;
 use nexsort_extmem::{
-    Disk, ExtStack, ExtentReader, IoCat, IoSnapshot, MemoryBudget, RunId, RunStore,
+    Disk, ExtStack, ExtentReader, IoCat, IoPhase, IoSnapshot, MemoryBudget, RunId, RunStore,
 };
 use nexsort_xml::{Event, Rec, RecDecoder, Result, TagDict, XmlError};
 
@@ -93,6 +93,9 @@ impl SortedDoc {
         let start = Instant::now();
         let stats = self.disk.stats();
         let before = stats.snapshot();
+        // On an error the phase stays set for failure classification.
+        let entry_phase = self.disk.phase();
+        self.disk.set_phase(IoPhase::OutputEmit);
         let mut cursor = self.cursor()?;
         let budget = MemoryBudget::new(2);
         let mut w = self.store.create(&budget, IoCat::OutputWrite)?;
@@ -107,6 +110,7 @@ impl SortedDoc {
         let run = w.finish()?;
         let report =
             OutputReport { records, io: stats.snapshot().since(&before), elapsed: start.elapsed() };
+        self.disk.set_phase(entry_phase);
         Ok((run, report))
     }
 
@@ -184,6 +188,14 @@ impl SortedDoc {
     /// path of Section 3.2, usable even when the document is deeper than
     /// memory. Returns the text and the records emitted.
     pub fn write_xml_external(&self, sink: &mut Vec<u8>, pretty: bool) -> Result<u64> {
+        let entry_phase = self.disk.phase();
+        self.disk.set_phase(IoPhase::OutputEmit);
+        let records = self.write_xml_external_inner(sink, pretty)?;
+        self.disk.set_phase(entry_phase);
+        Ok(records)
+    }
+
+    fn write_xml_external_inner(&self, sink: &mut Vec<u8>, pretty: bool) -> Result<u64> {
         let mut cursor = self.cursor()?;
         let budget = MemoryBudget::new(2);
         let mut tags = ExtStack::new(self.disk.clone(), &budget, IoCat::OutTagStack, 1)?;
@@ -191,12 +203,13 @@ impl SortedDoc {
         let mut open_levels = 0u32;
         let mut records = 0u64;
 
-        let close_one = |tags: &mut ExtStack, w: &mut nexsort_xml::XmlWriter<Vec<u8>>| -> Result<()> {
-            let len = tags.pop_u32()? as usize;
-            let name = tags.pop(len)?;
-            w.write(&Event::End { name })?;
-            Ok(())
-        };
+        let close_one =
+            |tags: &mut ExtStack, w: &mut nexsort_xml::XmlWriter<Vec<u8>>| -> Result<()> {
+                let len = tags.pop_u32()? as usize;
+                let name = tags.pop(len)?;
+                w.write(&Event::End { name })?;
+                Ok(())
+            };
 
         while let Some(rec) = cursor.next_rec()? {
             records += 1;

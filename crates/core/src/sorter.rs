@@ -13,10 +13,11 @@
 use std::rc::Rc;
 use std::time::Instant;
 
-use nexsort_baseline::{ParsedRecSource, RecSource, ExtentRecSource};
-use nexsort_extmem::{Disk, ExtStack, Extent, IoCat, MemoryBudget, RunId, RunStore};
+use nexsort_baseline::{ExtentRecSource, ParsedRecSource, RecSource};
+use nexsort_extmem::{Disk, ExtStack, Extent, IoCat, IoPhase, MemoryBudget, RunId, RunStore};
 use nexsort_xml::{Rec, Result, SortSpec, TagDict, XmlError};
 
+use crate::failure::SortFailure;
 use crate::options::NexsortOptions;
 use crate::output::SortedDoc;
 use crate::report::SortReport;
@@ -58,10 +59,22 @@ impl Nexsort {
     /// Sort an XML text document resident on the disk.
     pub fn sort_xml_extent(&self, input: &Extent) -> Result<SortedDoc> {
         let budget = MemoryBudget::new(self.opts.mem_frames);
-        let mut src =
-            ParsedRecSource::new(self.disk.clone(), &budget, input, &self.spec, self.opts.compaction)?;
+        let mut src = ParsedRecSource::new(
+            self.disk.clone(),
+            &budget,
+            input,
+            &self.spec,
+            self.opts.compaction,
+        )?;
         let (store, root_run, report) = self.sort_source(&mut src, &budget)?;
-        Ok(SortedDoc::new(self.disk.clone(), store, root_run, src.into_dict(), report, self.opts.mem_frames))
+        Ok(SortedDoc::new(
+            self.disk.clone(),
+            store,
+            root_run,
+            src.into_dict(),
+            report,
+            self.opts.mem_frames,
+        ))
     }
 
     /// Sort a pre-encoded record extent (`dict` is the dictionary the
@@ -74,6 +87,30 @@ impl Nexsort {
         Ok(SortedDoc::new(self.disk.clone(), store, root_run, dict, report, self.opts.mem_frames))
     }
 
+    /// [`sort_xml_extent`](Self::sort_xml_extent), but an unrecoverable
+    /// fault is returned as a structured [`SortFailure`] naming the phase,
+    /// the failing transfer, and the I/O spent before giving up.
+    pub fn try_sort_xml_extent(
+        &self,
+        input: &Extent,
+    ) -> std::result::Result<SortedDoc, Box<SortFailure>> {
+        let before = self.disk.stats().snapshot();
+        self.sort_xml_extent(input)
+            .map_err(|e| Box::new(SortFailure::classify(&self.disk, e, &before)))
+    }
+
+    /// [`sort_rec_extent`](Self::sort_rec_extent) with structured failure
+    /// reporting; see [`try_sort_xml_extent`](Self::try_sort_xml_extent).
+    pub fn try_sort_rec_extent(
+        &self,
+        input: &Extent,
+        dict: TagDict,
+    ) -> std::result::Result<SortedDoc, Box<SortFailure>> {
+        let before = self.disk.stats().snapshot();
+        self.sort_rec_extent(input, dict)
+            .map_err(|e| Box::new(SortFailure::classify(&self.disk, e, &before)))
+    }
+
     fn sort_source(
         &self,
         src: &mut dyn RecSource,
@@ -81,11 +118,7 @@ impl Nexsort {
     ) -> Result<(Rc<RunStore>, RunId, SortReport)> {
         if self.opts.degeneration && !self.spec.has_deferred_keys() {
             return crate::degenerate::sort_degenerate(
-                &self.disk,
-                &self.opts,
-                &self.spec,
-                src,
-                budget,
+                &self.disk, &self.opts, &self.spec, src, budget,
             );
         }
         self.sort_standard(src, budget)
@@ -100,15 +133,25 @@ impl Nexsort {
         let start_time = Instant::now();
         let stats = self.disk.stats();
         let io_before = stats.snapshot();
+        let entry_phase = self.disk.phase();
+        self.disk.set_phase(IoPhase::InputScan);
         let block_size = self.disk.block_size();
         let threshold = self.opts.threshold_bytes(block_size);
         let mut report = SortReport::new(block_size, self.opts.mem_frames, threshold);
 
         let store = RunStore::new(self.disk.clone());
-        let mut data =
-            ExtStack::new(self.disk.clone(), budget, IoCat::DataStack, self.opts.data_stack_frames)?;
-        let mut path =
-            ExtStack::new(self.disk.clone(), budget, IoCat::PathStack, self.opts.path_stack_frames)?;
+        let mut data = ExtStack::new(
+            self.disk.clone(),
+            budget,
+            IoCat::DataStack,
+            self.opts.data_stack_frames,
+        )?;
+        let mut path = ExtStack::new(
+            self.disk.clone(),
+            budget,
+            IoCat::PathStack,
+            self.opts.path_stack_frames,
+        )?;
         // In-memory per-open-element child counters (O(height) machine
         // words), used only for the `k` statistic in the report.
         let mut child_counts: Vec<u64> = Vec::new();
@@ -116,10 +159,10 @@ impl Nexsort {
         let mut buf = Vec::new();
 
         let close_top = |data: &mut ExtStack,
-                             path: &mut ExtStack,
-                             child_counts: &mut Vec<u64>,
-                             report: &mut SortReport,
-                             root_run: &mut Option<RunId>|
+                         path: &mut ExtStack,
+                         child_counts: &mut Vec<u64>,
+                         report: &mut SortReport,
+                         root_run: &mut Option<RunId>|
          -> Result<()> {
             let l = path.pop_u64()?;
             let level = child_counts.len() as u32; // level of the closing element
@@ -208,14 +251,15 @@ impl Nexsort {
         while !child_counts.is_empty() {
             close_top(&mut data, &mut path, &mut child_counts, &mut report, &mut root_run)?;
         }
-        let root_run = root_run
-            .ok_or_else(|| XmlError::Record("empty input: no root element".into()))?;
+        let root_run =
+            root_run.ok_or_else(|| XmlError::Record("empty input: no root element".into()))?;
 
         // A single subtree sort means nothing was ever collapsed into a
         // pointer: the root run is the whole sorted document.
         report.root_flat = report.subtree_sorts == 1;
         report.io = stats.snapshot().since(&io_before);
         report.elapsed = start_time.elapsed();
+        self.disk.set_phase(entry_phase);
         Ok((store, root_run, report))
     }
 }

@@ -20,7 +20,7 @@ use nexsort_baseline::{
     external_merge_sort, resolve_deferred, ExtSortOptions, ExtentRecSource, PathedAdapter,
     RecSource,
 };
-use nexsort_extmem::{ByteSink, Disk, Extent, IoCat, MemoryBudget, RunStore};
+use nexsort_extmem::{ByteSink, Disk, Extent, IoCat, IoPhase, MemoryBudget, RunStore};
 use nexsort_xml::{PtrRec, Rec, RecDecoder, Result, SortSpec, XmlError};
 
 use crate::report::SortReport;
@@ -49,22 +49,31 @@ impl SubtreeSorter<'_> {
         report.sum_sorted_bytes += len;
         report.max_sort_bytes = report.max_sort_bytes.max(len);
 
+        // On an error the failing phase stays set for failure classification.
+        let entry_phase = self.disk.phase();
+        self.disk.set_phase(IoPhase::RunFormation);
+
         let at_depth_limit = self.depth_limit.is_some_and(|d| level > d);
-        if at_depth_limit {
-            return self.dump_range(stack_ext, start, len, level, report);
-        }
-
-        let block_size = self.disk.block_size() as u64;
-        // Frames left after the sorting phase's fixtures: we need one for the
-        // range reader and one for the run writer; the rest buffer the sort.
-        let free = self.budget.free_frames() as u64;
-        let internal_capacity = free.saturating_sub(2) * block_size;
-
-        if len <= internal_capacity {
-            self.sort_internal(stack_ext, start, len, level, report)
+        let result = if at_depth_limit {
+            self.dump_range(stack_ext, start, len, level, report)
         } else {
-            self.sort_external(stack_ext, start, len, level, report)
+            let block_size = self.disk.block_size() as u64;
+            // Frames left after the sorting phase's fixtures: we need one for
+            // the range reader and one for the run writer; the rest buffer
+            // the sort.
+            let free = self.budget.free_frames() as u64;
+            let internal_capacity = free.saturating_sub(2) * block_size;
+
+            if len <= internal_capacity {
+                self.sort_internal(stack_ext, start, len, level, report)
+            } else {
+                self.sort_external(stack_ext, start, len, level, report)
+            }
+        };
+        if result.is_ok() {
+            self.disk.set_phase(entry_phase);
         }
+        result
     }
 
     /// Internal-memory recursive sort of the range.
@@ -240,8 +249,7 @@ impl SubtreeSorter<'_> {
         }
         report.sum_sorted_records += elems;
         let run = w.finish()?;
-        let root =
-            root.ok_or_else(|| XmlError::Record("dumped subtree range was empty".into()))?;
+        let root = root.ok_or_else(|| XmlError::Record("dumped subtree range was empty".into()))?;
         Ok(PtrRec { run: run.0, ..root })
     }
 }

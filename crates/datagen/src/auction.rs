@@ -58,8 +58,7 @@ pub struct AuctionGen {
 
 const ADJECTIVES: [&str; 8] =
     ["vintage", "rare", "modern", "antique", "pristine", "odd", "heavy", "tiny"];
-const NOUNS: [&str; 8] =
-    ["lamp", "desk", "violin", "atlas", "camera", "clock", "globe", "chair"];
+const NOUNS: [&str; 8] = ["lamp", "desk", "violin", "atlas", "camera", "clock", "globe", "chair"];
 
 impl AuctionGen {
     /// A generator for `cfg`.
@@ -165,11 +164,9 @@ mod tests {
         let a = collect_events(&mut AuctionGen::new(AuctionConfig::default())).unwrap();
         let b = collect_events(&mut AuctionGen::new(AuctionConfig::default())).unwrap();
         assert_eq!(a, b);
-        let c = collect_events(&mut AuctionGen::new(AuctionConfig {
-            seed: 99,
-            ..Default::default()
-        }))
-        .unwrap();
+        let c =
+            collect_events(&mut AuctionGen::new(AuctionConfig { seed: 99, ..Default::default() }))
+                .unwrap();
         assert_ne!(a, c);
     }
 
@@ -189,9 +186,7 @@ mod tests {
                     .iter()
                     .filter_map(|c| match c {
                         nexsort_xml::XNode::Elem(b) if b.name == b"bid" => Some(
-                            String::from_utf8_lossy(b.attr(b"amount").unwrap())
-                                .parse()
-                                .unwrap(),
+                            String::from_utf8_lossy(b.attr(b"amount").unwrap()).parse().unwrap(),
                         ),
                         _ => None,
                     })

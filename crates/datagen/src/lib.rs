@@ -324,10 +324,7 @@ mod tests {
         let xml = nexsort_xml::events_to_xml(&events, false);
         let n = ExactGen::total_elements(&[20, 10]);
         let avg = xml.len() as f64 / n as f64;
-        assert!(
-            (120.0..=180.0).contains(&avg),
-            "average element size {avg:.1} should be near 150"
-        );
+        assert!((120.0..=180.0).contains(&avg), "average element size {avg:.1} should be near 150");
     }
 
     #[test]
@@ -363,10 +360,8 @@ mod tests {
     fn keys_are_random_enough_to_need_sorting() {
         let mut g = ExactGen::new(&[50], GenConfig::default());
         let events = collect_events(&mut g).unwrap();
-        let keys: Vec<Vec<u8>> = events
-            .iter()
-            .filter_map(|e| e.attr(b"k").map(|v| v.to_vec()))
-            .collect();
+        let keys: Vec<Vec<u8>> =
+            events.iter().filter_map(|e| e.attr(b"k").map(|v| v.to_vec())).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_ne!(keys[1..], sorted[1..], "keys should not arrive pre-sorted");

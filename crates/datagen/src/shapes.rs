@@ -69,14 +69,10 @@ mod tests {
     #[test]
     fn scaled_shapes_stay_near_one_another() {
         let shapes = table2_shapes(32);
-        let sizes: Vec<u64> =
-            shapes.iter().map(|s| ExactGen::total_elements(&s.fanouts)).collect();
+        let sizes: Vec<u64> = shapes.iter().map(|s| ExactGen::total_elements(&s.fanouts)).collect();
         let min = *sizes.iter().min().unwrap() as f64;
         let max = *sizes.iter().max().unwrap() as f64;
-        assert!(
-            max / min < 2.0,
-            "scaled sizes should stay comparable: {sizes:?}"
-        );
+        assert!(max / min < 2.0, "scaled sizes should stay comparable: {sizes:?}");
         // And around 3M/32 ~ 94k.
         assert!(sizes.iter().all(|&s| (40_000..250_000).contains(&s)), "{sizes:?}");
     }

@@ -10,9 +10,7 @@
 use std::rc::Rc;
 
 use nexsort_extmem::{ByteSink, Disk, Extent, ExtentWriter, IoCat, MemoryBudget};
-use nexsort_xml::{
-    Event, EventSource, RecBuilder, Result, SortSpec, TagDict, XmlWriter,
-};
+use nexsort_xml::{Event, EventSource, RecBuilder, Result, SortSpec, TagDict, XmlWriter};
 
 /// A staged document ready to sort.
 pub struct GeneratedDoc {
@@ -26,10 +24,7 @@ pub struct GeneratedDoc {
     pub bytes: u64,
 }
 
-fn uncharged<T>(
-    disk: &Rc<Disk>,
-    f: impl FnOnce(&MemoryBudget) -> Result<T>,
-) -> Result<T> {
+fn uncharged<T>(disk: &Rc<Disk>, f: impl FnOnce(&MemoryBudget) -> Result<T>) -> Result<T> {
     let budget = MemoryBudget::new(2);
     let stats = disk.stats();
     let before = stats.snapshot();
@@ -125,7 +120,7 @@ mod tests {
 
     #[test]
     fn rec_staging_decodes_with_keys_attached() {
-        use nexsort_extmem::{ExtentReader};
+        use nexsort_extmem::ExtentReader;
         use nexsort_xml::{Rec, RecDecoder};
         let disk = Disk::new_mem(256);
         let mut g = ExactGen::new(&[4], GenConfig::default());

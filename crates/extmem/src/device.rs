@@ -8,13 +8,17 @@
 //! [`IoCat`] and counted, reproducing the explicit I/O accounting the paper
 //! got from TPIE.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::rc::Rc;
 
 use crate::error::{ExtError, Result};
+use crate::fault::{
+    ChecksummedDevice, DiskFailure, FaultInjector, FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
+};
 use crate::stats::{IoCat, IoStats};
 
 /// Raw block storage: fixed-size blocks addressed by a dense `u64` id.
@@ -34,6 +38,29 @@ pub trait BlockDevice {
     fn write(&mut self, id: u64, data: &[u8]) -> Result<()>;
 }
 
+// Boxes delegate, so wrappers like `FaultyDevice<Box<dyn BlockDevice>>`
+// compose over already-erased devices.
+impl<T: BlockDevice + ?Sized> BlockDevice for Box<T> {
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn allocate(&mut self) -> u64 {
+        (**self).allocate()
+    }
+    fn free(&mut self, id: u64) -> Result<()> {
+        (**self).free(id)
+    }
+    fn read(&mut self, id: u64, buf: &mut [u8]) -> Result<()> {
+        (**self).read(id, buf)
+    }
+    fn write(&mut self, id: u64, data: &[u8]) -> Result<()> {
+        (**self).write(id, data)
+    }
+}
+
 /// An in-memory block device: the default substrate for tests and benches.
 ///
 /// Keeping blocks in host RAM does not change what is being measured -- the
@@ -43,6 +70,7 @@ pub struct MemDevice {
     block_size: usize,
     blocks: Vec<Box<[u8]>>,
     free_list: Vec<u64>,
+    free_set: HashSet<u64>,
     high_water: u64,
 }
 
@@ -50,7 +78,13 @@ impl MemDevice {
     /// A device with the given block size in bytes (must be nonzero).
     pub fn new(block_size: usize) -> Self {
         assert!(block_size > 0, "block size must be nonzero");
-        Self { block_size, blocks: Vec::new(), free_list: Vec::new(), high_water: 0 }
+        Self {
+            block_size,
+            blocks: Vec::new(),
+            free_list: Vec::new(),
+            free_set: HashSet::new(),
+            high_water: 0,
+        }
     }
 
     /// Maximum number of live (allocated, unfreed) blocks seen so far.
@@ -70,6 +104,7 @@ impl BlockDevice for MemDevice {
 
     fn allocate(&mut self) -> u64 {
         let id = if let Some(id) = self.free_list.pop() {
+            self.free_set.remove(&id);
             self.blocks[id as usize].fill(0);
             id
         } else {
@@ -84,6 +119,11 @@ impl BlockDevice for MemDevice {
     fn free(&mut self, id: u64) -> Result<()> {
         if id >= self.blocks.len() as u64 {
             return Err(ExtError::BadBlock { block: id, total: self.blocks.len() as u64 });
+        }
+        // A double free would enqueue the id twice and hand the same block
+        // to two later allocations -- the classic aliasing corruption.
+        if !self.free_set.insert(id) {
+            return Err(ExtError::DoubleFree { block: id });
         }
         self.free_list.push(id);
         Ok(())
@@ -100,10 +140,8 @@ impl BlockDevice for MemDevice {
 
     fn write(&mut self, id: u64, data: &[u8]) -> Result<()> {
         let total = self.blocks.len() as u64;
-        let dst = self
-            .blocks
-            .get_mut(id as usize)
-            .ok_or(ExtError::BadBlock { block: id, total })?;
+        let dst =
+            self.blocks.get_mut(id as usize).ok_or(ExtError::BadBlock { block: id, total })?;
         dst[..data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -116,6 +154,7 @@ pub struct FileDevice {
     file: File,
     num_blocks: u64,
     free_list: Vec<u64>,
+    free_set: HashSet<u64>,
 }
 
 impl FileDevice {
@@ -123,7 +162,13 @@ impl FileDevice {
     pub fn create(path: &Path, block_size: usize) -> Result<Self> {
         assert!(block_size > 0, "block size must be nonzero");
         let file = File::options().read(true).write(true).create(true).truncate(true).open(path)?;
-        Ok(Self { block_size, file, num_blocks: 0, free_list: Vec::new() })
+        Ok(Self {
+            block_size,
+            file,
+            num_blocks: 0,
+            free_list: Vec::new(),
+            free_set: HashSet::new(),
+        })
     }
 }
 
@@ -138,6 +183,7 @@ impl BlockDevice for FileDevice {
 
     fn allocate(&mut self) -> u64 {
         if let Some(id) = self.free_list.pop() {
+            self.free_set.remove(&id);
             return id;
         }
         let id = self.num_blocks;
@@ -148,6 +194,10 @@ impl BlockDevice for FileDevice {
     fn free(&mut self, id: u64) -> Result<()> {
         if id >= self.num_blocks {
             return Err(ExtError::BadBlock { block: id, total: self.num_blocks });
+        }
+        // Same aliasing hazard as MemDevice::free: reject double frees.
+        if !self.free_set.insert(id) {
+            return Err(ExtError::DoubleFree { block: id });
         }
         self.free_list.push(id);
         Ok(())
@@ -192,6 +242,9 @@ pub struct Disk {
     stats: IoStats,
     block_size: usize,
     trace: RefCell<Option<Vec<TraceEntry>>>,
+    retry: Cell<RetryPolicy>,
+    phase: Cell<IoPhase>,
+    last_failure: Cell<Option<DiskFailure>>,
 }
 
 /// One recorded block transfer (see [`Disk::start_trace`]).
@@ -214,7 +267,27 @@ impl Disk {
             stats: IoStats::new(),
             block_size,
             trace: RefCell::new(None),
+            retry: Cell::new(RetryPolicy::default()),
+            phase: Cell::new(IoPhase::default()),
+            last_failure: Cell::new(None),
         })
+    }
+
+    /// Wrap `dev` in the fault-injection stack: faults injected per `plan`
+    /// below a checksum layer that detects any corruption they cause. The
+    /// returned [`FaultInjector`] observes (and can extend) the schedule.
+    /// Combine with [`Disk::set_retry_policy`] so transient faults heal.
+    pub fn new_faulty(dev: Box<dyn BlockDevice>, plan: FaultPlan) -> (Rc<Self>, FaultInjector) {
+        let faulty = FaultyDevice::new(dev, plan);
+        let injector = faulty.injector();
+        (Self::new(Box::new(ChecksummedDevice::new(faulty))), injector)
+    }
+
+    /// Wrap `dev` with checksum verification only (no injected faults):
+    /// real-device corruption surfaces as
+    /// [`ExtError::ChecksumMismatch`](crate::ExtError::ChecksumMismatch).
+    pub fn new_checksummed(dev: Box<dyn BlockDevice>) -> Rc<Self> {
+        Self::new(Box::new(ChecksummedDevice::new(dev)))
     }
 
     /// Start recording every block transfer (id + direction + category).
@@ -251,6 +324,82 @@ impl Disk {
         self.stats.clone()
     }
 
+    /// Set how transfers respond to transient failures. Takes effect for all
+    /// subsequent transfers; the default is [`RetryPolicy::none`].
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1, "a transfer needs at least one attempt");
+        self.retry.set(policy);
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.get()
+    }
+
+    /// Label subsequent transfers with the algorithm phase performing them,
+    /// so failures can be reported against it.
+    pub fn set_phase(&self, phase: IoPhase) {
+        self.phase.set(phase);
+    }
+
+    /// The phase label currently in force.
+    pub fn phase(&self) -> IoPhase {
+        self.phase.get()
+    }
+
+    /// The last transfer this disk gave up on (after exhausting retries or
+    /// hitting a non-transient error), if any. Sticky until the next failure.
+    pub fn last_failure(&self) -> Option<DiskFailure> {
+        self.last_failure.get()
+    }
+
+    /// Run the retry loop around one attempt closure. Charges retries and
+    /// simulated backoff to the stats; records a [`DiskFailure`] and wraps
+    /// the final error in `RetriesExhausted` when the budget ran out.
+    fn with_retries(
+        &self,
+        cat: IoCat,
+        id: u64,
+        is_read: bool,
+        mut attempt_op: impl FnMut(&mut dyn BlockDevice) -> Result<()>,
+    ) -> Result<()> {
+        let policy = self.retry.get();
+        let mut attempt = 1u32;
+        loop {
+            let outcome = attempt_op(&mut **self.dev.borrow_mut());
+            match outcome {
+                Ok(()) => {
+                    if attempt > 1 {
+                        self.stats.add_retries(cat, u64::from(attempt - 1));
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    self.stats.add_backoff(policy.backoff_before(attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    let retried = attempt - 1;
+                    if retried > 0 {
+                        self.stats.add_retries(cat, u64::from(retried));
+                    }
+                    self.last_failure.set(Some(DiskFailure {
+                        cat,
+                        block: id,
+                        is_read,
+                        attempts: attempt,
+                        phase: self.phase.get(),
+                    }));
+                    return Err(if retried > 0 {
+                        ExtError::RetriesExhausted { attempts: attempt, last: Box::new(e) }
+                    } else {
+                        e
+                    });
+                }
+            }
+        }
+    }
+
     /// Number of blocks ever allocated on the underlying device.
     pub fn num_blocks(&self) -> u64 {
         self.dev.borrow().num_blocks()
@@ -267,9 +416,12 @@ impl Disk {
         self.dev.borrow_mut().free(id)
     }
 
-    /// Read block `id` into `buf`, charging one read to `cat`.
+    /// Read block `id` into `buf`, charging one read to `cat`. Transient
+    /// failures are retried per the [`RetryPolicy`]; each logical transfer is
+    /// charged once however many attempts it took, with the extra attempts
+    /// counted in the stats' retry tally.
     pub fn read_block(&self, id: u64, buf: &mut [u8], cat: IoCat) -> Result<()> {
-        self.dev.borrow_mut().read(id, buf)?;
+        self.with_retries(cat, id, true, |dev| dev.read(id, buf))?;
         self.stats.add_reads(cat, 1);
         if let Some(t) = self.trace.borrow_mut().as_mut() {
             t.push(TraceEntry { is_read: true, block: id, cat });
@@ -277,10 +429,11 @@ impl Disk {
         Ok(())
     }
 
-    /// Write `data` to block `id`, charging one write to `cat`.
+    /// Write `data` to block `id`, charging one write to `cat`. Retries like
+    /// [`Disk::read_block`].
     pub fn write_block(&self, id: u64, data: &[u8], cat: IoCat) -> Result<()> {
         debug_assert!(data.len() <= self.block_size);
-        self.dev.borrow_mut().write(id, data)?;
+        self.with_retries(cat, id, false, |dev| dev.write(id, data))?;
         self.stats.add_writes(cat, 1);
         if let Some(t) = self.trace.borrow_mut().as_mut() {
             t.push(TraceEntry { is_read: false, block: id, cat });
@@ -363,6 +516,29 @@ mod tests {
     }
 
     #[test]
+    fn double_free_is_rejected_by_both_devices() {
+        let mut dev = MemDevice::new(64);
+        let a = dev.allocate();
+        dev.free(a).unwrap();
+        assert!(matches!(dev.free(a), Err(ExtError::DoubleFree { block }) if block == a));
+        // Free -> allocate -> free is legal again.
+        let b = dev.allocate();
+        assert_eq!(a, b);
+        dev.free(b).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("nexsort-dev3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocks3.bin");
+        let mut dev = FileDevice::create(&path, 64).unwrap();
+        let a = dev.allocate();
+        dev.free(a).unwrap();
+        assert!(matches!(dev.free(a), Err(ExtError::DoubleFree { block }) if block == a));
+        assert_eq!(dev.allocate(), a);
+        dev.free(a).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn bad_block_ids_error() {
         let disk = Disk::new_mem(64);
         let mut buf = vec![0u8; 64];
@@ -382,6 +558,102 @@ mod tests {
         let id = dev.allocate();
         assert!(dev.read(id, &mut buf).is_ok());
         std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    fn faulty_disk(plan: FaultPlan, retries: u32) -> (Rc<Disk>, FaultInjector) {
+        let (disk, inj) = Disk::new_faulty(Box::new(MemDevice::new(64)), plan);
+        disk.set_retry_policy(RetryPolicy::retries(retries));
+        (disk, inj)
+    }
+
+    #[test]
+    fn transient_faults_heal_and_are_counted_as_retries() {
+        let plan = FaultPlan::new(1)
+            .at_write(0, FaultKind::TransientError)
+            .at_read(0, FaultKind::TransientError)
+            .at_read(1, FaultKind::TransientError);
+        let (disk, inj) = faulty_disk(plan, 3);
+        let id = disk.alloc_block();
+        disk.write_block(id, &[9u8; 64], IoCat::RunWrite).unwrap();
+        let mut buf = [0u8; 64];
+        disk.read_block(id, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(buf, [9u8; 64]);
+        let snap = disk.stats().snapshot();
+        // One logical transfer each, despite the extra physical attempts.
+        assert_eq!(snap.writes(IoCat::RunWrite), 1);
+        assert_eq!(snap.reads(IoCat::RunRead), 1);
+        assert_eq!(snap.retries(IoCat::RunWrite), 1);
+        assert_eq!(snap.retries(IoCat::RunRead), 2);
+        assert!(snap.backoff_units() > 0);
+        assert_eq!(inj.counts().write_errors, 1);
+        assert_eq!(inj.counts().read_errors, 2);
+        assert!(disk.last_failure().is_none(), "nothing was given up on");
+    }
+
+    #[test]
+    fn read_path_bit_flips_heal_via_checksum_plus_retry() {
+        let plan = FaultPlan::new(2).at_read(0, FaultKind::BitFlip);
+        let (disk, _inj) = faulty_disk(plan, 2);
+        let id = disk.alloc_block();
+        disk.write_block(id, &[0xCD; 64], IoCat::DataStack).unwrap();
+        let mut buf = [0u8; 64];
+        disk.read_block(id, &mut buf, IoCat::DataStack).unwrap();
+        assert_eq!(buf, [0xCD; 64], "the flip was detected and the re-read healed it");
+        assert_eq!(disk.stats().snapshot().retries(IoCat::DataStack), 1);
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_retries_with_structured_failure() {
+        let plan = FaultPlan::new(3).at_write(0, FaultKind::BitFlip);
+        let (disk, _inj) = faulty_disk(plan, 2);
+        disk.set_phase(IoPhase::RunFormation);
+        let id = disk.alloc_block();
+        disk.write_block(id, &[0x77; 64], IoCat::RunWrite).unwrap();
+        let mut buf = [0u8; 64];
+        let err = disk.read_block(id, &mut buf, IoCat::RunRead).unwrap_err();
+        match err {
+            ExtError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, ExtError::ChecksumMismatch { .. }));
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        let failure = disk.last_failure().expect("failure recorded");
+        assert_eq!(failure.cat, IoCat::RunRead);
+        assert_eq!(failure.block, id);
+        assert!(failure.is_read);
+        assert_eq!(failure.attempts, 3);
+        assert_eq!(failure.phase, IoPhase::RunFormation);
+        assert_eq!(disk.stats().snapshot().retries(IoCat::RunRead), 2);
+    }
+
+    #[test]
+    fn no_retry_policy_preserves_seed_behaviour() {
+        let plan = FaultPlan::new(4).at_read(0, FaultKind::TransientError);
+        let (disk, _inj) = Disk::new_faulty(Box::new(MemDevice::new(64)), plan);
+        let id = disk.alloc_block();
+        disk.write_block(id, &[1u8; 64], IoCat::RunWrite).unwrap();
+        let mut buf = [0u8; 64];
+        let err = disk.read_block(id, &mut buf, IoCat::RunRead).unwrap_err();
+        assert!(matches!(err, ExtError::Io(_)), "raw error, not RetriesExhausted: {err}");
+        assert_eq!(disk.stats().snapshot().total_retries(), 0);
+        assert_eq!(disk.last_failure().unwrap().attempts, 1);
+    }
+
+    #[test]
+    fn non_transient_errors_are_never_retried() {
+        let disk = Disk::new_mem(64);
+        disk.set_retry_policy(RetryPolicy::retries(5));
+        let mut buf = [0u8; 64];
+        let err = disk.read_block(99, &mut buf, IoCat::InputRead).unwrap_err();
+        assert!(matches!(err, ExtError::BadBlock { .. }));
+        assert_eq!(disk.stats().snapshot().total_retries(), 0, "logic errors fail fast");
     }
 }
 

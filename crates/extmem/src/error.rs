@@ -24,6 +24,26 @@ pub enum ExtError {
     Corrupt(String),
     /// An underlying OS error from the file-backed device.
     Io(std::io::Error),
+    /// A block's stored content no longer matches its recorded checksum:
+    /// corruption was detected (rather than silently propagated).
+    ChecksumMismatch { block: u64 },
+    /// A block was freed twice without an intervening allocation.
+    DoubleFree { block: u64 },
+    /// A transfer kept failing after the retry policy's attempt budget.
+    /// `last` is the error of the final attempt.
+    RetriesExhausted { attempts: u32, last: Box<ExtError> },
+}
+
+impl ExtError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Device-level errors (`Io`) and detected corruption (`ChecksumMismatch`,
+    /// which a re-read heals when the damage happened on the read path) are
+    /// transient; everything else is a logic error or an exhausted retry
+    /// budget, where retrying again is pointless.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExtError::Io(_) | ExtError::ChecksumMismatch { .. })
+    }
 }
 
 impl fmt::Display for ExtError {
@@ -46,6 +66,15 @@ impl fmt::Display for ExtError {
             }
             ExtError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             ExtError::Io(e) => write!(f, "I/O error: {e}"),
+            ExtError::ChecksumMismatch { block } => {
+                write!(f, "checksum mismatch on block {block}: corruption detected")
+            }
+            ExtError::DoubleFree { block } => {
+                write!(f, "double free of block {block}")
+            }
+            ExtError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -54,6 +83,7 @@ impl std::error::Error for ExtError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExtError::Io(e) => Some(e),
+            ExtError::RetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
     }
@@ -94,5 +124,29 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&ExtError::Corrupt("x".into())).is_none());
+    }
+
+    #[test]
+    fn fault_variants_display_and_chain() {
+        let s = ExtError::ChecksumMismatch { block: 12 }.to_string();
+        assert!(s.contains("12") && s.contains("checksum"));
+        let s = ExtError::DoubleFree { block: 3 }.to_string();
+        assert!(s.contains("double free") && s.contains('3'));
+        let inner = ExtError::ChecksumMismatch { block: 5 };
+        let e = ExtError::RetriesExhausted { attempts: 4, last: Box::new(inner) };
+        assert!(e.to_string().contains('4') && e.to_string().contains("block 5"));
+        let src = std::error::Error::source(&e).expect("chains to the last error");
+        assert!(src.to_string().contains("block 5"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(ExtError::Io(std::io::Error::other("x")).is_transient());
+        assert!(ExtError::ChecksumMismatch { block: 0 }.is_transient());
+        assert!(!ExtError::DoubleFree { block: 0 }.is_transient());
+        assert!(!ExtError::BadBlock { block: 0, total: 0 }.is_transient());
+        assert!(!ExtError::Corrupt("x".into()).is_transient());
+        let last = Box::new(ExtError::ChecksumMismatch { block: 0 });
+        assert!(!ExtError::RetriesExhausted { attempts: 3, last }.is_transient());
     }
 }

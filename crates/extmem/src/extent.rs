@@ -182,7 +182,14 @@ impl ExtentWriter {
     pub fn new(disk: Rc<Disk>, budget: &MemoryBudget, cat: IoCat) -> Result<Self> {
         let frame = budget.reserve(1)?;
         let bs = disk.block_size();
-        Ok(Self { disk, cat, _frame: frame, buf: Vec::with_capacity(bs), blocks: Vec::new(), len: 0 })
+        Ok(Self {
+            disk,
+            cat,
+            _frame: frame,
+            buf: Vec::with_capacity(bs),
+            blocks: Vec::new(),
+            len: 0,
+        })
     }
 
     /// Bytes written so far.
@@ -367,7 +374,10 @@ impl ExtentRevCursor {
     /// order) and move the cursor back past them.
     pub fn read_back(&mut self, buf: &mut [u8]) -> Result<()> {
         if (buf.len() as u64) > self.pos {
-            return Err(ExtError::UnexpectedEof { wanted: buf.len(), available: self.pos as usize });
+            return Err(ExtError::UnexpectedEof {
+                wanted: buf.len(),
+                available: self.pos as usize,
+            });
         }
         let bs = self.disk.block_size() as u64;
         let start = self.pos - buf.len() as u64;

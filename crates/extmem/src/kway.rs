@@ -168,18 +168,17 @@ mod tests {
 
     #[test]
     fn ties_favor_earlier_streams_making_the_merge_stable() {
-        let streams =
-            vec![VecStream::new(vec![(1, 'a'), (2, 'a')]), VecStream::new(vec![(1, 'b'), (2, 'b')])];
-        let mut m = KWayMerger::new(streams, |x: &(i32, char), y: &(i32, char)| x.0.cmp(&y.0))
-            .unwrap();
+        let streams = vec![
+            VecStream::new(vec![(1, 'a'), (2, 'a')]),
+            VecStream::new(vec![(1, 'b'), (2, 'b')]),
+        ];
+        let mut m =
+            KWayMerger::new(streams, |x: &(i32, char), y: &(i32, char)| x.0.cmp(&y.0)).unwrap();
         let mut out = Vec::new();
         while let Some((item, src)) = m.next_merged().unwrap() {
             out.push((item, src));
         }
-        assert_eq!(
-            out,
-            vec![((1, 'a'), 0), ((1, 'b'), 1), ((2, 'a'), 0), ((2, 'b'), 1)]
-        );
+        assert_eq!(out, vec![((1, 'a'), 0), ((1, 'b'), 1), ((2, 'a'), 0), ((2, 'b'), 1)]);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`ExtStack`]: externally-paged stacks with the paper's no-prefetch
 //!   policy (data, path, and output-location stacks of Section 3.1);
 //! * [`RunStore`]: sorted runs linked by pointers into a tree (Figure 3);
-//! * [`KWayMerger`]: the merging engine for external merge sort.
+//! * [`KWayMerger`]: the merging engine for external merge sort;
+//! * [`FaultyDevice`] / [`ChecksummedDevice`] / [`RetryPolicy`]: deterministic
+//!   fault injection, corruption detection, and transparent retry of
+//!   transient failures (see the [`fault`](crate::FaultPlan) types).
 //!
 //! Everything here is deliberately single-threaded (`Rc`/`Cell`), matching
 //! the sequential I/O model the paper analyses.
@@ -28,6 +31,7 @@ mod budget;
 mod device;
 mod error;
 mod extent;
+mod fault;
 mod kway;
 mod run_store;
 mod stack;
@@ -38,6 +42,10 @@ pub use device::{BlockDevice, Disk, FileDevice, MemDevice, TraceEntry};
 pub use error::{ExtError, Result};
 pub use extent::{
     ByteReader, ByteSink, Extent, ExtentReader, ExtentRevCursor, ExtentWriter, SliceReader,
+};
+pub use fault::{
+    ChecksummedDevice, DiskFailure, FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultyDevice,
+    IoPhase, RetryPolicy,
 };
 pub use kway::{KWayMerger, MergeStream, VecStream};
 pub use run_store::{RunId, RunStore, RunWriter};

@@ -99,13 +99,7 @@ impl ExtStack {
             .filter(|(_, r)| r.idx > incoming_idx)
             .max_by_key(|(_, r)| r.idx)
             .map(|(i, _)| i)
-            .or_else(|| {
-                self.resident
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, r)| r.idx)
-                    .map(|(i, _)| i)
-            })
+            .or_else(|| self.resident.iter().enumerate().min_by_key(|(_, r)| r.idx).map(|(i, _)| i))
             .expect("resident set is full, so non-empty");
         let r = self.resident.swap_remove(victim);
         if r.dirty {

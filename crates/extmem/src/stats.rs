@@ -93,6 +93,8 @@ const NCATS: usize = 9;
 struct Counters {
     reads: [Cell<u64>; NCATS],
     writes: [Cell<u64>; NCATS],
+    retries: [Cell<u64>; NCATS],
+    backoff_units: Cell<u64>,
 }
 
 /// Shared, cheaply-clonable I/O counters.
@@ -135,6 +137,37 @@ impl IoStats {
         c.set(c.get().saturating_sub(n));
     }
 
+    /// Record `n` retried transfer attempts in category `cat`. Retries are
+    /// counted separately from reads/writes: the paper's cost model charges
+    /// each *logical* transfer once, and this counter exposes how many extra
+    /// physical attempts the retry policy spent on top.
+    pub fn add_retries(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.retries[cat.index()];
+        c.set(c.get() + n);
+    }
+
+    /// Record `n` units of simulated retry backoff (dimensionless; see
+    /// `RetryPolicy`).
+    pub fn add_backoff(&self, n: u64) {
+        let c = &self.inner.backoff_units;
+        c.set(c.get() + n);
+    }
+
+    /// Retried transfer attempts charged to `cat` so far.
+    pub fn retries(&self, cat: IoCat) -> u64 {
+        self.inner.retries[cat.index()].get()
+    }
+
+    /// Retried transfer attempts across all categories.
+    pub fn total_retries(&self) -> u64 {
+        IoCat::ALL.iter().map(|&c| self.retries(c)).sum()
+    }
+
+    /// Simulated backoff spent so far, in policy units.
+    pub fn backoff_units(&self) -> u64 {
+        self.inner.backoff_units.get()
+    }
+
     /// Block reads charged to `cat` so far.
     pub fn reads(&self, cat: IoCat) -> u64 {
         self.inner.reads[cat.index()].get()
@@ -160,18 +193,22 @@ impl IoStats {
         for i in 0..NCATS {
             self.inner.reads[i].set(0);
             self.inner.writes[i].set(0);
+            self.inner.retries[i].set(0);
         }
+        self.inner.backoff_units.set(0);
     }
 
     /// An owned point-in-time copy of all counters, for before/after diffs.
     pub fn snapshot(&self) -> IoSnapshot {
         let mut reads = [0u64; NCATS];
         let mut writes = [0u64; NCATS];
+        let mut retries = [0u64; NCATS];
         for i in 0..NCATS {
             reads[i] = self.inner.reads[i].get();
             writes[i] = self.inner.writes[i].get();
+            retries[i] = self.inner.retries[i].get();
         }
-        IoSnapshot { reads, writes }
+        IoSnapshot { reads, writes, retries, backoff_units: self.inner.backoff_units.get() }
     }
 }
 
@@ -186,6 +223,8 @@ impl fmt::Debug for IoStats {
 pub struct IoSnapshot {
     reads: [u64; NCATS],
     writes: [u64; NCATS],
+    retries: [u64; NCATS],
+    backoff_units: u64,
 }
 
 impl IoSnapshot {
@@ -197,6 +236,21 @@ impl IoSnapshot {
     /// Block writes charged to `cat` in this snapshot.
     pub fn writes(&self, cat: IoCat) -> u64 {
         self.writes[cat.index()]
+    }
+
+    /// Retried transfer attempts charged to `cat` in this snapshot.
+    pub fn retries(&self, cat: IoCat) -> u64 {
+        self.retries[cat.index()]
+    }
+
+    /// Retried transfer attempts across all categories.
+    pub fn total_retries(&self) -> u64 {
+        IoCat::ALL.iter().map(|&c| self.retries(c)).sum()
+    }
+
+    /// Simulated backoff spent, in policy units.
+    pub fn backoff_units(&self) -> u64 {
+        self.backoff_units
     }
 
     /// Reads + writes charged to `cat` in this snapshot.
@@ -215,7 +269,9 @@ impl IoSnapshot {
         for i in 0..NCATS {
             out.reads[i] = out.reads[i].saturating_sub(earlier.reads[i]);
             out.writes[i] = out.writes[i].saturating_sub(earlier.writes[i]);
+            out.retries[i] = out.retries[i].saturating_sub(earlier.retries[i]);
         }
+        out.backoff_units = out.backoff_units.saturating_sub(earlier.backoff_units);
         out
     }
 }
@@ -227,6 +283,12 @@ impl fmt::Debug for IoSnapshot {
             if self.total(cat) > 0 {
                 d.field(cat.label(), &(self.reads(cat), self.writes(cat)));
             }
+        }
+        if self.total_retries() > 0 {
+            d.field("retries", &self.total_retries());
+        }
+        if self.backoff_units > 0 {
+            d.field("backoff_units", &self.backoff_units);
         }
         d.finish()
     }
@@ -247,7 +309,17 @@ impl fmt::Display for IoSnapshot {
                 )?;
             }
         }
-        write!(f, "{:<14} {:>12} {:>12} {:>12}", "TOTAL", "", "", self.grand_total())
+        write!(f, "{:<14} {:>12} {:>12} {:>12}", "TOTAL", "", "", self.grand_total())?;
+        if self.total_retries() > 0 || self.backoff_units > 0 {
+            write!(
+                f,
+                "\n{:<14} {:>12} retried attempts, {} backoff units",
+                "RETRIES",
+                self.total_retries(),
+                self.backoff_units
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -307,6 +379,29 @@ mod tests {
         assert!(text.contains("input-read"));
         assert!(!text.contains("outtag-stack"));
         assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn retries_and_backoff_are_counted_and_diffed() {
+        let s = IoStats::new();
+        s.add_retries(IoCat::RunRead, 2);
+        s.add_backoff(6);
+        let before = s.snapshot();
+        assert_eq!(before.retries(IoCat::RunRead), 2);
+        assert_eq!(before.total_retries(), 2);
+        assert_eq!(before.backoff_units(), 6);
+        s.add_retries(IoCat::RunRead, 1);
+        s.add_retries(IoCat::DataStack, 4);
+        s.add_backoff(10);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.retries(IoCat::RunRead), 1);
+        assert_eq!(delta.retries(IoCat::DataStack), 4);
+        assert_eq!(delta.backoff_units(), 10);
+        // Retries never leak into the transfer counts of the cost model.
+        assert_eq!(delta.grand_total(), 0);
+        s.reset();
+        assert_eq!(s.total_retries(), 0);
+        assert_eq!(s.backoff_units(), 0);
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub struct MergeOptions {
 
 impl Default for MergeOptions {
     fn default() -> Self {
-        Self { match_requires_same_name: true, skip_missing_keys: false, max_depth: 50_000, match_roots: true }
+        Self {
+            match_requires_same_name: true,
+            skip_missing_keys: false,
+            max_depth: 50_000,
+            match_roots: true,
+        }
     }
 }
 
@@ -77,7 +82,14 @@ impl<'a> StructuralMerge<'a> {
     /// A merge of records interned against `dict_a` (left) and `dict_b`
     /// (right). Output records are re-interned into a fresh dictionary.
     pub fn new(dict_a: &'a TagDict, dict_b: &'a TagDict, opts: MergeOptions) -> Self {
-        Self { opts, dict_a, dict_b, out_dict: TagDict::new(), stats: MergeStats::default(), next_seq: 0 }
+        Self {
+            opts,
+            dict_a,
+            dict_b,
+            out_dict: TagDict::new(),
+            stats: MergeStats::default(),
+            next_seq: 0,
+        }
     }
 
     /// Run the merge, emitting output records in document order. Returns the
@@ -116,7 +128,9 @@ impl<'a> StructuralMerge<'a> {
                     .collect::<Result<Vec<_>>>()?;
                 Rec::Elem(ElemRec { level: e.level, name, attrs, key: e.key, seq })
             }
-            Rec::Text(t) => Rec::Text(TextRec { level: t.level, content: t.content, key: t.key, seq }),
+            Rec::Text(t) => {
+                Rec::Text(TextRec { level: t.level, content: t.content, key: t.key, seq })
+            }
             other => {
                 return Err(XmlError::Record(format!(
                     "unexpected record kind in merge input: {other:?}"
@@ -141,8 +155,8 @@ impl<'a> StructuralMerge<'a> {
             Ordering::Equal => {
                 let matchable = match (ra, rb) {
                     (Rec::Elem(ea), Rec::Elem(eb)) => {
-                        let keys_ok = !self.opts.skip_missing_keys
-                            || !matches!(ea.key, KeyValue::Missing);
+                        let keys_ok =
+                            !self.opts.skip_missing_keys || !matches!(ea.key, KeyValue::Missing);
                         let names_ok = !self.opts.match_requires_same_name
                             || ea.name.resolve(self.dict_a)? == eb.name.resolve(self.dict_b)?;
                         keys_ok && names_ok

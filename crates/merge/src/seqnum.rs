@@ -14,9 +14,7 @@ pub fn annotate_order(root: &mut Element) {
     fn walk(e: &mut Element) {
         for (idx, c) in e.children.iter_mut().enumerate() {
             if let XNode::Elem(child) = c {
-                child
-                    .attrs
-                    .push((SEQ_ATTR.as_bytes().to_vec(), idx.to_string().into_bytes()));
+                child.attrs.push((SEQ_ATTR.as_bytes().to_vec(), idx.to_string().into_bytes()));
                 walk(child);
             }
         }
@@ -48,10 +46,9 @@ mod tests {
 
     #[test]
     fn annotate_sort_restore_roundtrips_to_the_original() {
-        let original = parse_dom(
-            b"<r><b name=\"z\"><y name=\"2\"/><x name=\"1\"/></b><a name=\"q\"/></r>",
-        )
-        .unwrap();
+        let original =
+            parse_dom(b"<r><b name=\"z\"><y name=\"2\"/><x name=\"1\"/></b><a name=\"q\"/></r>")
+                .unwrap();
         let mut annotated = original.clone();
         annotate_order(&mut annotated);
         // Sort scrambles sibling order...

@@ -130,7 +130,9 @@ impl<'a> BatchUpdate<'a> {
                 }
                 Rec::Elem(ElemRec { level: e.level, name, attrs, key: e.key, seq })
             }
-            Rec::Text(t) => Rec::Text(TextRec { level: t.level, content: t.content, key: t.key, seq }),
+            Rec::Text(t) => {
+                Rec::Text(TextRec { level: t.level, content: t.content, key: t.key, seq })
+            }
             other => {
                 return Err(XmlError::Record(format!(
                     "unexpected record kind in update input: {other:?}"
@@ -174,8 +176,7 @@ impl<'a> BatchUpdate<'a> {
     fn matchable(&self, rb: &Rec, ru: &Rec) -> Result<bool> {
         match (rb, ru) {
             (Rec::Elem(eb), Rec::Elem(eu)) => {
-                let keys_ok =
-                    !self.opts.skip_missing_keys || !matches!(eb.key, KeyValue::Missing);
+                let keys_ok = !self.opts.skip_missing_keys || !matches!(eb.key, KeyValue::Missing);
                 let names_ok = !self.opts.match_requires_same_name
                     || eb.name.resolve(self.dict_base)? == eu.name.resolve(self.dict_upd)?;
                 Ok(keys_ok && names_ok)
@@ -231,9 +232,8 @@ impl<'a> BatchUpdate<'a> {
                                             continue;
                                         }
                                         // Updates overwrite base attributes.
-                                        let sym = nexsort_xml::NameRef::Sym(
-                                            self.out_dict.intern(kb),
-                                        );
+                                        let sym =
+                                            nexsort_xml::NameRef::Sym(self.out_dict.intern(kb));
                                         if let Some(slot) = m.attrs.iter_mut().find(|(mk, _)| {
                                             mk.resolve(&self.out_dict)
                                                 .map(|n| n == kb)

@@ -282,10 +282,7 @@ mod tests {
             .with_rule("note", KeyRule::text());
         let d = sample();
         assert_eq!(d.key_under(&spec), KeyValue::Missing); // company has no name attr
-        let person = parse_dom(
-            b"<person><info><last>Yang</last></info></person>",
-        )
-        .unwrap();
+        let person = parse_dom(b"<person><info><last>Yang</last></info></person>").unwrap();
         assert_eq!(person.key_under(&spec), KeyValue::Bytes(b"Yang".to_vec()));
         let note = parse_dom(b"<note>remember</note>").unwrap();
         assert_eq!(note.key_under(&spec), KeyValue::Bytes(b"remember".to_vec()));
@@ -321,12 +318,8 @@ mod tests {
         assert!(events_to_dom(&[Event::end("a")]).is_err());
         assert!(events_to_dom(&[Event::text("x")]).is_err());
         assert!(events_to_dom(&[]).is_err());
-        let two_roots = [
-            Event::start("a", &[]),
-            Event::end("a"),
-            Event::start("b", &[]),
-            Event::end("b"),
-        ];
+        let two_roots =
+            [Event::start("a", &[]), Event::end("a"), Event::start("b", &[]), Event::end("b")];
         assert!(events_to_dom(&two_roots).is_err());
     }
 
@@ -335,9 +328,6 @@ mod tests {
         let d = Element::new("company")
             .with_child(Element::new("region").with_attr("name", "NE").with_text("hq"));
         assert_eq!(d.num_nodes(), 3);
-        assert_eq!(
-            d.to_xml(false),
-            b"<company><region name=\"NE\">hq</region></company>".to_vec()
-        );
+        assert_eq!(d.to_xml(false), b"<company><region name=\"NE\">hq</region></company>".to_vec());
     }
 }

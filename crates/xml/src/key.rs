@@ -40,11 +40,12 @@ impl KeyValue {
     pub fn from_bytes(raw: &[u8], ty: KeyType) -> KeyValue {
         match ty {
             KeyType::Bytes => KeyValue::Bytes(raw.to_vec()),
-            KeyType::Numeric => match std::str::from_utf8(raw).ok().and_then(|s| s.trim().parse().ok())
-            {
-                Some(n) => KeyValue::Num(n),
-                None => KeyValue::Bytes(raw.to_vec()),
-            },
+            KeyType::Numeric => {
+                match std::str::from_utf8(raw).ok().and_then(|s| s.trim().parse().ok()) {
+                    Some(n) => KeyValue::Num(n),
+                    None => KeyValue::Bytes(raw.to_vec()),
+                }
+            }
         }
     }
 
@@ -340,11 +341,7 @@ impl SortSpec {
         Self::start_key_for(rule, tag, attrs)
     }
 
-    fn start_key_for(
-        rule: &KeyRule,
-        tag: &[u8],
-        attrs: &[(Vec<u8>, Vec<u8>)],
-    ) -> Option<KeyValue> {
+    fn start_key_for(rule: &KeyRule, tag: &[u8], attrs: &[(Vec<u8>, Vec<u8>)]) -> Option<KeyValue> {
         let raw = match &rule.source {
             KeySource::DocOrder => KeyValue::Missing,
             KeySource::TagName => KeyValue::from_bytes(tag, rule.ty),
@@ -455,7 +452,8 @@ mod tests {
 
     #[test]
     fn start_key_extraction() {
-        let spec = SortSpec::by_attribute("name").with_rule("employee", KeyRule::attr_numeric("ID"));
+        let spec =
+            SortSpec::by_attribute("name").with_rule("employee", KeyRule::attr_numeric("ID"));
         let attrs = vec![(b"name".to_vec(), b"NE".to_vec())];
         assert_eq!(spec.start_key(b"region", &attrs), Some(KeyValue::Bytes(b"NE".to_vec())));
         assert_eq!(spec.start_key(b"region", &[]), Some(KeyValue::Missing));
@@ -541,10 +539,7 @@ mod direction_tests {
     #[test]
     fn oriented_wraps_except_missing() {
         let rule = KeyRule::attr("k").desc();
-        assert_eq!(
-            rule.oriented(KeyValue::Num(5)),
-            KeyValue::Desc(Box::new(KeyValue::Num(5)))
-        );
+        assert_eq!(rule.oriented(KeyValue::Num(5)), KeyValue::Desc(Box::new(KeyValue::Num(5))));
         assert_eq!(rule.oriented(KeyValue::Missing), KeyValue::Missing);
         let asc = KeyRule::attr("k");
         assert_eq!(asc.oriented(KeyValue::Num(5)), KeyValue::Num(5));
@@ -557,8 +552,7 @@ mod direction_tests {
             KeyRule::attr_numeric("age").desc(),
         ]));
         spec.validate().unwrap();
-        let attrs =
-            vec![(b"last".to_vec(), b"smith".to_vec()), (b"age".to_vec(), b"41".to_vec())];
+        let attrs = vec![(b"last".to_vec(), b"smith".to_vec()), (b"age".to_vec(), b"41".to_vec())];
         let key = spec.start_key(b"person", &attrs).unwrap();
         assert_eq!(
             key,
@@ -573,13 +567,10 @@ mod direction_tests {
     fn validate_rejects_deferred_and_nested_composites() {
         let bad = SortSpec::uniform(KeyRule::composite(vec![KeyRule::text()]));
         assert!(bad.validate().is_err());
-        let nested =
-            SortSpec::uniform(KeyRule::composite(vec![KeyRule::composite(vec![])]));
+        let nested = SortSpec::uniform(KeyRule::composite(vec![KeyRule::composite(vec![])]));
         assert!(nested.validate().is_err());
-        let fine = SortSpec::uniform(KeyRule::composite(vec![
-            KeyRule::tag_name(),
-            KeyRule::attr("x"),
-        ]));
+        let fine =
+            SortSpec::uniform(KeyRule::composite(vec![KeyRule::tag_name(), KeyRule::attr("x")]));
         assert!(fine.validate().is_ok());
     }
 

@@ -31,6 +31,8 @@ pub use parser::{parse_events, XmlParser};
 pub use rec::{ElemRec, PatchRec, PtrRec, Rec, RecDecoder, TextRec};
 pub use recstream::{apply_patches, events_to_recs, recs_to_events, RecBuilder, RecEmitter};
 pub use sym::{NameRef, TagDict};
-pub use varint::{read_bytes, read_ivarint, read_uvarint, uvarint_len, write_bytes, write_ivarint, write_uvarint};
+pub use varint::{
+    read_bytes, read_ivarint, read_uvarint, uvarint_len, write_bytes, write_ivarint, write_uvarint,
+};
 pub use writer::{events_to_xml, XmlWriter};
 pub use xrec::{is_xrec, read_xrec, write_xrec, XrecReader, FLAG_KEYS_FINAL};

@@ -170,12 +170,7 @@ impl<R: ByteReader> XmlParser<R> {
                     None => return self.err("numeric character reference out of range"),
                 }
             }
-            _ => {
-                return self.err(format!(
-                    "unknown entity &{};",
-                    String::from_utf8_lossy(&ent)
-                ))
-            }
+            _ => return self.err(format!("unknown entity &{};", String::from_utf8_lossy(&ent))),
         }
         Ok(())
     }
@@ -357,10 +352,8 @@ impl<R: ByteReader> XmlParser<R> {
                             attrs.push((key, val));
                         }
                         Some(b) => {
-                            return self.err(format!(
-                                "unexpected character {:?} in start tag",
-                                b as char
-                            ))
+                            return self
+                                .err(format!("unexpected character {:?} in start tag", b as char))
                         }
                         None => return self.err("unterminated start tag"),
                     }

@@ -71,12 +71,7 @@ impl RecBuilder {
 
     /// Feed one event; resulting records are appended to `out` (0..=2 per
     /// event: an end tag yields at most one `KeyPatch`).
-    pub fn push_event(
-        &mut self,
-        ev: &Event,
-        dict: &mut TagDict,
-        out: &mut Vec<Rec>,
-    ) -> Result<()> {
+    pub fn push_event(&mut self, ev: &Event, dict: &mut TagDict, out: &mut Vec<Rec>) -> Result<()> {
         match ev {
             Event::Start { name, attrs } => {
                 self.level += 1;
@@ -89,7 +84,9 @@ impl RecBuilder {
                         }
                         if let KeySource::ChildPath(path) = &p.rule.source {
                             let d = new_level - (j + 1); // relative depth
-                            if d >= 1 && p.matched == d - 1 && d - 1 < path.len()
+                            if d >= 1
+                                && p.matched == d - 1
+                                && d - 1 < path.len()
                                 && path[d - 1] == *name
                             {
                                 p.matched = d;
@@ -106,10 +103,8 @@ impl RecBuilder {
                 };
                 self.frames.push(EvalFrame { pending });
                 let name_ref = self.name_ref(dict, name);
-                let attrs = attrs
-                    .iter()
-                    .map(|(k, v)| (self.name_ref(dict, k), v.clone()))
-                    .collect();
+                let attrs =
+                    attrs.iter().map(|(k, v)| (self.name_ref(dict, k), v.clone())).collect();
                 out.push(Rec::Elem(ElemRec {
                     level: self.level,
                     name: name_ref,
@@ -485,7 +480,8 @@ mod tests {
             seq: 0,
         });
         assert!(em.push_rec(&jump, &mut out).is_err());
-        let ptr = Rec::RunPtr(crate::rec::PtrRec { level: 1, run: 0, key: KeyValue::Missing, seq: 0 });
+        let ptr =
+            Rec::RunPtr(crate::rec::PtrRec { level: 1, run: 0, key: KeyValue::Missing, seq: 0 });
         assert!(em.push_rec(&ptr, &mut out).is_err());
     }
 

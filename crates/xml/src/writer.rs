@@ -44,7 +44,14 @@ pub struct XmlWriter<S: ByteSink> {
 impl<S: ByteSink> XmlWriter<S> {
     /// Compact output (no added whitespace) -- byte-faithful round-trips.
     pub fn new(sink: S) -> Self {
-        Self { sink, pretty: false, depth: 0, after_start: false, had_text: false, scratch: Vec::new() }
+        Self {
+            sink,
+            pretty: false,
+            depth: 0,
+            after_start: false,
+            had_text: false,
+            scratch: Vec::new(),
+        }
     }
 
     /// Indented output for human inspection.

@@ -162,10 +162,7 @@ mod tests {
         assert_eq!(recs2, recs);
         assert_eq!(dict2.len(), dict.len());
         // The round-tripped pair regenerates the same events.
-        assert_eq!(
-            recs_to_events(&recs2, &dict2).unwrap(),
-            recs_to_events(&recs, &dict).unwrap()
-        );
+        assert_eq!(recs_to_events(&recs2, &dict2).unwrap(), recs_to_events(&recs, &dict).unwrap());
     }
 
     #[test]

@@ -51,10 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
 
     println!("\n--- after the batch ---");
-    println!(
-        "{}",
-        String::from_utf8(events_to_xml(&recs_to_events(&result, &dict)?, true))?
-    );
+    println!("{}", String::from_utf8(events_to_xml(&recs_to_events(&result, &dict)?, true))?);
     println!("\nupdate stats: {stats:?}");
     assert_eq!(stats.deleted, 1);
     assert_eq!(stats.replaced, 1);

@@ -10,7 +10,7 @@ use nexsort::{Nexsort, NexsortOptions};
 use nexsort_baseline::stage_input;
 use nexsort_extmem::Disk;
 use nexsort_merge::{MergeOptions, StructuralMerge};
-use nexsort_xml::{recs_to_events, events_to_xml, KeyRule, SortSpec};
+use nexsort_xml::{events_to_xml, recs_to_events, KeyRule, SortSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // D1: the personnel department (Figure 1, top left).
@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The ordering criterion from Figure 1: order region by name, branch by
     // name, employee by ID.
-    let spec = SortSpec::by_attribute("name")
-        .with_rule("employee", KeyRule::attr_numeric("ID"));
+    let spec = SortSpec::by_attribute("name").with_rule("employee", KeyRule::attr_numeric("ID"));
 
     // Step 1: sort both documents (arbitrary order in, same order out).
     let disk = Disk::new_mem(4096);

@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The ordering criterion: regions and branches by their name
     //    attribute, employees numerically by ID.
-    let spec = SortSpec::by_attribute("name")
-        .with_rule("employee", KeyRule::attr_numeric("ID"));
+    let spec = SortSpec::by_attribute("name").with_rule("employee", KeyRule::attr_numeric("ID"));
 
     // 3. Sort. NEXSORT scans once, collapsing complete subtrees larger than
     //    the threshold into sorted runs on disk.

@@ -9,12 +9,7 @@ use nexsort_datagen::{collect_events, ExactGen, GenConfig, IbmGen};
 use nexsort_extmem::Disk;
 use nexsort_xml::{events_to_dom, events_to_xml, parse_dom, Element, KeyRule, SortSpec};
 
-fn nexsort_result(
-    xml: &[u8],
-    spec: &SortSpec,
-    opts: NexsortOptions,
-    block_size: usize,
-) -> Element {
+fn nexsort_result(xml: &[u8], spec: &SortSpec, opts: NexsortOptions, block_size: usize) -> Element {
     let disk = Disk::new_mem(block_size);
     let input = stage_input(&disk, xml).unwrap();
     let sorted = Nexsort::new(disk, opts, spec.clone()).unwrap().sort_xml_extent(&input).unwrap();
@@ -40,8 +35,7 @@ fn agreement_case(xml: &[u8], spec: &SortSpec) {
     // Degeneration variant (start-known keys only).
     if !spec.has_deferred_keys() {
         for mem in [9usize, 16, 64] {
-            let opts =
-                NexsortOptions { mem_frames: mem, degeneration: true, ..Default::default() };
+            let opts = NexsortOptions { mem_frames: mem, degeneration: true, ..Default::default() };
             let got = nexsort_result(xml, spec, opts, 512);
             assert_eq!(got, oracle, "nexsort+degen mem={mem}");
         }

@@ -168,10 +168,8 @@ fn depth_limited_end_to_end_matches_oracle() {
         let disk = Disk::new_mem(512);
         let input = stage_input(&disk, &xml).unwrap();
         let opts = NexsortOptions { depth_limit: Some(d), ..Default::default() };
-        let sorted = Nexsort::new(disk, opts, spec.clone())
-            .unwrap()
-            .sort_xml_extent(&input)
-            .unwrap();
+        let sorted =
+            Nexsort::new(disk, opts, spec.clone()).unwrap().sort_xml_extent(&input).unwrap();
         let got = events_to_dom(&sorted.to_events().unwrap()).unwrap();
         let expect = sorted_dom(&original, &spec, Some(d));
         assert_eq!(got, expect, "depth limit {d}");

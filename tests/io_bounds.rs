@@ -128,14 +128,11 @@ fn lemma_4_13_outloc_stack_traffic_is_tiny() {
 
 #[test]
 fn theorem_4_5_total_io_within_the_envelope() {
-    for (fanouts, mem) in [(vec![12u64, 12, 12], 16usize), (vec![40, 40], 24), (vec![6, 6, 6, 6], 16)]
+    for (fanouts, mem) in
+        [(vec![12u64, 12, 12], 16usize), (vec![40, 40], 24), (vec![6, 6, 6, 6], 16)]
     {
         let mut g = ExactGen::new(&fanouts, GenConfig::default());
-        let r = run_nexsort(
-            &mut g,
-            NexsortOptions { mem_frames: mem, ..Default::default() },
-            512,
-        );
+        let r = run_nexsort(&mut g, NexsortOptions { mem_frames: mem, ..Default::default() }, 512);
         let rep = &r.doc.report;
         let n = r.input_blocks;
         let b_elems = (512f64 / (rep.input_bytes as f64 / rep.n_records as f64)).max(1.0) as u64;

@@ -4,9 +4,7 @@ use nexsort::{Nexsort, NexsortOptions};
 use nexsort_baseline::stage_input;
 use nexsort_datagen::{collect_events, GenConfig, IbmGen};
 use nexsort_extmem::Disk;
-use nexsort_merge::{
-    annotate_order, restore_order, BatchUpdate, MergeOptions, StructuralMerge,
-};
+use nexsort_merge::{annotate_order, restore_order, BatchUpdate, MergeOptions, StructuralMerge};
 use nexsort_xml::{
     events_to_dom, events_to_xml, parse_dom, recs_to_events, Element, KeyValue, Rec, SortSpec,
     XNode,
@@ -21,7 +19,10 @@ fn sort_doc(xml: &[u8], spec: &SortSpec) -> nexsort::SortedDoc {
         .unwrap()
 }
 
-fn merge_sorted(a: &nexsort::SortedDoc, b: &nexsort::SortedDoc) -> (Vec<Rec>, nexsort_xml::TagDict) {
+fn merge_sorted(
+    a: &nexsort::SortedDoc,
+    b: &nexsort::SortedDoc,
+) -> (Vec<Rec>, nexsort_xml::TagDict) {
     let merge = StructuralMerge::new(&a.dict, &b.dict, MergeOptions::default());
     let mut ca = a.cursor().unwrap();
     let mut cb = b.cursor().unwrap();
@@ -45,11 +46,8 @@ fn reference_merge(a: &Element, b: &Element, spec: &SortSpec) -> Element {
         }
     }
     fn merge_elems(a: &Element, b: &Element, spec: &SortSpec) -> Element {
-        let mut out = Element {
-            name: a.name.clone(),
-            attrs: a.attrs.clone(),
-            children: Vec::new(),
-        };
+        let mut out =
+            Element { name: a.name.clone(), attrs: a.attrs.clone(), children: Vec::new() };
         for (k, v) in &b.attrs {
             if out.attr(k).is_none() {
                 out.attrs.push((k.clone(), v.clone()));
@@ -152,24 +150,22 @@ fn merge_then_batch_update_composes() {
         .unwrap();
     assert_eq!(stats.deleted, 1);
     assert_eq!(stats.inserted, 1);
-    let xml = String::from_utf8(
-        events_to_xml(&recs_to_events(&out, &dict2).unwrap(), false),
-    )
-    .unwrap();
+    let xml =
+        String::from_utf8(events_to_xml(&recs_to_events(&out, &dict2).unwrap(), false)).unwrap();
     assert!(!xml.contains("id=\"1\""));
     assert!(xml.contains("extra=\"yes\"") && xml.contains("v=\"two\""));
     assert!(xml.contains("id=\"5\""));
-    let order: Vec<usize> =
-        ["id=\"2\"", "id=\"3\"", "id=\"4\"", "id=\"5\""].iter().map(|s| xml.find(s).unwrap()).collect();
+    let order: Vec<usize> = ["id=\"2\"", "id=\"3\"", "id=\"4\"", "id=\"5\""]
+        .iter()
+        .map(|s| xml.find(s).unwrap())
+        .collect();
     assert!(order.windows(2).all(|w| w[0] < w[1]), "{xml}");
 }
 
 #[test]
 fn document_order_survives_sort_via_sequence_numbers() {
-    let original = parse_dom(
-        br#"<r><x k="z"><b k="9"/><a k="1"/></x><y k="a"/><w k="m"/></r>"#,
-    )
-    .unwrap();
+    let original =
+        parse_dom(br#"<r><x k="z"><b k="9"/><a k="1"/></x><y k="a"/><w k="m"/></r>"#).unwrap();
     let mut annotated = original.clone();
     annotate_order(&mut annotated);
     // Full external sort of the annotated document by k.

@@ -62,10 +62,8 @@ fn composite_key_orders_primary_then_secondary() {
       <p last="smith" first="amy"/>
       <p last="adams" first="bob"/>
     </staff>"#;
-    let spec = SortSpec::uniform(KeyRule::composite(vec![
-        KeyRule::attr("last"),
-        KeyRule::attr("first"),
-    ]));
+    let spec =
+        SortSpec::uniform(KeyRule::composite(vec![KeyRule::attr("last"), KeyRule::attr("first")]));
     let got = nexsort_dom(doc, &spec, NexsortOptions::default());
     assert_eq!(names_in_order(&got, "first"), vec!["bob", "mel", "amy", "zoe"]);
     assert_eq!(got, sorted_dom(&parse_dom(doc).unwrap(), &spec, None));
@@ -126,8 +124,8 @@ fn extended_criteria_survive_external_subtree_sorts() {
 #[test]
 fn descending_deferred_text_key() {
     let doc = br#"<list><e><t>apple</t></e><e><t>pear</t></e><e><t>mango</t></e></list>"#;
-    let spec = SortSpec::uniform(KeyRule::doc_order())
-        .with_rule("e", KeyRule::child_path(&["t"]).desc());
+    let spec =
+        SortSpec::uniform(KeyRule::doc_order()).with_rule("e", KeyRule::child_path(&["t"]).desc());
     let got = nexsort_dom(doc, &spec, NexsortOptions::default());
     let xml = String::from_utf8(got.to_xml(false)).unwrap();
     let p = xml.find("pear").unwrap();

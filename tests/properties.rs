@@ -31,12 +31,10 @@ fn coalesce_text(e: &mut Element) {
 }
 
 fn arb_element() -> impl Strategy<Value = Element> {
-    let leaf = (0..4u8, 0..30u32).prop_map(|(name, key)| {
-        Element {
-            name: vec![b'a' + name],
-            attrs: vec![(b"k".to_vec(), key.to_string().into_bytes())],
-            children: Vec::new(),
-        }
+    let leaf = (0..4u8, 0..30u32).prop_map(|(name, key)| Element {
+        name: vec![b'a' + name],
+        attrs: vec![(b"k".to_vec(), key.to_string().into_bytes())],
+        children: Vec::new(),
     });
     leaf.prop_recursive(4, 48, 6, |inner| {
         (
