@@ -216,10 +216,11 @@ pub fn stage_input(disk: &Rc<Disk>, data: &[u8]) -> nexsort_extmem::Result<Exten
         nexsort_extmem::ExtentWriter::new(disk.clone(), &staging_budget, IoCat::SortScratch)?;
     w.write_all(data)?;
     let ext = w.finish()?;
-    // Roll back the accounting: staging is setup, not algorithm cost.
-    let after = stats.snapshot();
-    let delta = after.since(&before).writes(IoCat::SortScratch);
-    stats.sub_writes(IoCat::SortScratch, delta);
+    // Roll back the accounting (logical and physical): staging is setup,
+    // not algorithm cost.
+    let delta = stats.snapshot().since(&before);
+    stats.sub_writes(IoCat::SortScratch, delta.writes(IoCat::SortScratch));
+    stats.sub_phys_writes(IoCat::SortScratch, delta.phys_writes(IoCat::SortScratch));
     Ok(ext)
 }
 
@@ -242,8 +243,9 @@ pub fn unstage(disk: &Rc<Disk>, extent: &Extent) -> nexsort_extmem::Result<Vec<u
     let mut r = ExtentReader::new(disk.clone(), &budget, extent, IoCat::SortScratch)?;
     let mut out = vec![0u8; extent.len() as usize];
     r.read_exact(&mut out)?;
-    let delta = stats.snapshot().since(&before).reads(IoCat::SortScratch);
-    stats.sub_reads(IoCat::SortScratch, delta);
+    let delta = stats.snapshot().since(&before);
+    stats.sub_reads(IoCat::SortScratch, delta.reads(IoCat::SortScratch));
+    stats.sub_phys_reads(IoCat::SortScratch, delta.phys_reads(IoCat::SortScratch));
     Ok(out)
 }
 

@@ -2,22 +2,23 @@
 //! NEXSORT paper.
 //!
 //! ```text
-//! xsort-bench [--quick|--full] [--csv DIR] [all|table1|table2|threshold|
-//!              fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds]
+//! xsort-bench [--quick|--full] [--csv DIR] [--json DIR] [all|table1|table2|
+//!              threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|
+//!              bounds|faults|cache]
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nexsort_bench::{
-    ablate_compaction, ablate_frames, bounds_vs_measured, fault_sweep, fig5, fig6, fig7, table1,
-    table2, threshold_experiment, ExpScale, ExpTable,
+    ablate_compaction, ablate_frames, bounds_vs_measured, cache_sweep, fault_sweep, fig5, fig6,
+    fig7, table1, table2, threshold_experiment, ExpScale, ExpTable,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xsort-bench [--quick|--full] [--csv DIR] \
-         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults]..."
+        "usage: xsort-bench [--quick|--full] [--csv DIR] [--json DIR] \
+         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache]..."
     );
     ExitCode::FAILURE
 }
@@ -25,6 +26,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut scale = ExpScale::standard();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -33,6 +35,10 @@ fn main() -> ExitCode {
             "--full" => scale = ExpScale::full(),
             "--csv" => match args.next() {
                 Some(d) => csv_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--json" => match args.next() {
+                Some(d) => json_dir = Some(PathBuf::from(d)),
                 None => return usage(),
             },
             "-h" | "--help" => {
@@ -58,6 +64,7 @@ fn main() -> ExitCode {
             "ablate-frames" => ablate_frames(scale).map_err(|e| e.to_string())?,
             "bounds" => bounds_vs_measured(scale).map_err(|e| e.to_string())?,
             "faults" => fault_sweep(scale).map_err(|e| e.to_string())?,
+            "cache" => cache_sweep(scale).map_err(|e| e.to_string())?,
             _ => return Ok(None),
         };
         Ok(Some(t))
@@ -74,6 +81,7 @@ fn main() -> ExitCode {
         "ablate-frames",
         "bounds",
         "faults",
+        "cache",
     ];
     let mut queue: Vec<&str> = Vec::new();
     for t in &targets {
@@ -90,13 +98,16 @@ fn main() -> ExitCode {
             Ok(Some(table)) => {
                 println!("{}", table.render());
                 println!("  ({name} completed in {:.1?})\n", started.elapsed());
-                if let Some(dir) = &csv_dir {
+                let exports: [(&Option<PathBuf>, &str, String); 2] =
+                    [(&csv_dir, "csv", table.to_csv()), (&json_dir, "json", table.to_json())];
+                for (dir, ext, payload) in exports {
+                    let Some(dir) = dir else { continue };
                     if let Err(e) = std::fs::create_dir_all(dir) {
                         eprintln!("cannot create {dir:?}: {e}");
                         return ExitCode::FAILURE;
                     }
-                    let path = dir.join(format!("{name}.csv"));
-                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    let path = dir.join(format!("{name}.{ext}"));
+                    if let Err(e) = std::fs::write(&path, payload) {
                         eprintln!("cannot write {path:?}: {e}");
                         return ExitCode::FAILURE;
                     }

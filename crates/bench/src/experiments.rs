@@ -8,7 +8,7 @@
 
 use nexsort::analysis;
 use nexsort_datagen::{table2_shapes, ExactGen, GenConfig, IbmGen};
-use nexsort_extmem::FaultPlan;
+use nexsort_extmem::{CachePolicy, FaultPlan, IoCat, WriteMode};
 use nexsort_xml::{attach_paths, events_to_recs, parse_events, KeyRule, Result, SortSpec, TagDict};
 
 use crate::runner::{
@@ -468,6 +468,88 @@ pub fn fault_sweep(scale: &ExpScale) -> Result<ExpTable> {
     Ok(t)
 }
 
+/// **Cache sweep** -- the buffer pool under varying frame budgets, eviction
+/// policies, and write modes. The pool is extra memory on top of `m`, so the
+/// *logical* transfer count (the paper's Aggarwal-Vitter cost) must be
+/// byte-identical on every row; only the *physical* count may drop as the
+/// pool absorbs re-reads and coalesces writes.
+pub fn cache_sweep(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "cache",
+        "Buffer-pool sweep: logical vs physical transfers (frames x policy x mode)",
+        &[
+            "frames",
+            "policy",
+            "mode",
+            "logical-io",
+            "phys-io",
+            "logical-rd",
+            "phys-rd",
+            "hits",
+            "misses",
+            "hit-ratio",
+            "evictions",
+            "writebacks",
+        ],
+    );
+    let elems = Some(scale.base_elements / 4);
+    let mut logical0: Option<u64> = None;
+    for &frames in &[0usize, 4, 16, 64] {
+        for (policy, mode) in [
+            (CachePolicy::Lru, WriteMode::Through),
+            (CachePolicy::Lru, WriteMode::Back),
+            (CachePolicy::Clock, WriteMode::Through),
+            (CachePolicy::Clock, WriteMode::Back),
+        ] {
+            // Without a pool, policy and mode are moot: one row suffices.
+            if frames == 0 && !(policy == CachePolicy::Lru && mode == WriteMode::Through) {
+                continue;
+            }
+            let cfg = RunConfig {
+                block_size: scale.block_size,
+                mem_frames: 24,
+                cache_frames: frames,
+                cache_policy: policy,
+                cache_write_mode: mode,
+                ..Default::default()
+            };
+            let mut g = IbmGen::new(5, 40, elems, GenConfig::default());
+            let m = measure_nexsort(&mut g, &spec, &cfg)?;
+            let b = &m.breakdown;
+            let logical = b.grand_total();
+            let phys = b.grand_total_physical();
+            let logical_rd = b.total_reads();
+            let phys_rd: u64 = IoCat::ALL.iter().map(|&c| b.phys_reads(c)).sum();
+            match logical0 {
+                None => logical0 = Some(logical),
+                Some(c) if c != logical => t.note(format!(
+                    "WARNING: logical I/O drifted at {frames} frames ({policy}, {mode}): \
+                     {logical} vs {c}"
+                )),
+                Some(_) => {}
+            }
+            t.push_row(vec![
+                frames.to_string(),
+                if frames == 0 { "-".into() } else { policy.to_string() },
+                if frames == 0 { "-".into() } else { mode.to_string() },
+                logical.to_string(),
+                phys.to_string(),
+                logical_rd.to_string(),
+                phys_rd.to_string(),
+                b.total_cache_hits().to_string(),
+                b.total_cache_misses().to_string(),
+                b.cache_hit_ratio().map_or_else(|| "-".into(), |r| format!("{:.1}%", r * 100.0)),
+                b.total_cache_evictions().to_string(),
+                b.total_cache_writebacks().to_string(),
+            ]);
+        }
+    }
+    t.note("logical transfers are the paper's cost model and never move with the pool");
+    t.note("physical reads fall below logical reads once the pool captures the re-read working set (run re-reads, stack ping-pong)");
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +635,39 @@ mod tests {
         // The persistent-corruption row reports a structured failure.
         let last = t.rows.last().unwrap();
         assert!(last[4].contains("sort failed during"), "{}", last[4]);
+    }
+
+    #[test]
+    fn quick_cache_sweep_cuts_physical_io_without_moving_logical_io() {
+        let t = cache_sweep(&ExpScale::quick()).unwrap();
+        assert!(!t.notes.iter().any(|n| n.contains("WARNING")), "{:?}", t.notes);
+        // Columns: frames, policy, mode, logical, phys, logical-rd, phys-rd, ...
+        let cell = |r: &Vec<String>, i: usize| -> u64 { r[i].parse().unwrap() };
+        let uncached = t.rows.iter().find(|r| r[0] == "0").unwrap();
+        assert_eq!(
+            cell(uncached, 3),
+            cell(uncached, 4),
+            "no pool: physical == logical, byte-identical accounting"
+        );
+        // Every row reports the same logical total...
+        assert!(t.rows.iter().all(|r| cell(r, 3) == cell(uncached, 3)), "{:?}", t.rows);
+        // ...and a warm pool performs strictly fewer physical reads than
+        // logical reads, for every policy and write mode at the top size.
+        let warm: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "64").collect();
+        assert_eq!(warm.len(), 4, "lru/clock x through/back");
+        for r in &warm {
+            assert!(
+                cell(r, 6) < cell(r, 5),
+                "physical reads should drop below logical with 64 frames: {r:?}"
+            );
+            assert!(cell(r, 7) > 0, "warm pool must record hits: {r:?}");
+        }
+        // Write-back coalesces: strictly fewer physical transfers than
+        // write-through at the same size and policy.
+        let phys_of = |policy: &str, mode: &str| -> u64 {
+            cell(warm.iter().find(|r| r[1] == policy && r[2] == mode).unwrap(), 4)
+        };
+        assert!(phys_of("lru", "write-back") <= phys_of("lru", "write-through"));
     }
 
     #[test]

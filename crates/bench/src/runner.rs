@@ -11,7 +11,10 @@ use std::time::Duration;
 use nexsort::{Nexsort, NexsortOptions};
 use nexsort_baseline::{sort_rec_extent, BaselineOptions};
 use nexsort_datagen::stage_as_recs;
-use nexsort_extmem::{Disk, FaultCounts, FaultPlan, IoCat, IoSnapshot, MemDevice, RetryPolicy};
+use nexsort_extmem::{
+    CachePolicy, Disk, FaultCounts, FaultPlan, IoCat, IoSnapshot, MemDevice, MemoryBudget,
+    RetryPolicy, WriteMode,
+};
 use nexsort_xml::{EventSource, Result, SortSpec, XmlError};
 
 /// Simulated disk service time per block transfer. The paper's testbed did
@@ -36,6 +39,13 @@ pub struct RunConfig {
     pub depth_limit: Option<u32>,
     /// Path-stack resident frames (Lemma 4.11 ablation).
     pub path_stack_frames: usize,
+    /// Buffer-pool frames for the device page cache, on top of `mem_frames`
+    /// (0 disables the pool; logical I/O is identical either way).
+    pub cache_frames: usize,
+    /// Buffer-pool eviction policy (ignored when `cache_frames` is 0).
+    pub cache_policy: CachePolicy,
+    /// Buffer-pool write policy (ignored when `cache_frames` is 0).
+    pub cache_write_mode: WriteMode,
 }
 
 impl Default for RunConfig {
@@ -48,6 +58,9 @@ impl Default for RunConfig {
             degeneration: false,
             depth_limit: None,
             path_stack_frames: 2,
+            cache_frames: 0,
+            cache_policy: CachePolicy::Lru,
+            cache_write_mode: WriteMode::Through,
         }
     }
 }
@@ -111,6 +124,9 @@ pub fn measure_nexsort(
         degeneration: cfg.degeneration,
         path_stack_frames: cfg.path_stack_frames,
         data_stack_frames: 1,
+        cache_frames: cfg.cache_frames,
+        cache_policy: cfg.cache_policy,
+        cache_write_mode: cfg.cache_write_mode,
     };
     let sorter = Nexsort::new(disk.clone(), opts, spec.clone())?;
     let sorted = sorter.sort_rec_extent(&staged.extent, staged.dict.clone())?;
@@ -119,6 +135,9 @@ pub fn measure_nexsort(
     let report = &sorted.report;
     let sort_ios = report.io.grand_total();
     let output_ios = out_report.io.grand_total();
+    // Under write-back the pool may still hold dirty frames; flush so the
+    // physical counters in the breakdown are final.
+    disk.cache_flush_all()?;
     let breakdown = disk.stats().snapshot();
     Ok(Measurement {
         algo: if cfg.degeneration { "nexsort+degen".into() } else { "nexsort".into() },
@@ -170,6 +189,9 @@ pub fn measure_nexsort_faulty(
         degeneration: cfg.degeneration,
         path_stack_frames: cfg.path_stack_frames,
         data_stack_frames: 1,
+        cache_frames: cfg.cache_frames,
+        cache_policy: cfg.cache_policy,
+        cache_write_mode: cfg.cache_write_mode,
     };
     let sorter = Nexsort::new(disk.clone(), opts, spec.clone())?;
     let sorted = sorter
@@ -180,6 +202,7 @@ pub fn measure_nexsort_faulty(
     let report = &sorted.report;
     let sort_ios = report.io.grand_total();
     let output_ios = out_report.io.grand_total();
+    disk.cache_flush_all()?;
     let breakdown = disk.stats().snapshot();
     let m = Measurement {
         algo: "nexsort+faults".into(),
@@ -212,6 +235,11 @@ pub fn measure_mergesort(
 ) -> Result<Measurement> {
     let disk = Disk::new_mem(cfg.block_size);
     let staged = stage_as_recs(&disk, gen, spec, cfg.compaction)?;
+    if cfg.cache_frames > 0 {
+        // Enabled after staging so the measured pool starts cold.
+        let pool_budget = MemoryBudget::new(cfg.cache_frames);
+        disk.enable_cache(&pool_budget, cfg.cache_frames, cfg.cache_policy, cfg.cache_write_mode)?;
+    }
     let opts = BaselineOptions {
         mem_frames: cfg.mem_frames,
         compaction: cfg.compaction,
@@ -220,6 +248,7 @@ pub fn measure_mergesort(
     let start = std::time::Instant::now();
     let sorted = sort_rec_extent(&disk, &staged.extent, staged.dict.clone(), spec, &opts)?;
     let wall = start.elapsed();
+    disk.cache_flush_all()?;
     let breakdown = disk.stats().snapshot();
     let output_ios = breakdown.total(IoCat::OutputWrite);
     let sort_ios = breakdown.grand_total() - output_ios;

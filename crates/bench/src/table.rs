@@ -1,4 +1,4 @@
-//! Plain-text experiment tables with CSV export.
+//! Plain-text experiment tables with CSV and JSON export.
 
 use std::fmt::Write as _;
 
@@ -86,6 +86,43 @@ impl ExpTable {
         }
         out
     }
+
+    /// JSON export. The schema is
+    /// `{"id", "title", "headers": [...], "rows": [[...], ...], "notes": [...]}`
+    /// with every cell a string (cells are already formatted for display).
+    /// Hand-rolled: the workspace has no serialization dependency.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn str_array(items: &[String]) -> String {
+            let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+            format!("[{}]", cells.join(","))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| str_array(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            esc(&self.id),
+            esc(&self.title),
+            str_array(&self.headers),
+            rows.join(","),
+            str_array(&self.notes),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +150,20 @@ mod tests {
         let csv = sample().to_csv();
         assert!(csv.starts_with("a,bee\n"));
         assert!(csv.contains("\"4,4\""));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut t = sample();
+        t.note("tricky \"quote\" and \\slash\nnewline");
+        let json = t.to_json();
+        assert!(json.starts_with("{\"id\":\"figX\""));
+        assert!(json.contains("\"headers\":[\"a\",\"bee\"]"));
+        assert!(json.contains("[\"333\",\"4,4\"]"));
+        assert!(json.contains("tricky \\\"quote\\\" and \\\\slash\\nnewline"));
+        // Balanced braces/brackets with no raw control characters.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.chars().any(|c| (c as u32) < 0x20));
     }
 }

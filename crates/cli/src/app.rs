@@ -6,7 +6,8 @@ use std::rc::Rc;
 use nexsort::{Nexsort, NexsortOptions, SortedDoc};
 use nexsort_baseline::{sort_xml_extent, stage_input, BaselineOptions};
 use nexsort_extmem::{
-    BlockDevice, Disk, Extent, FaultInjector, FaultPlan, FileDevice, MemDevice, RetryPolicy,
+    BlockDevice, CachePolicy, Disk, Extent, FaultInjector, FaultPlan, FileDevice, MemDevice,
+    MemoryBudget, RetryPolicy, WriteMode,
 };
 use nexsort_merge::{BatchUpdate, MergeOptions, StructuralMerge};
 use nexsort_xml::SortSpec;
@@ -64,6 +65,14 @@ pub struct Cli {
     /// Retries per transfer for transient faults (`None` = pick a default:
     /// 3 when faults are injected, otherwise 0).
     pub retries: Option<u32>,
+    /// Buffer-pool frames for the device page cache (0 = no pool). Extra
+    /// memory on top of `--mem`, so logical I/O counts stay comparable.
+    pub cache_frames: usize,
+    /// Buffer-pool eviction policy.
+    pub cache_policy: CachePolicy,
+    /// Write-back caching (coalesce writes in the pool) instead of the
+    /// default write-through.
+    pub write_back: bool,
     /// The ordering criterion.
     pub spec: SortSpec,
 }
@@ -148,6 +157,14 @@ OPTIONS:
       --pretty          indent the output
       --stats           print the I/O report to stderr
 
+BUFFER POOL (a pinning page cache between the sorter and the device):
+      --cache-frames N  pool capacity in frames (default: 0 = no cache);
+                        extra memory on top of --mem, so the logical I/O
+                        counts stay comparable across cache sizes
+      --cache-policy P  eviction policy: lru | clock    (default: lru)
+      --write-back      coalesce repeated writes in the pool; the default
+                        write-through keeps the device current on every write
+
 FAULT INJECTION (deterministic; the device checksums every block):
       --fault-rate P    transient I/O error probability per transfer (0..1)
       --fault-flips P   bit-corruption probability per transfer (0..1)
@@ -192,6 +209,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut fault_torn = 0.0f64;
     let mut fault_seed = 42u64;
     let mut retries: Option<u32> = None;
+    let mut cache_frames = 0usize;
+    let mut cache_policy = CachePolicy::Lru;
+    let mut write_back = false;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -257,6 +277,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .map_err(|_| "--retries needs a nonnegative integer".to_string())?,
                 )
             }
+            "--cache-frames" => {
+                cache_frames = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--cache-frames needs a nonnegative integer".to_string())?
+            }
+            "--cache-policy" => cache_policy = next_value(&mut it, arg)?.parse()?,
+            "--write-back" => write_back = true,
             "--pretty" => pretty = true,
             "--stats" => stats = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -307,6 +334,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         fault_torn,
         fault_seed,
         retries,
+        cache_frames,
+        cache_policy,
+        write_back,
         spec,
     })
 }
@@ -316,7 +346,7 @@ fn mem_frames(cli: &Cli) -> usize {
 }
 
 fn make_disk(cli: &Cli) -> Result<(Rc<Disk>, Option<FaultInjector>), String> {
-    if !cli.faults_enabled() {
+    let (disk, injector) = if !cli.faults_enabled() {
         let disk = match &cli.device {
             Some(path) => Disk::new_file(path, cli.block_size as usize)
                 .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
@@ -327,27 +357,37 @@ fn make_disk(cli: &Cli) -> Result<(Rc<Disk>, Option<FaultInjector>), String> {
                 disk.set_retry_policy(RetryPolicy::retries(n));
             }
         }
-        return Ok((disk, None));
-    }
-    let base: Box<dyn BlockDevice> = match &cli.device {
-        Some(path) => Box::new(
-            FileDevice::create(path, cli.block_size as usize)
-                .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
-        ),
-        None => Box::new(MemDevice::new(cli.block_size as usize)),
+        (disk, None)
+    } else {
+        let base: Box<dyn BlockDevice> = match &cli.device {
+            Some(path) => Box::new(
+                FileDevice::create(path, cli.block_size as usize)
+                    .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
+            ),
+            None => Box::new(MemDevice::new(cli.block_size as usize)),
+        };
+        let plan = FaultPlan::new(cli.fault_seed)
+            .with_read_error_rate(cli.fault_rate)
+            .with_write_error_rate(cli.fault_rate)
+            .with_read_flip_rate(cli.fault_flips)
+            .with_write_flip_rate(cli.fault_flips)
+            .with_torn_write_rate(cli.fault_torn);
+        let (disk, injector) = Disk::new_faulty(base, plan);
+        let n = cli.retries.unwrap_or(3);
+        if n > 0 {
+            disk.set_retry_policy(RetryPolicy::retries(n));
+        }
+        (disk, Some(injector))
     };
-    let plan = FaultPlan::new(cli.fault_seed)
-        .with_read_error_rate(cli.fault_rate)
-        .with_write_error_rate(cli.fault_rate)
-        .with_read_flip_rate(cli.fault_flips)
-        .with_write_flip_rate(cli.fault_flips)
-        .with_torn_write_rate(cli.fault_torn);
-    let (disk, injector) = Disk::new_faulty(base, plan);
-    let n = cli.retries.unwrap_or(3);
-    if n > 0 {
-        disk.set_retry_policy(RetryPolicy::retries(n));
+    if cli.cache_frames > 0 {
+        // The pool's frames come out of a dedicated budget so the sort
+        // algorithm's own `--mem` allowance is untouched.
+        let pool_budget = MemoryBudget::new(cli.cache_frames);
+        let mode = if cli.write_back { WriteMode::Back } else { WriteMode::Through };
+        disk.enable_cache(&pool_budget, cli.cache_frames, cli.cache_policy, mode)
+            .map_err(|e| format!("cannot enable the page cache: {e}"))?;
     }
-    Ok((disk, Some(injector)))
+    Ok((disk, injector))
 }
 
 /// A staged input document: XML text, or pre-encoded records + dictionary.
@@ -381,6 +421,9 @@ fn sort_one(cli: &Cli, disk: &Rc<Disk>, input: &Staged) -> Result<SortedDoc, Str
         threshold: cli.threshold,
         depth_limit: cli.depth_limit,
         degeneration: cli.algo == Algo::Degen,
+        cache_frames: cli.cache_frames,
+        cache_policy: cli.cache_policy,
+        cache_write_mode: if cli.write_back { WriteMode::Back } else { WriteMode::Through },
         ..Default::default()
     };
     let sorter = Nexsort::new(disk.clone(), opts, cli.spec.clone()).map_err(|e| e.to_string())?;
@@ -394,6 +437,9 @@ fn sort_one(cli: &Cli, disk: &Rc<Disk>, input: &Staged) -> Result<SortedDoc, Str
     if cli.stats {
         eprintln!("sort: {}", doc.report.summary());
         eprintln!("{}", doc.report.io);
+        if let (Some(policy), Some(mode)) = (disk.cache_policy_name(), disk.cache_mode()) {
+            eprintln!("cache: {} frames, {policy}, {mode}", disk.cache_capacity().unwrap_or(0));
+        }
         let retried = doc.report.io.total_retries();
         if retried > 0 {
             eprintln!("sort: {retried} transfer(s) healed by retry");
@@ -441,6 +487,14 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                         sorted.report.passes, sorted.report.initial_runs, sorted.report.fan_in
                     );
                     eprintln!("{}", disk.stats().snapshot());
+                    if let (Some(policy), Some(mode)) =
+                        (disk.cache_policy_name(), disk.cache_mode())
+                    {
+                        eprintln!(
+                            "cache: {} frames, {policy}, {mode}",
+                            disk.cache_capacity().unwrap_or(0)
+                        );
+                    }
                 }
                 match cli.format {
                     OutFormat::Xml => sorted.to_xml(cli.pretty).map_err(|e| e.to_string())?,
@@ -600,6 +654,10 @@ pub fn run(cli: &Cli) -> Result<(), String> {
             emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
         }
     };
+    // Under write-back the pool may still hold dirty frames; push them to the
+    // device so a `--device` file is complete on exit.
+    let result =
+        result.and_then(|()| disk.cache_flush_all().map_err(|e| format!("final cache flush: {e}")));
     if cli.stats {
         if let Some(inj) = &injector {
             let counts = inj.counts();
@@ -754,6 +812,91 @@ mod tests {
         .unwrap();
         let err = run(&cli).unwrap_err();
         assert!(err.contains("sort failed during"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_flags_parse_with_sane_defaults() {
+        let plain = parse_args(&args(&["sort", "x.xml"])).unwrap();
+        assert_eq!(plain.cache_frames, 0);
+        assert_eq!(plain.cache_policy, CachePolicy::Lru);
+        assert!(!plain.write_back);
+
+        let cli = parse_args(&args(&[
+            "sort",
+            "x.xml",
+            "--cache-frames",
+            "32",
+            "--cache-policy",
+            "clock",
+            "--write-back",
+        ]))
+        .unwrap();
+        assert_eq!(cli.cache_frames, 32);
+        assert_eq!(cli.cache_policy, CachePolicy::Clock);
+        assert!(cli.write_back);
+
+        assert!(parse_args(&args(&["sort", "x.xml", "--cache-frames", "many"])).is_err());
+        let err = parse_args(&args(&["sort", "x.xml", "--cache-policy", "fifo"])).unwrap_err();
+        assert!(err.contains("unknown cache policy"), "{err}");
+    }
+
+    #[test]
+    fn cached_sorts_match_the_uncached_output_bit_for_bit() {
+        let dir = std::env::temp_dir().join(format!("xsort-cch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let gen =
+            parse_args(&args(&["gen", "exact:25,5", "--seed", "7", "-o", raw.to_str().unwrap()]))
+                .unwrap();
+        run(&gen).unwrap();
+
+        let base = ["--default", "@k", "--block", "256", "--mem", "4K"];
+        let sort_with = |extra: &[&str], out: &Path| {
+            let mut a = vec!["sort", raw.to_str().unwrap(), "-o", out.to_str().unwrap()];
+            a.extend_from_slice(&base);
+            a.extend_from_slice(extra);
+            run(&parse_args(&args(&a)).unwrap()).unwrap();
+            std::fs::read(out).unwrap()
+        };
+
+        let out = dir.join("out.xml");
+        let uncached = sort_with(&[], &out);
+        for extra in [
+            &["--cache-frames", "8"][..],
+            &["--cache-frames", "8", "--cache-policy", "clock"][..],
+            &["--cache-frames", "4", "--write-back"][..],
+            &["--cache-frames", "6", "--cache-policy", "clock", "--write-back"][..],
+            &["--cache-frames", "8", "--algo", "mergesort"][..],
+        ] {
+            assert_eq!(sort_with(extra, &out), uncached, "{extra:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_back_to_a_device_file_is_flushed_on_exit() {
+        let dir = std::env::temp_dir().join(format!("xsort-cfl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let plain_out = dir.join("plain.xml");
+        let cached_out = dir.join("cached.xml");
+        std::fs::write(&raw, b"<r><e id=\"2\"/><e id=\"3\"/><e id=\"1\"/></r>").unwrap();
+        let common = ["--default", "@id:num", "--block", "256"];
+
+        let mut a = vec!["sort", raw.to_str().unwrap(), "-o", plain_out.to_str().unwrap()];
+        a.extend_from_slice(&common);
+        run(&parse_args(&args(&a)).unwrap()).unwrap();
+
+        let dev = dir.join("device.bin");
+        let mut b = vec!["sort", raw.to_str().unwrap(), "-o", cached_out.to_str().unwrap()];
+        b.extend_from_slice(&common);
+        b.extend_from_slice(&["--device", dev.to_str().unwrap(), "--cache-frames", "4"]);
+        b.extend_from_slice(&["--write-back"]);
+        run(&parse_args(&args(&b)).unwrap()).unwrap();
+
+        assert_eq!(std::fs::read(&plain_out).unwrap(), std::fs::read(&cached_out).unwrap());
+        assert!(std::fs::metadata(&dev).unwrap().len() > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

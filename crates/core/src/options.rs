@@ -1,5 +1,7 @@
 //! Configuration of a NEXSORT run.
 
+use nexsort_extmem::{CachePolicy, WriteMode};
+
 /// Tunables of the algorithm, mirroring the paper's parameters.
 #[derive(Debug, Clone)]
 pub struct NexsortOptions {
@@ -30,6 +32,18 @@ pub struct NexsortOptions {
     pub path_stack_frames: usize,
     /// Resident frames for the data stack (at least 1, Section 3.1).
     pub data_stack_frames: usize,
+    /// Buffer-pool frames for the disk's page cache, *on top of*
+    /// `mem_frames` (the pool is extra memory, not part of the model's `M`,
+    /// so logical I/O counts stay comparable across cache sizes). `0`
+    /// disables the pool entirely; behavior and counters are then identical
+    /// to a pool-less build.
+    pub cache_frames: usize,
+    /// Eviction policy for the buffer pool (ignored when `cache_frames` is 0).
+    pub cache_policy: CachePolicy,
+    /// Write policy for the buffer pool: write-back coalesces repeated
+    /// writes to hot blocks; write-through keeps the device current on every
+    /// logical write (ignored when `cache_frames` is 0).
+    pub cache_write_mode: WriteMode,
 }
 
 impl NexsortOptions {
@@ -54,6 +68,9 @@ impl Default for NexsortOptions {
             degeneration: false,
             path_stack_frames: 2,
             data_stack_frames: 1,
+            cache_frames: 0,
+            cache_policy: CachePolicy::Lru,
+            cache_write_mode: WriteMode::Through,
         }
     }
 }
@@ -83,5 +100,8 @@ mod tests {
         assert!(o.mem_frames >= NexsortOptions::MIN_MEM_FRAMES);
         assert!(o.compaction);
         assert!(!o.degeneration, "paper's measured configuration");
+        assert_eq!(o.cache_frames, 0, "no pool by default: counts match the paper's model");
+        assert_eq!(o.cache_policy, CachePolicy::Lru);
+        assert_eq!(o.cache_write_mode, WriteMode::Through);
     }
 }

@@ -32,6 +32,11 @@ pub struct Nexsort {
 
 impl Nexsort {
     /// A sorter over `disk` with the given options and ordering criterion.
+    ///
+    /// When `opts.cache_frames > 0` and the disk does not already have a
+    /// buffer pool, one is enabled here with its own frame budget *on top
+    /// of* `mem_frames`: the algorithm's `M` (and therefore its logical I/O)
+    /// is unchanged, the pool only absorbs physical transfers.
     pub fn new(disk: Rc<Disk>, opts: NexsortOptions, spec: SortSpec) -> Result<Self> {
         if opts.mem_frames < NexsortOptions::MIN_MEM_FRAMES {
             return Err(XmlError::Ext(nexsort_extmem::ExtError::BudgetExceeded {
@@ -43,6 +48,15 @@ impl Nexsort {
             return Err(XmlError::Record("stacks need at least one resident frame".into()));
         }
         spec.validate()?;
+        if opts.cache_frames > 0 && !disk.cache_enabled() {
+            let cache_budget = MemoryBudget::new(opts.cache_frames);
+            disk.enable_cache(
+                &cache_budget,
+                opts.cache_frames,
+                opts.cache_policy,
+                opts.cache_write_mode,
+            )?;
+        }
         Ok(Self { disk, opts, spec })
     }
 

@@ -32,6 +32,8 @@ fn uncharged<T>(disk: &Rc<Disk>, f: impl FnOnce(&MemoryBudget) -> Result<T>) -> 
     let delta = stats.snapshot().since(&before);
     stats.sub_writes(IoCat::SortScratch, delta.writes(IoCat::SortScratch));
     stats.sub_reads(IoCat::SortScratch, delta.reads(IoCat::SortScratch));
+    stats.sub_phys_writes(IoCat::SortScratch, delta.phys_writes(IoCat::SortScratch));
+    stats.sub_phys_reads(IoCat::SortScratch, delta.phys_reads(IoCat::SortScratch));
     Ok(out)
 }
 

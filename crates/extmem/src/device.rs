@@ -15,11 +15,15 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::rc::Rc;
 
+use crate::budget::MemoryBudget;
 use crate::error::{ExtError, Result};
 use crate::fault::{
     ChecksummedDevice, DiskFailure, FaultInjector, FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
 };
-use crate::stats::{IoCat, IoStats};
+use crate::pool::{
+    CachePolicy, EvictionPolicy, PinGuard, PinMutGuard, PoolCore, SlotAcquire, WriteMode,
+};
+use crate::stats::{CacheEvent, IoCat, IoStats};
 
 /// Raw block storage: fixed-size blocks addressed by a dense `u64` id.
 pub trait BlockDevice {
@@ -237,6 +241,16 @@ impl BlockDevice for FileDevice {
 /// All substrate structures (streams, stacks, the run store) perform their
 /// transfers through a shared `Rc<Disk>`, tagging each with the [`IoCat`]
 /// that names its purpose in the paper's cost breakdown.
+///
+/// # Logical vs. physical transfers
+///
+/// Every [`Disk::read_block`] / [`Disk::write_block`] call is one *logical*
+/// transfer -- the quantity the paper's analysis bounds. When a buffer pool
+/// is enabled ([`Disk::enable_cache`]), logical transfers that hit a resident
+/// frame are served from memory, so the *physical* transfer counters (and the
+/// trace, which records what actually reached the device) can fall below the
+/// logical ones. With no pool the two coincide and behavior is byte-identical
+/// to a pool-less build.
 pub struct Disk {
     dev: RefCell<Box<dyn BlockDevice>>,
     stats: IoStats,
@@ -245,6 +259,7 @@ pub struct Disk {
     retry: Cell<RetryPolicy>,
     phase: Cell<IoPhase>,
     last_failure: Cell<Option<DiskFailure>>,
+    pool: RefCell<Option<PoolCore>>,
 }
 
 /// One recorded block transfer (see [`Disk::start_trace`]).
@@ -270,6 +285,7 @@ impl Disk {
             retry: Cell::new(RetryPolicy::default()),
             phase: Cell::new(IoPhase::default()),
             last_failure: Cell::new(None),
+            pool: RefCell::new(None),
         })
     }
 
@@ -290,10 +306,12 @@ impl Disk {
         Self::new(Box::new(ChecksummedDevice::new(dev)))
     }
 
-    /// Start recording every block transfer (id + direction + category).
-    /// Used to inspect access patterns -- e.g. asserting that a pass is
-    /// sequential, or visualizing stack paging. Any previous trace is
-    /// discarded.
+    /// Start recording every *physical* block transfer (id + direction +
+    /// category). Used to inspect access patterns -- e.g. asserting that a
+    /// pass is sequential, or visualizing stack paging. With a buffer pool
+    /// enabled, cache hits do not appear (nothing reached the device); with
+    /// no pool, physical and logical transfers coincide. Any previous trace
+    /// is discarded.
     pub fn start_trace(&self) {
         *self.trace.borrow_mut() = Some(Vec::new());
     }
@@ -411,34 +429,339 @@ impl Disk {
         self.dev.borrow_mut().allocate()
     }
 
-    /// Return a block for reuse (e.g. popped stack blocks).
+    /// Return a block for reuse (e.g. popped stack blocks). Any cached frame
+    /// for the block is invalidated first -- its dirty contents are dead, and
+    /// must not be written back over a future reallocation of the id. Errors
+    /// with [`ExtError::FramePinned`] if a pin guard on the block is alive.
     pub fn free_block(&self, id: u64) -> Result<()> {
+        if let Some(pool) = self.pool.borrow_mut().as_mut() {
+            pool.invalidate(id)?;
+        }
         self.dev.borrow_mut().free(id)
     }
 
-    /// Read block `id` into `buf`, charging one read to `cat`. Transient
-    /// failures are retried per the [`RetryPolicy`]; each logical transfer is
-    /// charged once however many attempts it took, with the extra attempts
-    /// counted in the stats' retry tally.
-    pub fn read_block(&self, id: u64, buf: &mut [u8], cat: IoCat) -> Result<()> {
+    /// One physical read reaching the device: retry loop, physical counter,
+    /// trace entry. No logical charge.
+    fn phys_read(&self, id: u64, buf: &mut [u8], cat: IoCat) -> Result<()> {
         self.with_retries(cat, id, true, |dev| dev.read(id, buf))?;
-        self.stats.add_reads(cat, 1);
+        self.stats.add_phys_reads(cat, 1);
         if let Some(t) = self.trace.borrow_mut().as_mut() {
             t.push(TraceEntry { is_read: true, block: id, cat });
         }
         Ok(())
     }
 
-    /// Write `data` to block `id`, charging one write to `cat`. Retries like
-    /// [`Disk::read_block`].
-    pub fn write_block(&self, id: u64, data: &[u8], cat: IoCat) -> Result<()> {
-        debug_assert!(data.len() <= self.block_size);
+    /// One physical write reaching the device: retry loop, physical counter,
+    /// trace entry. No logical charge.
+    fn phys_write(&self, id: u64, data: &[u8], cat: IoCat) -> Result<()> {
         self.with_retries(cat, id, false, |dev| dev.write(id, data))?;
-        self.stats.add_writes(cat, 1);
+        self.stats.add_phys_writes(cat, 1);
         if let Some(t) = self.trace.borrow_mut().as_mut() {
             t.push(TraceEntry { is_read: false, block: id, cat });
         }
         Ok(())
+    }
+
+    /// Read block `id` into `buf`, charging one logical read to `cat`.
+    /// Transient failures are retried per the [`RetryPolicy`]; each transfer
+    /// is charged once however many attempts it took, with the extra attempts
+    /// counted in the stats' retry tally. With a buffer pool enabled, a
+    /// resident block is served from its frame with no physical transfer.
+    pub fn read_block(&self, id: u64, buf: &mut [u8], cat: IoCat) -> Result<()> {
+        {
+            let mut pool_ref = self.pool.borrow_mut();
+            if let Some(pool) = pool_ref.as_mut() {
+                self.cached_read(pool, id, buf, cat)?;
+            } else {
+                self.phys_read(id, buf, cat)?;
+            }
+        }
+        self.stats.add_reads(cat, 1);
+        Ok(())
+    }
+
+    /// Write `data` to block `id`, charging one logical write to `cat`.
+    /// Retries like [`Disk::read_block`]. With a buffer pool enabled, the
+    /// write follows the pool's [`WriteMode`]: write-through reaches the
+    /// device immediately, write-back lands in the frame and reaches the
+    /// device at eviction or flush.
+    pub fn write_block(&self, id: u64, data: &[u8], cat: IoCat) -> Result<()> {
+        debug_assert!(data.len() <= self.block_size);
+        {
+            let mut pool_ref = self.pool.borrow_mut();
+            if let Some(pool) = pool_ref.as_mut() {
+                self.cached_write(pool, id, data, cat)?;
+            } else {
+                self.phys_write(id, data, cat)?;
+            }
+        }
+        self.stats.add_writes(cat, 1);
+        Ok(())
+    }
+
+    /// Serve a logical read through the pool.
+    fn cached_read(&self, pool: &mut PoolCore, id: u64, buf: &mut [u8], cat: IoCat) -> Result<()> {
+        let phase = self.phase.get();
+        if let Some(slot) = pool.lookup(id) {
+            self.stats.add_cache_event(phase, CacheEvent::Hit);
+            buf[..self.block_size]
+                .copy_from_slice(&pool.slot_data(slot).borrow()[..self.block_size]);
+            return Ok(());
+        }
+        self.stats.add_cache_event(phase, CacheEvent::Miss);
+        let slot = self.obtain_slot(pool)?;
+        let data = pool.slot_data(slot);
+        {
+            let mut d = data.borrow_mut();
+            if let Err(e) = self.phys_read(id, &mut d, cat) {
+                drop(d);
+                pool.release_slot(slot);
+                return Err(e);
+            }
+        }
+        pool.install(slot, id);
+        buf[..self.block_size].copy_from_slice(&data.borrow()[..self.block_size]);
+        Ok(())
+    }
+
+    /// Serve a logical write through the pool.
+    ///
+    /// On a write-back miss the frame's tail beyond `data_in` is zero-filled
+    /// rather than read from the device. The [`BlockDevice`] contract leaves
+    /// a partially-written block's tail unspecified, so no consumer may
+    /// depend on it -- and skipping the read-before-write keeps write misses
+    /// at zero physical reads.
+    fn cached_write(&self, pool: &mut PoolCore, id: u64, data_in: &[u8], cat: IoCat) -> Result<()> {
+        let phase = self.phase.get();
+        match pool.mode() {
+            WriteMode::Through => {
+                self.phys_write(id, data_in, cat)?;
+                // Keep any resident frame coherent. Not a cache hit or miss:
+                // through-writes are never absorbed by the pool.
+                if let Some(slot) = pool.peek(id) {
+                    pool.slot_data(slot).borrow_mut()[..data_in.len()].copy_from_slice(data_in);
+                }
+                Ok(())
+            }
+            WriteMode::Back => {
+                if let Some(slot) = pool.lookup(id) {
+                    self.stats.add_cache_event(phase, CacheEvent::Hit);
+                    pool.slot_data(slot).borrow_mut()[..data_in.len()].copy_from_slice(data_in);
+                    pool.mark_dirty(slot, data_in.len(), cat);
+                    return Ok(());
+                }
+                self.stats.add_cache_event(phase, CacheEvent::Miss);
+                let slot = self.obtain_slot(pool)?;
+                {
+                    let data = pool.slot_data(slot);
+                    let mut d = data.borrow_mut();
+                    d[..data_in.len()].copy_from_slice(data_in);
+                    d[data_in.len()..].fill(0);
+                }
+                pool.install(slot, id);
+                pool.mark_dirty(slot, data_in.len(), cat);
+                Ok(())
+            }
+        }
+    }
+
+    /// Obtain a loose slot for a new block, evicting (and writing back a
+    /// dirty victim) if the pool is full. On writeback failure the victim
+    /// stays resident and dirty, so nothing is lost and the recorded
+    /// [`DiskFailure`] names the victim block under the current phase.
+    fn obtain_slot(&self, pool: &mut PoolCore) -> Result<usize> {
+        match pool.acquire_plan()? {
+            SlotAcquire::Free(slot) => Ok(slot),
+            SlotAcquire::Evict { slot, block, dirty, data } => {
+                if let Some((len, wcat)) = dirty {
+                    self.phys_write(block, &data.borrow()[..len], wcat)?;
+                    self.stats.add_cache_event(self.phase.get(), CacheEvent::DirtyWriteback);
+                }
+                self.stats.add_cache_event(self.phase.get(), CacheEvent::Eviction);
+                pool.detach(slot);
+                Ok(slot)
+            }
+        }
+    }
+}
+
+/// Buffer-pool management and pinning (see the [`pool`](crate::pool) module).
+impl Disk {
+    /// Enable a buffer pool of `frames` frames reserved from `budget`,
+    /// using the named eviction `policy` and write `mode`. The frames stay
+    /// reserved (RAII) until [`Disk::disable_cache`] or the disk is dropped.
+    ///
+    /// Reserve cache frames from a budget *separate* from the sorting
+    /// algorithm's `M`-frame budget if the paper's logical I/O counts must
+    /// stay comparable: the pool is extra memory on top of `M`, not part
+    /// of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0` or a pool is already enabled (check
+    /// [`Disk::cache_enabled`] first).
+    pub fn enable_cache(
+        &self,
+        budget: &MemoryBudget,
+        frames: usize,
+        policy: CachePolicy,
+        mode: WriteMode,
+    ) -> Result<()> {
+        self.enable_cache_with(budget, frames, policy.build(frames), mode)
+    }
+
+    /// [`Disk::enable_cache`] with a caller-supplied [`EvictionPolicy`]
+    /// implementation (the policy must be sized for `frames` slots).
+    pub fn enable_cache_with(
+        &self,
+        budget: &MemoryBudget,
+        frames: usize,
+        policy: Box<dyn EvictionPolicy>,
+        mode: WriteMode,
+    ) -> Result<()> {
+        assert!(frames > 0, "a buffer pool needs at least one frame");
+        let mut slot = self.pool.borrow_mut();
+        assert!(slot.is_none(), "buffer pool already enabled on this disk");
+        let reservation = budget.reserve(frames)?;
+        *slot = Some(PoolCore::new(reservation, self.block_size, policy, mode));
+        Ok(())
+    }
+
+    /// Whether a buffer pool is currently enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.pool.borrow().is_some()
+    }
+
+    /// The pool's frame capacity, if enabled.
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.pool.borrow().as_ref().map(PoolCore::capacity)
+    }
+
+    /// The pool's eviction-policy name (`"lru"`, `"clock"`, ...), if enabled.
+    pub fn cache_policy_name(&self) -> Option<&'static str> {
+        self.pool.borrow().as_ref().map(PoolCore::policy_name)
+    }
+
+    /// The pool's write mode, if enabled.
+    pub fn cache_mode(&self) -> Option<WriteMode> {
+        self.pool.borrow().as_ref().map(PoolCore::mode)
+    }
+
+    /// Number of blocks currently resident in the pool (0 if disabled).
+    pub fn cache_resident(&self) -> usize {
+        self.pool.borrow().as_ref().map_or(0, PoolCore::resident)
+    }
+
+    /// Write back `block`'s frame now if it is resident and dirty (one
+    /// physical write, counted as a dirty writeback). The frame stays
+    /// resident and becomes clean. Errors with [`ExtError::CacheDisabled`]
+    /// if no pool is enabled.
+    pub fn cache_flush(&self, block: u64) -> Result<()> {
+        let mut pool_ref = self.pool.borrow_mut();
+        let pool = pool_ref.as_mut().ok_or(ExtError::CacheDisabled)?;
+        if let Some(slot) = pool.peek(block) {
+            if let Some((len, cat)) = pool.dirty_of(slot) {
+                self.phys_write(block, &pool.slot_data(slot).borrow()[..len], cat)?;
+                pool.clean(slot);
+                self.stats.add_cache_event(self.phase.get(), CacheEvent::DirtyWriteback);
+            }
+        }
+        Ok(())
+    }
+
+    /// Write back every dirty frame, in ascending block order (deterministic
+    /// for the fault layer's operation indexing). Frames stay resident. A
+    /// no-op when no pool is enabled. On error, already-flushed frames are
+    /// clean and the failing frame (named by the recorded [`DiskFailure`])
+    /// is still dirty.
+    pub fn cache_flush_all(&self) -> Result<()> {
+        let mut pool_ref = self.pool.borrow_mut();
+        let Some(pool) = pool_ref.as_mut() else { return Ok(()) };
+        for slot in pool.dirty_slots_in_block_order() {
+            let (len, cat) = pool.dirty_of(slot).expect("slot was listed as dirty");
+            let block = pool.slot_block(slot);
+            self.phys_write(block, &pool.slot_data(slot).borrow()[..len], cat)?;
+            pool.clean(slot);
+            self.stats.add_cache_event(self.phase.get(), CacheEvent::DirtyWriteback);
+        }
+        Ok(())
+    }
+
+    /// Flush all dirty frames, then tear the pool down, returning its frames
+    /// to the budget they were reserved from. Errors with
+    /// [`ExtError::FramePinned`] (and leaves the pool enabled) if any pin
+    /// guard is still alive. A no-op when no pool is enabled.
+    pub fn disable_cache(&self) -> Result<()> {
+        {
+            let pool_ref = self.pool.borrow();
+            let Some(pool) = pool_ref.as_ref() else { return Ok(()) };
+            if let Some(block) = pool.first_pinned_block() {
+                return Err(ExtError::FramePinned { block });
+            }
+        }
+        self.cache_flush_all()?;
+        *self.pool.borrow_mut() = None;
+        Ok(())
+    }
+
+    /// Pin `block` into the pool for reading and return an RAII guard; the
+    /// frame cannot be evicted while the guard lives. Charges one logical
+    /// read to `cat` (a miss also costs one physical read to load the
+    /// frame). Errors with [`ExtError::CacheDisabled`] if no pool is
+    /// enabled, or [`ExtError::AllFramesPinned`] if loading the block would
+    /// need a frame and every frame is pinned.
+    pub fn pin(self: &Rc<Self>, block: u64, cat: IoCat) -> Result<PinGuard> {
+        let data = self.pin_load(block, cat, false)?;
+        Ok(PinGuard::new(Rc::clone(self), block, data))
+    }
+
+    /// Pin `block` for writing. Like [`Disk::pin`], but also charges one
+    /// logical write to `cat` and marks the whole frame dirty: edits through
+    /// the guard reach the device at eviction, flush, or
+    /// [`PinMutGuard::commit`] -- in *both* write modes, pinned edits behave
+    /// like write-back, because the pool cannot see individual edits to
+    /// write them through.
+    pub fn pin_mut(self: &Rc<Self>, block: u64, cat: IoCat) -> Result<PinMutGuard> {
+        let data = self.pin_load(block, cat, true)?;
+        Ok(PinMutGuard::new(Rc::clone(self), block, data))
+    }
+
+    fn pin_load(&self, block: u64, cat: IoCat, for_write: bool) -> Result<Rc<RefCell<Vec<u8>>>> {
+        let mut pool_ref = self.pool.borrow_mut();
+        let pool = pool_ref.as_mut().ok_or(ExtError::CacheDisabled)?;
+        let phase = self.phase.get();
+        let slot = if let Some(slot) = pool.lookup(block) {
+            self.stats.add_cache_event(phase, CacheEvent::Hit);
+            slot
+        } else {
+            self.stats.add_cache_event(phase, CacheEvent::Miss);
+            let slot = self.obtain_slot(pool)?;
+            let data = pool.slot_data(slot);
+            {
+                let mut d = data.borrow_mut();
+                if let Err(e) = self.phys_read(block, &mut d, cat) {
+                    drop(d);
+                    pool.release_slot(slot);
+                    return Err(e);
+                }
+            }
+            pool.install(slot, block);
+            slot
+        };
+        pool.pin(slot);
+        self.stats.add_reads(cat, 1);
+        if for_write {
+            pool.mark_dirty(slot, self.block_size, cat);
+            self.stats.add_writes(cat, 1);
+        }
+        Ok(pool.slot_data(slot))
+    }
+
+    /// Drop one pin on `block` (guard Drop path; no-op if no pool).
+    pub(crate) fn cache_unpin(&self, block: u64) {
+        if let Some(pool) = self.pool.borrow_mut().as_mut() {
+            pool.unpin_block(block);
+        }
     }
 }
 
@@ -697,5 +1020,308 @@ mod trace_tests {
         // Tracing stopped: further transfers are not recorded.
         disk.write_block(id, b"z", IoCat::DataStack).unwrap();
         assert!(disk.take_trace().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod cached_tests {
+    use super::*;
+    use crate::budget::MemoryBudget;
+    use crate::fault::FaultKind;
+
+    const BS: usize = 64;
+
+    fn cached_disk(frames: usize, policy: CachePolicy, mode: WriteMode) -> Rc<Disk> {
+        let disk = Disk::new_mem(BS);
+        let budget = MemoryBudget::new(frames);
+        disk.enable_cache(&budget, frames, policy, mode).unwrap();
+        disk
+    }
+
+    fn block_of(disk: &Disk, fill: u8) -> u64 {
+        let id = disk.alloc_block();
+        disk.write_block(id, &[fill; BS], IoCat::RunWrite).unwrap();
+        id
+    }
+
+    #[test]
+    fn rereads_hit_the_pool_and_skip_physical_io() {
+        let disk = cached_disk(4, CachePolicy::Lru, WriteMode::Through);
+        let id = block_of(&disk, 0xAB);
+        let mut buf = [0u8; BS];
+        for _ in 0..5 {
+            disk.read_block(id, &mut buf, IoCat::RunRead).unwrap();
+            assert_eq!(buf, [0xAB; BS]);
+        }
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.reads(IoCat::RunRead), 5, "every logical read is charged");
+        assert_eq!(snap.phys_reads(IoCat::RunRead), 1, "only the miss reached the device");
+        assert_eq!(snap.total_cache_misses(), 1);
+        assert_eq!(snap.total_cache_hits(), 4);
+        assert_eq!(snap.cache_hit_ratio(), Some(0.8));
+        assert!(snap.grand_total_physical() < snap.grand_total());
+    }
+
+    #[test]
+    fn write_through_keeps_the_device_current_and_frames_coherent() {
+        let disk = cached_disk(2, CachePolicy::Lru, WriteMode::Through);
+        let id = block_of(&disk, 0x11);
+        let mut buf = [0u8; BS];
+        disk.read_block(id, &mut buf, IoCat::RunRead).unwrap(); // frame now resident
+        disk.write_block(id, &[0x22; BS], IoCat::RunWrite).unwrap();
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.phys_writes(IoCat::RunWrite), 2, "through-writes always hit the device");
+        // The resident frame absorbed the write: the next read hits and sees
+        // the new bytes.
+        disk.read_block(id, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(buf, [0x22; BS]);
+        let snap2 = disk.stats().snapshot();
+        assert_eq!(snap2.phys_reads(IoCat::RunRead), snap.phys_reads(IoCat::RunRead));
+    }
+
+    #[test]
+    fn write_back_coalesces_writes_until_flush() {
+        let disk = cached_disk(2, CachePolicy::Lru, WriteMode::Back);
+        let id = disk.alloc_block();
+        for round in 0..4u8 {
+            disk.write_block(id, &[round; BS], IoCat::RunWrite).unwrap();
+        }
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.writes(IoCat::RunWrite), 4);
+        assert_eq!(snap.phys_writes(IoCat::RunWrite), 0, "all four writes were absorbed");
+        disk.cache_flush_all().unwrap();
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.phys_writes(IoCat::RunWrite), 1, "one coalesced writeback");
+        assert_eq!(snap.total_cache_writebacks(), 1);
+        // Flushing a clean pool is free.
+        disk.cache_flush_all().unwrap();
+        assert_eq!(disk.stats().snapshot().phys_writes(IoCat::RunWrite), 1);
+        // The device (not just the frame) really holds the last value.
+        disk.disable_cache().unwrap();
+        let mut buf = [0u8; BS];
+        disk.read_block(id, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(buf, [3u8; BS]);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_victims_deterministically() {
+        let disk = cached_disk(1, CachePolicy::Lru, WriteMode::Back);
+        let a = disk.alloc_block();
+        let b = disk.alloc_block();
+        disk.write_block(a, &[0xAA; BS], IoCat::DataStack).unwrap();
+        // Loading b evicts a's dirty frame: exactly one physical write.
+        let mut buf = [0u8; BS];
+        disk.read_block(b, &mut buf, IoCat::DataStack).unwrap();
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.phys_writes(IoCat::DataStack), 1);
+        assert_eq!(snap.total_cache_evictions(), 1);
+        assert_eq!(snap.total_cache_writebacks(), 1);
+        // a's bytes survived the round trip.
+        disk.read_block(a, &mut buf, IoCat::DataStack).unwrap();
+        assert_eq!(buf, [0xAA; BS]);
+    }
+
+    #[test]
+    fn logical_counts_match_an_uncached_disk_exactly() {
+        let run = |disk: &Rc<Disk>| {
+            let ids: Vec<u64> = (0..3).map(|i| block_of(disk, i as u8)).collect();
+            let mut buf = [0u8; BS];
+            for _ in 0..3 {
+                for &id in &ids {
+                    disk.read_block(id, &mut buf, IoCat::RunRead).unwrap();
+                }
+            }
+            for &id in &ids {
+                disk.free_block(id).unwrap();
+            }
+        };
+        let plain = Disk::new_mem(BS);
+        run(&plain);
+        for policy in [CachePolicy::Lru, CachePolicy::Clock] {
+            for mode in [WriteMode::Through, WriteMode::Back] {
+                let cached = cached_disk(3, policy, mode);
+                run(&cached);
+                let p = plain.stats().snapshot();
+                let c = cached.stats().snapshot();
+                assert_eq!(p.reads(IoCat::RunRead), c.reads(IoCat::RunRead), "{policy}/{mode}");
+                assert_eq!(p.writes(IoCat::RunWrite), c.writes(IoCat::RunWrite), "{policy}/{mode}");
+                assert_eq!(p.grand_total(), c.grand_total(), "logical I/O is cache-invariant");
+                assert!(
+                    c.grand_total_physical() < c.grand_total(),
+                    "{policy}/{mode}: the pool must absorb some transfers"
+                );
+            }
+        }
+        // Uncached: physical mirrors logical exactly.
+        let p = plain.stats().snapshot();
+        assert_eq!(p.grand_total_physical(), p.grand_total());
+        assert_eq!(p.total_cache_hits() + p.total_cache_misses(), 0);
+    }
+
+    #[test]
+    fn pins_protect_frames_and_unpin_on_drop() {
+        let disk = cached_disk(1, CachePolicy::Clock, WriteMode::Through);
+        let a = block_of(&disk, 1);
+        let b = block_of(&disk, 2);
+        let guard = disk.pin(a, IoCat::SortScratch).unwrap();
+        assert_eq!(guard.block(), a);
+        guard.with(|data| assert_eq!(data, [1u8; BS]));
+        assert_eq!(guard.data()[0], 1);
+        // The single frame is pinned: loading b cannot find a victim.
+        let mut buf = [0u8; BS];
+        let err = disk.read_block(b, &mut buf, IoCat::SortScratch).unwrap_err();
+        assert!(matches!(err, ExtError::AllFramesPinned { frames: 1 }));
+        assert!(matches!(
+            disk.free_block(a),
+            Err(ExtError::FramePinned { block }) if block == a
+        ));
+        drop(guard);
+        disk.read_block(b, &mut buf, IoCat::SortScratch).unwrap();
+        assert_eq!(buf, [2u8; BS]);
+        disk.free_block(a).unwrap();
+    }
+
+    #[test]
+    fn pin_mut_commit_forces_a_writeback() {
+        let disk = cached_disk(2, CachePolicy::Lru, WriteMode::Through);
+        let a = block_of(&disk, 0);
+        let before = disk.stats().snapshot();
+        let guard = disk.pin_mut(a, IoCat::SortScratch).unwrap();
+        guard.data_mut().copy_from_slice(&[0x5A; BS]);
+        assert_eq!(guard.data()[BS - 1], 0x5A);
+        guard.commit().unwrap();
+        let snap = disk.stats().snapshot();
+        let d = snap.since(&before);
+        assert_eq!(d.reads(IoCat::SortScratch), 1, "a pin charges one logical read");
+        assert_eq!(d.writes(IoCat::SortScratch), 1, "a mutable pin charges one logical write");
+        assert_eq!(d.phys_writes(IoCat::SortScratch), 1, "commit wrote the frame back");
+        assert_eq!(d.total_cache_writebacks(), 1);
+        // The frame is clean and unpinned: eviction needs no second write.
+        let b = block_of(&disk, 1);
+        let c = block_of(&disk, 2);
+        let mut buf = [0u8; BS];
+        disk.read_block(b, &mut buf, IoCat::RunRead).unwrap();
+        disk.read_block(c, &mut buf, IoCat::RunRead).unwrap();
+        disk.read_block(a, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(buf, [0x5A; BS], "committed bytes survived eviction");
+    }
+
+    #[test]
+    fn pin_mut_dirty_frame_reaches_device_on_eviction() {
+        let disk = cached_disk(1, CachePolicy::Lru, WriteMode::Through);
+        let a = block_of(&disk, 0);
+        {
+            let guard = disk.pin_mut(a, IoCat::SortScratch).unwrap();
+            guard.data_mut()[0] = 0x77;
+        } // dropped without commit: frame stays dirty
+        let b = block_of(&disk, 1);
+        let mut buf = [0u8; BS];
+        // Loading b's frame evicts dirty a: that is the writeback.
+        disk.read_block(b, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(disk.stats().snapshot().total_cache_writebacks(), 1);
+        disk.read_block(a, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(buf[0], 0x77, "uncommitted pinned edit was written back on eviction");
+    }
+
+    #[test]
+    fn free_block_invalidates_stale_frames() {
+        let disk = cached_disk(2, CachePolicy::Lru, WriteMode::Back);
+        let a = disk.alloc_block();
+        disk.write_block(a, &[0xEE; BS], IoCat::DataStack).unwrap();
+        disk.free_block(a).unwrap();
+        // The dirty frame died with the block: no writeback ever happens.
+        disk.cache_flush_all().unwrap();
+        assert_eq!(disk.stats().snapshot().grand_total_physical(), 0);
+        // Reallocating the id sees the device's zeroed block, not stale bytes.
+        let b = disk.alloc_block();
+        assert_eq!(a, b, "MemDevice recycles the freed id");
+        let mut buf = [0xFFu8; BS];
+        disk.read_block(b, &mut buf, IoCat::DataStack).unwrap();
+        assert_eq!(buf, [0u8; BS]);
+    }
+
+    #[test]
+    fn cache_api_errors_and_introspection() {
+        let disk = Disk::new_mem(BS);
+        assert!(!disk.cache_enabled());
+        assert_eq!(disk.cache_capacity(), None);
+        assert!(matches!(disk.pin(0, IoCat::RunRead), Err(ExtError::CacheDisabled)));
+        assert!(matches!(disk.cache_flush(0), Err(ExtError::CacheDisabled)));
+        disk.cache_flush_all().unwrap(); // no-op without a pool
+        disk.disable_cache().unwrap(); // likewise
+
+        let budget = MemoryBudget::new(8);
+        disk.enable_cache(&budget, 3, CachePolicy::Clock, WriteMode::Back).unwrap();
+        assert!(disk.cache_enabled());
+        assert_eq!(disk.cache_capacity(), Some(3));
+        assert_eq!(disk.cache_policy_name(), Some("clock"));
+        assert_eq!(disk.cache_mode(), Some(WriteMode::Back));
+        assert_eq!(budget.used_frames(), 3);
+
+        let id = block_of(&disk, 9);
+        assert_eq!(disk.cache_resident(), 1);
+        let guard = disk.pin(id, IoCat::RunRead).unwrap();
+        assert!(matches!(disk.disable_cache(), Err(ExtError::FramePinned { .. })));
+        assert!(disk.cache_enabled(), "a failed disable leaves the pool up");
+        drop(guard);
+        disk.disable_cache().unwrap();
+        assert!(!disk.cache_enabled());
+        assert_eq!(budget.used_frames(), 0, "frames returned to the budget");
+        // The dirty frame was flushed on the way down.
+        let mut buf = [0u8; BS];
+        disk.read_block(id, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(buf, [9u8; BS]);
+    }
+
+    #[test]
+    fn budget_rejects_an_oversized_pool() {
+        let disk = Disk::new_mem(BS);
+        let budget = MemoryBudget::new(2);
+        let err = disk.enable_cache(&budget, 5, CachePolicy::Lru, WriteMode::Through).unwrap_err();
+        assert!(matches!(err, ExtError::BudgetExceeded { requested: 5, free: 2 }));
+        assert!(!disk.cache_enabled());
+    }
+
+    #[test]
+    fn writeback_failure_names_the_victim_block_and_phase() {
+        // The fourth physical write (index 3) fails on every attempt:
+        // writes 0-2 are block setup; write 3 is the eviction writeback,
+        // and the two retries land on indices 4 and 5.
+        let plan = FaultPlan::new(11)
+            .at_write(3, FaultKind::TransientError)
+            .at_write(4, FaultKind::TransientError)
+            .at_write(5, FaultKind::TransientError);
+        let (disk, _inj) = Disk::new_faulty(Box::new(MemDevice::new(BS)), plan);
+        disk.set_retry_policy(RetryPolicy::retries(2));
+        let budget = MemoryBudget::new(1);
+        disk.enable_cache(&budget, 1, CachePolicy::Lru, WriteMode::Back).unwrap();
+
+        let a = disk.alloc_block();
+        let b = disk.alloc_block();
+        // Three through-the-pool setup writes: a (miss), evict a -> phys
+        // write 0 is a's writeback... keep it simple: write a, flush, then
+        // dirty a again so the eviction triggered by reading b must write it.
+        disk.write_block(a, &[1; BS], IoCat::RunWrite).unwrap();
+        disk.cache_flush_all().unwrap(); // phys write 0
+        disk.write_block(b, &[2; BS], IoCat::RunWrite).unwrap(); // evicts a (clean)
+        disk.cache_flush_all().unwrap(); // phys write 1
+        disk.write_block(a, &[3; BS], IoCat::RunWrite).unwrap(); // evicts b (clean)... and dirties a
+        disk.cache_flush_all().unwrap(); // phys write 2
+        disk.write_block(a, &[4; BS], IoCat::RunWrite).unwrap(); // hit, dirty again
+
+        disk.set_phase(IoPhase::MergePass(1));
+        let mut buf = [0u8; BS];
+        // Loading b must evict dirty a; that writeback (phys write 3) is
+        // corrupted on every attempt, so the read of b fails with a's error.
+        let err = disk.read_block(b, &mut buf, IoCat::RunRead).unwrap_err();
+        assert!(matches!(err, ExtError::RetriesExhausted { attempts: 3, .. }), "{err}");
+        let failure = disk.last_failure().expect("failure recorded");
+        assert_eq!(failure.block, a, "the failure names the evicted block, not the one read");
+        assert_eq!(failure.cat, IoCat::RunWrite, "charged to the write that dirtied the frame");
+        assert!(!failure.is_read);
+        assert_eq!(failure.phase, IoPhase::MergePass(1));
+        // The victim stayed resident and dirty: its bytes are not lost.
+        disk.read_block(a, &mut buf, IoCat::RunRead).unwrap();
+        assert_eq!(buf, [4; BS]);
     }
 }

@@ -32,6 +32,13 @@ pub enum ExtError {
     /// A transfer kept failing after the retry policy's attempt budget.
     /// `last` is the error of the final attempt.
     RetriesExhausted { attempts: u32, last: Box<ExtError> },
+    /// A buffer-pool operation needed a block whose frame is pinned (e.g.
+    /// freeing a block while a `PinGuard` on it is alive).
+    FramePinned { block: u64 },
+    /// The buffer pool needed a victim frame but every frame is pinned.
+    AllFramesPinned { frames: usize },
+    /// A pin was requested on a disk whose buffer pool is not enabled.
+    CacheDisabled,
 }
 
 impl ExtError {
@@ -74,6 +81,15 @@ impl fmt::Display for ExtError {
             }
             ExtError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+            ExtError::FramePinned { block } => {
+                write!(f, "block {block} is pinned in the buffer pool")
+            }
+            ExtError::AllFramesPinned { frames } => {
+                write!(f, "all {frames} buffer-pool frames are pinned; cannot evict")
+            }
+            ExtError::CacheDisabled => {
+                write!(f, "buffer pool is not enabled on this disk")
             }
         }
     }
@@ -137,6 +153,19 @@ mod tests {
         assert!(e.to_string().contains('4') && e.to_string().contains("block 5"));
         let src = std::error::Error::source(&e).expect("chains to the last error");
         assert!(src.to_string().contains("block 5"));
+    }
+
+    #[test]
+    fn pool_variants_display() {
+        let s = ExtError::FramePinned { block: 4 }.to_string();
+        assert!(s.contains("pinned") && s.contains('4'));
+        let s = ExtError::AllFramesPinned { frames: 2 }.to_string();
+        assert!(s.contains("pinned") && s.contains('2'));
+        let s = ExtError::CacheDisabled.to_string();
+        assert!(s.contains("not enabled"));
+        assert!(!ExtError::FramePinned { block: 0 }.is_transient());
+        assert!(!ExtError::AllFramesPinned { frames: 0 }.is_transient());
+        assert!(!ExtError::CacheDisabled.is_transient());
     }
 
     #[test]

@@ -544,6 +544,31 @@ pub enum IoPhase {
     OutputEmit,
 }
 
+impl IoPhase {
+    /// Number of phase *classes* used for per-phase accounting (see
+    /// [`IoStats`](crate::IoStats)'s cache counters). All intermediate merge
+    /// passes share one class so the counter arrays stay fixed-size.
+    pub const NUM_CLASSES: usize = 6;
+
+    /// The index of this phase's class, in `0..NUM_CLASSES`.
+    pub fn class_index(self) -> usize {
+        match self {
+            IoPhase::Setup => 0,
+            IoPhase::InputScan => 1,
+            IoPhase::RunFormation => 2,
+            IoPhase::MergePass(_) => 3,
+            IoPhase::FinalMerge => 4,
+            IoPhase::OutputEmit => 5,
+        }
+    }
+
+    /// Stable report label of the class at `index` (see
+    /// [`IoPhase::class_index`]).
+    pub fn class_label(index: usize) -> &'static str {
+        ["setup", "input-scan", "run-formation", "merge-pass", "final-merge", "output-emit"][index]
+    }
+}
+
 impl fmt::Display for IoPhase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -718,5 +743,25 @@ mod tests {
         assert_eq!(IoPhase::RunFormation.to_string(), "run formation");
         assert_eq!(IoPhase::MergePass(3).to_string(), "merge pass 3");
         assert_eq!(IoPhase::default(), IoPhase::Setup);
+    }
+
+    #[test]
+    fn io_phase_classes_are_dense_and_merge_passes_collapse() {
+        let all = [
+            IoPhase::Setup,
+            IoPhase::InputScan,
+            IoPhase::RunFormation,
+            IoPhase::MergePass(1),
+            IoPhase::FinalMerge,
+            IoPhase::OutputEmit,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for p in all {
+            let i = p.class_index();
+            assert!(i < IoPhase::NUM_CLASSES);
+            assert!(seen.insert(i), "duplicate class for {p}");
+            assert!(!IoPhase::class_label(i).is_empty());
+        }
+        assert_eq!(IoPhase::MergePass(1).class_index(), IoPhase::MergePass(9).class_index());
     }
 }

@@ -5,6 +5,12 @@
 //! degeneration optimization to combine incomplete runs) merges up to
 //! `m - 1` sorted runs per pass. This module provides the merging engine: a
 //! binary heap of stream heads driven by a caller-supplied comparator.
+//!
+//! The merger is device-agnostic; when its streams read runs through a
+//! [`Disk`](crate::Disk) with a buffer pool enabled, fan-in block fetches
+//! that hit resident frames cost no physical I/O and the merged output is
+//! identical (the pool changes *where* bytes come from, never *what* they
+//! are).
 
 use std::cmp::Ordering;
 
@@ -210,6 +216,75 @@ mod tests {
         assert_eq!(m.next_merged().unwrap(), Some((20, 1)));
         assert_eq!(m.next_merged().unwrap(), None);
         assert_eq!(m.next_merged().unwrap(), None, "exhausted merger stays exhausted");
+    }
+}
+
+#[cfg(test)]
+mod pooled_tests {
+    use super::*;
+    use crate::budget::MemoryBudget;
+    use crate::device::Disk;
+    use crate::error::ExtError;
+    use crate::extent::{ByteReader, ByteSink, ExtentReader, ExtentWriter};
+    use crate::pool::{CachePolicy, WriteMode};
+    use crate::stats::IoCat;
+    use std::rc::Rc;
+
+    /// A sorted run of little-endian u32s streamed from an extent.
+    struct U32RunStream {
+        r: ExtentReader,
+    }
+
+    impl MergeStream for U32RunStream {
+        type Item = u32;
+
+        fn next_item(&mut self) -> Result<Option<u32>> {
+            let mut b = [0u8; 4];
+            match self.r.read_exact(&mut b) {
+                Ok(()) => Ok(Some(u32::from_le_bytes(b))),
+                Err(ExtError::UnexpectedEof { .. }) => Ok(None),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    fn merge_on(disk: &Rc<Disk>) -> Vec<u32> {
+        let budget = MemoryBudget::new(8);
+        let runs: [Vec<u32>; 2] =
+            [(0..64).map(|i| 2 * i).collect(), (0..64).map(|i| 2 * i + 1).collect()];
+        let mut streams = Vec::new();
+        for run in &runs {
+            let mut w = ExtentWriter::new(disk.clone(), &budget, IoCat::RunWrite).unwrap();
+            for v in run {
+                w.write_all(&v.to_le_bytes()).unwrap();
+            }
+            let ext = w.finish().unwrap();
+            let r = ExtentReader::new(disk.clone(), &budget, &ext, IoCat::RunRead).unwrap();
+            streams.push(U32RunStream { r });
+        }
+        KWayMerger::new(streams, |a: &u32, b: &u32| a.cmp(b)).unwrap().collect_all().unwrap()
+    }
+
+    #[test]
+    fn pooled_merge_is_bitwise_identical_and_cheaper_physically() {
+        let plain = Disk::new_mem(32);
+        let expect = merge_on(&plain);
+        assert_eq!(expect, (0..128).collect::<Vec<u32>>());
+        for policy in [CachePolicy::Lru, CachePolicy::Clock] {
+            let cached = Disk::new_mem(32);
+            let cache_budget = MemoryBudget::new(16);
+            cached.enable_cache(&cache_budget, 16, policy, WriteMode::Back).unwrap();
+            let got = merge_on(&cached);
+            assert_eq!(got, expect, "{policy}: the pool must not change merge output");
+            let p = plain.stats().snapshot();
+            let c = cached.stats().snapshot();
+            assert_eq!(p.reads(IoCat::RunRead), c.reads(IoCat::RunRead), "{policy}");
+            assert_eq!(p.writes(IoCat::RunWrite), c.writes(IoCat::RunWrite), "{policy}");
+            assert!(
+                c.phys_reads(IoCat::RunRead) < c.reads(IoCat::RunRead),
+                "{policy}: fan-in reads must hit frames still warm from the run build"
+            );
+        }
     }
 }
 

@@ -20,7 +20,11 @@
 //! * [`KWayMerger`]: the merging engine for external merge sort;
 //! * [`FaultyDevice`] / [`ChecksummedDevice`] / [`RetryPolicy`]: deterministic
 //!   fault injection, corruption detection, and transparent retry of
-//!   transient failures (see the [`fault`](crate::FaultPlan) types).
+//!   transient failures (see the [`fault`](crate::FaultPlan) types);
+//! * the pinning buffer pool ([`Disk::enable_cache`], [`PinGuard`],
+//!   [`CachePolicy`], [`WriteMode`]): an optional page cache between the
+//!   accounting layer and the device, so *physical* transfers can drop below
+//!   the *logical* transfers the paper's analysis counts.
 //!
 //! Everything here is deliberately single-threaded (`Rc`/`Cell`), matching
 //! the sequential I/O model the paper analyses.
@@ -33,6 +37,7 @@ mod error;
 mod extent;
 mod fault;
 mod kway;
+mod pool;
 mod run_store;
 mod stack;
 mod stats;
@@ -48,6 +53,9 @@ pub use fault::{
     IoPhase, RetryPolicy,
 };
 pub use kway::{KWayMerger, MergeStream, VecStream};
+pub use pool::{
+    CachePolicy, ClockPolicy, EvictionPolicy, LruPolicy, PinGuard, PinMutGuard, WriteMode,
+};
 pub use run_store::{RunId, RunStore, RunWriter};
 pub use stack::ExtStack;
-pub use stats::{IoCat, IoSnapshot, IoStats};
+pub use stats::{CacheEvent, IoCat, IoSnapshot, IoStats};

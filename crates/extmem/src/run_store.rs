@@ -4,6 +4,9 @@
 //! subtree into a *sorted run* on disk, leaving behind a pointer; the runs
 //! form a tree (Figure 3) that the output phase traverses depth-first. The
 //! [`RunStore`] owns the runs' extents and hands out accounting cursors.
+//! Run I/O flows through [`Disk`], so an enabled buffer pool serves re-reads
+//! of hot run pages (e.g. the heads of merge fan-in runs) from memory, and
+//! discarding a run invalidates its cached frames before the blocks recycle.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -185,6 +188,35 @@ mod tests {
         w.write_all(&vec![3u8; 320]).unwrap();
         w.finish().unwrap();
         assert_eq!(disk.num_blocks(), blocks_before);
+    }
+
+    #[test]
+    fn warm_pool_serves_run_rereads_without_physical_io() {
+        let disk = Disk::new_mem(32);
+        let cache_budget = MemoryBudget::new(8);
+        disk.enable_cache(&cache_budget, 8, crate::CachePolicy::Clock, crate::WriteMode::Back)
+            .unwrap();
+        let budget = MemoryBudget::new(8);
+        let store = RunStore::new(disk.clone());
+        let mut w = store.create(&budget, IoCat::RunWrite).unwrap();
+        w.write_all(&[5u8; 100]).unwrap(); // 4 blocks
+        let id = w.finish().unwrap();
+        // Write-back: the whole run is still resident in the pool.
+        for _ in 0..2 {
+            let mut r = store.open(id, &budget, IoCat::RunRead).unwrap();
+            let mut buf = vec![0u8; 100];
+            r.read_exact(&mut buf).unwrap();
+            assert_eq!(buf, vec![5u8; 100]);
+        }
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.reads(IoCat::RunRead), 8, "two logical passes over 4 blocks");
+        assert_eq!(snap.phys_reads(IoCat::RunRead), 0, "both passes hit the pool");
+        assert_eq!(snap.phys_writes(IoCat::RunWrite), 0, "write-back absorbed the run build");
+        // Discarding the run drops its dirty frames along with the blocks:
+        // nothing is ever written back for a dead run.
+        store.discard(id).unwrap();
+        disk.cache_flush_all().unwrap();
+        assert_eq!(disk.stats().snapshot().grand_total_physical(), 0);
     }
 
     #[test]

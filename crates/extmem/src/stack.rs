@@ -14,6 +14,11 @@
 //!   the frame is dirty;
 //! * replacement prefers frames *above* the access point (their contents have
 //!   been consumed), else the deepest frame (top-of-stack blocks stay hot).
+//!
+//! All paging goes through [`Disk::read_block`] / [`Disk::write_block`], so
+//! when the disk has a buffer pool enabled ([`Disk::enable_cache`]) the
+//! stack's repaging of hot boundary blocks is absorbed by the pool: logical
+//! counts (the lemmas' quantities) are unchanged, physical transfers shrink.
 
 use std::rc::Rc;
 
@@ -409,5 +414,41 @@ mod tests {
         s.flush().unwrap(); // nothing dirty: free
         let w2 = disk.stats().snapshot().writes(IoCat::DataStack);
         assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn boundary_ping_pong_repaging_is_absorbed_by_a_buffer_pool() {
+        // A pop/push cycle straddling a block boundary with one resident
+        // frame repages the boundary block every cycle (the "+x" term of
+        // Lemma 4.10). A pool absorbs those re-reads: logical paging -- the
+        // lemma's quantity -- is identical, physical paging shrinks.
+        let run = |disk: &Rc<Disk>| {
+            let budget = MemoryBudget::new(2);
+            let mut s = ExtStack::new(disk.clone(), &budget, IoCat::DataStack, 1).unwrap();
+            s.push(&[7u8; 34]).unwrap(); // bs=16: two full blocks + 2 bytes
+            for _ in 0..8 {
+                assert_eq!(s.pop(4).unwrap(), [7u8; 4]);
+                s.push(&[7u8; 4]).unwrap();
+            }
+            assert_eq!(s.pop(34).unwrap(), [7u8; 34]);
+        };
+        let plain = Disk::new_mem(16);
+        run(&plain);
+        let cached = Disk::new_mem(16);
+        let cache_budget = MemoryBudget::new(4);
+        cached
+            .enable_cache(&cache_budget, 4, crate::CachePolicy::Lru, crate::WriteMode::Through)
+            .unwrap();
+        run(&cached);
+        let p = plain.stats().snapshot();
+        let c = cached.stats().snapshot();
+        assert_eq!(p.reads(IoCat::DataStack), c.reads(IoCat::DataStack));
+        assert_eq!(p.writes(IoCat::DataStack), c.writes(IoCat::DataStack));
+        assert!(
+            c.phys_reads(IoCat::DataStack) < c.reads(IoCat::DataStack),
+            "boundary re-reads must hit the pool: {} phys vs {} logical",
+            c.phys_reads(IoCat::DataStack),
+            c.reads(IoCat::DataStack)
+        );
     }
 }

@@ -11,6 +11,8 @@ use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::fault::IoPhase;
+
 /// The purpose of a block transfer, mirroring the cost breakdown in
 /// Section 4.2 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -88,13 +90,37 @@ impl fmt::Display for IoCat {
 }
 
 const NCATS: usize = 9;
+const NPHASES: usize = IoPhase::NUM_CLASSES;
+
+/// A buffer-pool event recorded against the current [`IoPhase`]; see
+/// [`IoStats::add_cache_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A lookup served from a resident frame (no physical transfer).
+    Hit,
+    /// A lookup that had to go to the device.
+    Miss,
+    /// A frame was evicted to make room.
+    Eviction,
+    /// A dirty frame's contents were written back to the device.
+    DirtyWriteback,
+}
 
 #[derive(Default)]
 struct Counters {
     reads: [Cell<u64>; NCATS],
     writes: [Cell<u64>; NCATS],
+    // Physical transfers: what actually reached the device. Equal to the
+    // logical counts above unless a buffer pool absorbs or defers some.
+    phys_reads: [Cell<u64>; NCATS],
+    phys_writes: [Cell<u64>; NCATS],
     retries: [Cell<u64>; NCATS],
     backoff_units: Cell<u64>,
+    // Buffer-pool events, bucketed by IoPhase class.
+    cache_hits: [Cell<u64>; NPHASES],
+    cache_misses: [Cell<u64>; NPHASES],
+    cache_evictions: [Cell<u64>; NPHASES],
+    cache_writebacks: [Cell<u64>; NPHASES],
 }
 
 /// Shared, cheaply-clonable I/O counters.
@@ -124,6 +150,20 @@ impl IoStats {
         c.set(c.get() + n);
     }
 
+    /// Record `n` *physical* block reads in category `cat` -- transfers that
+    /// actually reached the device. The [`Disk`](crate::Disk) charges one per
+    /// device read; a buffer-pool hit charges the logical read only.
+    pub fn add_phys_reads(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.phys_reads[cat.index()];
+        c.set(c.get() + n);
+    }
+
+    /// Record `n` physical block writes in category `cat`.
+    pub fn add_phys_writes(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.phys_writes[cat.index()];
+        c.set(c.get() + n);
+    }
+
     /// Roll back `n` block reads from `cat` (saturating). Used to make
     /// harness setup work (staging inputs) invisible to measurements.
     pub fn sub_reads(&self, cat: IoCat, n: u64) {
@@ -135,6 +175,30 @@ impl IoStats {
     pub fn sub_writes(&self, cat: IoCat, n: u64) {
         let c = &self.inner.writes[cat.index()];
         c.set(c.get().saturating_sub(n));
+    }
+
+    /// Roll back `n` physical block reads from `cat` (saturating).
+    pub fn sub_phys_reads(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.phys_reads[cat.index()];
+        c.set(c.get().saturating_sub(n));
+    }
+
+    /// Roll back `n` physical block writes from `cat` (saturating).
+    pub fn sub_phys_writes(&self, cat: IoCat, n: u64) {
+        let c = &self.inner.phys_writes[cat.index()];
+        c.set(c.get().saturating_sub(n));
+    }
+
+    /// Record one buffer-pool `event` against the class of `phase`.
+    pub fn add_cache_event(&self, phase: IoPhase, event: CacheEvent) {
+        let i = phase.class_index();
+        let c = match event {
+            CacheEvent::Hit => &self.inner.cache_hits[i],
+            CacheEvent::Miss => &self.inner.cache_misses[i],
+            CacheEvent::Eviction => &self.inner.cache_evictions[i],
+            CacheEvent::DirtyWriteback => &self.inner.cache_writebacks[i],
+        };
+        c.set(c.get() + 1);
     }
 
     /// Record `n` retried transfer attempts in category `cat`. Retries are
@@ -178,6 +242,16 @@ impl IoStats {
         self.inner.writes[cat.index()].get()
     }
 
+    /// Physical block reads charged to `cat` so far.
+    pub fn phys_reads(&self, cat: IoCat) -> u64 {
+        self.inner.phys_reads[cat.index()].get()
+    }
+
+    /// Physical block writes charged to `cat` so far.
+    pub fn phys_writes(&self, cat: IoCat) -> u64 {
+        self.inner.phys_writes[cat.index()].get()
+    }
+
     /// Reads + writes charged to `cat`.
     pub fn total(&self, cat: IoCat) -> u64 {
         self.reads(cat) + self.writes(cat)
@@ -188,12 +262,25 @@ impl IoStats {
         IoCat::ALL.iter().map(|&c| self.total(c)).sum()
     }
 
+    /// Grand total of *physical* transfers across all categories.
+    pub fn grand_total_physical(&self) -> u64 {
+        IoCat::ALL.iter().map(|&c| self.phys_reads(c) + self.phys_writes(c)).sum()
+    }
+
     /// Reset every counter to zero.
     pub fn reset(&self) {
         for i in 0..NCATS {
             self.inner.reads[i].set(0);
             self.inner.writes[i].set(0);
+            self.inner.phys_reads[i].set(0);
+            self.inner.phys_writes[i].set(0);
             self.inner.retries[i].set(0);
+        }
+        for i in 0..NPHASES {
+            self.inner.cache_hits[i].set(0);
+            self.inner.cache_misses[i].set(0);
+            self.inner.cache_evictions[i].set(0);
+            self.inner.cache_writebacks[i].set(0);
         }
         self.inner.backoff_units.set(0);
     }
@@ -202,13 +289,38 @@ impl IoStats {
     pub fn snapshot(&self) -> IoSnapshot {
         let mut reads = [0u64; NCATS];
         let mut writes = [0u64; NCATS];
+        let mut phys_reads = [0u64; NCATS];
+        let mut phys_writes = [0u64; NCATS];
         let mut retries = [0u64; NCATS];
         for i in 0..NCATS {
             reads[i] = self.inner.reads[i].get();
             writes[i] = self.inner.writes[i].get();
+            phys_reads[i] = self.inner.phys_reads[i].get();
+            phys_writes[i] = self.inner.phys_writes[i].get();
             retries[i] = self.inner.retries[i].get();
         }
-        IoSnapshot { reads, writes, retries, backoff_units: self.inner.backoff_units.get() }
+        let mut cache_hits = [0u64; NPHASES];
+        let mut cache_misses = [0u64; NPHASES];
+        let mut cache_evictions = [0u64; NPHASES];
+        let mut cache_writebacks = [0u64; NPHASES];
+        for i in 0..NPHASES {
+            cache_hits[i] = self.inner.cache_hits[i].get();
+            cache_misses[i] = self.inner.cache_misses[i].get();
+            cache_evictions[i] = self.inner.cache_evictions[i].get();
+            cache_writebacks[i] = self.inner.cache_writebacks[i].get();
+        }
+        IoSnapshot {
+            reads,
+            writes,
+            phys_reads,
+            phys_writes,
+            retries,
+            backoff_units: self.inner.backoff_units.get(),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_writebacks,
+        }
     }
 }
 
@@ -223,8 +335,14 @@ impl fmt::Debug for IoStats {
 pub struct IoSnapshot {
     reads: [u64; NCATS],
     writes: [u64; NCATS],
+    phys_reads: [u64; NCATS],
+    phys_writes: [u64; NCATS],
     retries: [u64; NCATS],
     backoff_units: u64,
+    cache_hits: [u64; NPHASES],
+    cache_misses: [u64; NPHASES],
+    cache_evictions: [u64; NPHASES],
+    cache_writebacks: [u64; NPHASES],
 }
 
 impl IoSnapshot {
@@ -236,6 +354,93 @@ impl IoSnapshot {
     /// Block writes charged to `cat` in this snapshot.
     pub fn writes(&self, cat: IoCat) -> u64 {
         self.writes[cat.index()]
+    }
+
+    /// Physical block reads charged to `cat` in this snapshot.
+    pub fn phys_reads(&self, cat: IoCat) -> u64 {
+        self.phys_reads[cat.index()]
+    }
+
+    /// Physical block writes charged to `cat` in this snapshot.
+    pub fn phys_writes(&self, cat: IoCat) -> u64 {
+        self.phys_writes[cat.index()]
+    }
+
+    /// Physical reads across all categories.
+    pub fn total_phys_reads(&self) -> u64 {
+        self.phys_reads.iter().sum()
+    }
+
+    /// Physical writes across all categories.
+    pub fn total_phys_writes(&self) -> u64 {
+        self.phys_writes.iter().sum()
+    }
+
+    /// Grand total of physical transfers.
+    pub fn grand_total_physical(&self) -> u64 {
+        self.total_phys_reads() + self.total_phys_writes()
+    }
+
+    /// Logical reads across all categories.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Logical writes across all categories.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Buffer-pool hits recorded in the class of `phase`.
+    pub fn cache_hits_in(&self, phase: IoPhase) -> u64 {
+        self.cache_hits[phase.class_index()]
+    }
+
+    /// Buffer-pool misses recorded in the class of `phase`.
+    pub fn cache_misses_in(&self, phase: IoPhase) -> u64 {
+        self.cache_misses[phase.class_index()]
+    }
+
+    /// Buffer-pool evictions recorded in the class of `phase`.
+    pub fn cache_evictions_in(&self, phase: IoPhase) -> u64 {
+        self.cache_evictions[phase.class_index()]
+    }
+
+    /// Dirty writebacks recorded in the class of `phase`.
+    pub fn cache_writebacks_in(&self, phase: IoPhase) -> u64 {
+        self.cache_writebacks[phase.class_index()]
+    }
+
+    /// Buffer-pool hits across all phases.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.cache_hits.iter().sum()
+    }
+
+    /// Buffer-pool misses across all phases.
+    pub fn total_cache_misses(&self) -> u64 {
+        self.cache_misses.iter().sum()
+    }
+
+    /// Buffer-pool evictions across all phases.
+    pub fn total_cache_evictions(&self) -> u64 {
+        self.cache_evictions.iter().sum()
+    }
+
+    /// Dirty writebacks across all phases.
+    pub fn total_cache_writebacks(&self) -> u64 {
+        self.cache_writebacks.iter().sum()
+    }
+
+    /// Hit ratio of the buffer pool, or `None` when it saw no lookups.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let hits = self.total_cache_hits();
+        let lookups = hits + self.total_cache_misses();
+        if lookups == 0 {
+            None
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            Some(hits as f64 / lookups as f64)
+        }
     }
 
     /// Retried transfer attempts charged to `cat` in this snapshot.
@@ -269,7 +474,17 @@ impl IoSnapshot {
         for i in 0..NCATS {
             out.reads[i] = out.reads[i].saturating_sub(earlier.reads[i]);
             out.writes[i] = out.writes[i].saturating_sub(earlier.writes[i]);
+            out.phys_reads[i] = out.phys_reads[i].saturating_sub(earlier.phys_reads[i]);
+            out.phys_writes[i] = out.phys_writes[i].saturating_sub(earlier.phys_writes[i]);
             out.retries[i] = out.retries[i].saturating_sub(earlier.retries[i]);
+        }
+        for i in 0..NPHASES {
+            out.cache_hits[i] = out.cache_hits[i].saturating_sub(earlier.cache_hits[i]);
+            out.cache_misses[i] = out.cache_misses[i].saturating_sub(earlier.cache_misses[i]);
+            out.cache_evictions[i] =
+                out.cache_evictions[i].saturating_sub(earlier.cache_evictions[i]);
+            out.cache_writebacks[i] =
+                out.cache_writebacks[i].saturating_sub(earlier.cache_writebacks[i]);
         }
         out.backoff_units = out.backoff_units.saturating_sub(earlier.backoff_units);
         out
@@ -289,6 +504,11 @@ impl fmt::Debug for IoSnapshot {
         }
         if self.backoff_units > 0 {
             d.field("backoff_units", &self.backoff_units);
+        }
+        if self.total_cache_hits() + self.total_cache_misses() > 0 {
+            d.field("cache_hits", &self.total_cache_hits());
+            d.field("cache_misses", &self.total_cache_misses());
+            d.field("physical", &self.grand_total_physical());
         }
         d.finish()
     }
@@ -310,6 +530,30 @@ impl fmt::Display for IoSnapshot {
             }
         }
         write!(f, "{:<14} {:>12} {:>12} {:>12}", "TOTAL", "", "", self.grand_total())?;
+        // Pool lines appear only when a buffer pool was in play, keeping the
+        // report byte-identical to the uncached substrate otherwise.
+        if self.total_cache_hits() + self.total_cache_misses() > 0
+            || self.grand_total_physical() != self.grand_total()
+        {
+            write!(
+                f,
+                "\n{:<14} {:>12} {:>12} {:>12}",
+                "PHYSICAL",
+                self.total_phys_reads(),
+                self.total_phys_writes(),
+                self.grand_total_physical()
+            )?;
+            let ratio = self.cache_hit_ratio().unwrap_or(0.0) * 100.0;
+            write!(
+                f,
+                "\n{:<14} {:>12} hits / {} misses ({ratio:.1}% hit ratio), {} evictions, {} writebacks",
+                "CACHE",
+                self.total_cache_hits(),
+                self.total_cache_misses(),
+                self.total_cache_evictions(),
+                self.total_cache_writebacks()
+            )?;
+        }
         if self.total_retries() > 0 || self.backoff_units > 0 {
             write!(
                 f,
@@ -402,6 +646,69 @@ mod tests {
         s.reset();
         assert_eq!(s.total_retries(), 0);
         assert_eq!(s.backoff_units(), 0);
+    }
+
+    #[test]
+    fn physical_counters_are_independent_of_logical_ones() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::RunRead, 10);
+        s.add_phys_reads(IoCat::RunRead, 4);
+        s.add_writes(IoCat::RunWrite, 6);
+        s.add_phys_writes(IoCat::RunWrite, 6);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads(IoCat::RunRead), 10);
+        assert_eq!(snap.phys_reads(IoCat::RunRead), 4);
+        assert_eq!(snap.grand_total(), 16);
+        assert_eq!(snap.grand_total_physical(), 10);
+        // Physical counters never leak into the paper's logical quantity.
+        s.sub_phys_reads(IoCat::RunRead, 100);
+        assert_eq!(s.snapshot().grand_total_physical(), 6);
+        assert_eq!(s.snapshot().grand_total(), 16);
+        s.reset();
+        assert_eq!(s.snapshot().grand_total_physical(), 0);
+    }
+
+    #[test]
+    fn cache_events_bucket_by_phase_class_and_diff() {
+        let s = IoStats::new();
+        s.add_cache_event(IoPhase::RunFormation, CacheEvent::Hit);
+        s.add_cache_event(IoPhase::MergePass(1), CacheEvent::Hit);
+        s.add_cache_event(IoPhase::MergePass(2), CacheEvent::Miss);
+        s.add_cache_event(IoPhase::MergePass(2), CacheEvent::Eviction);
+        s.add_cache_event(IoPhase::OutputEmit, CacheEvent::DirtyWriteback);
+        let before = s.snapshot();
+        assert_eq!(before.cache_hits_in(IoPhase::RunFormation), 1);
+        // Merge passes share one class.
+        assert_eq!(before.cache_hits_in(IoPhase::MergePass(7)), 1);
+        assert_eq!(before.cache_misses_in(IoPhase::MergePass(1)), 1);
+        assert_eq!(before.cache_evictions_in(IoPhase::MergePass(1)), 1);
+        assert_eq!(before.cache_writebacks_in(IoPhase::OutputEmit), 1);
+        assert_eq!(before.total_cache_hits(), 2);
+        assert_eq!(before.cache_hit_ratio(), Some(2.0 / 3.0));
+        s.add_cache_event(IoPhase::FinalMerge, CacheEvent::Hit);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.total_cache_hits(), 1);
+        assert_eq!(delta.total_cache_misses(), 0);
+        // Cache events are not transfers.
+        assert_eq!(delta.grand_total(), 0);
+        s.reset();
+        assert_eq!(s.snapshot().cache_hit_ratio(), None);
+    }
+
+    #[test]
+    fn display_reports_cache_lines_only_when_a_pool_was_active() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::InputRead, 2);
+        s.add_phys_reads(IoCat::InputRead, 2);
+        let plain = s.snapshot().to_string();
+        assert!(!plain.contains("CACHE"), "{plain}");
+        assert!(!plain.contains("PHYSICAL"), "{plain}");
+        s.add_reads(IoCat::InputRead, 1);
+        s.add_cache_event(IoPhase::InputScan, CacheEvent::Hit);
+        let cached = s.snapshot().to_string();
+        assert!(cached.contains("CACHE"), "{cached}");
+        assert!(cached.contains("PHYSICAL"), "{cached}");
+        assert!(cached.contains("hit ratio"), "{cached}");
     }
 
     #[test]

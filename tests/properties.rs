@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use nexsort::{Nexsort, NexsortOptions};
 use nexsort_baseline::{sorted_dom, stage_input};
-use nexsort_extmem::{Disk, ExtStack, IoCat, MemoryBudget};
+use nexsort_extmem::{Disk, ExtStack, FrameGuard, IoCat, MemoryBudget};
 use nexsort_xml::{
     events_to_dom, parse_dom, parse_events, Element, KeyRule, KeyValue, SortSpec, XNode,
 };
@@ -272,6 +272,100 @@ fn doc_to_sorted_recs(
     let mut dict = nexsort_xml::TagDict::new();
     let recs = nexsort_xml::events_to_recs(&events, spec, &mut dict, true).unwrap();
     (recs, dict)
+}
+
+// ---------- MemoryBudget RAII guards ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reservations within the budget succeed, over-reservations are
+    /// rejected without corrupting the accounting, and every dropped guard
+    /// returns exactly its frames.
+    #[test]
+    fn budget_guards_account_exactly(
+        total in 1usize..64,
+        requests in prop::collection::vec(1usize..24, 1..16),
+    ) {
+        let budget = MemoryBudget::new(total);
+        let mut held: Vec<FrameGuard> = Vec::new();
+        let mut used = 0usize;
+        let mut high = 0usize;
+        for n in requests {
+            match budget.reserve(n) {
+                Ok(g) => {
+                    prop_assert!(used + n <= total, "over-reservation accepted");
+                    prop_assert_eq!(g.frames(), n);
+                    used += n;
+                    high = high.max(used);
+                    held.push(g);
+                }
+                Err(e) => {
+                    prop_assert!(used + n > total, "rejected a fitting request: {e}");
+                }
+            }
+            prop_assert_eq!(budget.used_frames(), used); // failed reserves must not leak
+            prop_assert_eq!(budget.free_frames(), total - used);
+            prop_assert_eq!(budget.high_water_frames(), high);
+        }
+        while let Some(g) = held.pop() {
+            used -= g.frames();
+            drop(g);
+            prop_assert_eq!(budget.used_frames(), used);
+        }
+        prop_assert_eq!(budget.used_frames(), 0);
+        // High water survives releases: the post-hoc M verification.
+        prop_assert_eq!(budget.high_water_frames(), high);
+    }
+
+    /// The high-water mark never decreases under any interleaving of
+    /// reserves, early partial releases, and drops -- and always brackets
+    /// the current usage.
+    #[test]
+    fn budget_high_water_is_monotone(
+        ops in prop::collection::vec((any::<bool>(), 1usize..8), 1..40),
+    ) {
+        let budget = MemoryBudget::new(16);
+        let mut held: Vec<FrameGuard> = Vec::new();
+        let mut last_high = 0usize;
+        for (acquire, n) in ops {
+            if acquire {
+                if let Ok(g) = budget.reserve(n) {
+                    held.push(g);
+                }
+            } else if let Some(mut g) = held.pop() {
+                g.release(n.min(g.frames())); // partial early release, then drop
+            }
+            let high = budget.high_water_frames();
+            prop_assert!(high >= last_high, "high water decreased: {last_high} -> {high}");
+            prop_assert!(high >= budget.used_frames());
+            prop_assert!(high <= budget.total_frames());
+            last_high = high;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Frames come back even when the guard goes out of scope by panic
+    /// (the RAII drop runs during unwinding).
+    #[test]
+    fn budget_frames_survive_panics(n in 1usize..16) {
+        let budget = MemoryBudget::new(16);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = budget.reserve(n).unwrap();
+            assert_eq!(budget.used_frames(), n);
+            panic!("unwound with a live reservation");
+        }));
+        std::panic::set_hook(hook);
+        prop_assert!(result.is_err());
+        prop_assert_eq!(budget.used_frames(), 0); // a panic must not leak frames
+        prop_assert_eq!(budget.free_frames(), 16);
+        prop_assert_eq!(budget.high_water_frames(), n); // high water still recorded
+    }
 }
 
 proptest! {
