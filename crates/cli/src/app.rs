@@ -7,7 +7,7 @@ use nexsort::{Nexsort, NexsortOptions, SortedDoc};
 use nexsort_baseline::{sort_xml_extent, stage_input, BaselineOptions};
 use nexsort_extmem::{
     BlockDevice, CachePolicy, Disk, Extent, FaultInjector, FaultPlan, FileDevice, MemDevice,
-    MemoryBudget, RetryPolicy, WriteMode,
+    MemoryBudget, RetryPolicy, SchedConfig, WriteMode,
 };
 use nexsort_merge::{BatchUpdate, MergeOptions, StructuralMerge};
 use nexsort_xml::SortSpec;
@@ -73,6 +73,14 @@ pub struct Cli {
     /// Write-back caching (coalesce writes in the pool) instead of the
     /// default write-through.
     pub write_back: bool,
+    /// I/O scheduler workers (0 = fully synchronous, the paper's model).
+    pub io_workers: usize,
+    /// Sequential read-ahead depth in blocks (needs workers and a cache).
+    pub prefetch_depth: usize,
+    /// Defer physical writes to the scheduler's write-behind queue.
+    pub write_behind: bool,
+    /// Stripe the block device round-robin over N backing devices.
+    pub stripe: usize,
     /// The ordering criterion.
     pub spec: SortSpec,
 }
@@ -165,6 +173,16 @@ BUFFER POOL (a pinning page cache between the sorter and the device):
       --write-back      coalesce repeated writes in the pool; the default
                         write-through keeps the device current on every write
 
+I/O SCHEDULER (asynchronous read-ahead / write-behind in deterministic
+virtual time; sorted bytes and logical I/O counts never change):
+      --io-workers N    modeled I/O workers (default: 0 = synchronous)
+      --prefetch-depth N  sequential read-ahead in blocks (default: 0;
+                        needs --io-workers >= 1 and --cache-frames > 0)
+      --write-behind    defer writes to a bounded background queue, drained
+                        at run/output barriers
+      --stripe N        stripe the device round-robin over N backing devices
+                        (default: 1; with --device FILE, uses FILE.0..FILE.N-1)
+
 FAULT INJECTION (deterministic; the device checksums every block):
       --fault-rate P    transient I/O error probability per transfer (0..1)
       --fault-flips P   bit-corruption probability per transfer (0..1)
@@ -212,6 +230,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cache_frames = 0usize;
     let mut cache_policy = CachePolicy::Lru;
     let mut write_back = false;
+    let mut io_workers = 0usize;
+    let mut prefetch_depth = 0usize;
+    let mut write_behind = false;
+    let mut stripe = 1usize;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -284,6 +306,25 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--cache-policy" => cache_policy = next_value(&mut it, arg)?.parse()?,
             "--write-back" => write_back = true,
+            "--io-workers" => {
+                io_workers = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--io-workers needs a nonnegative integer".to_string())?
+            }
+            "--prefetch-depth" => {
+                prefetch_depth = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--prefetch-depth needs a nonnegative integer".to_string())?
+            }
+            "--write-behind" => write_behind = true,
+            "--stripe" => {
+                stripe = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--stripe needs a positive integer".to_string())?;
+                if stripe == 0 {
+                    return Err("--stripe must be at least 1".into());
+                }
+            }
             "--pretty" => pretty = true,
             "--stats" => stats = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -337,6 +378,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         cache_frames,
         cache_policy,
         write_back,
+        io_workers,
+        prefetch_depth,
+        write_behind,
+        stripe,
         spec,
     })
 }
@@ -345,39 +390,82 @@ fn mem_frames(cli: &Cli) -> usize {
     ((cli.mem_bytes / cli.block_size).max(NexsortOptions::MIN_MEM_FRAMES as u64)) as usize
 }
 
-fn make_disk(cli: &Cli) -> Result<(Rc<Disk>, Option<FaultInjector>), String> {
-    let (disk, injector) = if !cli.faults_enabled() {
-        let disk = match &cli.device {
-            Some(path) => Disk::new_file(path, cli.block_size as usize)
-                .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
-            None => Disk::new_mem(cli.block_size as usize),
+/// The `i`-th backing file of a striped `--device FILE`: `FILE.i`.
+fn stripe_path(path: &Path, i: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{i}"));
+    PathBuf::from(os)
+}
+
+fn make_disk(cli: &Cli) -> Result<(Rc<Disk>, Vec<FaultInjector>), String> {
+    let (disk, injectors) = if !cli.faults_enabled() {
+        let disk = if cli.stripe > 1 {
+            let mut inners: Vec<Box<dyn BlockDevice>> = Vec::with_capacity(cli.stripe);
+            for i in 0..cli.stripe {
+                inners.push(match &cli.device {
+                    Some(path) => {
+                        let p = stripe_path(path, i);
+                        Box::new(
+                            FileDevice::create(&p, cli.block_size as usize)
+                                .map_err(|e| format!("cannot open device file {p:?}: {e}"))?,
+                        ) as Box<dyn BlockDevice>
+                    }
+                    None => Box::new(MemDevice::new(cli.block_size as usize)),
+                });
+            }
+            Disk::new_striped(inners)
+        } else {
+            match &cli.device {
+                Some(path) => Disk::new_file(path, cli.block_size as usize)
+                    .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
+                None => Disk::new_mem(cli.block_size as usize),
+            }
         };
         if let Some(n) = cli.retries {
             if n > 0 {
                 disk.set_retry_policy(RetryPolicy::retries(n));
             }
         }
-        (disk, None)
+        (disk, Vec::new())
     } else {
-        let base: Box<dyn BlockDevice> = match &cli.device {
-            Some(path) => Box::new(
-                FileDevice::create(path, cli.block_size as usize)
-                    .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
-            ),
-            None => Box::new(MemDevice::new(cli.block_size as usize)),
+        let plan_for = |seed: u64| {
+            FaultPlan::new(seed)
+                .with_read_error_rate(cli.fault_rate)
+                .with_write_error_rate(cli.fault_rate)
+                .with_read_flip_rate(cli.fault_flips)
+                .with_write_flip_rate(cli.fault_flips)
+                .with_torn_write_rate(cli.fault_torn)
         };
-        let plan = FaultPlan::new(cli.fault_seed)
-            .with_read_error_rate(cli.fault_rate)
-            .with_write_error_rate(cli.fault_rate)
-            .with_read_flip_rate(cli.fault_flips)
-            .with_write_flip_rate(cli.fault_flips)
-            .with_torn_write_rate(cli.fault_torn);
-        let (disk, injector) = Disk::new_faulty(base, plan);
-        let n = cli.retries.unwrap_or(3);
-        if n > 0 {
-            disk.set_retry_policy(RetryPolicy::retries(n));
+        if cli.stripe > 1 {
+            if cli.device.is_some() {
+                return Err(
+                    "--stripe with fault injection uses the in-memory device; drop --device".into(),
+                );
+            }
+            // One independently seeded plan per inner device.
+            let plans =
+                (0..cli.stripe).map(|i| plan_for(cli.fault_seed.wrapping_add(i as u64))).collect();
+            let (disk, injectors) = Disk::new_striped_faulty(cli.block_size as usize, plans);
+            let n = cli.retries.unwrap_or(3);
+            if n > 0 {
+                disk.set_retry_policy(RetryPolicy::retries(n));
+            }
+            (disk, injectors)
+        } else {
+            let base: Box<dyn BlockDevice> = match &cli.device {
+                Some(path) => Box::new(
+                    FileDevice::create(path, cli.block_size as usize)
+                        .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
+                ),
+                None => Box::new(MemDevice::new(cli.block_size as usize)),
+            };
+            let (disk, injector) = Disk::new_faulty(base, plan_for(cli.fault_seed));
+            let n = cli.retries.unwrap_or(3);
+            if n > 0 {
+                disk.set_retry_policy(RetryPolicy::retries(n));
+            }
+            (disk, vec![injector])
         }
-        (disk, Some(injector))
     };
     if cli.cache_frames > 0 {
         // The pool's frames come out of a dedicated budget so the sort
@@ -387,7 +475,17 @@ fn make_disk(cli: &Cli) -> Result<(Rc<Disk>, Option<FaultInjector>), String> {
         disk.enable_cache(&pool_budget, cli.cache_frames, cli.cache_policy, mode)
             .map_err(|e| format!("cannot enable the page cache: {e}"))?;
     }
-    Ok((disk, injector))
+    if cli.io_workers > 0 {
+        // Enabled here (not in the sorter) so every algorithm, including the
+        // mergesort baseline, runs under the same scheduler configuration.
+        disk.enable_sched(SchedConfig {
+            workers: cli.io_workers,
+            prefetch_depth: cli.prefetch_depth,
+            write_behind: cli.write_behind,
+            ..SchedConfig::default()
+        });
+    }
+    Ok((disk, injectors))
 }
 
 /// A staged input document: XML text, or pre-encoded records + dictionary.
@@ -424,6 +522,9 @@ fn sort_one(cli: &Cli, disk: &Rc<Disk>, input: &Staged) -> Result<SortedDoc, Str
         cache_frames: cli.cache_frames,
         cache_policy: cli.cache_policy,
         cache_write_mode: if cli.write_back { WriteMode::Back } else { WriteMode::Through },
+        io_workers: cli.io_workers,
+        prefetch_depth: cli.prefetch_depth,
+        write_behind: cli.write_behind,
         ..Default::default()
     };
     let sorter = Nexsort::new(disk.clone(), opts, cli.spec.clone()).map_err(|e| e.to_string())?;
@@ -439,6 +540,9 @@ fn sort_one(cli: &Cli, disk: &Rc<Disk>, input: &Staged) -> Result<SortedDoc, Str
         eprintln!("{}", doc.report.io);
         if let (Some(policy), Some(mode)) = (disk.cache_policy_name(), disk.cache_mode()) {
             eprintln!("cache: {} frames, {policy}, {mode}", disk.cache_capacity().unwrap_or(0));
+        }
+        if let Some(ticks) = disk.sched_ticks() {
+            eprintln!("sched: {ticks} virtual ticks, stripe {}", disk.stripe_width());
         }
         let retried = doc.report.io.total_retries();
         if retried > 0 {
@@ -460,7 +564,7 @@ fn emit(cli: &Cli, xml: Vec<u8>) -> Result<(), String> {
 
 /// Execute a parsed command line.
 pub fn run(cli: &Cli) -> Result<(), String> {
-    let (disk, injector) = make_disk(cli)?;
+    let (disk, injectors) = make_disk(cli)?;
     let result = match &cli.command {
         Command::Sort { input } => {
             let staged = load(cli, &disk, input)?;
@@ -494,6 +598,9 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                             "cache: {} frames, {policy}, {mode}",
                             disk.cache_capacity().unwrap_or(0)
                         );
+                    }
+                    if let Some(ticks) = disk.sched_ticks() {
+                        eprintln!("sched: {ticks} virtual ticks, stripe {}", disk.stripe_width());
                     }
                 }
                 match cli.format {
@@ -655,14 +762,18 @@ pub fn run(cli: &Cli) -> Result<(), String> {
         }
     };
     // Under write-back the pool may still hold dirty frames; push them to the
-    // device so a `--device` file is complete on exit.
+    // device so a `--device` file is complete on exit. The cache flush can
+    // enqueue deferred writes, so the scheduler barrier comes after it.
     let result =
         result.and_then(|()| disk.cache_flush_all().map_err(|e| format!("final cache flush: {e}")));
+    let result = result
+        .and_then(|()| disk.io_barrier().map_err(|e| format!("final write-behind drain: {e}")));
     if cli.stats {
-        if let Some(inj) = &injector {
+        for (i, inj) in injectors.iter().enumerate() {
             let counts = inj.counts();
+            let dev = if injectors.len() > 1 { format!(" (device {i})") } else { String::new() };
             eprintln!(
-                "faults injected: {} over {} reads / {} writes ({counts:?})",
+                "faults injected{dev}: {} over {} reads / {} writes ({counts:?})",
                 counts.total(),
                 inj.read_ops(),
                 inj.write_ops(),
@@ -871,6 +982,139 @@ mod tests {
         ] {
             assert_eq!(sort_with(extra, &out), uncached, "{extra:?}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sched_flags_parse_with_sane_defaults() {
+        let plain = parse_args(&args(&["sort", "x.xml"])).unwrap();
+        assert_eq!(plain.io_workers, 0);
+        assert_eq!(plain.prefetch_depth, 0);
+        assert!(!plain.write_behind);
+        assert_eq!(plain.stripe, 1);
+
+        let cli = parse_args(&args(&[
+            "sort",
+            "x.xml",
+            "--io-workers",
+            "4",
+            "--prefetch-depth",
+            "8",
+            "--write-behind",
+            "--stripe",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(cli.io_workers, 4);
+        assert_eq!(cli.prefetch_depth, 8);
+        assert!(cli.write_behind);
+        assert_eq!(cli.stripe, 4);
+
+        assert!(parse_args(&args(&["sort", "x.xml", "--io-workers", "lots"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--stripe", "0"])).is_err());
+    }
+
+    #[test]
+    fn scheduled_sorts_match_the_synchronous_output_bit_for_bit() {
+        let dir = std::env::temp_dir().join(format!("xsort-sch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let gen =
+            parse_args(&args(&["gen", "exact:25,5", "--seed", "7", "-o", raw.to_str().unwrap()]))
+                .unwrap();
+        run(&gen).unwrap();
+
+        let base = ["--default", "@k", "--block", "256", "--mem", "4K"];
+        let sort_with = |extra: &[&str], out: &Path| {
+            let mut a = vec!["sort", raw.to_str().unwrap(), "-o", out.to_str().unwrap()];
+            a.extend_from_slice(&base);
+            a.extend_from_slice(extra);
+            run(&parse_args(&args(&a)).unwrap()).unwrap();
+            std::fs::read(out).unwrap()
+        };
+
+        let out = dir.join("out.xml");
+        let sync = sort_with(&[], &out);
+        let full = [
+            "--io-workers",
+            "4",
+            "--prefetch-depth",
+            "8",
+            "--write-behind",
+            "--cache-frames",
+            "8",
+            "--stripe",
+            "4",
+        ];
+        for extra in [
+            &["--io-workers", "1"][..],
+            &["--io-workers", "4", "--write-behind"][..],
+            &["--stripe", "4"][..],
+            &full[..],
+            &["--io-workers", "2", "--write-behind", "--algo", "mergesort"][..],
+        ] {
+            // Mergesort output differs from nexsort's only in report, not
+            // bytes: both are fully sorted documents under the same spec.
+            assert_eq!(sort_with(extra, &out), sync, "{extra:?}");
+        }
+
+        // A scheduled sort on a striped faulty disk still heals by retry and
+        // agrees with the synchronous output.
+        let mut f = vec!["sort", raw.to_str().unwrap(), "-o", out.to_str().unwrap()];
+        f.extend_from_slice(&base);
+        f.extend_from_slice(&full);
+        f.extend_from_slice(&["--fault-rate", "0.02", "--fault-seed", "11"]);
+        run(&parse_args(&args(&f)).unwrap()).unwrap();
+        assert_eq!(std::fs::read(&out).unwrap(), sync);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn striped_device_files_are_created_per_inner_device() {
+        let dir = std::env::temp_dir().join(format!("xsort-std-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        std::fs::write(&raw, b"<r><e id=\"2\"/><e id=\"1\"/></r>").unwrap();
+        let dev = dir.join("device.bin");
+        let out = dir.join("out.xml");
+        let cli = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--default",
+            "@id:num",
+            "--block",
+            "256",
+            "--device",
+            dev.to_str().unwrap(),
+            "--stripe",
+            "3",
+            "--io-workers",
+            "2",
+            "--write-behind",
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        for i in 0..3 {
+            let p = stripe_path(&dev, i);
+            assert!(p.exists(), "missing stripe file {p:?}");
+        }
+        // Striped fault injection is in-memory only: --device must error.
+        let cli = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "--default",
+            "@id:num",
+            "--device",
+            dev.to_str().unwrap(),
+            "--stripe",
+            "2",
+            "--fault-rate",
+            "0.01",
+        ]))
+        .unwrap();
+        assert!(run(&cli).unwrap_err().contains("--stripe"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

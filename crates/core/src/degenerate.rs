@@ -405,6 +405,8 @@ pub(crate) fn sort_degenerate(
 
     report = st.report;
     report.root_flat = !st.root_has_ptrs;
+    // Settle any scheduler-deferred writes before the final I/O snapshot.
+    disk.io_barrier()?;
     report.io = stats.snapshot().since(&io_before);
     report.elapsed = start_time.elapsed();
     disk.set_phase(entry_phase);

@@ -44,6 +44,17 @@ pub struct NexsortOptions {
     /// writes to hot blocks; write-through keeps the device current on every
     /// logical write (ignored when `cache_frames` is 0).
     pub cache_write_mode: WriteMode,
+    /// I/O scheduler workers: `0` keeps every transfer synchronous (the
+    /// paper's model, and the default); `>= 1` enables the asynchronous
+    /// scheduler, whose deterministic virtual-time ticks stand in for wall
+    /// time. Logical I/O counts and sorted output are identical either way.
+    pub io_workers: usize,
+    /// Sequential read-ahead depth in blocks (needs `io_workers >= 1` and
+    /// `cache_frames > 0` to hold the prefetched frames; `0` disables).
+    pub prefetch_depth: usize,
+    /// Defer physical writes onto the scheduler's bounded queue, drained in
+    /// the background and at run/output barriers (needs `io_workers >= 1`).
+    pub write_behind: bool,
 }
 
 impl NexsortOptions {
@@ -71,6 +82,9 @@ impl Default for NexsortOptions {
             cache_frames: 0,
             cache_policy: CachePolicy::Lru,
             cache_write_mode: WriteMode::Through,
+            io_workers: 0,
+            prefetch_depth: 0,
+            write_behind: false,
         }
     }
 }
@@ -103,5 +117,8 @@ mod tests {
         assert_eq!(o.cache_frames, 0, "no pool by default: counts match the paper's model");
         assert_eq!(o.cache_policy, CachePolicy::Lru);
         assert_eq!(o.cache_write_mode, WriteMode::Through);
+        assert_eq!(o.io_workers, 0, "synchronous I/O by default: the paper's model");
+        assert_eq!(o.prefetch_depth, 0);
+        assert!(!o.write_behind);
     }
 }

@@ -316,6 +316,72 @@ mod error_tests {
         assert!(KWayMerger::new(streams, |a: &i64, b: &i64| a.cmp(b)).is_err());
     }
 
+    /// Errors exactly once, at the `fail_at`-th pull, then keeps yielding --
+    /// models a transient device fault healing under retry at a higher layer.
+    struct RecoveringStream {
+        items: Vec<i64>,
+        next: usize,
+        fail_at: usize,
+        pulls: usize,
+    }
+
+    impl MergeStream for RecoveringStream {
+        type Item = i64;
+
+        fn next_item(&mut self) -> Result<Option<i64>> {
+            let pull = self.pulls;
+            self.pulls += 1;
+            if pull == self.fail_at {
+                return Err(ExtError::Corrupt("transient".into()));
+            }
+            let item = self.items.get(self.next).copied();
+            self.next += item.is_some() as usize;
+            Ok(item)
+        }
+    }
+
+    #[test]
+    fn error_mid_merge_preserves_buffered_items() {
+        // Stream 0's third pull (the replacement for its buffered 20) fails.
+        // The merge must surface the error WITHOUT losing 20 -- the heads
+        // already buffered stay in place and the merge resumes cleanly.
+        let streams = vec![
+            RecoveringStream { items: vec![10, 20, 30], next: 0, fail_at: 2, pulls: 0 },
+            RecoveringStream { items: vec![15, 25], next: 0, fail_at: usize::MAX, pulls: 0 },
+        ];
+        let mut m = KWayMerger::new(streams, |a: &i64, b: &i64| a.cmp(b)).unwrap();
+        assert_eq!(m.next_merged().unwrap(), Some((10, 0)));
+        assert_eq!(m.next_merged().unwrap(), Some((15, 1)));
+        // Yielding 20 requires pulling stream 0's replacement: that errors.
+        assert!(m.next_merged().is_err(), "the transient fault must surface");
+        // Nothing was dropped: 20 is still buffered, and the merge continues
+        // in full sorted order once the stream recovers.
+        let mut rest = Vec::new();
+        while let Some((item, _)) = m.next_merged().unwrap() {
+            rest.push(item);
+        }
+        assert_eq!(rest, vec![20, 25, 30], "buffered heads survive a mid-merge error");
+    }
+
+    #[test]
+    fn equal_keys_stay_stable_across_wide_fan_in() {
+        // Five streams, every key equal on the comparator: output must cycle
+        // the streams in index order, key after key -- document order among
+        // equal keys, exactly what graceful degeneration relies on.
+        let streams: Vec<VecStream<(u8, usize)>> =
+            (0..5).map(|s| VecStream::new((0..4u8).map(|k| (k, s)).collect())).collect();
+        let mut m =
+            KWayMerger::new(streams, |a: &(u8, usize), b: &(u8, usize)| a.0.cmp(&b.0)).unwrap();
+        let mut out = Vec::new();
+        while let Some(((key, origin), src)) = m.next_merged().unwrap() {
+            assert_eq!(origin, src, "payload tags its source stream");
+            out.push((key, src));
+        }
+        let expected: Vec<(u8, usize)> =
+            (0..4u8).flat_map(|k| (0..5).map(move |s| (k, s))).collect();
+        assert_eq!(out, expected, "ties resolve by stream index at every fan-in width");
+    }
+
     #[test]
     fn stream_errors_propagate_mid_merge() {
         let streams = vec![FailingStream { yields: 2 }];

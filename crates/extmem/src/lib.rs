@@ -24,10 +24,16 @@
 //! * the pinning buffer pool ([`Disk::enable_cache`], [`PinGuard`],
 //!   [`CachePolicy`], [`WriteMode`]): an optional page cache between the
 //!   accounting layer and the device, so *physical* transfers can drop below
-//!   the *logical* transfers the paper's analysis counts.
+//!   the *logical* transfers the paper's analysis counts;
+//! * the asynchronous I/O scheduler ([`Disk::enable_sched`], [`SchedConfig`],
+//!   [`StripedDevice`]): sequential read-ahead into the pool, write-behind
+//!   with barrier semantics, and round-robin striping over independently
+//!   faultable devices -- all modeled in deterministic virtual time.
 //!
-//! Everything here is deliberately single-threaded (`Rc`/`Cell`), matching
-//! the sequential I/O model the paper analyses.
+//! Everything here is deliberately single-threaded (`Rc`/`Cell`). The I/O
+//! scheduler models worker overlap in deterministic virtual time rather than
+//! OS threads, so the paper's sequential logical I/O accounting -- and every
+//! run's bit-for-bit reproducibility -- survives intact.
 
 #![warn(missing_docs)]
 
@@ -39,6 +45,7 @@ mod fault;
 mod kway;
 mod pool;
 mod run_store;
+mod sched;
 mod stack;
 mod stats;
 
@@ -57,5 +64,6 @@ pub use pool::{
     CachePolicy, ClockPolicy, EvictionPolicy, LruPolicy, PinGuard, PinMutGuard, WriteMode,
 };
 pub use run_store::{RunId, RunStore, RunWriter};
+pub use sched::{SchedConfig, StripedDevice};
 pub use stack::ExtStack;
-pub use stats::{CacheEvent, IoCat, IoSnapshot, IoStats};
+pub use stats::{CacheEvent, IoCat, IoSnapshot, IoStats, SchedEvent};

@@ -106,9 +106,13 @@ impl RunWriter {
         self.len() == 0
     }
 
-    /// Flush and register the run, returning its id.
+    /// Flush and register the run, returning its id. Acts as an I/O barrier:
+    /// any write-behind of the run's blocks is drained first, so a finished
+    /// run is durably ordered before anything that follows it and a deferred
+    /// write failure surfaces here, naming the failing block.
     pub fn finish(mut self) -> Result<RunId> {
         let ext = self.inner.take().expect("finish called once").finish()?;
+        self.store.disk().io_barrier()?;
         Ok(self.store.install(ext))
     }
 }

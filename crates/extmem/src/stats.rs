@@ -106,6 +106,21 @@ pub enum CacheEvent {
     DirtyWriteback,
 }
 
+/// An I/O-scheduler event recorded against the current [`IoPhase`]; see
+/// [`IoStats::add_sched_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A speculative read-ahead was issued for a block.
+    PrefetchIssued,
+    /// A logical read was served by a frame the scheduler prefetched.
+    PrefetchHit,
+    /// A prefetched frame was evicted or invalidated before any read used it.
+    PrefetchWasted,
+    /// A write was deferred to the write-behind queue instead of reaching
+    /// the device inline.
+    DeferredWrite,
+}
+
 #[derive(Default)]
 struct Counters {
     reads: [Cell<u64>; NCATS],
@@ -121,6 +136,11 @@ struct Counters {
     cache_misses: [Cell<u64>; NPHASES],
     cache_evictions: [Cell<u64>; NPHASES],
     cache_writebacks: [Cell<u64>; NPHASES],
+    // I/O-scheduler events, bucketed by IoPhase class.
+    prefetch_issued: [Cell<u64>; NPHASES],
+    prefetch_hits: [Cell<u64>; NPHASES],
+    prefetch_wasted: [Cell<u64>; NPHASES],
+    deferred_writes: [Cell<u64>; NPHASES],
 }
 
 /// Shared, cheaply-clonable I/O counters.
@@ -197,6 +217,18 @@ impl IoStats {
             CacheEvent::Miss => &self.inner.cache_misses[i],
             CacheEvent::Eviction => &self.inner.cache_evictions[i],
             CacheEvent::DirtyWriteback => &self.inner.cache_writebacks[i],
+        };
+        c.set(c.get() + 1);
+    }
+
+    /// Record one I/O-scheduler `event` against the class of `phase`.
+    pub fn add_sched_event(&self, phase: IoPhase, event: SchedEvent) {
+        let i = phase.class_index();
+        let c = match event {
+            SchedEvent::PrefetchIssued => &self.inner.prefetch_issued[i],
+            SchedEvent::PrefetchHit => &self.inner.prefetch_hits[i],
+            SchedEvent::PrefetchWasted => &self.inner.prefetch_wasted[i],
+            SchedEvent::DeferredWrite => &self.inner.deferred_writes[i],
         };
         c.set(c.get() + 1);
     }
@@ -281,6 +313,10 @@ impl IoStats {
             self.inner.cache_misses[i].set(0);
             self.inner.cache_evictions[i].set(0);
             self.inner.cache_writebacks[i].set(0);
+            self.inner.prefetch_issued[i].set(0);
+            self.inner.prefetch_hits[i].set(0);
+            self.inner.prefetch_wasted[i].set(0);
+            self.inner.deferred_writes[i].set(0);
         }
         self.inner.backoff_units.set(0);
     }
@@ -303,11 +339,19 @@ impl IoStats {
         let mut cache_misses = [0u64; NPHASES];
         let mut cache_evictions = [0u64; NPHASES];
         let mut cache_writebacks = [0u64; NPHASES];
+        let mut prefetch_issued = [0u64; NPHASES];
+        let mut prefetch_hits = [0u64; NPHASES];
+        let mut prefetch_wasted = [0u64; NPHASES];
+        let mut deferred_writes = [0u64; NPHASES];
         for i in 0..NPHASES {
             cache_hits[i] = self.inner.cache_hits[i].get();
             cache_misses[i] = self.inner.cache_misses[i].get();
             cache_evictions[i] = self.inner.cache_evictions[i].get();
             cache_writebacks[i] = self.inner.cache_writebacks[i].get();
+            prefetch_issued[i] = self.inner.prefetch_issued[i].get();
+            prefetch_hits[i] = self.inner.prefetch_hits[i].get();
+            prefetch_wasted[i] = self.inner.prefetch_wasted[i].get();
+            deferred_writes[i] = self.inner.deferred_writes[i].get();
         }
         IoSnapshot {
             reads,
@@ -320,6 +364,10 @@ impl IoStats {
             cache_misses,
             cache_evictions,
             cache_writebacks,
+            prefetch_issued,
+            prefetch_hits,
+            prefetch_wasted,
+            deferred_writes,
         }
     }
 }
@@ -343,6 +391,10 @@ pub struct IoSnapshot {
     cache_misses: [u64; NPHASES],
     cache_evictions: [u64; NPHASES],
     cache_writebacks: [u64; NPHASES],
+    prefetch_issued: [u64; NPHASES],
+    prefetch_hits: [u64; NPHASES],
+    prefetch_wasted: [u64; NPHASES],
+    deferred_writes: [u64; NPHASES],
 }
 
 impl IoSnapshot {
@@ -431,6 +483,46 @@ impl IoSnapshot {
         self.cache_writebacks.iter().sum()
     }
 
+    /// Read-aheads issued in the class of `phase`.
+    pub fn prefetch_issued_in(&self, phase: IoPhase) -> u64 {
+        self.prefetch_issued[phase.class_index()]
+    }
+
+    /// Prefetch hits recorded in the class of `phase`.
+    pub fn prefetch_hits_in(&self, phase: IoPhase) -> u64 {
+        self.prefetch_hits[phase.class_index()]
+    }
+
+    /// Wasted prefetches recorded in the class of `phase`.
+    pub fn prefetch_wasted_in(&self, phase: IoPhase) -> u64 {
+        self.prefetch_wasted[phase.class_index()]
+    }
+
+    /// Writes deferred to the write-behind queue in the class of `phase`.
+    pub fn deferred_writes_in(&self, phase: IoPhase) -> u64 {
+        self.deferred_writes[phase.class_index()]
+    }
+
+    /// Read-aheads issued across all phases.
+    pub fn total_prefetch_issued(&self) -> u64 {
+        self.prefetch_issued.iter().sum()
+    }
+
+    /// Prefetch hits across all phases.
+    pub fn total_prefetch_hits(&self) -> u64 {
+        self.prefetch_hits.iter().sum()
+    }
+
+    /// Wasted prefetches across all phases.
+    pub fn total_prefetch_wasted(&self) -> u64 {
+        self.prefetch_wasted.iter().sum()
+    }
+
+    /// Deferred writes across all phases.
+    pub fn total_deferred_writes(&self) -> u64 {
+        self.deferred_writes.iter().sum()
+    }
+
     /// Hit ratio of the buffer pool, or `None` when it saw no lookups.
     pub fn cache_hit_ratio(&self) -> Option<f64> {
         let hits = self.total_cache_hits();
@@ -485,6 +577,13 @@ impl IoSnapshot {
                 out.cache_evictions[i].saturating_sub(earlier.cache_evictions[i]);
             out.cache_writebacks[i] =
                 out.cache_writebacks[i].saturating_sub(earlier.cache_writebacks[i]);
+            out.prefetch_issued[i] =
+                out.prefetch_issued[i].saturating_sub(earlier.prefetch_issued[i]);
+            out.prefetch_hits[i] = out.prefetch_hits[i].saturating_sub(earlier.prefetch_hits[i]);
+            out.prefetch_wasted[i] =
+                out.prefetch_wasted[i].saturating_sub(earlier.prefetch_wasted[i]);
+            out.deferred_writes[i] =
+                out.deferred_writes[i].saturating_sub(earlier.deferred_writes[i]);
         }
         out.backoff_units = out.backoff_units.saturating_sub(earlier.backoff_units);
         out
@@ -514,6 +613,21 @@ impl fmt::Debug for IoSnapshot {
     }
 }
 
+/// The report layout is stable and documented so diffs between runs (and
+/// between scheduler/cache configurations) are meaningful:
+///
+/// 1. one row per *nonzero* category, in [`IoCat::ALL`] order;
+/// 2. the `TOTAL` row;
+/// 3. when a buffer pool was active: the `PHYSICAL` and `CACHE` summary
+///    lines, then one `cache <phase>` row per phase class with activity, in
+///    [`IoPhase::class_index`] order (setup, input-scan, run-formation,
+///    merge-pass, final-merge, output-emit);
+/// 4. when an I/O scheduler was active: the `SCHED` summary line, then one
+///    `sched <phase>` row per phase class with activity, in the same order;
+/// 5. the `RETRIES` line when any transfer was retried or backed off.
+///
+/// Sections 3-5 are omitted entirely when inactive, keeping the report
+/// byte-identical to the plain synchronous substrate in that case.
 impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<14} {:>12} {:>12} {:>12}", "category", "reads", "writes", "total")?;
@@ -553,6 +667,61 @@ impl fmt::Display for IoSnapshot {
                 self.total_cache_evictions(),
                 self.total_cache_writebacks()
             )?;
+            for i in 0..NPHASES {
+                let (h, m, e, w) = (
+                    self.cache_hits[i],
+                    self.cache_misses[i],
+                    self.cache_evictions[i],
+                    self.cache_writebacks[i],
+                );
+                if h + m + e + w > 0 {
+                    write!(
+                        f,
+                        "\n  cache {:<16} {:>8} hits / {} misses, {} evictions, {} writebacks",
+                        IoPhase::class_label(i),
+                        h,
+                        m,
+                        e,
+                        w
+                    )?;
+                }
+            }
+        }
+        // Scheduler lines likewise appear only when a scheduler was active.
+        if self.total_prefetch_issued()
+            + self.total_prefetch_hits()
+            + self.total_prefetch_wasted()
+            + self.total_deferred_writes()
+            > 0
+        {
+            write!(
+                f,
+                "\n{:<14} {:>12} prefetched ({} hits, {} wasted), {} deferred writes",
+                "SCHED",
+                self.total_prefetch_issued(),
+                self.total_prefetch_hits(),
+                self.total_prefetch_wasted(),
+                self.total_deferred_writes()
+            )?;
+            for i in 0..NPHASES {
+                let (p, h, wa, d) = (
+                    self.prefetch_issued[i],
+                    self.prefetch_hits[i],
+                    self.prefetch_wasted[i],
+                    self.deferred_writes[i],
+                );
+                if p + h + wa + d > 0 {
+                    write!(
+                        f,
+                        "\n  sched {:<16} {:>8} prefetched ({} hits, {} wasted), {} deferred writes",
+                        IoPhase::class_label(i),
+                        p,
+                        h,
+                        wa,
+                        d
+                    )?;
+                }
+            }
         }
         if self.total_retries() > 0 || self.backoff_units > 0 {
             write!(
@@ -709,6 +878,65 @@ mod tests {
         assert!(cached.contains("CACHE"), "{cached}");
         assert!(cached.contains("PHYSICAL"), "{cached}");
         assert!(cached.contains("hit ratio"), "{cached}");
+    }
+
+    #[test]
+    fn sched_events_bucket_by_phase_class_and_diff() {
+        let s = IoStats::new();
+        s.add_sched_event(IoPhase::InputScan, SchedEvent::PrefetchIssued);
+        s.add_sched_event(IoPhase::InputScan, SchedEvent::PrefetchHit);
+        s.add_sched_event(IoPhase::MergePass(2), SchedEvent::PrefetchWasted);
+        s.add_sched_event(IoPhase::RunFormation, SchedEvent::DeferredWrite);
+        let before = s.snapshot();
+        assert_eq!(before.prefetch_issued_in(IoPhase::InputScan), 1);
+        assert_eq!(before.prefetch_hits_in(IoPhase::InputScan), 1);
+        // Merge passes share one class.
+        assert_eq!(before.prefetch_wasted_in(IoPhase::MergePass(9)), 1);
+        assert_eq!(before.deferred_writes_in(IoPhase::RunFormation), 1);
+        assert_eq!(before.total_prefetch_issued(), 1);
+        assert_eq!(before.total_deferred_writes(), 1);
+        s.add_sched_event(IoPhase::OutputEmit, SchedEvent::DeferredWrite);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.total_deferred_writes(), 1);
+        assert_eq!(delta.total_prefetch_issued(), 0);
+        // Scheduler events are not transfers.
+        assert_eq!(delta.grand_total(), 0);
+        s.reset();
+        assert_eq!(s.snapshot().total_prefetch_hits(), 0);
+        assert_eq!(s.snapshot().total_deferred_writes(), 0);
+    }
+
+    #[test]
+    fn display_reports_sched_lines_only_when_a_scheduler_was_active() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::InputRead, 2);
+        s.add_phys_reads(IoCat::InputRead, 2);
+        let plain = s.snapshot().to_string();
+        assert!(!plain.contains("SCHED"), "{plain}");
+        s.add_sched_event(IoPhase::InputScan, SchedEvent::PrefetchIssued);
+        s.add_sched_event(IoPhase::OutputEmit, SchedEvent::DeferredWrite);
+        let sched = s.snapshot().to_string();
+        assert!(sched.contains("SCHED"), "{sched}");
+        assert!(sched.contains("sched input-scan"), "{sched}");
+        assert!(sched.contains("sched output-emit"), "{sched}");
+        // Phase rows appear in class-index order.
+        let scan = sched.find("sched input-scan").unwrap();
+        let emit = sched.find("sched output-emit").unwrap();
+        assert!(scan < emit, "{sched}");
+    }
+
+    #[test]
+    fn display_phase_rows_follow_the_documented_stable_order() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::RunRead, 1);
+        s.add_cache_event(IoPhase::OutputEmit, CacheEvent::Miss);
+        s.add_cache_event(IoPhase::InputScan, CacheEvent::Hit);
+        s.add_cache_event(IoPhase::RunFormation, CacheEvent::Hit);
+        let text = s.snapshot().to_string();
+        let scan = text.find("cache input-scan").unwrap();
+        let form = text.find("cache run-formation").unwrap();
+        let emit = text.find("cache output-emit").unwrap();
+        assert!(scan < form && form < emit, "{text}");
     }
 
     #[test]
