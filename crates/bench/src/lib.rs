@@ -5,6 +5,7 @@
 //! The `xsort-bench` binary drives it; Criterion benches under `benches/`
 //! wrap the same experiments at quick scale.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod experiments;

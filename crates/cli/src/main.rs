@@ -1,4 +1,5 @@
 //! `xsort` binary entry point.
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 

@@ -159,7 +159,10 @@ impl Degenerate<'_> {
     }
 
     /// Multi-level merge of incomplete runs into the complete root run.
+    /// The caller's phase is restored on success; on error the failing phase
+    /// stays in force for failure classification.
     fn merge_all(&mut self, mut runs: Vec<RunId>) -> Result<RunId> {
+        let entry_phase = self.store.disk().phase();
         let fan_in = self.budget.free_frames().saturating_sub(1).max(2);
         let open = |store: &Rc<RunStore>, budget: &MemoryBudget, id: RunId| -> Result<PStream> {
             let left = store.run_len(id)?;
@@ -210,11 +213,14 @@ impl Degenerate<'_> {
             self.store.discard(id)?;
         }
         self.report.degenerate_merges += 1;
+        self.store.disk().set_phase(entry_phase);
         Ok(final_run)
     }
 
     fn close_top(&mut self) -> Result<()> {
-        let frame = self.frames.pop().expect("close with no open frame");
+        let Some(frame) = self.frames.pop() else {
+            return Err(XmlError::Record("close with no open frame".into()));
+        };
         self.report.max_fanout = self.report.max_fanout.max(frame.fanout);
         self.owner_depth = self.owner_depth.min(self.frames.len());
         let is_root = self.frames.is_empty();
@@ -281,7 +287,9 @@ impl Degenerate<'_> {
                 } else {
                     // Split subtree: its pieces live in ancestor-owned runs;
                     // promote its own runs upward.
-                    let parent = self.frames.last_mut().expect("non-root has a parent");
+                    let Some(parent) = self.frames.last_mut() else {
+                        return Err(XmlError::Record("non-root frame has no parent".into()));
+                    };
                     parent.pendings.extend(frame.pendings);
                 }
                 Ok(())
@@ -381,9 +389,13 @@ pub(crate) fn sort_degenerate(
                         st.frames.len()
                     )));
                 }
-                st.frames.last_mut().expect("checked").fanout += 1;
+                if let Some(top) = st.frames.last_mut() {
+                    top.fanout += 1;
+                }
             }
-            Rec::KeyPatch(_) => unreachable!("rejected above"),
+            Rec::KeyPatch(_) => {
+                return Err(XmlError::Record("key patch in the degenerate input stream".into()))
+            }
         }
         st.report.n_records += 1;
         st.report.max_level = st.report.max_level.max(lvl);

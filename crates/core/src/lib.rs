@@ -31,6 +31,7 @@
 //! assert_eq!(xml, r#"<staff><emp ID="3"></emp><emp ID="9"></emp></staff>"#);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

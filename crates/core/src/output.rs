@@ -239,7 +239,11 @@ impl SortedDoc {
                 Rec::Text(t) => {
                     writer.write(&Event::Text { content: t.content })?;
                 }
-                Rec::RunPtr(_) | Rec::KeyPatch(_) => unreachable!("cursor resolves/skips these"),
+                Rec::RunPtr(_) | Rec::KeyPatch(_) => {
+                    return Err(XmlError::Record(
+                        "unresolved pointer or patch record reached output".into(),
+                    ))
+                }
             }
         }
         while open_levels > 0 {

@@ -193,7 +193,9 @@ impl Nexsort {
          -> Result<()> {
             let l = path.pop_u64()?;
             let level = child_counts.len() as u32; // level of the closing element
-            let fanout = child_counts.pop().expect("counter per open element");
+            let Some(fanout) = child_counts.pop() else {
+                return Err(XmlError::Record("close with no open element".into()));
+            };
             report.max_fanout = report.max_fanout.max(fanout);
             let size = data.len() - l;
             let is_root = child_counts.is_empty();
@@ -253,7 +255,9 @@ impl Nexsort {
                             child_counts.len()
                         )));
                     }
-                    *child_counts.last_mut().expect("checked non-empty") += 1;
+                    if let Some(count) = child_counts.last_mut() {
+                        *count += 1;
+                    }
                 }
                 Rec::KeyPatch(_) => {
                     if lvl as usize != child_counts.len() {

@@ -17,6 +17,7 @@
 //! [`EventSource`]s: multi-million-element documents never materialize in
 //! host memory.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

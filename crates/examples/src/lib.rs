@@ -1,1 +1,2 @@
 // placeholder
+#![forbid(unsafe_code)]

@@ -24,6 +24,7 @@ use crate::pool::{
     CachePolicy, EvictionPolicy, PinGuard, PinMutGuard, PoolCore, SlotAcquire, WriteMode,
 };
 use crate::sched::{SchedConfig, SchedCore, StripedDevice, WbEntry};
+use crate::shadow::ShadowState;
 use crate::stats::{CacheEvent, IoCat, IoStats, SchedEvent};
 
 /// Raw block storage: fixed-size blocks addressed by a dense `u64` id.
@@ -268,6 +269,7 @@ pub struct Disk {
     pool: RefCell<Option<PoolCore>>,
     sched: RefCell<Option<SchedCore>>,
     stripe: Cell<usize>,
+    shadow: RefCell<Option<ShadowState>>,
 }
 
 /// One recorded block transfer (see [`Disk::start_trace`]).
@@ -285,6 +287,7 @@ impl Disk {
     /// Wrap an arbitrary device.
     pub fn new(dev: Box<dyn BlockDevice>) -> Rc<Self> {
         let block_size = dev.block_size();
+        let shadow = ShadowState::from_env(dev.num_blocks());
         Rc::new(Self {
             dev: RefCell::new(dev),
             stats: IoStats::new(),
@@ -296,7 +299,23 @@ impl Disk {
             pool: RefCell::new(None),
             sched: RefCell::new(None),
             stripe: Cell::new(1),
+            shadow: RefCell::new(shadow),
         })
+    }
+
+    /// Attach the shadow-state sanitizer (see [`ShadowState`]) regardless of
+    /// the `NEXSORT_SHADOW` environment variable. Blocks already allocated
+    /// are grandfathered in as valid. A no-op if already attached.
+    pub fn enable_shadow(&self) {
+        let mut slot = self.shadow.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(ShadowState::new(self.dev.borrow().num_blocks()));
+        }
+    }
+
+    /// Whether the shadow-state sanitizer is attached.
+    pub fn shadow_enabled(&self) -> bool {
+        self.shadow.borrow().is_some()
     }
 
     /// Wrap `dev` in the fault-injection stack: faults injected per `plan`
@@ -482,7 +501,11 @@ impl Disk {
     /// Allocate a fresh block. Allocation itself is free in the I/O model;
     /// only transfers cost.
     pub fn alloc_block(&self) -> u64 {
-        self.dev.borrow_mut().allocate()
+        let id = self.dev.borrow_mut().allocate();
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.note_alloc(id);
+        }
+        id
     }
 
     /// Return a block for reuse (e.g. popped stack blocks). Any cached frame
@@ -501,7 +524,11 @@ impl Disk {
             s.wb.retain(|e| e.block != id);
             s.inflight.remove(&id);
         }
-        self.dev.borrow_mut().free(id)
+        self.dev.borrow_mut().free(id)?;
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.note_free(id);
+        }
+        Ok(())
     }
 
     /// One physical read reaching the device *right now*: retry loop,
@@ -522,6 +549,9 @@ impl Disk {
         self.stats.add_phys_writes(cat, 1);
         if let Some(t) = self.trace.borrow_mut().as_mut() {
             t.push(TraceEntry { is_read: false, block: id, cat });
+        }
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.note_landed(id);
         }
         Ok(())
     }
@@ -559,7 +589,13 @@ impl Disk {
         }
         {
             let mut s_ref = self.sched.borrow_mut();
-            let s = s_ref.as_mut().expect("write-behind checked above");
+            // Single-threaded, so the scheduler checked above is still there;
+            // if it ever were not, falling back to an immediate write keeps
+            // the data safe without panicking.
+            let Some(s) = s_ref.as_mut() else {
+                drop(s_ref);
+                return self.phys_write_now(id, data, cat);
+            };
             s.wb.push_back(WbEntry {
                 block: id,
                 data: data.to_vec(),
@@ -567,6 +603,9 @@ impl Disk {
                 phase: self.phase.get(),
             });
             s.tick_async(id);
+        }
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.note_deferred(id);
         }
         self.stats.add_sched_event(self.phase.get(), SchedEvent::DeferredWrite);
         Ok(())
@@ -602,6 +641,9 @@ impl Disk {
     /// counted in the stats' retry tally. With a buffer pool enabled, a
     /// resident block is served from its frame with no physical transfer.
     pub fn read_block(&self, id: u64, buf: &mut [u8], cat: IoCat) -> Result<()> {
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.check_read(id, self.dev.borrow().num_blocks())?;
+        }
         {
             let mut pool_ref = self.pool.borrow_mut();
             if let Some(pool) = pool_ref.as_mut() {
@@ -621,6 +663,9 @@ impl Disk {
     /// device at eviction or flush.
     pub fn write_block(&self, id: u64, data: &[u8], cat: IoCat) -> Result<()> {
         debug_assert!(data.len() <= self.block_size);
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.check_write(id, self.dev.borrow().num_blocks())?;
+        }
         {
             let mut pool_ref = self.pool.borrow_mut();
             if let Some(pool) = pool_ref.as_mut() {
@@ -777,6 +822,9 @@ impl Disk {
         assert!(frames > 0, "a buffer pool needs at least one frame");
         let mut slot = self.pool.borrow_mut();
         assert!(slot.is_none(), "buffer pool already enabled on this disk");
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.watch_budget(budget);
+        }
         let reservation = budget.reserve(frames)?;
         *slot = Some(PoolCore::new(reservation, self.block_size, policy, mode));
         Ok(())
@@ -833,7 +881,7 @@ impl Disk {
         let mut pool_ref = self.pool.borrow_mut();
         let Some(pool) = pool_ref.as_mut() else { return Ok(()) };
         for slot in pool.dirty_slots_in_block_order() {
-            let (len, cat) = pool.dirty_of(slot).expect("slot was listed as dirty");
+            let Some((len, cat)) = pool.dirty_of(slot) else { continue };
             let block = pool.slot_block(slot);
             self.phys_write(block, &pool.slot_data(slot).borrow()[..len], cat)?;
             pool.clean(slot);
@@ -856,6 +904,11 @@ impl Disk {
         }
         self.cache_flush_all()?;
         *self.pool.borrow_mut() = None;
+        // The pool's frame reservation guard has dropped with it: the
+        // watched budget must be back at its enable-time baseline.
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.check_budget_restored()?;
+        }
         Ok(())
     }
 
@@ -866,7 +919,13 @@ impl Disk {
     /// enabled, or [`ExtError::AllFramesPinned`] if loading the block would
     /// need a frame and every frame is pinned.
     pub fn pin(self: &Rc<Self>, block: u64, cat: IoCat) -> Result<PinGuard> {
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.check_read(block, self.dev.borrow().num_blocks())?;
+        }
         let data = self.pin_load(block, cat, false)?;
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.note_pin(block, true);
+        }
         Ok(PinGuard::new(Rc::clone(self), block, data))
     }
 
@@ -877,7 +936,13 @@ impl Disk {
     /// like write-back, because the pool cannot see individual edits to
     /// write them through.
     pub fn pin_mut(self: &Rc<Self>, block: u64, cat: IoCat) -> Result<PinMutGuard> {
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.check_write(block, self.dev.borrow().num_blocks())?;
+        }
         let data = self.pin_load(block, cat, true)?;
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.note_pin(block, false);
+        }
         Ok(PinMutGuard::new(Rc::clone(self), block, data))
     }
 
@@ -914,9 +979,14 @@ impl Disk {
     }
 
     /// Drop one pin on `block` (guard Drop path; no-op if no pool).
-    pub(crate) fn cache_unpin(&self, block: u64) {
+    /// `shared` distinguishes a [`PinGuard`] from a [`PinMutGuard`] so the
+    /// shadow sanitizer can release the matching pin kind.
+    pub(crate) fn cache_unpin(&self, block: u64, shared: bool) {
         if let Some(pool) = self.pool.borrow_mut().as_mut() {
             pool.unpin_block(block);
+        }
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.note_unpin(block, shared);
         }
     }
 }
@@ -967,6 +1037,9 @@ impl Disk {
         }
         if let Some(s) = self.sched.borrow_mut().as_mut() {
             s.barrier_clock();
+        }
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.check_barrier()?;
         }
         Ok(())
     }

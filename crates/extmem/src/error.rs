@@ -39,6 +39,12 @@ pub enum ExtError {
     AllFramesPinned { frames: usize },
     /// A pin was requested on a disk whose buffer pool is not enabled.
     CacheDisabled,
+    /// The shadow-state sanitizer (see `shadow.rs`, enabled with
+    /// `NEXSORT_SHADOW=1`) observed an operation that violates the
+    /// substrate's allocation / pin / barrier discipline. `check` names the
+    /// violated check (e.g. `read-after-free`); `block` is the offending
+    /// block id (for `budget-frame-leak`, the number of leaked frames).
+    ShadowViolation { check: &'static str, block: u64 },
 }
 
 impl ExtError {
@@ -91,6 +97,9 @@ impl fmt::Display for ExtError {
             ExtError::CacheDisabled => {
                 write!(f, "buffer pool is not enabled on this disk")
             }
+            ExtError::ShadowViolation { check, block } => {
+                write!(f, "shadow sanitizer caught {check} (block {block})")
+            }
         }
     }
 }
@@ -100,7 +109,18 @@ impl std::error::Error for ExtError {
         match self {
             ExtError::Io(e) => Some(e),
             ExtError::RetriesExhausted { last, .. } => Some(last),
-            _ => None,
+            ExtError::BadBlock { .. }
+            | ExtError::UnexpectedEof { .. }
+            | ExtError::StackUnderflow { .. }
+            | ExtError::BudgetExceeded { .. }
+            | ExtError::BadRun { .. }
+            | ExtError::Corrupt(_)
+            | ExtError::ChecksumMismatch { .. }
+            | ExtError::DoubleFree { .. }
+            | ExtError::FramePinned { .. }
+            | ExtError::AllFramesPinned { .. }
+            | ExtError::CacheDisabled
+            | ExtError::ShadowViolation { .. } => None,
         }
     }
 }
@@ -166,6 +186,14 @@ mod tests {
         assert!(!ExtError::FramePinned { block: 0 }.is_transient());
         assert!(!ExtError::AllFramesPinned { frames: 0 }.is_transient());
         assert!(!ExtError::CacheDisabled.is_transient());
+    }
+
+    #[test]
+    fn shadow_violation_displays_and_is_fatal() {
+        let e = ExtError::ShadowViolation { check: "read-after-free", block: 7 };
+        assert!(e.to_string().contains("read-after-free") && e.to_string().contains('7'));
+        assert!(!e.is_transient());
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -122,7 +122,9 @@ where
         let out = match replacement {
             Some(item) => std::mem::replace(&mut self.heap[0], Head { item, stream }),
             None => {
-                let last = self.heap.pop().expect("heap non-empty");
+                // The heap was checked non-empty above; an empty pop would
+                // mean the merge is (vacuously) finished.
+                let Some(last) = self.heap.pop() else { return Ok(None) };
                 if self.heap.is_empty() {
                     last
                 } else {

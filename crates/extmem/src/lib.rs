@@ -35,6 +35,7 @@
 //! OS threads, so the paper's sequential logical I/O accounting -- and every
 //! run's bit-for-bit reproducibility -- survives intact.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod budget;
@@ -46,6 +47,7 @@ mod kway;
 mod pool;
 mod run_store;
 mod sched;
+mod shadow;
 mod stack;
 mod stats;
 
@@ -65,5 +67,6 @@ pub use pool::{
 };
 pub use run_store::{RunId, RunStore, RunWriter};
 pub use sched::{SchedConfig, StripedDevice};
+pub use shadow::ShadowState;
 pub use stack::ExtStack;
 pub use stats::{CacheEvent, IoCat, IoSnapshot, IoStats, SchedEvent};

@@ -506,7 +506,7 @@ impl PinGuard {
 
 impl Drop for PinGuard {
     fn drop(&mut self) {
-        self.disk.cache_unpin(self.block);
+        self.disk.cache_unpin(self.block, true);
     }
 }
 
@@ -560,7 +560,7 @@ impl PinMutGuard {
 
 impl Drop for PinMutGuard {
     fn drop(&mut self) {
-        self.disk.cache_unpin(self.block);
+        self.disk.cache_unpin(self.block, false);
     }
 }
 

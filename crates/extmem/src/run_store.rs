@@ -111,7 +111,10 @@ impl RunWriter {
     /// run is durably ordered before anything that follows it and a deferred
     /// write failure surfaces here, naming the failing block.
     pub fn finish(mut self) -> Result<RunId> {
-        let ext = self.inner.take().expect("finish called once").finish()?;
+        let Some(inner) = self.inner.take() else {
+            return Err(ExtError::Corrupt("run writer finished twice".into()));
+        };
+        let ext = inner.finish()?;
         self.store.disk().io_barrier()?;
         Ok(self.store.install(ext))
     }
@@ -119,7 +122,10 @@ impl RunWriter {
 
 impl ByteSink for RunWriter {
     fn write_all(&mut self, buf: &[u8]) -> Result<()> {
-        self.inner.as_mut().expect("writer not finished").write_all(buf)
+        match self.inner.as_mut() {
+            Some(inner) => inner.write_all(buf),
+            None => Err(ExtError::Corrupt("write to a finished run writer".into())),
+        }
     }
 }
 

@@ -104,8 +104,12 @@ impl ExtStack {
             .filter(|(_, r)| r.idx > incoming_idx)
             .max_by_key(|(_, r)| r.idx)
             .map(|(i, _)| i)
-            .or_else(|| self.resident.iter().enumerate().min_by_key(|(_, r)| r.idx).map(|(i, _)| i))
-            .expect("resident set is full, so non-empty");
+            .or_else(|| {
+                self.resident.iter().enumerate().min_by_key(|(_, r)| r.idx).map(|(i, _)| i)
+            });
+        // The resident set was checked full above, so non-empty; if it ever
+        // were empty there is nothing to evict.
+        let Some(victim) = victim else { return Ok(()) };
         let r = self.resident.swap_remove(victim);
         if r.dirty {
             self.disk.write_block(self.blocks[r.idx], &r.buf, self.cat)?;
@@ -194,7 +198,7 @@ impl ExtStack {
             if let Some(pos) = self.find_resident(idx) {
                 self.resident.swap_remove(pos);
             }
-            let id = self.blocks.pop().expect("checked non-empty");
+            let Some(id) = self.blocks.pop() else { break };
             self.disk.free_block(id)?;
         }
         self.len = new_len;
@@ -230,7 +234,10 @@ impl ExtStack {
     /// Pop a little-endian `u64`.
     pub fn pop_u64(&mut self) -> Result<u64> {
         let b = self.pop(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("pop(8) returns 8 bytes")))
+        let arr: [u8; 8] = b
+            .try_into()
+            .map_err(|_| ExtError::Corrupt("stack pop(8) returned a different width".into()))?;
+        Ok(u64::from_le_bytes(arr))
     }
 
     /// Push a little-endian `u32` (fixed 4-byte entry).
@@ -241,7 +248,10 @@ impl ExtStack {
     /// Pop a little-endian `u32`.
     pub fn pop_u32(&mut self) -> Result<u32> {
         let b = self.pop(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("pop(4) returns 4 bytes")))
+        let arr: [u8; 4] = b
+            .try_into()
+            .map_err(|_| ExtError::Corrupt("stack pop(4) returned a different width".into()))?;
+        Ok(u32::from_le_bytes(arr))
     }
 }
 

@@ -13,6 +13,7 @@
 //! * [`annotate_order`] / [`restore_order`] -- the sequence-number trick
 //!   that preserves original document order across a sort + merge pipeline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cursor;

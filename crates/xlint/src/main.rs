@@ -1,0 +1,64 @@
+//! CLI entry point: `cargo run -p xlint -- [--deny] [--root DIR] [--list-rules]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list = false;
+    // Default to the workspace root this binary was built in, so the tool
+    // works no matter where `cargo run -p xlint` is invoked from.
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => list = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("xlint: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            other => {
+                eprintln!("xlint: unknown argument `{other}`");
+                eprintln!("usage: xlint [--deny] [--root DIR] [--list-rules]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for (id, what) in xlint::RULES {
+            println!("{id}  {what}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match xlint::check_workspace(&root) {
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("xlint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xlint: {} finding(s)", findings.len());
+                if deny {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("xlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

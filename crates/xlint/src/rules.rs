@@ -1,0 +1,521 @@
+//! The repo-specific rules. Each rule is lexical, runs on the
+//! [masked](crate::lexer::mask) source, and answers for one substrate
+//! invariant (see DESIGN.md, "Enforced invariants").
+
+use crate::lexer::{self, Tok};
+
+/// One finding, printed as `file:line: rule — message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`R1`..`R8`).
+    pub rule: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {} — {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The rules and what they enforce, for `--list-rules`.
+pub const RULES: &[(&str, &str)] = &[
+    ("R1", "raw BlockDevice access only inside the extmem device layer"),
+    ("R2", "no unwrap/expect/panic!/unreachable! in non-test extmem or core code"),
+    ("R3", "every IoStats counter appears in reset, snapshot, since, and Display"),
+    ("R4", "every function that stamps set_phase(IoPhase::..) also restores a saved phase"),
+    ("R5", "no wildcard `_ =>` arm in a match over ExtError variants"),
+    ("R6", "#![forbid(unsafe_code)] present in every crate root"),
+    ("R7", "IoStats counter mutators called only from the device/stats layer"),
+    ("R8", "manifest dependencies are path-only (the build is offline)"),
+];
+
+/// Files allowed to name `BlockDevice`: the device layer itself.
+const R1_ALLOW: &[&str] = &[
+    "crates/extmem/src/device.rs",
+    "crates/extmem/src/fault.rs",
+    "crates/extmem/src/sched.rs",
+    "crates/extmem/src/pool.rs",
+    "crates/extmem/src/lib.rs",
+];
+
+/// Files allowed to call the raw counter mutators.
+const R7_ALLOW: &[&str] = &["crates/extmem/src/device.rs", "crates/extmem/src/stats.rs"];
+
+/// The counter mutators R7 confines.
+const R7_MUTATORS: &[&str] = &[
+    "add_reads",
+    "add_writes",
+    "sub_reads",
+    "sub_writes",
+    "add_phys_reads",
+    "add_phys_writes",
+    "sub_phys_reads",
+    "sub_phys_writes",
+    "add_retries",
+    "add_backoff",
+    "add_cache_event",
+    "add_sched_event",
+];
+
+/// Panicking constructs R2 bans in non-test substrate/sorter code.
+const R2_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const R2_METHODS: &[&str] = &["unwrap", "expect"];
+
+fn is_crate_root(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.len() == 4
+        && parts[0] == "crates"
+        && parts[2] == "src"
+        && (parts[3] == "lib.rs" || parts[3] == "main.rs")
+}
+
+/// Lint one Rust source file. `rel` is the workspace-relative path, which
+/// selects each rule's scope. Suppressed findings are filtered here.
+pub fn check_rust_file(rel: &str, src: &str) -> Vec<Finding> {
+    let m = lexer::mask(src);
+    let toks = lexer::tokens(&m.code);
+    let mut out = Vec::new();
+
+    let in_tests_dir = rel.starts_with("tests/") || rel.contains("/tests/");
+    let non_test = |pos: usize| !in_tests_dir && !m.in_test(pos);
+
+    rule_r1(rel, &toks, &non_test, &mut out);
+    rule_r2(rel, &toks, &non_test, &mut out);
+    rule_r4(rel, &toks, &non_test, &mut out);
+    rule_r5(rel, &toks, &non_test, &mut out);
+    rule_r7(rel, &toks, &non_test, &mut out);
+    if is_crate_root(rel) {
+        rule_r6(rel, &m.code, &mut out);
+    }
+    if rel == "crates/extmem/src/stats.rs" {
+        rule_r3(rel, &toks, &mut out);
+    }
+
+    let mut findings: Vec<Finding> =
+        out.into_iter().filter(|f| !m.allowed(f.line, f.rule)).collect();
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+fn push(out: &mut Vec<Finding>, rel: &str, code_pos_line: usize, rule: &'static str, msg: String) {
+    out.push(Finding { file: rel.to_string(), line: code_pos_line, rule, message: msg });
+}
+
+/// R1: the `BlockDevice` trait (raw, unaccounted I/O) stays inside the
+/// device layer; everything else goes through `Disk`.
+fn rule_r1(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    if R1_ALLOW.contains(&rel) {
+        return;
+    }
+    for t in toks {
+        if t.text == "BlockDevice" && non_test(t.pos) {
+            push(
+                out,
+                rel,
+                line_at(toks, t.pos),
+                "R1",
+                "raw BlockDevice access outside the extmem device layer; go through Disk"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R2: the substrate (`extmem`) and the sorter (`core`) report failures as
+/// `ExtError`/`SortFailure`; they never panic in non-test code.
+fn rule_r2(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    if !(rel.starts_with("crates/extmem/src/") || rel.starts_with("crates/core/src/")) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !non_test(t.pos) {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|n| n.text);
+        if R2_MACROS.contains(&t.text) && next == Some("!") {
+            push(
+                out,
+                rel,
+                line_at(toks, t.pos),
+                "R2",
+                format!("`{}!` in non-test code; return ExtError/SortFailure instead", t.text),
+            );
+        }
+        if R2_METHODS.contains(&t.text) && next == Some("(") && i > 0 && toks[i - 1].text == "." {
+            push(
+                out,
+                rel,
+                line_at(toks, t.pos),
+                "R2",
+                format!("`.{}()` in non-test code; return ExtError/SortFailure instead", t.text),
+            );
+        }
+    }
+}
+
+/// R3: every `Counters` field is wired through `reset`, `snapshot`, `since`,
+/// and the `IoSnapshot` `Display` impl — counter parity, so a new counter
+/// cannot silently vanish from one of the reporting paths.
+fn rule_r3(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let Some(fields_span) = struct_span(toks, "Counters") else {
+        push(out, rel, 1, "R3", "struct Counters not found".to_string());
+        return;
+    };
+    // Field names: `ident :` pairs at depth 1 of the struct body.
+    let mut fields: Vec<(&str, usize)> = Vec::new();
+    let mut depth = 0usize;
+    for i in fields_span.0..fields_span.1 {
+        match toks[i].text {
+            "{" | "[" | "(" => depth += 1,
+            "}" | "]" | ")" => depth = depth.saturating_sub(1),
+            _ => {
+                if depth == 1
+                    && toks.get(i + 1).map(|t| t.text) == Some(":")
+                    && toks[i].text.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                {
+                    fields.push((toks[i].text, toks[i].pos));
+                }
+            }
+        }
+    }
+    let paths: Vec<(&str, Option<(usize, usize)>)> = vec![
+        ("fn reset", fn_span(toks, "reset")),
+        ("fn snapshot", fn_span(toks, "snapshot")),
+        ("fn since", fn_span(toks, "since")),
+        ("Display for IoSnapshot", display_span(toks, "IoSnapshot")),
+    ];
+    for (field, pos) in fields {
+        for (what, span) in &paths {
+            let present =
+                span.is_some_and(|(s, e)| toks[s..e].iter().any(|t| t.text.contains(field)));
+            if !present {
+                push(
+                    out,
+                    rel,
+                    line_at(toks, pos),
+                    "R3",
+                    format!("counter `{field}` does not appear in {what}"),
+                );
+            }
+        }
+    }
+}
+
+/// R4: a function that stamps a literal phase (`set_phase(IoPhase::..)`)
+/// must also restore a saved one (`set_phase(<ident>)`) — the pair-restore
+/// idiom that keeps failure attribution correct across nesting.
+fn rule_r4(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for (start, end) in fn_spans(toks) {
+        let body = &toks[start..end];
+        let mut first_stamp: Option<usize> = None;
+        let mut restored = false;
+        for (i, t) in body.iter().enumerate() {
+            if t.text != "set_phase" || body.get(i + 1).map(|n| n.text) != Some("(") {
+                continue;
+            }
+            let arg = body.get(i + 2).map(|n| n.text).unwrap_or("");
+            if arg == "IoPhase" {
+                if first_stamp.is_none() && non_test(t.pos) {
+                    first_stamp = Some(t.pos);
+                }
+            } else if body.get(i + 3).map(|n| n.text) == Some(")")
+                && arg.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            {
+                restored = true;
+            }
+        }
+        if let Some(pos) = first_stamp {
+            if !restored {
+                push(
+                    out,
+                    rel,
+                    line_at(toks, pos),
+                    "R4",
+                    "set_phase(IoPhase::..) stamped but no saved phase is restored in this \
+                     function"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// R5: a `match` whose arms name `ExtError::` variants may not have a
+/// wildcard `_ =>` arm — new error variants must be classified explicitly.
+fn rule_r5(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "match" {
+            if let Some(open) = toks[i..].iter().position(|t| t.text == "{").map(|p| p + i) {
+                if let Some(close) = brace_match(toks, open) {
+                    check_match_arms(rel, toks, open, close, non_test, out);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn check_match_arms(
+    rel: &str,
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    non_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    // Pattern regions: from an arm's start to its top-level `=>`.
+    let mut depth = 0usize;
+    let mut arm_start = open + 1;
+    let mut names_exterror = false;
+    let mut wildcard_at: Option<usize> = None;
+    let mut k = open;
+    while k < close {
+        match toks[k].text {
+            "{" | "[" | "(" => depth += 1,
+            "}" | "]" | ")" => depth = depth.saturating_sub(1),
+            "=" if depth == 1 && toks.get(k + 1).map(|t| t.text) == Some(">") => {
+                let pat = &toks[arm_start..k];
+                if pat.iter().any(|t| t.text == "ExtError") {
+                    names_exterror = true;
+                }
+                if pat.len() == 1 && pat[0].text == "_" {
+                    wildcard_at = Some(pat[0].pos);
+                }
+                // Skip to the end of the arm body: a `,` at depth 1 or a
+                // braced body's closing `}`.
+                k += 2;
+                let mut bdepth = 0usize;
+                while k < close {
+                    match toks[k].text {
+                        "{" | "[" | "(" => bdepth += 1,
+                        "}" | "]" | ")" => {
+                            if bdepth == 0 {
+                                break;
+                            }
+                            bdepth -= 1;
+                            if bdepth == 0 && toks[k].text == "}" {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        "," if bdepth == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                arm_start = k;
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if names_exterror {
+        if let Some(pos) = wildcard_at {
+            if non_test(pos) {
+                push(
+                    out,
+                    rel,
+                    line_at(toks, pos),
+                    "R5",
+                    "wildcard `_ =>` arm in a match over ExtError; list the variants".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// R6: every crate root opts out of `unsafe` for good.
+fn rule_r6(rel: &str, code: &str, out: &mut Vec<Finding>) {
+    let has = code
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .replace(' ', "")
+        .contains("#![forbid(unsafe_code)]");
+    if !has {
+        push(out, rel, 1, "R6", "crate root is missing #![forbid(unsafe_code)]".to_string());
+    }
+}
+
+/// R7: only the accounting layer mutates the counters, so logical I/O
+/// accounting cannot drift.
+fn rule_r7(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    if R7_ALLOW.contains(&rel) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if R7_MUTATORS.contains(&t.text)
+            && toks.get(i + 1).map(|n| n.text) == Some("(")
+            && non_test(t.pos)
+        {
+            push(
+                out,
+                rel,
+                line_at(toks, t.pos),
+                "R7",
+                format!("counter mutator `{}` called outside the device/stats layer", t.text),
+            );
+        }
+    }
+}
+
+/// R8: every dependency in a manifest must resolve inside the workspace
+/// (`path = ...` or `workspace = true`): the build environment is offline.
+pub fn check_manifest(rel: &str, src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    let mut allow_prev = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let allow_here = raw.contains("xlint::allow(R8)");
+        if line.starts_with('[') {
+            let section = line.trim_matches(['[', ']']);
+            in_deps = section.ends_with("dependencies");
+            allow_prev = allow_here;
+            continue;
+        }
+        if in_deps
+            && !line.is_empty()
+            && !line.starts_with('#')
+            && line.contains('=')
+            && !line.contains("path")
+            && !line.contains("workspace = true")
+            && !line.contains("workspace=true")
+            && !allow_here
+            && !allow_prev
+        {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "R8",
+                message: "dependency does not resolve by path inside the workspace (offline \
+                          build)"
+                    .to_string(),
+            });
+        }
+        allow_prev = allow_here;
+    }
+    out
+}
+
+// ---- token-walking helpers ----
+
+fn line_at(toks: &[Tok], pos: usize) -> usize {
+    match toks.binary_search_by(|t| t.pos.cmp(&pos)) {
+        Ok(k) => toks[k].line,
+        Err(k) => toks.get(k.saturating_sub(1)).map_or(1, |t| t.line),
+    }
+}
+
+/// First `{` at or after `from`, stopping at a `;` (a bodiless item).
+fn body_open(toks: &[Tok], from: usize) -> Option<usize> {
+    for (k, t) in toks.iter().enumerate().skip(from) {
+        match t.text {
+            "{" => return Some(k),
+            ";" => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Matching `}` for the `{` at token index `open`.
+fn brace_match(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Token span (exclusive) of `struct <name> { ... }`.
+fn struct_span(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].text == "struct" && toks[i + 1].text == name {
+            let open = body_open(toks, i)?;
+            let close = brace_match(toks, open)?;
+            return Some((open, close + 1));
+        }
+    }
+    None
+}
+
+/// Token span of the body of `fn <name>`.
+fn fn_span(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].text == "fn" && toks[i + 1].text == name {
+            let open = body_open(toks, i)?;
+            let close = brace_match(toks, open)?;
+            return Some((open, close + 1));
+        }
+    }
+    None
+}
+
+/// Token spans of every `fn` body in the file. Nested fns get their own
+/// spans (overlapping with the enclosing one); closures are checked as
+/// part of their enclosing span.
+fn fn_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "fn" {
+            if let Some(open) = body_open(toks, i) {
+                if let Some(close) = brace_match(toks, open) {
+                    spans.push((open, close + 1));
+                    i = open + 1; // descend: nested fns get their own span too
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Token span of `impl ... Display for <name> { ... }`.
+fn display_span(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
+    for i in 0..toks.len() {
+        if toks[i].text == "impl" {
+            // Look ahead a few tokens for `Display for <name>`.
+            let window = &toks[i..toks.len().min(i + 8)];
+            let mut saw_display = false;
+            let mut saw_name = false;
+            for (j, t) in window.iter().enumerate() {
+                if t.text == "Display" {
+                    saw_display = true;
+                }
+                if saw_display && t.text == "for" && window.get(j + 1).map(|n| n.text) == Some(name)
+                {
+                    saw_name = true;
+                }
+            }
+            if saw_display && saw_name {
+                let open = toks[i..].iter().position(|t| t.text == "{")? + i;
+                let close = brace_match(toks, open)?;
+                return Some((open, close + 1));
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,255 @@
+//! Golden fixtures: for every rule, a minimal source that fires it exactly
+//! once, a clean twin, and the same source silenced by its pragma.
+
+use xlint::{check_manifest, check_rust_file};
+
+fn rules_fired(rel: &str, src: &str) -> Vec<String> {
+    check_rust_file(rel, src).into_iter().map(|f| f.rule.to_string()).collect()
+}
+
+#[test]
+fn r1_block_device_outside_the_device_layer() {
+    let bad = r#"
+fn attach(dev: &dyn BlockDevice) -> u64 {
+    dev_blocks(dev)
+}
+"#;
+    assert_eq!(rules_fired("crates/merge/src/fake.rs", bad), ["R1"]);
+
+    // The device layer itself may name the trait.
+    assert_eq!(rules_fired("crates/extmem/src/sched.rs", bad), Vec::<String>::new());
+
+    let silenced = r#"
+// xlint::allow(R1): fixture exception.
+fn attach(dev: &dyn BlockDevice) -> u64 {
+    dev_blocks(dev)
+}
+"#;
+    assert_eq!(rules_fired("crates/merge/src/fake.rs", silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r2_panicking_calls_in_the_substrate() {
+    let bad = r#"
+fn take(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", bad), ["R2"]);
+
+    // Outside extmem/core the rule does not apply.
+    assert_eq!(rules_fired("crates/datagen/src/fake.rs", bad), Vec::<String>::new());
+
+    // Test modules are exempt.
+    let in_tests = r#"
+fn prod(x: Option<u8>) -> Option<u8> {
+    x
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        prod(Some(1)).unwrap();
+        panic!("fine in tests");
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", in_tests), Vec::<String>::new());
+
+    let silenced = r#"
+fn take(x: Option<u8>) -> u8 {
+    x.unwrap() // xlint::allow(R2)
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r3_counter_parity_in_stats() {
+    // `writes` is wired through reset/snapshot/since but missing from the
+    // Display impl: exactly one finding.
+    let bad = r#"
+struct Counters {
+    reads: u64,
+    writes: u64,
+}
+impl IoStats {
+    fn reset(&self) {
+        self.c.reads = 0;
+        self.c.writes = 0;
+    }
+    fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot { total_reads: self.c.reads, total_writes: self.c.writes }
+    }
+}
+impl IoSnapshot {
+    fn since(&self, o: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot { total_reads: self.reads - o.reads, total_writes: self.writes - o.writes }
+    }
+}
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        rend(f, self.total_reads)
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/stats.rs", bad), ["R3"]);
+
+    let good =
+        bad.replace("rend(f, self.total_reads)", "rend(f, self.total_reads, self.total_writes)");
+    assert_eq!(rules_fired("crates/extmem/src/stats.rs", &good), Vec::<String>::new());
+
+    // Same parity gap, acknowledged with a pragma on the field.
+    let silenced = bad.replace("    writes: u64,", "    writes: u64, // xlint::allow(R3)");
+    assert_eq!(rules_fired("crates/extmem/src/stats.rs", &silenced), Vec::<String>::new());
+
+    // The rule only runs on the real stats file; elsewhere it is silent.
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", bad), Vec::<String>::new());
+}
+
+#[test]
+fn r4_phase_stamp_without_restore() {
+    let bad = r#"
+fn merge(d: &Disk) {
+    d.set_phase(IoPhase::Merge);
+    work(d);
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", bad), ["R4"]);
+
+    let good = r#"
+fn merge(d: &Disk) {
+    let entry_phase = d.phase();
+    d.set_phase(IoPhase::Merge);
+    work(d);
+    d.set_phase(entry_phase);
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", good), Vec::<String>::new());
+
+    let silenced = r#"
+fn merge(d: &Disk) {
+    d.set_phase(IoPhase::Merge); // xlint::allow(R4)
+    work(d);
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r5_wildcard_arm_over_exterror() {
+    let bad = r#"
+fn transient(e: &ExtError) -> bool {
+    match e {
+        ExtError::Io(_) => true,
+        _ => false,
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", bad), ["R5"]);
+
+    // A binding arm (`other => ...`) is not a wildcard.
+    let good = r#"
+fn transient(e: &ExtError) -> bool {
+    match e {
+        ExtError::Io(_) => true,
+        other => is_soft(other),
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", good), Vec::<String>::new());
+
+    // A match with no ExtError in any pattern may use wildcards freely.
+    let unrelated = r#"
+fn classify(n: u32) -> bool {
+    match n {
+        0 => true,
+        _ => false,
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", unrelated), Vec::<String>::new());
+
+    let silenced = r#"
+fn transient(e: &ExtError) -> bool {
+    match e {
+        ExtError::Io(_) => true,
+        _ => false, // xlint::allow(R5)
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r6_missing_forbid_unsafe_in_a_crate_root() {
+    let bad = "//! A crate.\n\npub fn f() {}\n";
+    assert_eq!(rules_fired("crates/fake/src/lib.rs", bad), ["R6"]);
+
+    let good = "//! A crate.\n#![forbid(unsafe_code)]\n\npub fn f() {}\n";
+    assert_eq!(rules_fired("crates/fake/src/lib.rs", good), Vec::<String>::new());
+
+    // Non-root files are not checked.
+    assert_eq!(rules_fired("crates/fake/src/util.rs", bad), Vec::<String>::new());
+
+    let silenced = "// xlint::allow(R6)\npub fn f() {}\n";
+    assert_eq!(rules_fired("crates/fake/src/lib.rs", silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r7_counter_mutator_outside_the_accounting_layer() {
+    let bad = r#"
+fn charge(s: &IoStats) {
+    s.add_reads(IoCat::Sort, 1);
+}
+"#;
+    assert_eq!(rules_fired("crates/merge/src/fake.rs", bad), ["R7"]);
+
+    // The accounting layer itself is exempt.
+    assert_eq!(rules_fired("crates/extmem/src/device.rs", bad), Vec::<String>::new());
+
+    let silenced = r#"
+fn charge(s: &IoStats) {
+    s.add_reads(IoCat::Sort, 1); // xlint::allow(R7)
+}
+"#;
+    assert_eq!(rules_fired("crates/merge/src/fake.rs", silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r8_non_path_dependency_in_a_manifest() {
+    let bad = "[package]\nname = \"fake\"\n\n[dependencies]\nserde = \"1.0\"\n";
+    let found = check_manifest("crates/fake/Cargo.toml", bad);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, "R8");
+    assert_eq!(found[0].line, 5);
+
+    let good =
+        "[package]\nname = \"fake\"\n\n[dependencies]\nfoo = { path = \"../foo\" }\nbar.workspace = true\n";
+    assert!(check_manifest("crates/fake/Cargo.toml", good).is_empty());
+
+    let silenced =
+        "[package]\nname = \"fake\"\n\n[dependencies]\nserde = \"1.0\" # xlint::allow(R8)\n";
+    assert!(check_manifest("crates/fake/Cargo.toml", silenced).is_empty());
+}
+
+#[test]
+fn findings_format_as_file_line_rule_message() {
+    let found = check_rust_file(
+        "crates/extmem/src/fake.rs",
+        "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    assert_eq!(found.len(), 1);
+    let line = found[0].to_string();
+    assert!(line.starts_with("crates/extmem/src/fake.rs:2: R2 — "), "unexpected format: {line}");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let findings = xlint::check_workspace(root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "xlint found violations:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

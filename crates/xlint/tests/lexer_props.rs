@@ -1,0 +1,70 @@
+//! Property tests for the masking lexer: banned tokens hidden inside
+//! strings, raw strings, or comments must never be misclassified as code,
+//! and masking must preserve the file's shape (length and line structure).
+
+use proptest::prelude::*;
+use xlint::lexer::{mask, tokens};
+
+proptest! {
+    /// A banned call inside a plain string literal never survives masking,
+    /// while the code around the literal does.
+    #[test]
+    fn string_contents_are_never_code(pad in "[a-z 0-9]{0,20}") {
+        let src = format!("fn f() {{\n    let s = \"{pad} x.unwrap() {pad}\";\n    real();\n}}\n");
+        let m = mask(&src);
+        prop_assert!(!m.code.contains("unwrap"), "leaked from string: {}", m.code);
+        prop_assert!(m.code.contains("real();"));
+        prop_assert!(m.code.contains("let s ="));
+    }
+
+    /// Same for raw strings — including contents with quotes and hashes the
+    /// plain-string scanner would trip over.
+    #[test]
+    fn raw_string_contents_are_never_code(pad in "[a-z\" ]{0,20}") {
+        let src = format!("let s = r#\"{pad} panic!(\"x\") {pad}\"#;\nafter();\n");
+        let m = mask(&src);
+        prop_assert!(!m.code.contains("panic"), "leaked from raw string: {}", m.code);
+        prop_assert!(m.code.contains("after();"));
+    }
+
+    /// Same for block comments, nested or not.
+    #[test]
+    fn block_comment_contents_are_never_code(pad in "[a-z \n]{0,20}") {
+        let src = format!("a();\n/* {pad} x.expect(\"no\") {pad} */\nb();\n");
+        let m = mask(&src);
+        prop_assert!(!m.code.contains("expect"), "leaked from comment: {}", m.code);
+        prop_assert!(m.code.contains("a();"));
+        prop_assert!(m.code.contains("b();"));
+    }
+
+    /// Masking arbitrary soup (unbalanced quotes, stray slashes, hash runs)
+    /// never panics, never changes the length, and keeps every newline in
+    /// place — the invariant that makes reported line numbers trustworthy.
+    #[test]
+    fn masking_preserves_shape(soup in "[a-z\"'/*#\\\\ \n{}()!._-]{0,80}") {
+        let m = mask(&soup);
+        prop_assert_eq!(m.code.len(), soup.len());
+        let nl = |s: &str| {
+            s.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(nl(&m.code), nl(&soup));
+    }
+
+    /// Identifiers outside any literal always survive masking and tokenize
+    /// back out unchanged.
+    #[test]
+    fn code_outside_literals_is_kept(name in "[a-z]{1,12}") {
+        let src = format!("fn {name}() {{ {name}_inner(); }} // trailing {name}\n");
+        let m = mask(&src);
+        let toks = tokens(&m.code);
+        prop_assert!(toks.iter().any(|t| t.text == name), "lost ident in {}", m.code);
+        prop_assert!(
+            toks.iter().any(|t| t.text == format!("{name}_inner")),
+            "lost call in {}",
+            m.code
+        );
+        // The trailing comment's copy is gone: the ident appears exactly twice.
+        let n = toks.iter().filter(|t| t.text.contains(name.as_str())).count();
+        prop_assert_eq!(n, 2);
+    }
+}
