@@ -4,7 +4,7 @@
 //! ```text
 //! xsort-bench [--quick|--full] [--csv DIR] [--json DIR] [all|table1|table2|
 //!              threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|
-//!              bounds|faults|cache|overlap]
+//!              bounds|faults|cache|overlap|recovery]
 //! ```
 
 use std::path::PathBuf;
@@ -12,13 +12,13 @@ use std::process::ExitCode;
 
 use nexsort_bench::{
     ablate_compaction, ablate_frames, bounds_vs_measured, cache_sweep, fault_sweep, fig5, fig6,
-    fig7, overlap_sweep, table1, table2, threshold_experiment, ExpScale, ExpTable,
+    fig7, overlap_sweep, recovery_sweep, table1, table2, threshold_experiment, ExpScale, ExpTable,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xsort-bench [--quick|--full] [--csv DIR] [--json DIR] \
-         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache|overlap]..."
+         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache|overlap|recovery]..."
     );
     ExitCode::FAILURE
 }
@@ -66,6 +66,7 @@ fn main() -> ExitCode {
             "faults" => fault_sweep(scale).map_err(|e| e.to_string())?,
             "cache" => cache_sweep(scale).map_err(|e| e.to_string())?,
             "overlap" => overlap_sweep(scale).map_err(|e| e.to_string())?,
+            "recovery" => recovery_sweep(scale).map_err(|e| e.to_string())?,
             _ => return Ok(None),
         };
         Ok(Some(t))
@@ -84,6 +85,7 @@ fn main() -> ExitCode {
         "faults",
         "cache",
         "overlap",
+        "recovery",
     ];
     let mut queue: Vec<&str> = Vec::new();
     for t in &targets {

@@ -12,7 +12,8 @@ use nexsort_extmem::{CachePolicy, FaultPlan, IoCat, WriteMode};
 use nexsort_xml::{attach_paths, events_to_recs, parse_events, KeyRule, Result, SortSpec, TagDict};
 
 use crate::runner::{
-    measure_mergesort, measure_nexsort, measure_nexsort_faulty, Measurement, RunConfig,
+    measure_mergesort, measure_nexsort, measure_nexsort_faulty, measure_recovery, Measurement,
+    RunConfig,
 };
 use crate::table::ExpTable;
 
@@ -662,6 +663,62 @@ pub fn overlap_sweep(scale: &ExpScale) -> Result<ExpTable> {
     Ok(t)
 }
 
+/// **Recovery sweep** -- the crash-consistency layer's price and payoff.
+/// Every row crashes the same checkpointed degenerate sort at a different
+/// fraction of its sorting phase and resumes it from the journal: the
+/// journal columns show what checkpointing costs an uninterrupted run
+/// (journal writes as a share of total I/O), the resume columns show what
+/// it buys (committed merge passes skipped, resume I/O below a rerun).
+pub fn recovery_sweep(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "recovery",
+        "Crash/resume sweep: journal overhead vs resume cost (checkpointed nexsort+degen)",
+        &[
+            "crash-at",
+            "sort-span",
+            "total-io",
+            "journal-io",
+            "journal-%",
+            "resume-io",
+            "resume-%",
+            "skipped",
+            "replayed",
+            "match",
+        ],
+    );
+    // A flat document under tight memory: degeneration's merge passes are
+    // the committed work units a late resume gets to skip.
+    let n = scale.base_elements / 4;
+    let cfg = RunConfig {
+        block_size: scale.block_size,
+        mem_frames: 12,
+        degeneration: true,
+        checkpoint: true,
+        ..Default::default()
+    };
+    for (num, den) in [(1u64, 4u64), (2, 4), (3, 4), (19, 20)] {
+        let mut a = ExactGen::new(&[n], GenConfig::default());
+        let mut b = ExactGen::new(&[n], GenConfig::default());
+        let m = measure_recovery(&mut a, &mut b, &spec, &cfg, num, den)?;
+        t.push_row(vec![
+            m.crash_at.to_string(),
+            m.sort_span.to_string(),
+            m.total_ios.to_string(),
+            m.journal_ios.to_string(),
+            format!("{:.1}%", m.journal_ios as f64 / m.total_ios.max(1) as f64 * 100.0),
+            m.resume_ios.to_string(),
+            format!("{:.0}%", m.resume_ios as f64 / m.total_ios.max(1) as f64 * 100.0),
+            m.passes_skipped.to_string(),
+            m.resumed.to_string(),
+            m.outputs_match.to_string(),
+        ]);
+    }
+    t.note("journal-%: what checkpointing costs an uninterrupted sort; the paper's model does not charge it");
+    t.note("resume-%: the resume's logical I/O relative to the uninterrupted sort; late crashes resume cheaply because committed merge passes are replayed from the journal, never redone");
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -805,6 +862,27 @@ mod tests {
         let faulty = t.rows.iter().find(|r| r[0].contains("faulty")).unwrap();
         assert_eq!(cell(faulty, 2), cell(sync, 2));
         assert!(faulty[6].contains("retried"), "{faulty:?}");
+    }
+
+    #[test]
+    fn quick_recovery_sweep_resumes_cheaper_than_rerunning() {
+        let t = recovery_sweep(&ExpScale::quick()).unwrap();
+        assert_eq!(t.rows.len(), 4);
+        let cell = |r: &Vec<String>, i: usize| -> u64 { r[i].parse().unwrap() };
+        for r in &t.rows {
+            assert_eq!(r[9], "true", "resumed output must match the uninterrupted run: {r:?}");
+            assert!(cell(r, 3) > 0, "a checkpointed run must write journal records: {r:?}");
+        }
+        // The latest crash point replays committed merge passes instead of
+        // redoing them: a genuine resume, skipping work, cheaper than the
+        // uninterrupted sort.
+        let last = t.rows.last().unwrap();
+        assert_eq!(last[8], "true", "a near-complete sort must resume from the journal");
+        assert!(cell(last, 7) > 0, "late resume should skip committed passes: {last:?}");
+        assert!(
+            cell(last, 5) < cell(last, 2),
+            "late resume should cost less than the full sort: {last:?}"
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@ use nexsort::{Nexsort, NexsortOptions};
 use nexsort_baseline::{sort_rec_extent, BaselineOptions};
 use nexsort_datagen::stage_as_recs;
 use nexsort_extmem::{
-    CachePolicy, Disk, FaultCounts, FaultPlan, IoCat, IoSnapshot, MemDevice, MemoryBudget,
-    RetryPolicy, SchedConfig, WriteMode,
+    CachePolicy, CrashPlan, Disk, FaultCounts, FaultPlan, IoCat, IoSnapshot, MemDevice,
+    MemoryBudget, RetryPolicy, SchedConfig, WriteMode,
 };
 use nexsort_xml::{EventSource, Result, SortSpec, XmlError};
 
@@ -54,6 +54,11 @@ pub struct RunConfig {
     pub write_behind: bool,
     /// Stripe the in-memory device round-robin over N backing devices.
     pub stripe: usize,
+    /// Crash-consistent checkpointing: keep a write-ahead manifest journal
+    /// on the device (extra I/O the paper's model does not charge).
+    pub checkpoint: bool,
+    /// Journal extent size in blocks when `checkpoint` is on.
+    pub journal_blocks: usize,
 }
 
 impl Default for RunConfig {
@@ -73,7 +78,30 @@ impl Default for RunConfig {
             prefetch_depth: 0,
             write_behind: false,
             stripe: 1,
+            checkpoint: false,
+            journal_blocks: 32,
         }
+    }
+}
+
+/// The sorter options a [`RunConfig`] describes.
+fn nexsort_opts(cfg: &RunConfig) -> NexsortOptions {
+    NexsortOptions {
+        mem_frames: cfg.mem_frames,
+        threshold: cfg.threshold,
+        depth_limit: cfg.depth_limit,
+        compaction: cfg.compaction,
+        degeneration: cfg.degeneration,
+        path_stack_frames: cfg.path_stack_frames,
+        data_stack_frames: 1,
+        cache_frames: cfg.cache_frames,
+        cache_policy: cfg.cache_policy,
+        cache_write_mode: cfg.cache_write_mode,
+        io_workers: cfg.io_workers,
+        prefetch_depth: cfg.prefetch_depth,
+        write_behind: cfg.write_behind,
+        checkpoint: cfg.checkpoint,
+        journal_blocks: cfg.journal_blocks,
     }
 }
 
@@ -150,22 +178,7 @@ pub fn measure_nexsort(
 ) -> Result<Measurement> {
     let disk = bench_disk(cfg);
     let staged = stage_as_recs(&disk, gen, spec, cfg.compaction)?;
-    let opts = NexsortOptions {
-        mem_frames: cfg.mem_frames,
-        threshold: cfg.threshold,
-        depth_limit: cfg.depth_limit,
-        compaction: cfg.compaction,
-        degeneration: cfg.degeneration,
-        path_stack_frames: cfg.path_stack_frames,
-        data_stack_frames: 1,
-        cache_frames: cfg.cache_frames,
-        cache_policy: cfg.cache_policy,
-        cache_write_mode: cfg.cache_write_mode,
-        io_workers: cfg.io_workers,
-        prefetch_depth: cfg.prefetch_depth,
-        write_behind: cfg.write_behind,
-    };
-    let sorter = Nexsort::new(disk.clone(), opts, spec.clone())?;
+    let sorter = Nexsort::new(disk.clone(), nexsort_opts(cfg), spec.clone())?;
     let sorted = sorter.sort_rec_extent(&staged.extent, staged.dict.clone())?;
     let (_out_run, out_report) = sorted.write_output_run()?;
 
@@ -230,22 +243,7 @@ pub fn measure_nexsort_faulty(
         disk.set_retry_policy(RetryPolicy::retries(retries));
     }
     let staged = stage_as_recs(&disk, gen, spec, cfg.compaction)?;
-    let opts = NexsortOptions {
-        mem_frames: cfg.mem_frames,
-        threshold: cfg.threshold,
-        depth_limit: cfg.depth_limit,
-        compaction: cfg.compaction,
-        degeneration: cfg.degeneration,
-        path_stack_frames: cfg.path_stack_frames,
-        data_stack_frames: 1,
-        cache_frames: cfg.cache_frames,
-        cache_policy: cfg.cache_policy,
-        cache_write_mode: cfg.cache_write_mode,
-        io_workers: cfg.io_workers,
-        prefetch_depth: cfg.prefetch_depth,
-        write_behind: cfg.write_behind,
-    };
-    let sorter = Nexsort::new(disk.clone(), opts, spec.clone())?;
+    let sorter = Nexsort::new(disk.clone(), nexsort_opts(cfg), spec.clone())?;
     let sorted = sorter
         .try_sort_rec_extent(&staged.extent, staged.dict.clone())
         .map_err(|f| XmlError::Record(f.to_string()))?;
@@ -288,6 +286,85 @@ pub fn measure_nexsort_faulty(
         counts.write_flips += c.write_flips;
     }
     Ok((m, counts))
+}
+
+/// The outcome of one crash/resume measurement.
+#[derive(Debug, Clone)]
+pub struct RecoveryMeasurement {
+    /// Logical transfers of the uninterrupted checkpointed sorting phase.
+    pub total_ios: u64,
+    /// Journal transfers within that total (the checkpointing overhead).
+    pub journal_ios: u64,
+    /// Physical I/O span of the sorting phase: the scale crash points are
+    /// expressed against.
+    pub sort_span: u64,
+    /// Physical I/Os into the sort at which the crash fired.
+    pub crash_at: u64,
+    /// Logical transfers the resume spent, journal replay included.
+    pub resume_ios: u64,
+    /// Whether recovery genuinely replayed journal state (false: the crash
+    /// predates the journal header and the resume fell back to a fresh sort).
+    pub resumed: bool,
+    /// Committed merge passes the resume skipped instead of redoing.
+    pub passes_skipped: u32,
+    /// The resumed output equals the uninterrupted run's, record for record.
+    pub outputs_match: bool,
+}
+
+/// Measure one crash/resume cycle: run the checkpointed sort uninterrupted
+/// for reference, then rerun the same input with a whole-device crash armed
+/// `crash_num/crash_den` of the way through the sorting phase (by physical
+/// I/O count), thaw, and resume from the journal. `gen_base` and
+/// `gen_crash` must be identically seeded generators.
+pub fn measure_recovery(
+    gen_base: &mut dyn EventSource,
+    gen_crash: &mut dyn EventSource,
+    spec: &SortSpec,
+    cfg: &RunConfig,
+    crash_num: u64,
+    crash_den: u64,
+) -> Result<RecoveryMeasurement> {
+    let cfg = RunConfig { checkpoint: true, ..cfg.clone() };
+    // Reference run on a crash-capable (but disarmed) disk: its physical
+    // I/O counter measures the sorting phase's span.
+    let (disk, ctl) =
+        Disk::new_crash(Box::new(MemDevice::new(cfg.block_size)), CrashPlan::Disarmed);
+    let staged = stage_as_recs(&disk, gen_base, spec, cfg.compaction)?;
+    let stage_ios = ctl.ios();
+    let before = disk.stats().snapshot();
+    let sorter = Nexsort::new(disk.clone(), nexsort_opts(&cfg), spec.clone())?;
+    let sorted = sorter.sort_rec_extent(&staged.extent, staged.dict.clone())?;
+    let sort_span = ctl.ios() - stage_ios;
+    let base_io = disk.stats().snapshot().since(&before);
+    let base_recs = sorted.to_recs()?;
+
+    // Crash run: the identical input on a fresh disk, interrupted mid-sort.
+    let (disk2, ctl2) =
+        Disk::new_crash(Box::new(MemDevice::new(cfg.block_size)), CrashPlan::Disarmed);
+    let staged2 = stage_as_recs(&disk2, gen_crash, spec, cfg.compaction)?;
+    let crash_at = (sort_span * crash_num / crash_den.max(1)).max(1);
+    ctl2.arm_after(ctl2.ios() + crash_at);
+    let sorter2 = Nexsort::new(disk2.clone(), nexsort_opts(&cfg), spec.clone())?;
+    if sorter2.sort_rec_extent(&staged2.extent, staged2.dict.clone()).is_ok() {
+        return Err(XmlError::Record(format!(
+            "crash point {crash_at} of {sort_span} did not interrupt the sort"
+        )));
+    }
+    ctl2.thaw();
+    let before2 = disk2.stats().snapshot();
+    let resumed = sorter2.resume_rec_extent(&staged2.extent, staged2.dict.clone())?;
+    let resume_io = disk2.stats().snapshot().since(&before2);
+
+    Ok(RecoveryMeasurement {
+        total_ios: base_io.grand_total(),
+        journal_ios: base_io.total(IoCat::Journal),
+        sort_span,
+        crash_at,
+        resume_ios: resume_io.grand_total(),
+        resumed: resumed.report.resumed,
+        passes_skipped: resumed.report.committed_passes_skipped,
+        outputs_match: resumed.to_recs()? == base_recs,
+    })
 }
 
 /// Measure the key-path external merge-sort baseline end-to-end. Its final

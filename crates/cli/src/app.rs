@@ -9,8 +9,8 @@ use nexsort_baseline::{sort_xml_extent, stage_input, BaselineOptions};
 // assembles raw devices (it hands them straight to Disk::new).
 use nexsort_extmem::BlockDevice; // xlint::allow(R1)
 use nexsort_extmem::{
-    CachePolicy, Disk, Extent, FaultInjector, FaultPlan, FileDevice, MemDevice, MemoryBudget,
-    RetryPolicy, SchedConfig, WriteMode,
+    CachePolicy, CrashController, CrashPlan, Disk, ExtError, Extent, FaultInjector, FaultPlan,
+    FileDevice, MemDevice, MemoryBudget, RetryPolicy, SchedConfig, WriteMode,
 };
 use nexsort_merge::{BatchUpdate, MergeOptions, StructuralMerge};
 use nexsort_xml::SortSpec;
@@ -84,6 +84,18 @@ pub struct Cli {
     pub write_behind: bool,
     /// Stripe the block device round-robin over N backing devices.
     pub stripe: usize,
+    /// Maintain a write-ahead manifest journal so an interrupted sort can be
+    /// resumed without redoing committed work.
+    pub checkpoint: bool,
+    /// After a simulated crash, thaw the device and resume from the journal
+    /// instead of failing (needs `--checkpoint`).
+    pub resume: bool,
+    /// Simulate a whole-device crash N physical I/Os into the sort (the
+    /// device freezes; every later transfer fails until recovery thaws it).
+    pub crash_after_ios: Option<u64>,
+    /// With `--crash-after-ios N`: pick the crash point seeded-randomly in
+    /// `0..N` instead of exactly at `N`.
+    pub crash_seed: Option<u64>,
     /// The ordering criterion.
     pub spec: SortSpec,
 }
@@ -186,6 +198,16 @@ virtual time; sorted bytes and logical I/O counts never change):
       --stripe N        stripe the device round-robin over N backing devices
                         (default: 1; with --device FILE, uses FILE.0..FILE.N-1)
 
+CRASH CONSISTENCY (a write-ahead manifest journal on the device):
+      --checkpoint      journal run-store lifecycle events so an interrupted
+                        sort can resume without redoing committed work
+      --crash-after-ios N  simulate a whole-device crash N physical I/Os
+                        into the sort (the frozen image is what recovery sees)
+      --crash-seed S    with --crash-after-ios N: crash at a seeded-random
+                        point in 0..N instead of exactly at N
+      --resume          after a simulated crash, thaw the device and resume
+                        from the journal (needs --checkpoint)
+
 FAULT INJECTION (deterministic; the device checksums every block):
       --fault-rate P    transient I/O error probability per transfer (0..1)
       --fault-flips P   bit-corruption probability per transfer (0..1)
@@ -237,6 +259,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut prefetch_depth = 0usize;
     let mut write_behind = false;
     let mut stripe = 1usize;
+    let mut checkpoint = false;
+    let mut resume = false;
+    let mut crash_after_ios: Option<u64> = None;
+    let mut crash_seed: Option<u64> = None;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -328,6 +354,22 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     return Err("--stripe must be at least 1".into());
                 }
             }
+            "--checkpoint" => checkpoint = true,
+            "--resume" => resume = true,
+            "--crash-after-ios" => {
+                crash_after_ios = Some(
+                    next_value(&mut it, arg)?
+                        .parse::<u64>()
+                        .map_err(|_| "--crash-after-ios needs a nonnegative integer".to_string())?,
+                )
+            }
+            "--crash-seed" => {
+                crash_seed = Some(
+                    next_value(&mut it, arg)?
+                        .parse::<u64>()
+                        .map_err(|_| "--crash-seed needs an integer".to_string())?,
+                )
+            }
             "--pretty" => pretty = true,
             "--stats" => stats = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -360,6 +402,15 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     if block_size < 64 {
         return Err("--block must be at least 64 bytes".into());
     }
+    if crash_seed.is_some() && crash_after_ios.is_none() {
+        return Err("--crash-seed needs --crash-after-ios N as the crash-point range".into());
+    }
+    if resume && !checkpoint {
+        return Err("--resume needs --checkpoint (nothing is journalled without it)".into());
+    }
+    if resume && algo == Algo::Mergesort {
+        return Err("--resume applies to nexsort/degen (the baseline is not journalled)".into());
+    }
     let spec = build_spec(default_rule.as_deref(), &keys)?;
     Ok(Cli {
         command,
@@ -385,12 +436,40 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         prefetch_depth,
         write_behind,
         stripe,
+        checkpoint,
+        resume,
+        crash_after_ios,
+        crash_seed,
         spec,
     })
 }
 
 fn mem_frames(cli: &Cli) -> usize {
     ((cli.mem_bytes / cli.block_size).max(NexsortOptions::MIN_MEM_FRAMES as u64)) as usize
+}
+
+/// Journal extent size for `--checkpoint`: the default 32 blocks, clamped so
+/// the header (28 bytes of magic/count/crc plus 8 per block id) still
+/// self-describes the extent within a single block of `block_size`.
+fn journal_blocks(block_size: usize) -> usize {
+    32usize.min(((block_size.saturating_sub(28)) / 8).max(2))
+}
+
+/// The crash point (in sort I/Os) requested on the command line: exactly
+/// `--crash-after-ios N`, or a seed-scrambled point in `0..N` when
+/// `--crash-seed` is also given.
+fn crash_offset(cli: &Cli) -> Option<u64> {
+    let max = cli.crash_after_ios?;
+    Some(match cli.crash_seed {
+        None => max,
+        Some(seed) => {
+            // SplitMix-style scramble: deterministic per seed, in 0..N.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % max.max(1)
+        }
+    })
 }
 
 /// The `i`-th backing file of a striped `--device FILE`: `FILE.i`.
@@ -400,24 +479,80 @@ fn stripe_path(path: &Path, i: usize) -> PathBuf {
     PathBuf::from(os)
 }
 
-fn make_disk(cli: &Cli) -> Result<(Rc<Disk>, Vec<FaultInjector>), String> {
+/// A configured device stack: the disk, its per-device fault injectors, and
+/// the crash controller when `--crash-after-ios` is in play.
+type DiskSetup = (Rc<Disk>, Vec<FaultInjector>, Option<CrashController>);
+
+fn make_disk(cli: &Cli) -> Result<DiskSetup, String> {
+    // The crash layer is created *disarmed*: `--crash-after-ios` counts I/Os
+    // of the sort itself (armed in `sort_one`), not the input staging.
+    let want_crash = cli.crash_after_ios.is_some();
+    if want_crash && cli.faults_enabled() {
+        return Err("--crash-after-ios cannot be combined with fault injection".into());
+    }
+    let mut crash: Option<CrashController> = None;
     let (disk, injectors) = if !cli.faults_enabled() {
         let disk = if cli.stripe > 1 {
-            // xlint::allow(R1): device assembly before the Disk takes over.
-            let mut inners: Vec<Box<dyn BlockDevice>> = Vec::with_capacity(cli.stripe);
-            for i in 0..cli.stripe {
-                inners.push(match &cli.device {
-                    Some(path) => {
-                        let p = stripe_path(path, i);
-                        Box::new(
-                            FileDevice::create(&p, cli.block_size as usize)
-                                .map_err(|e| format!("cannot open device file {p:?}: {e}"))?,
-                        ) as Box<dyn BlockDevice> // xlint::allow(R1)
-                    }
-                    None => Box::new(MemDevice::new(cli.block_size as usize)),
-                });
+            if want_crash {
+                if cli.device.is_some() {
+                    return Err(
+                        "--crash-after-ios with --stripe uses the in-memory device; drop --device"
+                            .into(),
+                    );
+                }
+                let (disk, ctl) = Disk::new_striped_crash(
+                    cli.block_size as usize,
+                    cli.stripe,
+                    CrashPlan::Disarmed,
+                );
+                crash = Some(ctl);
+                disk
+            } else {
+                // xlint::allow(R1): device assembly before the Disk takes over.
+                let mut inners: Vec<Box<dyn BlockDevice>> = Vec::with_capacity(cli.stripe);
+                let mut created: Vec<PathBuf> = Vec::new();
+                for i in 0..cli.stripe {
+                    // xlint::allow(R1)
+                    let dev: Box<dyn BlockDevice> = match &cli.device {
+                        Some(path) => {
+                            let p = stripe_path(path, i);
+                            match FileDevice::create(&p, cli.block_size as usize) {
+                                Ok(d) => {
+                                    created.push(p);
+                                    Box::new(d) // xlint::allow(R1)
+                                }
+                                Err(e) => {
+                                    // Device `i` failed to open: remove the
+                                    // backing files of 0..i (handles dropped
+                                    // first) so a failed stripe set leaves
+                                    // no partial `FILE.0..FILE.i-1` behind.
+                                    let msg = format!("cannot open device file {p:?}: {e}");
+                                    drop(inners);
+                                    for q in &created {
+                                        let _ = std::fs::remove_file(q);
+                                    }
+                                    return Err(msg);
+                                }
+                            }
+                        }
+                        None => Box::new(MemDevice::new(cli.block_size as usize)),
+                    };
+                    inners.push(dev);
+                }
+                Disk::new_striped(inners)
             }
-            Disk::new_striped(inners)
+        } else if want_crash {
+            // xlint::allow(R1): device assembly before the Disk takes over.
+            let base: Box<dyn BlockDevice> = match &cli.device {
+                Some(path) => Box::new(
+                    FileDevice::create(path, cli.block_size as usize)
+                        .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
+                ),
+                None => Box::new(MemDevice::new(cli.block_size as usize)),
+            };
+            let (disk, ctl) = Disk::new_crash(base, CrashPlan::Disarmed);
+            crash = Some(ctl);
+            disk
         } else {
             match &cli.device {
                 Some(path) => Disk::new_file(path, cli.block_size as usize)
@@ -490,7 +625,7 @@ fn make_disk(cli: &Cli) -> Result<(Rc<Disk>, Vec<FaultInjector>), String> {
             ..SchedConfig::default()
         });
     }
-    Ok((disk, injectors))
+    Ok((disk, injectors, crash))
 }
 
 /// A staged input document: XML text, or pre-encoded records + dictionary.
@@ -518,7 +653,12 @@ fn load(cli: &Cli, disk: &Rc<Disk>, path: &Path) -> Result<Staged, String> {
     }
 }
 
-fn sort_one(cli: &Cli, disk: &Rc<Disk>, input: &Staged) -> Result<SortedDoc, String> {
+fn sort_one(
+    cli: &Cli,
+    disk: &Rc<Disk>,
+    input: &Staged,
+    crash: Option<&CrashController>,
+) -> Result<SortedDoc, String> {
     let opts = NexsortOptions {
         mem_frames: mem_frames(cli),
         threshold: cli.threshold,
@@ -530,16 +670,52 @@ fn sort_one(cli: &Cli, disk: &Rc<Disk>, input: &Staged) -> Result<SortedDoc, Str
         io_workers: cli.io_workers,
         prefetch_depth: cli.prefetch_depth,
         write_behind: cli.write_behind,
+        checkpoint: cli.checkpoint,
+        journal_blocks: journal_blocks(cli.block_size as usize),
         ..Default::default()
     };
     let sorter = Nexsort::new(disk.clone(), opts, cli.spec.clone()).map_err(|e| e.to_string())?;
+    if let (Some(ctl), Some(offset)) = (crash, crash_offset(cli)) {
+        // Counted from here, so staging I/O doesn't shift the crash point.
+        ctl.arm_after(ctl.ios() + offset);
+    }
     // The try_* variants classify unrecoverable faults into a structured
     // SortFailure naming the phase, failing transfer, and I/O spent.
-    let doc = match input {
+    let first = match input {
         Staged::Xml(ext) => sorter.try_sort_xml_extent(ext),
         Staged::Recs(ext, dict) => sorter.try_sort_rec_extent(ext, dict.clone()),
+    };
+    let doc = match first {
+        Ok(doc) => doc,
+        Err(f)
+            if cli.resume
+                && matches!(
+                    f.error,
+                    nexsort_xml::XmlError::Ext(ExtError::SimulatedCrash { .. })
+                )
+                && crash.is_some_and(|c| c.crashed()) =>
+        {
+            // The simulated crash fired mid-sort: thaw the frozen image (the
+            // in-process stand-in for a restart) and resume from the journal.
+            let ctl = crash.expect("guard checked");
+            ctl.thaw();
+            eprintln!(
+                "xsort: simulated crash after {} physical I/Os; resuming from the journal",
+                ctl.ios()
+            );
+            match input {
+                Staged::Xml(ext) => sorter.try_resume_xml_extent(ext),
+                Staged::Recs(ext, dict) => sorter.try_resume_rec_extent(ext, dict.clone()),
+            }
+            .map_err(|f| format!("resume failed: {f}"))?
+        }
+        Err(f) => return Err(f.to_string()),
+    };
+    if let Some(ctl) = crash {
+        // The sort outlived the armed point (or was resumed): disarm so the
+        // output phase and any later sorts start from a live device.
+        ctl.thaw();
     }
-    .map_err(|f| f.to_string())?;
     if cli.stats {
         eprintln!("sort: {}", doc.report.summary());
         eprintln!("{}", doc.report.io);
@@ -569,7 +745,7 @@ fn emit(cli: &Cli, xml: Vec<u8>) -> Result<(), String> {
 
 /// Execute a parsed command line.
 pub fn run(cli: &Cli) -> Result<(), String> {
-    let (disk, injectors) = make_disk(cli)?;
+    let (disk, injectors, crash) = make_disk(cli)?;
     let result = match &cli.command {
         Command::Sort { input } => {
             let staged = load(cli, &disk, input)?;
@@ -624,7 +800,7 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                     }
                 }
             } else {
-                let doc = sort_one(cli, &disk, &staged)?;
+                let doc = sort_one(cli, &disk, &staged, crash.as_ref())?;
                 match cli.format {
                     OutFormat::Xml => doc.to_xml(cli.pretty).map_err(|e| e.to_string())?,
                     OutFormat::Xrec => {
@@ -644,8 +820,8 @@ pub fn run(cli: &Cli) -> Result<(), String> {
             emit(cli, out)
         }
         Command::Merge { left, right } => {
-            let a = sort_one(cli, &disk, &load(cli, &disk, left)?)?;
-            let b = sort_one(cli, &disk, &load(cli, &disk, right)?)?;
+            let a = sort_one(cli, &disk, &load(cli, &disk, left)?, crash.as_ref())?;
+            let b = sort_one(cli, &disk, &load(cli, &disk, right)?, crash.as_ref())?;
             let merge = StructuralMerge::new(&a.dict, &b.dict, MergeOptions::default());
             let mut ca = a.cursor().map_err(|e| e.to_string())?;
             let mut cb = b.cursor().map_err(|e| e.to_string())?;
@@ -747,8 +923,8 @@ pub fn run(cli: &Cli) -> Result<(), String> {
             emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
         }
         Command::Update { base, updates } => {
-            let b = sort_one(cli, &disk, &load(cli, &disk, base)?)?;
-            let u = sort_one(cli, &disk, &load(cli, &disk, updates)?)?;
+            let b = sort_one(cli, &disk, &load(cli, &disk, base)?, crash.as_ref())?;
+            let u = sort_one(cli, &disk, &load(cli, &disk, updates)?, crash.as_ref())?;
             let apply = BatchUpdate::new(&b.dict, &u.dict, MergeOptions::default());
             let mut cb = b.cursor().map_err(|e| e.to_string())?;
             let mut cu = u.cursor().map_err(|e| e.to_string())?;
@@ -1120,6 +1296,134 @@ mod tests {
         ]))
         .unwrap();
         assert!(run(&cli).unwrap_err().contains("--stripe"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_flags_parse_and_validate() {
+        let cli = parse_args(&args(&[
+            "sort",
+            "x.xml",
+            "--checkpoint",
+            "--resume",
+            "--crash-after-ios",
+            "120",
+            "--crash-seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(cli.checkpoint && cli.resume);
+        assert_eq!(cli.crash_after_ios, Some(120));
+        assert_eq!(cli.crash_seed, Some(7));
+        assert!(!parse_args(&args(&["sort", "x.xml"])).unwrap().checkpoint);
+
+        let err = parse_args(&args(&["sort", "x.xml", "--resume"])).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+        let err = parse_args(&args(&["sort", "x.xml", "--crash-seed", "3"])).unwrap_err();
+        assert!(err.contains("--crash-after-ios"), "{err}");
+        let err = parse_args(&args(&[
+            "sort",
+            "x.xml",
+            "--checkpoint",
+            "--resume",
+            "--algo",
+            "mergesort",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+        // Crash simulation and fault injection are separate harnesses.
+        let cli = parse_args(&args(&[
+            "sort",
+            "x.xml",
+            "--crash-after-ios",
+            "10",
+            "--fault-rate",
+            "0.01",
+        ]))
+        .unwrap();
+        assert!(run(&cli).unwrap_err().contains("cannot be combined"));
+    }
+
+    #[test]
+    fn crash_then_resume_matches_the_uninterrupted_output() {
+        let dir = std::env::temp_dir().join(format!("xsort-crs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let gen =
+            parse_args(&args(&["gen", "exact:30,6", "--seed", "5", "-o", raw.to_str().unwrap()]))
+                .unwrap();
+        run(&gen).unwrap();
+
+        let base = ["--default", "@k", "--block", "256", "--mem", "4K", "--checkpoint"];
+        let sort_with = |extra: &[&str], out: &Path| {
+            let mut a = vec!["sort", raw.to_str().unwrap(), "-o", out.to_str().unwrap()];
+            a.extend_from_slice(&base);
+            a.extend_from_slice(extra);
+            run(&parse_args(&args(&a)).unwrap()).unwrap();
+            std::fs::read(out).unwrap()
+        };
+
+        let out = dir.join("out.xml");
+        let clean = sort_with(&[], &out);
+        for extra in [
+            &["--resume", "--crash-after-ios", "10"][..],
+            &["--resume", "--crash-after-ios", "80"][..],
+            &["--resume", "--crash-after-ios", "200"][..],
+            &["--resume", "--crash-after-ios", "150", "--crash-seed", "9"][..],
+            &["--resume", "--crash-after-ios", "90", "--algo", "degen"][..],
+            &["--resume", "--crash-after-ios", "120", "--stripe", "3"][..],
+            &[
+                "--resume",
+                "--crash-after-ios",
+                "120",
+                "--io-workers",
+                "2",
+                "--write-behind",
+                "--cache-frames",
+                "6",
+            ][..],
+        ] {
+            assert_eq!(sort_with(extra, &out), clean, "{extra:?}");
+        }
+
+        // Without --resume, a crash is a hard failure naming the cause.
+        let mut a = vec!["sort", raw.to_str().unwrap(), "-o", out.to_str().unwrap()];
+        a.extend_from_slice(&base);
+        a.extend_from_slice(&["--crash-after-ios", "40"]);
+        let err = run(&parse_args(&args(&a)).unwrap()).unwrap_err();
+        assert!(err.contains("simulated crash"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_stripe_creation_cleans_up_partial_backing_files() {
+        let dir = std::env::temp_dir().join(format!("xsort-stc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        std::fs::write(&raw, b"<r><e id=\"2\"/><e id=\"1\"/></r>").unwrap();
+        let dev = dir.join("device.bin");
+        // `device.bin.1` exists as a *directory*: creating the second stripe
+        // device must fail -- and must take `device.bin.0` down with it.
+        std::fs::create_dir_all(stripe_path(&dev, 1)).unwrap();
+        let cli = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "--default",
+            "@id:num",
+            "--block",
+            "256",
+            "--device",
+            dev.to_str().unwrap(),
+            "--stripe",
+            "3",
+        ]))
+        .unwrap();
+        let err = run(&cli).unwrap_err();
+        assert!(err.contains("cannot open device file"), "{err}");
+        assert!(
+            !stripe_path(&dev, 0).exists(),
+            "a failed stripe set must not leave partial backing files behind"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -30,11 +30,12 @@ use std::time::Instant;
 
 use nexsort_baseline::{sort_recs, RecSource};
 use nexsort_extmem::{
-    ByteSink, Disk, ExtentReader, IoCat, IoPhase, KWayMerger, MemoryBudget, MergeStream, RunId,
-    RunStore,
+    ByteSink, Disk, ExtentReader, IoCat, IoPhase, Journal, JournalRecord, KWayMerger, MemoryBudget,
+    MergeStream, RecoveredState, RunId, RunStore,
 };
 use nexsort_xml::{KeyPath, PathComp, PathedRec, PtrRec, Rec, Result, SortSpec, XmlError};
 
+use crate::checkpoint::{journal_stats, restore_report, seal_record, seal_records};
 use crate::options::NexsortOptions;
 use crate::report::SortReport;
 
@@ -95,6 +96,16 @@ struct Degenerate<'a> {
     super_pendings: Vec<RunId>,
     root_run: Option<RunId>,
     root_has_ptrs: bool,
+    /// Write-ahead journal when checkpointing is on: the scan seal and every
+    /// merge pass commit go through here.
+    journal: &'a mut Option<Journal>,
+    /// Merge passes committed before this process started (resume only);
+    /// continues the journal's pass numbering and the phase labels.
+    pass_base: u32,
+    /// Final-merge inputs whose discard must wait for the sort-done commit:
+    /// until that commit lands, the last committed pending list still names
+    /// them, so their blocks must stay allocated for a second crash.
+    deferred_discards: Vec<RunId>,
     report: SortReport,
 }
 
@@ -170,7 +181,13 @@ impl Degenerate<'_> {
             Ok(PStream { reader, left })
         };
         while runs.len() > fan_in {
-            self.store.disk().set_phase(IoPhase::MergePass(self.report.degenerate_merges + 1));
+            let pass = self.pass_base + self.report.degenerate_merges + 1;
+            self.store.disk().set_phase(IoPhase::MergePass(pass));
+            if let Some(j) = self.journal.as_mut() {
+                // Intent record; uncommitted until the pass's checkpoint, so
+                // a crash mid-pass replays to the previous commit.
+                j.append(&JournalRecord::MergePassStarted { pass })?;
+            }
             let group: Vec<RunId> = runs.drain(..fan_in).collect();
             let streams = group
                 .iter()
@@ -185,7 +202,21 @@ impl Degenerate<'_> {
                 p.encode(&mut buf)?;
                 w.write_all(&buf)?;
             }
-            runs.push(w.finish()?);
+            let out = w.finish()?;
+            runs.push(out);
+            if let Some(j) = self.journal.as_mut() {
+                // Seal the output and commit the pass in one batch -- only
+                // then may the consumed inputs be discarded, or a crash here
+                // would find the committed pending list naming freed blocks.
+                j.checkpoint(&[
+                    seal_record(&self.store, out)?,
+                    JournalRecord::MergePassCommitted {
+                        pass,
+                        output: out.0,
+                        consumed: group.iter().map(|r| r.0).collect(),
+                    },
+                ])?;
+            }
             for id in group {
                 self.store.discard(id)?;
             }
@@ -209,12 +240,35 @@ impl Degenerate<'_> {
             w.write_all(&buf)?;
         }
         let final_run = w.finish()?;
-        for id in runs {
-            self.store.discard(id)?;
+        if self.journal.is_some() {
+            // The final run commits as part of `SortDone`; until that lands,
+            // the last committed pending list still names these inputs, so
+            // their discard is deferred past the commit.
+            self.deferred_discards = runs;
+        } else {
+            for id in runs {
+                self.store.discard(id)?;
+            }
         }
         self.report.degenerate_merges += 1;
         self.store.disk().set_phase(entry_phase);
         Ok(final_run)
+    }
+
+    /// Seal the scan phase: every run now on disk plus the pending-merge
+    /// order becomes durable in one committed batch. From here on, a crash
+    /// resumes into the merge loop instead of rescanning the input.
+    fn checkpoint_scan_done(&mut self, pending: &[RunId]) -> Result<()> {
+        let Some(j) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let mut recs = seal_records(&self.store)?;
+        recs.push(JournalRecord::ScanDone {
+            pending: pending.iter().map(|r| r.0).collect(),
+            stats: journal_stats(&self.report),
+        });
+        j.checkpoint(&recs)?;
+        Ok(())
     }
 
     fn close_top(&mut self) -> Result<()> {
@@ -278,11 +332,13 @@ impl Degenerate<'_> {
             }
             None => {
                 if is_root {
-                    // Finalize the document: spill the remainder, merge all
-                    // incomplete runs into the complete root run.
+                    // Finalize the document: spill the remainder, seal the
+                    // scan, merge all incomplete runs into the complete
+                    // root run.
                     self.flush()?;
                     let mut all = std::mem::take(&mut self.super_pendings);
                     all.extend(frame.pendings);
+                    self.checkpoint_scan_done(&all)?;
                     self.root_run = Some(self.merge_all(all)?);
                 } else {
                     // Split subtree: its pieces live in ancestor-owned runs;
@@ -305,6 +361,7 @@ pub(crate) fn sort_degenerate(
     spec: &SortSpec,
     src: &mut dyn RecSource,
     budget: &MemoryBudget,
+    journal: &mut Option<Journal>,
 ) -> Result<(Rc<RunStore>, RunId, SortReport)> {
     debug_assert!(!spec.has_deferred_keys());
     let start_time = Instant::now();
@@ -341,6 +398,9 @@ pub(crate) fn sort_degenerate(
         super_pendings: Vec::new(),
         root_run: None,
         root_has_ptrs: false,
+        journal,
+        pass_base: 0,
+        deferred_discards: Vec::new(),
         report,
     };
 
@@ -415,9 +475,95 @@ pub(crate) fn sort_degenerate(
     let root_run =
         st.root_run.ok_or_else(|| XmlError::Record("empty input: no root element".into()))?;
 
+    st.report.root_flat = !st.root_has_ptrs;
+    finish_degenerate(&mut st, root_run)?;
     report = st.report;
-    report.root_flat = !st.root_has_ptrs;
     // Settle any scheduler-deferred writes before the final I/O snapshot.
+    disk.io_barrier()?;
+    report.io = stats.snapshot().since(&io_before);
+    report.elapsed = start_time.elapsed();
+    disk.set_phase(entry_phase);
+    Ok((st.store, root_run, report))
+}
+
+/// Shared tail of a fresh or resumed degenerate sort: commit `SortDone`
+/// (sealing the entire surviving run tree), then release the final merge's
+/// deferred inputs -- in that order, so a crash between the two leaves every
+/// committed block allocated.
+fn finish_degenerate(st: &mut Degenerate<'_>, root_run: RunId) -> Result<()> {
+    if let Some(j) = st.journal.as_mut() {
+        let consumed: Vec<u32> = st.deferred_discards.iter().map(|r| r.0).collect();
+        let mut recs = crate::checkpoint::seal_records_except(&st.store, &consumed)?;
+        // The final merge's inputs are journalled as discarded (not
+        // re-sealed): a crash after this commit must not resurrect them.
+        recs.extend(consumed.into_iter().map(|token| JournalRecord::RunDiscarded { token }));
+        recs.push(JournalRecord::SortDone {
+            root: root_run.0,
+            root_flat: st.report.root_flat,
+            stats: journal_stats(&st.report),
+        });
+        j.checkpoint(&recs)?;
+    }
+    for id in std::mem::take(&mut st.deferred_discards) {
+        st.store.discard(id)?;
+    }
+    Ok(())
+}
+
+/// Re-enter the merge loop from journal-recovered state: the scan is sealed,
+/// the pending order and committed pass count are known, and every surviving
+/// run is already in the restored store. Committed passes are never re-run;
+/// the pass counter, phase labels, and fan-in continue exactly where the
+/// interrupted process left off, so the remaining passes -- and the final
+/// output bytes -- are identical to an uninterrupted run's.
+pub(crate) fn resume_degenerate(
+    disk: &Rc<Disk>,
+    opts: &NexsortOptions,
+    state: RecoveredState,
+    journal: &mut Option<Journal>,
+    budget: &MemoryBudget,
+) -> Result<(Rc<RunStore>, RunId, SortReport)> {
+    let start_time = Instant::now();
+    let stats = disk.stats();
+    let io_before = stats.snapshot();
+    let entry_phase = disk.phase();
+    let block_size = disk.block_size();
+    let threshold = opts.threshold_bytes(block_size);
+    let mut report = SortReport::new(block_size, opts.mem_frames, threshold);
+    restore_report(&state.stats, &mut report);
+    // Merge passes run *here* are counted fresh; the interrupted process's
+    // committed passes are reported as skipped, never redone.
+    report.degenerate_merges = 0;
+    report.resumed = true;
+    report.committed_passes_skipped = state.committed_passes;
+    let pending: Vec<RunId> = state.pending.iter().flatten().map(|&t| RunId(t)).collect();
+    if pending.is_empty() {
+        return Err(XmlError::Record("journal seals the scan but names no pending runs".into()));
+    }
+    let store = RunStore::restore(disk.clone(), state.runs);
+    let mut st = Degenerate {
+        opts,
+        budget,
+        store,
+        threshold,
+        capacity: 0,
+        staging: Vec::new(),
+        total_staged_bytes: 0,
+        frames: Vec::new(),
+        owner_depth: 0,
+        fragment_seed: Vec::new(),
+        super_pendings: Vec::new(),
+        root_run: None,
+        root_has_ptrs: false,
+        journal,
+        pass_base: state.committed_passes,
+        deferred_discards: Vec::new(),
+        report,
+    };
+    let root_run = st.merge_all(pending)?;
+    st.report.root_flat = !st.root_has_ptrs;
+    finish_degenerate(&mut st, root_run)?;
+    let mut report = st.report;
     disk.io_barrier()?;
     report.io = stats.snapshot().since(&io_before);
     report.elapsed = start_time.elapsed();

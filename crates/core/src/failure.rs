@@ -80,11 +80,16 @@ impl SortFailure {
         )
     }
 
-    /// Human name of the failure site: the stack being paged when the fault
-    /// hit a stack category, otherwise the algorithm phase.
+    /// Human name of the failure site. A stack-paging or journal fault keeps
+    /// the algorithm phase in the name: a deferred write-behind failure
+    /// surfaces at a later barrier, and the recorded phase (the one that
+    /// *deferred* the write) is the only clue to what work was in flight.
     pub fn site(&self) -> String {
         match self.cat {
-            Some(c) if self.is_stack_paging() => format!("stack paging ({c})"),
+            Some(c) if self.is_stack_paging() => {
+                format!("stack paging ({c}) during {}", self.phase)
+            }
+            Some(IoCat::Journal) => format!("journal I/O during {}", self.phase),
             _ => self.phase.to_string(),
         }
     }
@@ -190,8 +195,26 @@ mod tests {
         };
         assert!(f.is_stack_paging());
         assert!(f.site().starts_with("stack paging"));
+        // The deferring phase is stamped: a write-behind drain that fails at
+        // a later barrier still names the phase that queued the write.
+        assert!(f.site().contains("run formation"), "{}", f.site());
         let msg = f.to_string();
         assert!(msg.contains("block 9"), "{msg}");
         assert!(msg.contains("reading"), "{msg}");
+    }
+
+    #[test]
+    fn journal_faults_name_both_the_journal_and_the_phase() {
+        let f = SortFailure {
+            phase: IoPhase::Recovery,
+            cat: Some(IoCat::Journal),
+            block: Some(3),
+            is_read: false,
+            attempts: 1,
+            error: XmlError::Ext(ExtError::ChecksumMismatch { block: 3 }),
+            io_so_far: nexsort_extmem::IoStats::new().snapshot(),
+        };
+        assert!(!f.is_stack_paging());
+        assert_eq!(f.site(), "journal I/O during recovery");
     }
 }

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod checkpoint;
 mod degenerate;
 mod failure;
 mod options;

@@ -55,6 +55,18 @@ pub struct NexsortOptions {
     /// Defer physical writes onto the scheduler's bounded queue, drained in
     /// the background and at run/output barriers (needs `io_workers >= 1`).
     pub write_behind: bool,
+    /// Crash-consistent checkpointing: maintain a write-ahead manifest
+    /// journal on the device (see `nexsort_extmem::Journal`) whose commit
+    /// records land only after an I/O barrier. An interrupted sort can then
+    /// be resumed with [`Nexsort::resume_xml_extent`]
+    /// (crate::Nexsort::resume_xml_extent) without redoing committed work.
+    /// Off by default: journal writes are extra I/O the paper's model does
+    /// not charge.
+    pub checkpoint: bool,
+    /// Size of the journal extent in blocks (header + record space), used
+    /// when `checkpoint` is on. The journal is fixed-size; a sort whose
+    /// manifest outgrows it fails with a structured overflow error.
+    pub journal_blocks: usize,
 }
 
 impl NexsortOptions {
@@ -85,6 +97,8 @@ impl Default for NexsortOptions {
             io_workers: 0,
             prefetch_depth: 0,
             write_behind: false,
+            checkpoint: false,
+            journal_blocks: 32,
         }
     }
 }
@@ -120,5 +134,7 @@ mod tests {
         assert_eq!(o.io_workers, 0, "synchronous I/O by default: the paper's model");
         assert_eq!(o.prefetch_depth, 0);
         assert!(!o.write_behind);
+        assert!(!o.checkpoint, "journaling is opt-in: extra I/O outside the paper's model");
+        assert!(o.journal_blocks >= 2, "journal needs a header block plus record space");
     }
 }

@@ -47,6 +47,15 @@ pub struct SortReport {
     /// degeneration variant match external merge sort's pass count on flat
     /// inputs, Section 3.2).
     pub root_flat: bool,
+    /// True when this report describes a crash-resumed sort: the run began
+    /// from journal-recovered state, and counters cover only the work redone
+    /// plus whatever the journal's phase seals carried forward.
+    pub resumed: bool,
+    /// Merge passes whose commit record survived the crash and that resume
+    /// therefore never re-ran. On a resumed run,
+    /// `degenerate_merges + committed_passes_skipped` equals the
+    /// uninterrupted run's `degenerate_merges`.
+    pub committed_passes_skipped: u32,
     /// I/O taken by the sorting phase, by category.
     pub io: IoSnapshot,
     /// Wall-clock time of the sorting phase.
@@ -73,6 +82,8 @@ impl SortReport {
             incomplete_runs: 0,
             degenerate_merges: 0,
             root_flat: false,
+            resumed: false,
+            committed_passes_skipped: 0,
             io: nexsort_extmem::IoStats::new().snapshot(),
             elapsed: Duration::ZERO,
         }
@@ -110,9 +121,14 @@ impl SortReport {
 
     /// A compact single-line summary for harness output.
     pub fn summary(&self) -> String {
+        let resumed = if self.resumed {
+            format!(" | resumed ({} committed passes skipped)", self.committed_passes_skipped)
+        } else {
+            String::new()
+        };
         format!(
             "N={} recs ({} B, {} blk) k={} h={} | x={} sorts (int {}, ext {}, dump {}) \
-             | inc-runs={} merges={} | io={} | {:?}",
+             | inc-runs={} merges={}{resumed} | io={} | {:?}",
             self.n_records,
             self.input_bytes,
             self.input_blocks(),
@@ -166,5 +182,9 @@ mod tests {
         r.subtree_sorts = 7;
         let s = r.summary();
         assert!(s.contains("N=42") && s.contains("x=7"));
+        assert!(!s.contains("resumed"), "fresh runs do not claim a resume");
+        r.resumed = true;
+        r.committed_passes_skipped = 2;
+        assert!(r.summary().contains("resumed (2 committed passes skipped)"));
     }
 }

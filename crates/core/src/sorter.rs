@@ -15,10 +15,12 @@ use std::time::Instant;
 
 use nexsort_baseline::{ExtentRecSource, ParsedRecSource, RecSource};
 use nexsort_extmem::{
-    Disk, ExtStack, Extent, IoCat, IoPhase, MemoryBudget, RunId, RunStore, SchedConfig,
+    recover, Disk, ExtStack, Extent, IoCat, IoPhase, Journal, JournalRecord, MemoryBudget,
+    RecoveredState, RunId, RunStore, SchedConfig,
 };
 use nexsort_xml::{Rec, Result, SortSpec, TagDict, XmlError};
 
+use crate::checkpoint::{journal_stats, restore_report, seal_records};
 use crate::failure::SortFailure;
 use crate::options::NexsortOptions;
 use crate::output::SortedDoc;
@@ -86,6 +88,7 @@ impl Nexsort {
     /// Sort an XML text document resident on the disk.
     pub fn sort_xml_extent(&self, input: &Extent) -> Result<SortedDoc> {
         let budget = MemoryBudget::new(self.opts.mem_frames);
+        let mut journal = self.start_journal(input)?;
         let mut src = ParsedRecSource::new(
             self.disk.clone(),
             &budget,
@@ -93,7 +96,7 @@ impl Nexsort {
             &self.spec,
             self.opts.compaction,
         )?;
-        let (store, root_run, report) = self.sort_source(&mut src, &budget)?;
+        let (store, root_run, report) = self.sort_source(&mut src, &budget, &mut journal)?;
         Ok(SortedDoc::new(
             self.disk.clone(),
             store,
@@ -109,9 +112,94 @@ impl Nexsort {
     /// XML-parsing CPU while keeping the I/O pattern identical).
     pub fn sort_rec_extent(&self, input: &Extent, dict: TagDict) -> Result<SortedDoc> {
         let budget = MemoryBudget::new(self.opts.mem_frames);
+        let mut journal = self.start_journal(input)?;
         let mut src = ExtentRecSource::new(self.disk.clone(), &budget, input, IoCat::InputRead)?;
-        let (store, root_run, report) = self.sort_source(&mut src, &budget)?;
+        let (store, root_run, report) = self.sort_source(&mut src, &budget, &mut journal)?;
         Ok(SortedDoc::new(self.disk.clone(), store, root_run, dict, report, self.opts.mem_frames))
+    }
+
+    /// Resume an interrupted checkpointed sort of an XML document.
+    ///
+    /// Replays the disk's journal (see [`recover`]), frees every block the
+    /// crash leaked, and restarts from the last sealed phase: a committed
+    /// `SortDone` reattaches the finished document with no I/O beyond the
+    /// replay; a committed scan (degeneration mode) re-enters the merge loop
+    /// at the first uncommitted pass; anything less redoes the sort. The
+    /// input is re-parsed once to rebuild the in-memory tag dictionary --
+    /// recovery's only repeated read. A disk with no journal (or a sort that
+    /// was never checkpointed) falls back to a fresh
+    /// [`sort_xml_extent`](Self::sort_xml_extent).
+    ///
+    /// Must be called with the same options and spec as the interrupted
+    /// sort; fan-in and pass structure are re-derived from them.
+    pub fn resume_xml_extent(&self, input: &Extent) -> Result<SortedDoc> {
+        let budget = MemoryBudget::new(self.opts.mem_frames);
+        let Some((journal, state)) = recover(&self.disk, input.blocks())? else {
+            return self.sort_xml_extent(input);
+        };
+        let mut journal = Some(journal);
+        let mut src = ParsedRecSource::new(
+            self.disk.clone(),
+            &budget,
+            input,
+            &self.spec,
+            self.opts.compaction,
+        )?;
+        if state.sort_done.is_some() || state.scan_done {
+            // The scan will not run again: drain the parser for its
+            // dictionary side effect. The exhausted source stays alive so
+            // its reader frame keeps the budget -- and thus the merge
+            // fan-in -- identical to the uninterrupted run's.
+            while src.next_rec()?.is_some() {}
+        }
+        let (store, root_run, report) =
+            self.resume_source(&mut src, &budget, &mut journal, state)?;
+        Ok(SortedDoc::new(
+            self.disk.clone(),
+            store,
+            root_run,
+            src.into_dict(),
+            report,
+            self.opts.mem_frames,
+        ))
+    }
+
+    /// Resume an interrupted checkpointed sort of a pre-encoded record
+    /// extent; see [`resume_xml_extent`](Self::resume_xml_extent). The
+    /// caller supplies the dictionary, so nothing is re-parsed.
+    pub fn resume_rec_extent(&self, input: &Extent, dict: TagDict) -> Result<SortedDoc> {
+        let budget = MemoryBudget::new(self.opts.mem_frames);
+        let Some((journal, state)) = recover(&self.disk, input.blocks())? else {
+            return self.sort_rec_extent(input, dict);
+        };
+        let mut journal = Some(journal);
+        let mut src = ExtentRecSource::new(self.disk.clone(), &budget, input, IoCat::InputRead)?;
+        let (store, root_run, report) =
+            self.resume_source(&mut src, &budget, &mut journal, state)?;
+        Ok(SortedDoc::new(self.disk.clone(), store, root_run, dict, report, self.opts.mem_frames))
+    }
+
+    /// [`resume_xml_extent`](Self::resume_xml_extent) with structured
+    /// failure reporting; see [`try_sort_xml_extent`](Self::try_sort_xml_extent).
+    pub fn try_resume_xml_extent(
+        &self,
+        input: &Extent,
+    ) -> std::result::Result<SortedDoc, Box<SortFailure>> {
+        let before = self.disk.stats().snapshot();
+        self.resume_xml_extent(input)
+            .map_err(|e| Box::new(SortFailure::classify(&self.disk, e, &before)))
+    }
+
+    /// [`resume_rec_extent`](Self::resume_rec_extent) with structured
+    /// failure reporting; see [`try_sort_xml_extent`](Self::try_sort_xml_extent).
+    pub fn try_resume_rec_extent(
+        &self,
+        input: &Extent,
+        dict: TagDict,
+    ) -> std::result::Result<SortedDoc, Box<SortFailure>> {
+        let before = self.disk.stats().snapshot();
+        self.resume_rec_extent(input, dict)
+            .map_err(|e| Box::new(SortFailure::classify(&self.disk, e, &before)))
     }
 
     /// [`sort_xml_extent`](Self::sort_xml_extent), but an unrecoverable
@@ -138,17 +226,66 @@ impl Nexsort {
             .map_err(|e| Box::new(SortFailure::classify(&self.disk, e, &before)))
     }
 
+    /// When checkpointing is on, put a fresh journal on the device and
+    /// commit the sort's start record (the resume-time identity check).
+    fn start_journal(&self, input: &Extent) -> Result<Option<Journal>> {
+        if !self.opts.checkpoint {
+            return Ok(None);
+        }
+        let mut journal = Journal::create(&self.disk, self.opts.journal_blocks)?;
+        journal.checkpoint(&[JournalRecord::SortStarted { input_len: input.len() }])?;
+        Ok(Some(journal))
+    }
+
+    /// Continue from journal-recovered state: reattach a finished sort,
+    /// re-enter the merge loop after a sealed scan, or redo the sort when
+    /// nothing beyond the start record committed.
+    fn resume_source(
+        &self,
+        src: &mut dyn RecSource,
+        budget: &MemoryBudget,
+        journal: &mut Option<Journal>,
+        state: RecoveredState,
+    ) -> Result<(Rc<RunStore>, RunId, SortReport)> {
+        if let Some((root, root_flat)) = state.sort_done {
+            let block_size = self.disk.block_size();
+            let threshold = self.opts.threshold_bytes(block_size);
+            let mut report = SortReport::new(block_size, self.opts.mem_frames, threshold);
+            restore_report(&state.stats, &mut report);
+            report.root_flat = root_flat;
+            report.resumed = true;
+            // `degenerate_merges` counts merges run by *this* process (none:
+            // everything was committed); every journalled merge is skipped.
+            report.committed_passes_skipped = report.degenerate_merges;
+            report.degenerate_merges = 0;
+            let store = RunStore::restore(self.disk.clone(), state.runs);
+            return Ok((store, RunId(root), report));
+        }
+        if state.scan_done && self.opts.degeneration && !self.spec.has_deferred_keys() {
+            return crate::degenerate::resume_degenerate(
+                &self.disk, &self.opts, state, journal, budget,
+            );
+        }
+        // No sealed phase survives (or the options no longer match the
+        // journalled mode): the recovery already reclaimed the crash's
+        // leaked blocks, so redo the sort on the existing journal.
+        let (store, root_run, mut report) = self.sort_source(src, budget, journal)?;
+        report.resumed = true;
+        Ok((store, root_run, report))
+    }
+
     fn sort_source(
         &self,
         src: &mut dyn RecSource,
         budget: &MemoryBudget,
+        journal: &mut Option<Journal>,
     ) -> Result<(Rc<RunStore>, RunId, SortReport)> {
         if self.opts.degeneration && !self.spec.has_deferred_keys() {
             return crate::degenerate::sort_degenerate(
-                &self.disk, &self.opts, &self.spec, src, budget,
+                &self.disk, &self.opts, &self.spec, src, budget, journal,
             );
         }
-        self.sort_standard(src, budget)
+        self.sort_standard(src, budget, journal)
     }
 
     /// Figure 4's sorting phase, as published.
@@ -156,6 +293,7 @@ impl Nexsort {
         &self,
         src: &mut dyn RecSource,
         budget: &MemoryBudget,
+        journal: &mut Option<Journal>,
     ) -> Result<(Rc<RunStore>, RunId, SortReport)> {
         let start_time = Instant::now();
         let stats = self.disk.stats();
@@ -292,6 +430,19 @@ impl Nexsort {
         // fault surfaces inside the sort (and inside `SortFailure`'s phase
         // attribution) and the report's physical counts are settled.
         self.disk.io_barrier()?;
+        // The standard algorithm checkpoints at sort-done granularity: one
+        // committed batch sealing the whole run tree. (Finer grain would
+        // journal every subtree collapse; the stack-resident intermediate
+        // state is not replayable anyway.)
+        if let Some(j) = journal.as_mut() {
+            let mut recs = seal_records(&store)?;
+            recs.push(JournalRecord::SortDone {
+                root: root_run.0,
+                root_flat: report.root_flat,
+                stats: journal_stats(&report),
+            });
+            j.checkpoint(&recs)?;
+        }
         report.io = stats.snapshot().since(&io_before);
         report.elapsed = start_time.elapsed();
         self.disk.set_phase(entry_phase);

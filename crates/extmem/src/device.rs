@@ -18,7 +18,8 @@ use std::rc::Rc;
 use crate::budget::MemoryBudget;
 use crate::error::{ExtError, Result};
 use crate::fault::{
-    ChecksummedDevice, DiskFailure, FaultInjector, FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
+    ChecksummedDevice, CrashController, CrashDevice, CrashPlan, DiskFailure, FaultInjector,
+    FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
 };
 use crate::pool::{
     CachePolicy, EvictionPolicy, PinGuard, PinMutGuard, PoolCore, SlotAcquire, WriteMode,
@@ -42,6 +43,16 @@ pub trait BlockDevice {
     /// Overwrite a whole block from `data` (`data.len() <= block_size`; the
     /// remainder of the block is unspecified and must not be relied upon).
     fn write(&mut self, id: u64, data: &[u8]) -> Result<()>;
+    /// Ids of all currently-allocated (live) blocks, in ascending order.
+    ///
+    /// Crash recovery uses this to reconcile the allocator against the
+    /// journal: blocks that are live on the device but belong to no
+    /// committed structure are leaked by an interrupted sort and get freed.
+    /// The default conservatively reports every id ever allocated; devices
+    /// that track a free list override it to report exactly the live set.
+    fn live_blocks(&self) -> Vec<u64> {
+        (0..self.num_blocks()).collect()
+    }
 }
 
 // Boxes delegate, so wrappers like `FaultyDevice<Box<dyn BlockDevice>>`
@@ -64,6 +75,9 @@ impl<T: BlockDevice + ?Sized> BlockDevice for Box<T> {
     }
     fn write(&mut self, id: u64, data: &[u8]) -> Result<()> {
         (**self).write(id, data)
+    }
+    fn live_blocks(&self) -> Vec<u64> {
+        (**self).live_blocks()
     }
 }
 
@@ -151,6 +165,10 @@ impl BlockDevice for MemDevice {
         dst[..data.len()].copy_from_slice(data);
         Ok(())
     }
+
+    fn live_blocks(&self) -> Vec<u64> {
+        (0..self.blocks.len() as u64).filter(|id| !self.free_set.contains(id)).collect()
+    }
 }
 
 /// A file-backed block device, for runs larger than host RAM or for running
@@ -235,6 +253,10 @@ impl BlockDevice for FileDevice {
         self.file.seek(SeekFrom::Start(id * self.block_size as u64))?;
         self.file.write_all(data)?;
         Ok(())
+    }
+
+    fn live_blocks(&self) -> Vec<u64> {
+        (0..self.num_blocks).filter(|id| !self.free_set.contains(id)).collect()
     }
 }
 
@@ -396,6 +418,34 @@ impl Disk {
         (disk, injectors)
     }
 
+    /// Wrap `dev` in a [`CrashDevice`] armed per `plan`: at the crash point
+    /// every transfer starts failing with
+    /// [`ExtError::SimulatedCrash`](crate::ExtError::SimulatedCrash) and the
+    /// device image freezes until the returned [`CrashController`] thaws it.
+    pub fn new_crash(dev: Box<dyn BlockDevice>, plan: CrashPlan) -> (Rc<Self>, CrashController) {
+        let crash = CrashDevice::new(dev, plan);
+        let ctl = crash.controller();
+        (Self::new(Box::new(crash)), ctl)
+    }
+
+    /// A crash-injected disk striped over `stripe` in-memory devices. The
+    /// crash layer sits *above* the stripe, so the I/O index that triggers
+    /// the crash counts transfers across the whole stripe set.
+    pub fn new_striped_crash(
+        block_size: usize,
+        stripe: usize,
+        plan: CrashPlan,
+    ) -> (Rc<Self>, CrashController) {
+        assert!(stripe >= 1, "a stripe needs at least one device");
+        let inners: Vec<Box<dyn BlockDevice>> =
+            (0..stripe).map(|_| Box::new(MemDevice::new(block_size)) as _).collect();
+        let crash = CrashDevice::new(StripedDevice::new(inners), plan);
+        let ctl = crash.controller();
+        let disk = Self::new(Box::new(crash));
+        disk.stripe.set(stripe);
+        (disk, ctl)
+    }
+
     /// How many devices the underlying storage is striped across (1 when
     /// not striped).
     pub fn stripe_width(&self) -> usize {
@@ -496,6 +546,13 @@ impl Disk {
     /// Number of blocks ever allocated on the underlying device.
     pub fn num_blocks(&self) -> u64 {
         self.dev.borrow().num_blocks()
+    }
+
+    /// Ids of all currently-allocated blocks on the underlying device, in
+    /// ascending order (see [`BlockDevice::live_blocks`]). Crash recovery
+    /// uses this to find and free blocks leaked by an interrupted sort.
+    pub fn live_blocks(&self) -> Vec<u64> {
+        self.dev.borrow().live_blocks()
     }
 
     /// Allocate a fresh block. Allocation itself is free in the I/O model;
@@ -767,6 +824,55 @@ impl Disk {
                 }
                 Ok(slot)
             }
+        }
+    }
+
+    /// Read a journal block *synchronously*, bypassing the buffer pool:
+    /// journal replay must see the device image, never a cached frame.
+    /// Charged as one logical + one physical read under [`IoCat::Journal`].
+    pub fn journal_read(&self, id: u64, buf: &mut [u8]) -> Result<()> {
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.check_read(id, self.dev.borrow().num_blocks())?;
+        }
+        self.phys_read_now(id, buf, IoCat::Journal)?;
+        self.stats.add_reads(IoCat::Journal, 1);
+        Ok(())
+    }
+
+    /// Write a journal block *synchronously*, bypassing the buffer pool and
+    /// the write-behind queue: when this returns, the bytes are on the
+    /// device. Journal records must be durable before the commit record
+    /// that covers them, so deferring them is never correct. Any stale
+    /// cached frame for the block is invalidated first.
+    pub fn journal_write(&self, id: u64, data: &[u8]) -> Result<()> {
+        debug_assert!(data.len() <= self.block_size);
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.check_write(id, self.dev.borrow().num_blocks())?;
+        }
+        if let Some(pool) = self.pool.borrow_mut().as_mut() {
+            pool.invalidate(id)?;
+        }
+        self.phys_write_now(id, data, IoCat::Journal)?;
+        self.stats.add_writes(IoCat::Journal, 1);
+        Ok(())
+    }
+
+    /// Discard all volatile I/O state: every deferred write still parked on
+    /// the write-behind queue and every buffer-pool frame, without writing
+    /// anything back. Crash recovery only -- after a simulated crash the
+    /// device image (not what this process had in memory) is the
+    /// authoritative state, and replaying stale frames or deferred writes
+    /// over it would corrupt the recovered sort.
+    pub fn purge_volatile(&self) {
+        if let Some(s) = self.sched.borrow_mut().as_mut() {
+            s.wb.clear();
+            s.inflight.clear();
+        }
+        if let Some(pool) = self.pool.borrow_mut().as_mut() {
+            pool.purge_all();
+        }
+        if let Some(sh) = self.shadow.borrow().as_ref() {
+            sh.note_purged();
         }
     }
 

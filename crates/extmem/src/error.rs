@@ -45,6 +45,15 @@ pub enum ExtError {
     /// violated check (e.g. `read-after-free`); `block` is the offending
     /// block id (for `budget-frame-leak`, the number of leaked frames).
     ShadowViolation { check: &'static str, block: u64 },
+    /// A `CrashDevice` reached its armed crash point: the device image is
+    /// frozen and every transfer fails until the controller thaws it.
+    /// `after_ios` is the physical I/O index at which the crash fired.
+    SimulatedCrash { after_ios: u64 },
+    /// Journal replay found a record that cannot be explained by a torn
+    /// tail: a checksum mismatch followed by further data, a sequence-number
+    /// break, or a record overrunning the journal extent. `offset` is the
+    /// byte offset of the offending record within the journal.
+    JournalCorrupt { offset: u64, reason: &'static str },
 }
 
 impl ExtError {
@@ -100,6 +109,12 @@ impl fmt::Display for ExtError {
             ExtError::ShadowViolation { check, block } => {
                 write!(f, "shadow sanitizer caught {check} (block {block})")
             }
+            ExtError::SimulatedCrash { after_ios } => {
+                write!(f, "simulated crash after {after_ios} physical I/Os: device frozen")
+            }
+            ExtError::JournalCorrupt { offset, reason } => {
+                write!(f, "journal corrupt at offset {offset}: {reason}")
+            }
         }
     }
 }
@@ -120,7 +135,9 @@ impl std::error::Error for ExtError {
             | ExtError::FramePinned { .. }
             | ExtError::AllFramesPinned { .. }
             | ExtError::CacheDisabled
-            | ExtError::ShadowViolation { .. } => None,
+            | ExtError::ShadowViolation { .. }
+            | ExtError::SimulatedCrash { .. }
+            | ExtError::JournalCorrupt { .. } => None,
         }
     }
 }
@@ -192,6 +209,18 @@ mod tests {
     fn shadow_violation_displays_and_is_fatal() {
         let e = ExtError::ShadowViolation { check: "read-after-free", block: 7 };
         assert!(e.to_string().contains("read-after-free") && e.to_string().contains('7'));
+        assert!(!e.is_transient());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn crash_and_journal_variants_display_and_are_fatal() {
+        let e = ExtError::SimulatedCrash { after_ios: 17 };
+        assert!(e.to_string().contains("17") && e.to_string().contains("frozen"));
+        assert!(!e.is_transient(), "a crash must not be retried away");
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ExtError::JournalCorrupt { offset: 96, reason: "checksum mismatch" };
+        assert!(e.to_string().contains("96") && e.to_string().contains("checksum"));
         assert!(!e.is_transient());
         assert!(std::error::Error::source(&e).is_none());
     }

@@ -301,6 +301,10 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
         self.inner.free(id)
     }
 
+    fn live_blocks(&self) -> Vec<u64> {
+        self.inner.live_blocks()
+    }
+
     fn read(&mut self, id: u64, buf: &mut [u8]) -> Result<()> {
         let mut st = self.state.borrow_mut();
         match st.decide_read() {
@@ -406,12 +410,192 @@ impl fmt::Debug for FaultInjector {
     }
 }
 
+// ---------- the crash-point injector ----------
+
+/// When a [`CrashDevice`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPlan {
+    /// Never crash (until armed through the [`CrashController`]).
+    Disarmed,
+    /// Crash once `n` physical I/Os (reads + writes combined) have
+    /// completed: the `n`-th subsequent transfer fails and the image
+    /// freezes. `AfterIos(0)` fails the very first transfer.
+    AfterIos(u64),
+    /// Crash after a seeded, uniformly random number of completed I/Os in
+    /// `[0, max)`. Deterministic per seed.
+    Random {
+        /// Seed of the draw.
+        seed: u64,
+        /// Exclusive upper bound on the crash point.
+        max: u64,
+    },
+}
+
+impl CrashPlan {
+    fn resolve(self) -> Option<u64> {
+        match self {
+            CrashPlan::Disarmed => None,
+            CrashPlan::AfterIos(n) => Some(n),
+            CrashPlan::Random { seed, max } => {
+                let mut rng = FaultRng::new(seed ^ 0x00C4_A511_D00F_F1CE);
+                Some(rng.next_u64() % max.max(1))
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CrashState {
+    /// Physical I/Os (reads + writes) completed so far.
+    ios: u64,
+    /// Crash when `ios` reaches this; `None` = disarmed.
+    point: Option<u64>,
+    /// Set once the crash has fired; every transfer fails until thawed.
+    crashed: bool,
+}
+
+impl CrashState {
+    /// Gate one transfer: either count it through or fail frozen.
+    fn admit(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(ExtError::SimulatedCrash { after_ios: self.ios });
+        }
+        if let Some(p) = self.point {
+            if self.ios >= p {
+                self.crashed = true;
+                return Err(ExtError::SimulatedCrash { after_ios: self.ios });
+            }
+        }
+        self.ios += 1;
+        Ok(())
+    }
+}
+
+/// A [`BlockDevice`] wrapper that simulates a whole-process crash at a
+/// deterministic I/O index: once the armed point is reached, every transfer
+/// fails with [`ExtError::SimulatedCrash`] and the device image is frozen
+/// exactly as the completed I/Os left it. Recovery code *thaws* the device
+/// through the [`CrashController`] and replays the journal against the
+/// frozen image -- the in-process equivalent of restarting after `kill -9`.
+///
+/// Allocation metadata lives in host memory (as with [`FaultyDevice`]), so
+/// `allocate`/`free` are not crash targets; only `read`/`write` count and
+/// fail.
+pub struct CrashDevice<D: BlockDevice> {
+    inner: D,
+    state: Rc<RefCell<CrashState>>,
+}
+
+impl<D: BlockDevice> CrashDevice<D> {
+    /// Wrap `inner`, crashing per `plan`.
+    pub fn new(inner: D, plan: CrashPlan) -> Self {
+        CrashDevice {
+            inner,
+            state: Rc::new(RefCell::new(CrashState {
+                ios: 0,
+                point: plan.resolve(),
+                crashed: false,
+            })),
+        }
+    }
+
+    /// A handle for arming, observing, and thawing the crash point after the
+    /// device has been swallowed by a [`Disk`](crate::Disk).
+    pub fn controller(&self) -> CrashController {
+        CrashController { state: Rc::clone(&self.state) }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for CrashDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn allocate(&mut self) -> u64 {
+        self.inner.allocate()
+    }
+
+    fn free(&mut self, id: u64) -> Result<()> {
+        self.inner.free(id)
+    }
+
+    fn live_blocks(&self) -> Vec<u64> {
+        self.inner.live_blocks()
+    }
+
+    fn read(&mut self, id: u64, buf: &mut [u8]) -> Result<()> {
+        self.state.borrow_mut().admit()?;
+        self.inner.read(id, buf)
+    }
+
+    fn write(&mut self, id: u64, data: &[u8]) -> Result<()> {
+        self.state.borrow_mut().admit()?;
+        self.inner.write(id, data)
+    }
+}
+
+/// Observer/actuator handle onto a [`CrashDevice`]'s state.
+#[derive(Clone)]
+pub struct CrashController {
+    state: Rc<RefCell<CrashState>>,
+}
+
+impl CrashController {
+    /// Arm (or re-arm) the crash per `plan`, counted from device creation.
+    pub fn arm(&self, plan: CrashPlan) {
+        self.state.borrow_mut().point = plan.resolve();
+    }
+
+    /// Arm a crash once `n` total physical I/Os have completed.
+    pub fn arm_after(&self, n: u64) {
+        self.arm(CrashPlan::AfterIos(n));
+    }
+
+    /// Physical I/Os (reads + writes) completed so far.
+    pub fn ios(&self) -> u64 {
+        self.state.borrow().ios
+    }
+
+    /// True once the crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.borrow().crashed
+    }
+
+    /// The armed crash point, if any.
+    pub fn crash_point(&self) -> Option<u64> {
+        self.state.borrow().point
+    }
+
+    /// Unfreeze the device and disarm the crash point, simulating the
+    /// post-restart world where the frozen image becomes readable again.
+    pub fn thaw(&self) {
+        let mut st = self.state.borrow_mut();
+        st.crashed = false;
+        st.point = None;
+    }
+}
+
+impl fmt::Debug for CrashController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.borrow();
+        f.debug_struct("CrashController")
+            .field("ios", &st.ios)
+            .field("point", &st.point)
+            .field("crashed", &st.crashed)
+            .finish()
+    }
+}
+
 // ---------- the checksum layer ----------
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a64(data: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(data: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
     for &b in data {
         h ^= u64::from(b);
@@ -462,6 +646,10 @@ impl<D: BlockDevice> BlockDevice for ChecksummedDevice<D> {
         self.inner.free(id)?;
         self.sums.remove(&id);
         Ok(())
+    }
+
+    fn live_blocks(&self) -> Vec<u64> {
+        self.inner.live_blocks()
     }
 
     fn read(&mut self, id: u64, buf: &mut [u8]) -> Result<()> {
@@ -542,13 +730,15 @@ pub enum IoPhase {
     FinalMerge,
     /// Emitting the sorted document.
     OutputEmit,
+    /// Replaying the journal and reconciling device state after a crash.
+    Recovery,
 }
 
 impl IoPhase {
     /// Number of phase *classes* used for per-phase accounting (see
     /// [`IoStats`](crate::IoStats)'s cache counters). All intermediate merge
     /// passes share one class so the counter arrays stay fixed-size.
-    pub const NUM_CLASSES: usize = 6;
+    pub const NUM_CLASSES: usize = 7;
 
     /// The index of this phase's class, in `0..NUM_CLASSES`.
     pub fn class_index(self) -> usize {
@@ -559,13 +749,22 @@ impl IoPhase {
             IoPhase::MergePass(_) => 3,
             IoPhase::FinalMerge => 4,
             IoPhase::OutputEmit => 5,
+            IoPhase::Recovery => 6,
         }
     }
 
     /// Stable report label of the class at `index` (see
     /// [`IoPhase::class_index`]).
     pub fn class_label(index: usize) -> &'static str {
-        ["setup", "input-scan", "run-formation", "merge-pass", "final-merge", "output-emit"][index]
+        [
+            "setup",
+            "input-scan",
+            "run-formation",
+            "merge-pass",
+            "final-merge",
+            "output-emit",
+            "recovery",
+        ][index]
     }
 }
 
@@ -578,6 +777,7 @@ impl fmt::Display for IoPhase {
             IoPhase::MergePass(k) => write!(f, "merge pass {k}"),
             IoPhase::FinalMerge => f.write_str("final merge"),
             IoPhase::OutputEmit => f.write_str("output emit"),
+            IoPhase::Recovery => f.write_str("recovery"),
         }
     }
 }
@@ -754,6 +954,7 @@ mod tests {
             IoPhase::MergePass(1),
             IoPhase::FinalMerge,
             IoPhase::OutputEmit,
+            IoPhase::Recovery,
         ];
         let mut seen = std::collections::HashSet::new();
         for p in all {
@@ -763,5 +964,55 @@ mod tests {
             assert!(!IoPhase::class_label(i).is_empty());
         }
         assert_eq!(IoPhase::MergePass(1).class_index(), IoPhase::MergePass(9).class_index());
+    }
+
+    #[test]
+    fn crash_fires_at_the_exact_io_index_and_freezes_the_image() {
+        let mut d = CrashDevice::new(dev(), CrashPlan::AfterIos(3));
+        let ctl = d.controller();
+        let a = d.allocate();
+        let b = d.allocate();
+        d.write(a, &[1u8; 64]).unwrap(); // io 0
+        d.write(b, &[2u8; 64]).unwrap(); // io 1
+        let mut buf = [0u8; 64];
+        d.read(a, &mut buf).unwrap(); // io 2
+        assert!(!ctl.crashed());
+        match d.write(a, &[9u8; 64]) {
+            Err(ExtError::SimulatedCrash { after_ios: 3 }) => {}
+            other => panic!("crash must fire at io 3: {other:?}"),
+        }
+        assert!(ctl.crashed());
+        // Frozen: everything fails, nothing mutates.
+        assert!(d.read(b, &mut buf).is_err());
+        assert!(d.write(b, &[7u8; 64]).is_err());
+        ctl.thaw();
+        d.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64], "the rejected write must not have landed");
+        d.read(b, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 64]);
+    }
+
+    #[test]
+    fn disarmed_crash_device_is_transparent_and_counts_ios() {
+        let mut d = CrashDevice::new(dev(), CrashPlan::Disarmed);
+        let ctl = d.controller();
+        let id = d.allocate();
+        for i in 0..5u8 {
+            d.write(id, &[i; 64]).unwrap();
+        }
+        assert_eq!(ctl.ios(), 5);
+        assert!(!ctl.crashed());
+        assert_eq!(ctl.crash_point(), None);
+        ctl.arm_after(5);
+        assert!(d.write(id, &[9u8; 64]).is_err(), "armed point already reached");
+    }
+
+    #[test]
+    fn random_crash_plans_are_deterministic_per_seed() {
+        let point = |seed| CrashPlan::Random { seed, max: 100 }.resolve().unwrap();
+        assert_eq!(point(11), point(11));
+        assert!(point(11) < 100);
+        let distinct: std::collections::HashSet<u64> = (0..20).map(point).collect();
+        assert!(distinct.len() > 10, "seeds must spread the crash point");
     }
 }

@@ -28,7 +28,11 @@
 //! * the asynchronous I/O scheduler ([`Disk::enable_sched`], [`SchedConfig`],
 //!   [`StripedDevice`]): sequential read-ahead into the pool, write-behind
 //!   with barrier semantics, and round-robin striping over independently
-//!   faultable devices -- all modeled in deterministic virtual time.
+//!   faultable devices -- all modeled in deterministic virtual time;
+//! * the crash-consistency layer ([`Journal`], [`recover`], [`CrashDevice`]):
+//!   a write-ahead manifest journal whose commit records land only after an
+//!   I/O barrier, replay with strict torn-tail rules, free-map
+//!   reconciliation, and a deterministic crash-point injector.
 //!
 //! Everything here is deliberately single-threaded (`Rc`/`Cell`). The I/O
 //! scheduler models worker overlap in deterministic virtual time rather than
@@ -43,8 +47,10 @@ mod device;
 mod error;
 mod extent;
 mod fault;
+mod journal;
 mod kway;
 mod pool;
+mod recovery;
 mod run_store;
 mod sched;
 mod shadow;
@@ -58,13 +64,15 @@ pub use extent::{
     ByteReader, ByteSink, Extent, ExtentReader, ExtentRevCursor, ExtentWriter, SliceReader,
 };
 pub use fault::{
-    ChecksummedDevice, DiskFailure, FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultyDevice,
-    IoPhase, RetryPolicy,
+    ChecksummedDevice, CrashController, CrashDevice, CrashPlan, DiskFailure, FaultCounts,
+    FaultInjector, FaultKind, FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
 };
+pub use journal::{Journal, JournalRecord, JournalStats};
 pub use kway::{KWayMerger, MergeStream, VecStream};
 pub use pool::{
     CachePolicy, ClockPolicy, EvictionPolicy, LruPolicy, PinGuard, PinMutGuard, WriteMode,
 };
+pub use recovery::{fold_records, recover, RecoveredState};
 pub use run_store::{RunId, RunStore, RunWriter};
 pub use sched::{SchedConfig, StripedDevice};
 pub use shadow::ShadowState;

@@ -466,6 +466,20 @@ impl PoolCore {
         self.index.values().copied().filter(|&slot| self.frames[slot].dirty_len.is_some()).collect()
     }
 
+    /// Drop every resident frame without writing anything back, clearing any
+    /// pins. Crash recovery only: after a simulated crash the device image is
+    /// the authoritative state, so frame contents (dirty or not) are dead.
+    pub(crate) fn purge_all(&mut self) {
+        let blocks: Vec<u64> = self.index.keys().copied().collect();
+        for block in blocks {
+            if let Some(&slot) = self.index.get(&block) {
+                self.frames[slot].pins = 0;
+                self.detach(slot);
+                self.release_slot(slot);
+            }
+        }
+    }
+
     /// Number of resident (mapped) frames.
     pub(crate) fn resident(&self) -> usize {
         self.index.len()

@@ -1,0 +1,250 @@
+//! Crash recovery: journal replay, state folding, and free-map reconciliation.
+//!
+//! After a crash (real or injected by [`CrashDevice`](crate::CrashDevice)),
+//! the device holds: the journal extent, the input, every data write that
+//! landed before the crash -- committed or not -- and an allocator whose
+//! live set includes blocks the interrupted sort leaked. [`recover`] turns
+//! that into a consistent picture:
+//!
+//! 1. discard all volatile I/O state ([`Disk::purge_volatile`]) -- after a
+//!    crash, the device image is the only truth;
+//! 2. locate and replay the journal (strict torn-tail rules, see
+//!    [`journal`](crate::journal)), keeping records up to the last commit;
+//! 3. fold the committed records into a [`RecoveredState`]: which sealed
+//!    runs survive, the pending-merge order, and how far the sort got;
+//! 4. reconcile the allocator: every live block not owned by the journal,
+//!    a surviving run, or the caller's protected extents (input,
+//!    dictionary) was leaked by the crash and is freed.
+//!
+//! Everything here runs under [`IoPhase::Recovery`] so the I/O it performs
+//! is attributed separately in the stats and in failure reports.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::device::Disk;
+use crate::error::Result;
+use crate::extent::Extent;
+use crate::fault::IoPhase;
+use crate::journal::{Journal, JournalRecord, JournalStats};
+
+/// The committed state of a sort, reconstructed from the journal.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Input length recorded at sort start (identity check on resume).
+    pub input_len: u64,
+    /// Surviving sealed runs: original store token -> extent. Runs consumed
+    /// by a committed merge pass or discarded are gone.
+    pub runs: Vec<(u32, Extent)>,
+    /// Pending-merge order: present once the scan phase was sealed, then
+    /// updated per committed merge pass (consumed head removed, output
+    /// appended) -- exactly the order the merge loop would hold in memory.
+    pub pending: Option<Vec<u32>>,
+    /// Number of merge passes whose commit record landed.
+    pub committed_passes: u32,
+    /// Progress counters from the most recent phase seal.
+    pub stats: JournalStats,
+    /// Set when the scan phase was sealed: resume skips straight to merging.
+    pub scan_done: bool,
+    /// Set when the sort finished: `(root token, root_flat)`. Resume then
+    /// has nothing to redo at all.
+    pub sort_done: Option<(u32, bool)>,
+}
+
+impl RecoveredState {
+    /// Fold one committed journal record into the state.
+    fn apply(&mut self, rec: JournalRecord, live: &mut BTreeMap<u32, Extent>) {
+        match rec {
+            JournalRecord::SortStarted { input_len } => self.input_len = input_len,
+            JournalRecord::RunSealed { token, len, blocks } => {
+                let mut ext = Extent::empty();
+                ext.set_raw(blocks, len);
+                live.insert(token, ext);
+            }
+            JournalRecord::MergePassStarted { .. } => {}
+            JournalRecord::MergePassCommitted { pass, output, consumed } => {
+                self.committed_passes = self.committed_passes.max(pass);
+                for t in &consumed {
+                    live.remove(t);
+                }
+                if let Some(pending) = self.pending.as_mut() {
+                    pending.retain(|t| !consumed.contains(t));
+                    pending.push(output);
+                }
+            }
+            JournalRecord::RunDiscarded { token } => {
+                live.remove(&token);
+                if let Some(pending) = self.pending.as_mut() {
+                    pending.retain(|&t| t != token);
+                }
+            }
+            JournalRecord::ScanDone { pending, stats } => {
+                self.scan_done = true;
+                self.pending = Some(pending);
+                self.stats = stats;
+            }
+            JournalRecord::SortDone { root, root_flat, stats } => {
+                self.sort_done = Some((root, root_flat));
+                self.stats = stats;
+            }
+            JournalRecord::Commit => {}
+        }
+    }
+}
+
+/// Fold a committed record sequence (as returned by [`Journal::replay`])
+/// into a [`RecoveredState`].
+pub fn fold_records(records: Vec<JournalRecord>) -> RecoveredState {
+    let mut state = RecoveredState::default();
+    let mut live: BTreeMap<u32, Extent> = BTreeMap::new();
+    for rec in records {
+        state.apply(rec, &mut live);
+    }
+    state.runs = live.into_iter().collect();
+    state
+}
+
+/// Recover `disk` after a crash: purge volatile state, replay the journal,
+/// fold the committed state, and free every leaked block. `protect` names
+/// blocks recovery must keep even though no journal record owns them --
+/// the input extent and any side structures (dictionary, spec) the resumed
+/// sort still reads.
+///
+/// Returns `None` when the disk carries no journal (nothing to recover);
+/// otherwise the positioned [`Journal`] (ready for further appends) and the
+/// folded state. Runs under [`IoPhase::Recovery`].
+pub fn recover(disk: &Rc<Disk>, protect: &[u64]) -> Result<Option<(Journal, RecoveredState)>> {
+    let saved_phase = disk.phase();
+    disk.set_phase(IoPhase::Recovery);
+    let result = recover_inner(disk, protect);
+    disk.set_phase(saved_phase);
+    result
+}
+
+fn recover_inner(disk: &Rc<Disk>, protect: &[u64]) -> Result<Option<(Journal, RecoveredState)>> {
+    disk.purge_volatile();
+    let Some(mut journal) = Journal::locate(disk)? else {
+        return Ok(None);
+    };
+    let state = fold_records(journal.replay()?);
+    // Reconcile the allocator: a live block belongs to the journal, a
+    // surviving run, or a protected extent -- anything else was leaked by
+    // the interrupted sort (an unsealed run, uncommitted merge output, a
+    // stack page) and is freed for reuse.
+    let mut owned: std::collections::BTreeSet<u64> = journal.blocks().iter().copied().collect();
+    for (_, ext) in &state.runs {
+        owned.extend(ext.blocks().iter().copied());
+    }
+    owned.extend(protect.iter().copied());
+    for id in disk.live_blocks() {
+        if !owned.contains(&id) {
+            disk.free_block(id)?;
+        }
+    }
+    Ok(Some((journal, state)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IoCat;
+
+    #[test]
+    fn fold_tracks_runs_pending_and_phases() {
+        let stats = JournalStats { n_records: 9, ..JournalStats::default() };
+        let records = vec![
+            JournalRecord::SortStarted { input_len: 100 },
+            JournalRecord::RunSealed { token: 0, len: 10, blocks: vec![3] },
+            JournalRecord::RunSealed { token: 1, len: 10, blocks: vec![4] },
+            JournalRecord::RunSealed { token: 2, len: 10, blocks: vec![5] },
+            JournalRecord::ScanDone { pending: vec![0, 1, 2], stats },
+            JournalRecord::Commit,
+            JournalRecord::MergePassStarted { pass: 1 },
+            JournalRecord::RunSealed { token: 3, len: 20, blocks: vec![6, 7] },
+            JournalRecord::MergePassCommitted { pass: 1, output: 3, consumed: vec![0, 1] },
+            JournalRecord::Commit,
+        ];
+        let state = fold_records(records);
+        assert_eq!(state.input_len, 100);
+        assert!(state.scan_done);
+        assert_eq!(state.sort_done, None);
+        assert_eq!(state.committed_passes, 1);
+        assert_eq!(state.stats.n_records, 9);
+        // Runs 0 and 1 were consumed; 2 and the pass-1 output 3 survive.
+        let tokens: Vec<u32> = state.runs.iter().map(|&(t, _)| t).collect();
+        assert_eq!(tokens, vec![2, 3]);
+        // The pending order continues exactly where the merge loop left off.
+        assert_eq!(state.pending, Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn recover_frees_leaked_blocks_but_keeps_owned_ones() {
+        let disk = crate::Disk::new_mem(64);
+        // "Input": two protected blocks.
+        let input: Vec<u64> = (0..2).map(|_| disk.alloc_block()).collect();
+        for &b in &input {
+            disk.write_block(b, &[1; 64], IoCat::InputRead).unwrap();
+        }
+        let mut journal = Journal::create(&disk, 4).unwrap();
+        // A committed sealed run...
+        let run_block = disk.alloc_block();
+        disk.write_block(run_block, &[2; 64], IoCat::RunWrite).unwrap();
+        journal
+            .checkpoint(&[
+                JournalRecord::SortStarted { input_len: 128 },
+                JournalRecord::RunSealed { token: 0, len: 64, blocks: vec![run_block] },
+            ])
+            .unwrap();
+        // ...and two leaked blocks from an "interrupted" write.
+        let leak_a = disk.alloc_block();
+        let leak_b = disk.alloc_block();
+        disk.write_block(leak_a, &[3; 64], IoCat::SortScratch).unwrap();
+        drop(journal);
+
+        let live_before = disk.live_blocks().len();
+        let (journal, state) = recover(&disk, &input).unwrap().expect("journal present");
+        assert_eq!(state.input_len, 128);
+        assert_eq!(state.runs.len(), 1);
+        assert_eq!(state.runs[0].0, 0);
+        let live_after: Vec<u64> = disk.live_blocks();
+        assert_eq!(live_after.len(), live_before - 2, "exactly the two leaks were freed");
+        assert!(!live_after.contains(&leak_a) && !live_after.contains(&leak_b));
+        assert!(live_after.contains(&run_block));
+        assert!(input.iter().all(|b| live_after.contains(b)));
+        assert!(journal.blocks().iter().all(|b| live_after.contains(b)));
+        // Recovery I/O was attributed to the RECOVERY phase.
+        assert!(disk.stats().snapshot().reads(IoCat::Journal) > 0);
+    }
+
+    #[test]
+    fn recover_on_a_journal_less_disk_is_none() {
+        let disk = crate::Disk::new_mem(64);
+        let b = disk.alloc_block();
+        disk.write_block(b, &[9; 64], IoCat::RunWrite).unwrap();
+        assert!(recover(&disk, &[]).unwrap().is_none());
+        assert!(disk.live_blocks().contains(&b), "nothing is freed without a journal");
+    }
+
+    #[test]
+    fn sort_done_state_round_trips() {
+        let disk = crate::Disk::new_mem(64);
+        let mut journal = Journal::create(&disk, 4).unwrap();
+        let root_block = disk.alloc_block();
+        journal
+            .checkpoint(&[
+                JournalRecord::SortStarted { input_len: 10 },
+                JournalRecord::RunSealed { token: 0, len: 64, blocks: vec![root_block] },
+                JournalRecord::SortDone {
+                    root: 0,
+                    root_flat: true,
+                    stats: JournalStats { n_records: 3, ..JournalStats::default() },
+                },
+            ])
+            .unwrap();
+        drop(journal);
+        let (_j, state) = recover(&disk, &[]).unwrap().unwrap();
+        assert_eq!(state.sort_done, Some((0, true)));
+        assert_eq!(state.stats.n_records, 3);
+        assert_eq!(state.runs.len(), 1);
+    }
+}

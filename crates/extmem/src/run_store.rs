@@ -33,6 +33,29 @@ impl RunStore {
         Rc::new(Self { disk, runs: RefCell::new(Vec::new()) })
     }
 
+    /// Rebuild a store from journal-recovered runs: `(token, extent)` pairs
+    /// where each token is the run's original store index. Gaps (tokens of
+    /// runs that were discarded or never committed) become empty extents, so
+    /// surviving ids keep their original numbering and journal records that
+    /// name them stay meaningful.
+    pub fn restore(disk: Rc<Disk>, runs: Vec<(u32, Extent)>) -> Rc<Self> {
+        let len = runs.iter().map(|&(t, _)| t as usize + 1).max().unwrap_or(0);
+        let mut slots = vec![Extent::empty(); len];
+        for (token, ext) in runs {
+            slots[token as usize] = ext;
+        }
+        Rc::new(Self { disk, runs: RefCell::new(slots) })
+    }
+
+    /// The extent of run `id` (cloned). Checkpointing journals this as the
+    /// run's durable identity.
+    pub fn extent_of(&self, id: RunId) -> Result<Extent> {
+        let runs = self.runs.borrow();
+        runs.get(id.0 as usize)
+            .cloned()
+            .ok_or(ExtError::BadRun { run: id.0, total: runs.len() as u32 })
+    }
+
     /// The disk the runs live on.
     pub fn disk(&self) -> &Rc<Disk> {
         &self.disk

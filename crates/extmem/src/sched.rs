@@ -255,6 +255,22 @@ impl BlockDevice for StripedDevice {
         let (d, local) = self.split(id);
         self.inners[d].write(local, data).map_err(|e| self.globalize(e, id))
     }
+
+    fn live_blocks(&self) -> Vec<u64> {
+        // Union of the inner devices' live sets, each local id mapped back
+        // to its global id (the inverse of `split`), in ascending order.
+        let n = self.inners.len() as u64;
+        let mut all: Vec<u64> = self
+            .inners
+            .iter()
+            .enumerate()
+            .flat_map(|(d, dev)| {
+                dev.live_blocks().into_iter().map(move |local| local * n + d as u64)
+            })
+            .collect();
+        all.sort_unstable();
+        all
+    }
 }
 
 #[cfg(test)]

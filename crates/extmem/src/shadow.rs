@@ -175,6 +175,13 @@ impl ShadowState {
         self.pending.borrow_mut().remove(&id);
     }
 
+    /// Record that the write-behind queue was discarded wholesale (crash
+    /// recovery): the parked writes will never land, by design, so they
+    /// must not trip the next barrier check.
+    pub fn note_purged(&self) {
+        self.pending.borrow_mut().clear();
+    }
+
     /// After an `io_barrier` reports success, no deferred write queued
     /// before it may still be pending.
     pub fn check_barrier(&self) -> Result<()> {

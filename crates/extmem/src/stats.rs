@@ -37,11 +37,14 @@ pub enum IoCat {
     /// Scratch reads/writes performed by external-memory subtree sorts and by
     /// the key-path merge-sort baseline (run formation and merge passes).
     SortScratch,
+    /// Reads/writes of the write-ahead manifest journal (crash-consistency
+    /// overhead; not part of the paper's cost model, reported separately).
+    Journal,
 }
 
 impl IoCat {
     /// All categories, in a stable report order.
-    pub const ALL: [IoCat; 9] = [
+    pub const ALL: [IoCat; 10] = [
         IoCat::InputRead,
         IoCat::OutputWrite,
         IoCat::DataStack,
@@ -51,6 +54,7 @@ impl IoCat {
         IoCat::RunWrite,
         IoCat::RunRead,
         IoCat::SortScratch,
+        IoCat::Journal,
     ];
 
     /// Short human-readable label used in experiment tables.
@@ -65,6 +69,7 @@ impl IoCat {
             IoCat::RunWrite => "run-write",
             IoCat::RunRead => "run-read",
             IoCat::SortScratch => "sort-scratch",
+            IoCat::Journal => "journal",
         }
     }
 
@@ -79,6 +84,7 @@ impl IoCat {
             IoCat::RunWrite => 6,
             IoCat::RunRead => 7,
             IoCat::SortScratch => 8,
+            IoCat::Journal => 9,
         }
     }
 }
@@ -89,7 +95,7 @@ impl fmt::Display for IoCat {
     }
 }
 
-const NCATS: usize = 9;
+const NCATS: usize = 10;
 const NPHASES: usize = IoPhase::NUM_CLASSES;
 
 /// A buffer-pool event recorded against the current [`IoPhase`]; see
@@ -141,6 +147,9 @@ struct Counters {
     prefetch_hits: [Cell<u64>; NPHASES],
     prefetch_wasted: [Cell<u64>; NPHASES],
     deferred_writes: [Cell<u64>; NPHASES],
+    // Write-ahead journal events (records appended / commit records).
+    journal_appends: Cell<u64>,
+    journal_commits: Cell<u64>,
 }
 
 /// Shared, cheaply-clonable I/O counters.
@@ -249,6 +258,29 @@ impl IoStats {
         c.set(c.get() + n);
     }
 
+    /// Record `n` journal records appended (intent records and data, not
+    /// block transfers -- the transfers are charged to [`IoCat::Journal`]).
+    pub fn add_journal_appends(&self, n: u64) {
+        let c = &self.inner.journal_appends;
+        c.set(c.get() + n);
+    }
+
+    /// Record `n` journal *commit* records appended.
+    pub fn add_journal_commits(&self, n: u64) {
+        let c = &self.inner.journal_commits;
+        c.set(c.get() + n);
+    }
+
+    /// Journal records appended so far (commits included).
+    pub fn journal_appends(&self) -> u64 {
+        self.inner.journal_appends.get()
+    }
+
+    /// Journal commit records appended so far.
+    pub fn journal_commits(&self) -> u64 {
+        self.inner.journal_commits.get()
+    }
+
     /// Retried transfer attempts charged to `cat` so far.
     pub fn retries(&self, cat: IoCat) -> u64 {
         self.inner.retries[cat.index()].get()
@@ -319,6 +351,8 @@ impl IoStats {
             self.inner.deferred_writes[i].set(0);
         }
         self.inner.backoff_units.set(0);
+        self.inner.journal_appends.set(0);
+        self.inner.journal_commits.set(0);
     }
 
     /// An owned point-in-time copy of all counters, for before/after diffs.
@@ -368,6 +402,8 @@ impl IoStats {
             prefetch_hits,
             prefetch_wasted,
             deferred_writes,
+            journal_appends: self.inner.journal_appends.get(),
+            journal_commits: self.inner.journal_commits.get(),
         }
     }
 }
@@ -395,6 +431,8 @@ pub struct IoSnapshot {
     prefetch_hits: [u64; NPHASES],
     prefetch_wasted: [u64; NPHASES],
     deferred_writes: [u64; NPHASES],
+    journal_appends: u64,
+    journal_commits: u64,
 }
 
 impl IoSnapshot {
@@ -535,6 +573,16 @@ impl IoSnapshot {
         }
     }
 
+    /// Journal records appended in this snapshot (commits included).
+    pub fn journal_appends(&self) -> u64 {
+        self.journal_appends
+    }
+
+    /// Journal commit records appended in this snapshot.
+    pub fn journal_commits(&self) -> u64 {
+        self.journal_commits
+    }
+
     /// Retried transfer attempts charged to `cat` in this snapshot.
     pub fn retries(&self, cat: IoCat) -> u64 {
         self.retries[cat.index()]
@@ -586,6 +634,8 @@ impl IoSnapshot {
                 out.deferred_writes[i].saturating_sub(earlier.deferred_writes[i]);
         }
         out.backoff_units = out.backoff_units.saturating_sub(earlier.backoff_units);
+        out.journal_appends = out.journal_appends.saturating_sub(earlier.journal_appends);
+        out.journal_commits = out.journal_commits.saturating_sub(earlier.journal_commits);
         out
     }
 }
@@ -624,9 +674,11 @@ impl fmt::Debug for IoSnapshot {
 ///    merge-pass, final-merge, output-emit);
 /// 4. when an I/O scheduler was active: the `SCHED` summary line, then one
 ///    `sched <phase>` row per phase class with activity, in the same order;
-/// 5. the `RETRIES` line when any transfer was retried or backed off.
+/// 5. when a write-ahead journal was active: the `JOURNAL` line with the
+///    record-append and commit counts;
+/// 6. the `RETRIES` line when any transfer was retried or backed off.
 ///
-/// Sections 3-5 are omitted entirely when inactive, keeping the report
+/// Sections 3-6 are omitted entirely when inactive, keeping the report
 /// byte-identical to the plain synchronous substrate in that case.
 impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -722,6 +774,13 @@ impl fmt::Display for IoSnapshot {
                     )?;
                 }
             }
+        }
+        if self.journal_appends > 0 {
+            write!(
+                f,
+                "\n{:<14} {:>12} records appended, {} commits",
+                "JOURNAL", self.journal_appends, self.journal_commits
+            )?;
         }
         if self.total_retries() > 0 || self.backoff_units > 0 {
             write!(
@@ -937,6 +996,34 @@ mod tests {
         let form = text.find("cache run-formation").unwrap();
         let emit = text.find("cache output-emit").unwrap();
         assert!(scan < form && form < emit, "{text}");
+    }
+
+    #[test]
+    fn journal_counters_accumulate_diff_reset_and_display() {
+        let s = IoStats::new();
+        s.add_reads(IoCat::Journal, 2);
+        s.add_journal_appends(5);
+        s.add_journal_commits(1);
+        assert_eq!(s.journal_appends(), 5);
+        assert_eq!(s.journal_commits(), 1);
+        let before = s.snapshot();
+        assert_eq!(before.journal_appends(), 5);
+        assert_eq!(before.journal_commits(), 1);
+        s.add_journal_appends(3);
+        s.add_journal_commits(2);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.journal_appends(), 3);
+        assert_eq!(delta.journal_commits(), 2);
+        // Journal records are not transfers; only the IoCat::Journal block
+        // I/O above counts toward the totals.
+        assert_eq!(delta.grand_total(), 0);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("JOURNAL"), "{text}");
+        assert!(text.contains("journal"), "{text}");
+        s.reset();
+        assert_eq!(s.journal_appends(), 0);
+        assert_eq!(s.journal_commits(), 0);
+        assert!(!s.snapshot().to_string().contains("JOURNAL"));
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`R1`..`R8`).
+    /// Rule id (`R1`..`R9`).
     pub rule: &'static str,
     /// Human explanation.
     pub message: String,
@@ -33,6 +33,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("R6", "#![forbid(unsafe_code)] present in every crate root"),
     ("R7", "IoStats counter mutators called only from the device/stats layer"),
     ("R8", "manifest dependencies are path-only (the build is offline)"),
+    ("R9", "journal commit records are appended only after an io_barrier"),
 ];
 
 /// Files allowed to name `BlockDevice`: the device layer itself.
@@ -90,6 +91,7 @@ pub fn check_rust_file(rel: &str, src: &str) -> Vec<Finding> {
     rule_r4(rel, &toks, &non_test, &mut out);
     rule_r5(rel, &toks, &non_test, &mut out);
     rule_r7(rel, &toks, &non_test, &mut out);
+    rule_r9(rel, &toks, &non_test, &mut out);
     if is_crate_root(rel) {
         rule_r6(rel, &m.code, &mut out);
     }
@@ -365,6 +367,42 @@ fn rule_r7(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut 
                 line_at(toks, t.pos),
                 "R7",
                 format!("counter mutator `{}` called outside the device/stats layer", t.text),
+            );
+        }
+    }
+}
+
+/// R9: a journal `Commit` record asserts that every data write it covers is
+/// already durable, so appending one is only sound after an I/O barrier:
+/// each `.append_commit()` call must be preceded by `io_barrier` in the
+/// same function body ([`Journal::checkpoint`] is the sanctioned wrapper).
+///
+/// [`Journal::checkpoint`]: ../nexsort_extmem/struct.Journal.html#method.checkpoint
+fn rule_r9(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    let spans = fn_spans(toks);
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "append_commit"
+            || toks.get(i + 1).map(|n| n.text) != Some("(")
+            || i == 0
+            || toks[i - 1].text != "."
+            || !non_test(t.pos)
+        {
+            continue;
+        }
+        // The innermost fn body containing the call; a call outside any fn
+        // (e.g. a const initialiser) has no barrier to find and fires.
+        let span =
+            spans.iter().filter(|&&(s, e)| s <= i && i < e).min_by_key(|&&(s, e)| e - s).copied();
+        let guarded = span.is_some_and(|(s, _)| toks[s..i].iter().any(|t| t.text == "io_barrier"));
+        if !guarded {
+            push(
+                out,
+                rel,
+                line_at(toks, t.pos),
+                "R9",
+                "journal commit appended without a preceding io_barrier() in this function; \
+                 go through Journal::checkpoint"
+                    .to_string(),
             );
         }
     }

@@ -233,6 +233,74 @@ fn r8_non_path_dependency_in_a_manifest() {
 }
 
 #[test]
+fn r9_journal_commit_without_a_barrier() {
+    let bad = r#"
+fn seal(j: &mut Journal) -> Result<()> {
+    j.append_commit()
+}
+"#;
+    assert_eq!(rules_fired("crates/core/src/fake.rs", bad), ["R9"]);
+
+    // The sanctioned shape: barrier first, commit after, same body.
+    let good = r#"
+fn seal(d: &Disk, j: &mut Journal) -> Result<()> {
+    d.cache_flush_all()?;
+    d.io_barrier()?;
+    j.append_commit()
+}
+"#;
+    assert_eq!(rules_fired("crates/core/src/fake.rs", good), Vec::<String>::new());
+
+    // A barrier *after* the commit does not make the commit sound.
+    let late = r#"
+fn seal(d: &Disk, j: &mut Journal) -> Result<()> {
+    j.append_commit()?;
+    d.io_barrier()
+}
+"#;
+    assert_eq!(rules_fired("crates/core/src/fake.rs", late), ["R9"]);
+
+    // The definition itself (`fn append_commit`) is not a call site.
+    let def = r#"
+fn append_commit(&mut self) -> Result<()> {
+    self.append(&JournalRecord::Commit)
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", def), Vec::<String>::new());
+
+    // A barrier in the *enclosing* fn does not cover a nested fn's commit.
+    let nested = r#"
+fn outer(d: &Disk, j: &mut Journal) {
+    d.io_barrier();
+    fn inner(j: &mut Journal) {
+        j.append_commit();
+    }
+    inner(j);
+}
+"#;
+    assert_eq!(rules_fired("crates/core/src/fake.rs", nested), ["R9"]);
+
+    // Test modules are exempt, and the pragma silences it.
+    let in_tests = r#"
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    fn t(j: &mut Journal) {
+        j.append_commit().unwrap();
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/core/src/fake.rs", in_tests), Vec::<String>::new());
+
+    let silenced = r#"
+fn seal(j: &mut Journal) -> Result<()> {
+    j.append_commit() // xlint::allow(R9)
+}
+"#;
+    assert_eq!(rules_fired("crates/core/src/fake.rs", silenced), Vec::<String>::new());
+}
+
+#[test]
 fn findings_format_as_file_line_rule_message() {
     let found = check_rust_file(
         "crates/extmem/src/fake.rs",
