@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use nexsort_extmem::{
-    ByteSink, ExtentReader, IoCat, IoPhase, KWayMerger, MemoryBudget, MergeStream, RunId, RunStore,
+    ByteSink, IoCat, IoPhase, KWayMerger, MemoryBudget, MergeStream, RunId, RunReader, RunStore,
 };
 use nexsort_xml::{PathedRec, Rec, Result, XmlError};
 
@@ -60,7 +60,7 @@ pub struct ExtSortReport {
 }
 
 struct RunStream {
-    reader: ExtentReader,
+    reader: RunReader,
     left: u64,
 }
 

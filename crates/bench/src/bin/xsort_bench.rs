@@ -4,21 +4,22 @@
 //! ```text
 //! xsort-bench [--quick|--full] [--csv DIR] [--json DIR] [all|table1|table2|
 //!              threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|
-//!              bounds|faults|cache|overlap|recovery]
+//!              bounds|faults|cache|overlap|recovery|degradation]
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nexsort_bench::{
-    ablate_compaction, ablate_frames, bounds_vs_measured, cache_sweep, fault_sweep, fig5, fig6,
-    fig7, overlap_sweep, recovery_sweep, table1, table2, threshold_experiment, ExpScale, ExpTable,
+    ablate_compaction, ablate_frames, bounds_vs_measured, cache_sweep, degradation_sweep,
+    fault_sweep, fig5, fig6, fig7, overlap_sweep, recovery_sweep, table1, table2,
+    threshold_experiment, ExpScale, ExpTable,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xsort-bench [--quick|--full] [--csv DIR] [--json DIR] \
-         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache|overlap|recovery]..."
+         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache|overlap|recovery|degradation]..."
     );
     ExitCode::FAILURE
 }
@@ -67,6 +68,7 @@ fn main() -> ExitCode {
             "cache" => cache_sweep(scale).map_err(|e| e.to_string())?,
             "overlap" => overlap_sweep(scale).map_err(|e| e.to_string())?,
             "recovery" => recovery_sweep(scale).map_err(|e| e.to_string())?,
+            "degradation" => degradation_sweep(scale).map_err(|e| e.to_string())?,
             _ => return Ok(None),
         };
         Ok(Some(t))
@@ -86,6 +88,7 @@ fn main() -> ExitCode {
         "cache",
         "overlap",
         "recovery",
+        "degradation",
     ];
     let mut queue: Vec<&str> = Vec::new();
     for t in &targets {

@@ -12,8 +12,8 @@ use nexsort_extmem::{CachePolicy, FaultPlan, IoCat, WriteMode};
 use nexsort_xml::{attach_paths, events_to_recs, parse_events, KeyRule, Result, SortSpec, TagDict};
 
 use crate::runner::{
-    measure_mergesort, measure_nexsort, measure_nexsort_faulty, measure_recovery, Measurement,
-    RunConfig,
+    measure_mergesort, measure_nexsort, measure_nexsort_degraded, measure_nexsort_faulty,
+    measure_recovery, Measurement, RunConfig,
 };
 use crate::table::ExpTable;
 
@@ -469,6 +469,111 @@ pub fn fault_sweep(scale: &ExpScale) -> Result<ExpTable> {
     Ok(t)
 }
 
+/// **Degradation sweep** -- the self-healing run store. The healthy rows
+/// sweep the parity-group size with no faults: the non-parity *logical*
+/// transfer count (the paper's Aggarwal-Vitter cost) must be identical on
+/// every row, and the physical overhead of parity must stay small at the
+/// default group size. The faulted rows turn run-store data blocks into
+/// permanent bad sectors and show the sort completing degraded --
+/// reconstructing from parity, quarantining the sectors, falling back to
+/// source re-derivation past parity tolerance -- with bit-identical output.
+pub fn degradation_sweep(scale: &ExpScale) -> Result<ExpTable> {
+    let spec = bench_spec();
+    let mut t = ExpTable::new(
+        "degradation",
+        "Self-healing sweep: parity overhead when healthy, repairs under permanent block loss",
+        &[
+            "parity-group",
+            "bad-sectors",
+            "logical-io",
+            "data-io",
+            "parity-io",
+            "phys-io",
+            "overhead",
+            "repairs",
+            "quarantined",
+            "rederived",
+            "degraded",
+            "match",
+        ],
+    );
+    let elems = Some(scale.base_elements / 4);
+    // Tight memory + degeneration: scratch runs are merged *during* the
+    // sort, so the faulted rows exercise the repair path mid-sort.
+    let cfg_for = |parity_group: usize| RunConfig {
+        block_size: scale.block_size,
+        mem_frames: 12,
+        degeneration: true,
+        parity_group,
+        ..Default::default()
+    };
+    let mut phys0: Option<u64> = None;
+    let mut data0: Option<u64> = None;
+    for k in [0usize, 8, 4, 2, 1] {
+        let cfg = cfg_for(k);
+        let mut g = IbmGen::new(5, 40, elems, GenConfig::default());
+        let m = measure_nexsort(&mut g, &spec, &cfg)?;
+        let b = &m.breakdown;
+        let logical = b.grand_total();
+        let parity = b.total(IoCat::Parity);
+        let phys = b.grand_total_physical();
+        let data = logical - parity;
+        if k == 0 {
+            phys0 = Some(phys);
+            data0 = Some(data);
+        } else if data0.is_some_and(|d| d != data) {
+            t.note(format!(
+                "WARNING: non-parity logical I/O drifted at parity-group {k}: {data} vs {}",
+                data0.unwrap_or(0)
+            ));
+        }
+        let overhead = phys0.map_or(0.0, |p| (phys as f64 - p as f64) / p.max(1) as f64 * 100.0);
+        t.push_row(vec![
+            if k == 0 { "off".into() } else { k.to_string() },
+            "0".into(),
+            logical.to_string(),
+            data.to_string(),
+            parity.to_string(),
+            phys.to_string(),
+            format!("{overhead:+.1}%"),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            "false".into(),
+            "-".into(),
+        ]);
+    }
+    // Permanent faults: every `stride`-th run-store data block becomes a
+    // bad sector (writes land silently corrupted; every re-read fails its
+    // checksum, retries included).
+    for (k, stride) in [(8usize, 9usize), (1, 3)] {
+        let cfg = cfg_for(k);
+        let mut a = IbmGen::new(5, 40, elems, GenConfig::default());
+        let mut b = IbmGen::new(5, 40, elems, GenConfig::default());
+        let d = measure_nexsort_degraded(&mut a, &mut b, &spec, &cfg, stride)?;
+        let overhead =
+            phys0.map_or(0.0, |p| (d.physical_ios as f64 - p as f64) / p.max(1) as f64 * 100.0);
+        t.push_row(vec![
+            k.to_string(),
+            d.faults.to_string(),
+            d.logical_ios.to_string(),
+            (d.logical_ios - d.parity_ios).to_string(),
+            d.parity_ios.to_string(),
+            d.physical_ios.to_string(),
+            format!("{overhead:+.1}%"),
+            d.repairs.to_string(),
+            d.quarantined.to_string(),
+            d.rederivations.to_string(),
+            d.degraded.to_string(),
+            d.outputs_match.to_string(),
+        ]);
+    }
+    t.note("overhead: physical I/O vs the parity-off row; the paper's model charges none of it");
+    t.note("healthy rows: parity moves only the parity-io column -- the data-io column (the paper's cost) is bit-identical across group sizes");
+    t.note("faulted rows: repairs reconstruct the lost block from its XOR group, quarantine the sector, and rewrite to a fresh extent; losses past a group's tolerance re-derive the whole run from the journaled source; either way `match` certifies bit-identical output");
+    Ok(t)
+}
+
 /// **Cache sweep** -- the buffer pool under varying frame budgets, eviction
 /// policies, and write modes. The pool is extra memory on top of `m`, so the
 /// *logical* transfer count (the paper's Aggarwal-Vitter cost) must be
@@ -804,6 +909,43 @@ mod tests {
         // The persistent-corruption row reports a structured failure.
         let last = t.rows.last().unwrap();
         assert!(last[4].contains("sort failed during"), "{}", last[4]);
+    }
+
+    #[test]
+    fn quick_degradation_sweep_heals_and_keeps_parity_overhead_small() {
+        let t = degradation_sweep(&ExpScale::quick()).unwrap();
+        assert!(!t.notes.iter().any(|n| n.contains("WARNING")), "{:?}", t.notes);
+        let cell = |r: &Vec<String>, i: usize| -> u64 { r[i].parse().unwrap() };
+        // Columns: parity-group, bad-sectors, logical, data, parity, phys,
+        // overhead, repairs, quarantined, rederived, degraded, match.
+        let off = t.rows.iter().find(|r| r[0] == "off").unwrap();
+        assert_eq!(cell(off, 4), 0, "parity off must charge no parity I/O: {off:?}");
+        assert_eq!(cell(off, 2), cell(off, 5), "no pool: physical == logical");
+        let healthy: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[1] == "0").collect();
+        assert_eq!(healthy.len(), 5);
+        for r in &healthy {
+            assert_eq!(cell(r, 3), cell(off, 3), "data I/O must not move with parity: {r:?}");
+            if r[0] != "off" {
+                assert!(cell(r, 4) > 0, "parity on must charge parity I/O: {r:?}");
+            }
+        }
+        // Acceptance bar: <= 15% physical overhead at the default group
+        // size of 8 (mirroring at 1 is allowed to cost more).
+        let k8 = healthy.iter().find(|r| r[0] == "8").unwrap();
+        assert!(
+            cell(k8, 5) as f64 <= cell(off, 5) as f64 * 1.15,
+            "parity-group 8 overhead above 15%: {k8:?} vs {off:?}"
+        );
+        // Every faulted row heals to bit-identical output and says so.
+        let faulted: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[1] != "0").collect();
+        assert_eq!(faulted.len(), 2);
+        for r in &faulted {
+            assert!(cell(r, 1) >= 2, "stride must inject several bad sectors: {r:?}");
+            assert_eq!(r[11], "true", "faulted output must match the clean run: {r:?}");
+            assert_eq!(r[10], "true", "mid-sort losses must mark the report degraded: {r:?}");
+            assert!(cell(r, 7) + cell(r, 9) >= 1, "faults must be repaired or re-derived: {r:?}");
+            assert!(cell(r, 8) >= 1, "hard faults must quarantine sectors: {r:?}");
+        }
     }
 
     #[test]

@@ -13,12 +13,13 @@ mod runner;
 mod table;
 
 pub use experiments::{
-    ablate_compaction, ablate_frames, bench_spec, bounds_vs_measured, cache_sweep, fanouts_for,
-    fault_sweep, fig5, fig6, fig7, overlap_sweep, recovery_sweep, table1, table2,
-    threshold_experiment, ExpScale,
+    ablate_compaction, ablate_frames, bench_spec, bounds_vs_measured, cache_sweep,
+    degradation_sweep, fanouts_for, fault_sweep, fig5, fig6, fig7, overlap_sweep, recovery_sweep,
+    table1, table2, threshold_experiment, ExpScale,
 };
 pub use runner::{
-    measure_mergesort, measure_nexsort, measure_nexsort_faulty, measure_recovery, outputs_agree,
-    Measurement, RecoveryMeasurement, RunConfig, SIM_MS_PER_IO,
+    measure_mergesort, measure_nexsort, measure_nexsort_degraded, measure_nexsort_faulty,
+    measure_recovery, outputs_agree, DegradedMeasurement, Measurement, RecoveryMeasurement,
+    RunConfig, SIM_MS_PER_IO,
 };
 pub use table::ExpTable;

@@ -12,7 +12,7 @@ use nexsort::{Nexsort, NexsortOptions};
 use nexsort_baseline::{sort_rec_extent, BaselineOptions};
 use nexsort_datagen::stage_as_recs;
 use nexsort_extmem::{
-    CachePolicy, CrashPlan, Disk, FaultCounts, FaultPlan, IoCat, IoSnapshot, MemDevice,
+    CachePolicy, CrashPlan, Disk, FaultCounts, FaultKind, FaultPlan, IoCat, IoSnapshot, MemDevice,
     MemoryBudget, RetryPolicy, SchedConfig, WriteMode,
 };
 use nexsort_xml::{EventSource, Result, SortSpec, XmlError};
@@ -54,6 +54,9 @@ pub struct RunConfig {
     pub write_behind: bool,
     /// Stripe the in-memory device round-robin over N backing devices.
     pub stripe: usize,
+    /// XOR parity group size for sealed runs (0 = unprotected, 1 = mirror;
+    /// extra physical I/O the paper's model does not charge).
+    pub parity_group: usize,
     /// Crash-consistent checkpointing: keep a write-ahead manifest journal
     /// on the device (extra I/O the paper's model does not charge).
     pub checkpoint: bool,
@@ -78,6 +81,7 @@ impl Default for RunConfig {
             prefetch_depth: 0,
             write_behind: false,
             stripe: 1,
+            parity_group: 0,
             checkpoint: false,
             journal_blocks: 32,
         }
@@ -100,6 +104,7 @@ fn nexsort_opts(cfg: &RunConfig) -> NexsortOptions {
         io_workers: cfg.io_workers,
         prefetch_depth: cfg.prefetch_depth,
         write_behind: cfg.write_behind,
+        parity_group: cfg.parity_group,
         checkpoint: cfg.checkpoint,
         journal_blocks: cfg.journal_blocks,
     }
@@ -286,6 +291,102 @@ pub fn measure_nexsort_faulty(
         counts.write_flips += c.write_flips;
     }
     Ok((m, counts))
+}
+
+/// The outcome of one degraded-mode measurement.
+#[derive(Debug, Clone)]
+pub struct DegradedMeasurement {
+    /// Bad sectors injected into run-store data blocks.
+    pub faults: usize,
+    /// Logical transfers of the faulted run, serialization included.
+    pub logical_ios: u64,
+    /// Physical transfers of the faulted run.
+    pub physical_ios: u64,
+    /// Parity-category transfers within the logical total.
+    pub parity_ios: u64,
+    /// Blocks reconstructed from their parity group and rewritten.
+    pub repairs: u64,
+    /// Device blocks quarantined after a hard media fault.
+    pub quarantined: u64,
+    /// Runs re-derived from the journaled source (parity tolerance exceeded).
+    pub rederivations: u64,
+    /// The sort itself crossed a repair (`SortReport.degraded`).
+    pub degraded: bool,
+    /// The faulted output equals the fault-free run's, record for record.
+    pub outputs_match: bool,
+}
+
+/// Measure NEXSORT under *permanent* media faults: run fault-free once to
+/// learn the run-store data blocks and the reference output, then rerun the
+/// same input with every `fault_stride`-th of those blocks turned into a bad
+/// sector (each write lands silently corrupted, so every re-read fails its
+/// checksum). `fault_stride == 0` injects nothing -- the second pass then
+/// measures the healthy parity overhead with the report's repair counters
+/// live. `gen_base` and `gen_fault` must be identically seeded generators.
+pub fn measure_nexsort_degraded(
+    gen_base: &mut dyn EventSource,
+    gen_fault: &mut dyn EventSource,
+    spec: &SortSpec,
+    cfg: &RunConfig,
+    fault_stride: usize,
+) -> Result<DegradedMeasurement> {
+    // Reference pass: trace the sorting phase to find blocks whose every
+    // write is run-store data (a block recycled as a stack page or a parity
+    // block is outside the parity layer's protection).
+    let (disk, _inj) =
+        Disk::new_faulty(Box::new(MemDevice::new(cfg.block_size)), FaultPlan::new(0));
+    let staged = stage_as_recs(&disk, gen_base, spec, cfg.compaction)?;
+    disk.start_trace();
+    let sorter = Nexsort::new(disk.clone(), nexsort_opts(cfg), spec.clone())?;
+    let sorted = sorter.sort_rec_extent(&staged.extent, staged.dict.clone())?;
+    let base_recs = sorted.to_recs()?;
+    let trace = disk.take_trace();
+    let mut order: Vec<u64> = Vec::new();
+    let mut data_only: std::collections::BTreeMap<u64, bool> = std::collections::BTreeMap::new();
+    for t in trace.iter().filter(|t| !t.is_read) {
+        let e = data_only.entry(t.block).or_insert_with(|| {
+            order.push(t.block);
+            true
+        });
+        *e &= t.cat == IoCat::SortScratch;
+    }
+    let scratch: Vec<u64> = order.into_iter().filter(|b| data_only[b]).collect();
+    let targets: Vec<u64> = match fault_stride {
+        0 => Vec::new(),
+        s => scratch.iter().copied().step_by(s).collect(),
+    };
+
+    // Faulted pass: the identical input on a fresh disk with the bad
+    // sectors armed before any byte is staged.
+    let (disk2, inj2) =
+        Disk::new_faulty(Box::new(MemDevice::new(cfg.block_size)), FaultPlan::new(0));
+    for &b in &targets {
+        inj2.script_block_write(b, FaultKind::BitFlip);
+    }
+    let staged2 = stage_as_recs(&disk2, gen_fault, spec, cfg.compaction)?;
+    let before = disk2.stats().snapshot();
+    let sorter2 = Nexsort::new(disk2.clone(), nexsort_opts(cfg), spec.clone())?;
+    let sorted2 = sorter2
+        .try_sort_rec_extent(&staged2.extent, staged2.dict.clone())
+        .map_err(|f| XmlError::Record(f.to_string()))?;
+    let recs = sorted2.to_recs()?;
+    disk2.cache_flush_all()?;
+    disk2.io_barrier()?;
+    let io = disk2.stats().snapshot().since(&before);
+    // Health is read after serialization so repairs on the final output run
+    // count too; the report's `degraded` bit covers only the sort itself.
+    let health = disk2.health();
+    Ok(DegradedMeasurement {
+        faults: targets.len(),
+        logical_ios: io.grand_total(),
+        physical_ios: io.grand_total_physical(),
+        parity_ios: io.total(IoCat::Parity),
+        repairs: health.repairs(),
+        quarantined: health.num_quarantined(),
+        rederivations: health.rederived_runs(),
+        degraded: sorted2.report.degraded,
+        outputs_match: recs == base_recs,
+    })
 }
 
 /// The outcome of one crash/resume measurement.

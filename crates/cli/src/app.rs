@@ -3,14 +3,15 @@
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
-use nexsort::{Nexsort, NexsortOptions, SortedDoc};
+use nexsort::{FailureCategory, Nexsort, NexsortOptions, SortedDoc};
 use nexsort_baseline::{sort_xml_extent, stage_input, BaselineOptions};
 // The CLI is the one sanctioned place outside the device layer that
 // assembles raw devices (it hands them straight to Disk::new).
 use nexsort_extmem::BlockDevice; // xlint::allow(R1)
 use nexsort_extmem::{
-    CachePolicy, CrashController, CrashPlan, Disk, ExtError, Extent, FaultInjector, FaultPlan,
-    FileDevice, MemDevice, MemoryBudget, RetryPolicy, SchedConfig, WriteMode,
+    recover, CachePolicy, CrashController, CrashPlan, Disk, ExtError, Extent, FaultInjector,
+    FaultPlan, FileDevice, IoCat, JournalRecord, MemDevice, MemoryBudget, RetryPolicy, RunId,
+    RunStore, SchedConfig, ScrubReport, WriteMode,
 };
 use nexsort_merge::{BatchUpdate, MergeOptions, StructuralMerge};
 use nexsort_xml::SortSpec;
@@ -96,6 +97,12 @@ pub struct Cli {
     /// With `--crash-after-ios N`: pick the crash point seeded-randomly in
     /// `0..N` instead of exactly at `N`.
     pub crash_seed: Option<u64>,
+    /// Parity blocks: one per K data blocks of every sealed run (1 =
+    /// mirror; 0 = no redundancy, the paper's model).
+    pub parity_group: usize,
+    /// Scrub test hook: corrupt the IDX-th data block of the first
+    /// parity-protected run instead of scrubbing.
+    pub corrupt: Option<usize>,
     /// The ordering criterion.
     pub spec: SortSpec,
 }
@@ -144,6 +151,12 @@ pub enum Command {
         /// Document path.
         input: PathBuf,
     },
+    /// Verify-and-repair every parity-protected run on a finished
+    /// `--checkpoint` device file, then re-seal the repaired extents.
+    Scrub {
+        /// Device file of a completed `--checkpoint` sort.
+        device: PathBuf,
+    },
     /// Generate a synthetic test document.
     Gen {
         /// Generator: "exact:F1,F2,..." | "ibm:HEIGHT,MAXFAN[,MAXELEMS]" |
@@ -164,6 +177,7 @@ USAGE:
   xsort update BASE.xml BATCH.xml  [OPTIONS]
   xsort check  INPUT.xml           [OPTIONS]      # is it fully sorted?
   xsort gen    SHAPE [--seed N]    [OPTIONS]      # synthetic documents
+  xsort scrub  DEVICE.bin          [OPTIONS]      # repair parity-protected runs
 
 OPTIONS:
   -o, --output FILE     write result here (default: stdout)
@@ -216,6 +230,28 @@ FAULT INJECTION (deterministic; the device checksums every block):
       --retries N       retry transient faults up to N times per transfer
                         (default: 3 when faults are injected, else 0)
 
+SELF-HEALING RUN STORAGE (XOR parity over sealed runs; nexsort/degen):
+      --parity-group K  one parity block per K data blocks of every sealed
+                        run (1 = mirror; default: 0 = no redundancy). A hard
+                        media fault on a run block is repaired from parity,
+                        relocated, and the bad block quarantined; the sort
+                        completes bit-identically and reports itself degraded
+      --corrupt IDX     (scrub only) corrupt the IDX-th data block of the
+                        first protected run instead of scrubbing -- a test
+                        hook for exercising the repair path end to end
+  `xsort scrub DEVICE.bin --block SIZE` reopens the device file of a
+  completed --checkpoint sort (same --block as the sort), verifies every
+  protected data block against its sealed sum, repairs failures from parity,
+  rewrites stale parity, and re-seals the repaired extents into the journal.
+
+EXIT CODES:
+  0  success
+  1  failure outside I/O (malformed input, memory budget, internal error)
+  2  command-line usage error
+  3  transient I/O fault survived the retry budget; a clean re-run may pass
+  4  persistent media fault beyond redundancy; the same device will fail again
+  5  the source document itself is unreadable; nothing on disk can heal it
+
 RULE syntax: '@attr', '@attr:num', '@attr:desc', 'tag', 'text',
              'path=a/b/c', 'doc', composites with '+': '@last+@first'.
 
@@ -263,6 +299,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut resume = false;
     let mut crash_after_ios: Option<u64> = None;
     let mut crash_seed: Option<u64> = None;
+    let mut parity_group = 0usize;
+    let mut corrupt: Option<usize> = None;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -356,6 +394,18 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--checkpoint" => checkpoint = true,
             "--resume" => resume = true,
+            "--parity-group" => {
+                parity_group = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--parity-group needs a nonnegative integer".to_string())?
+            }
+            "--corrupt" => {
+                corrupt = Some(
+                    next_value(&mut it, arg)?
+                        .parse::<usize>()
+                        .map_err(|_| "--corrupt needs a nonnegative block index".to_string())?,
+                )
+            }
             "--crash-after-ios" => {
                 crash_after_ios = Some(
                     next_value(&mut it, arg)?
@@ -381,6 +431,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let command = match (sub.as_str(), positional.len()) {
         ("sort", 1) => Command::Sort { input: positional.remove(0) },
         ("check", 1) => Command::Check { input: positional.remove(0) },
+        ("scrub", 1) => Command::Scrub { device: positional.remove(0) },
         ("gen", 1) => {
             Command::Gen { shape: positional.remove(0).to_string_lossy().into_owned(), seed }
         }
@@ -394,7 +445,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let base = positional.pop().expect("len 1");
             Command::Update { base, updates }
         }
-        ("sort" | "check" | "gen", n) => return Err(format!("{sub} expects 1 argument, got {n}")),
+        ("sort" | "check" | "gen" | "scrub", n) => {
+            return Err(format!("{sub} expects 1 argument, got {n}"))
+        }
         ("merge" | "update", n) => return Err(format!("{sub} expects 2 input files, got {n}")),
         (other, _) => return Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     };
@@ -410,6 +463,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     if resume && algo == Algo::Mergesort {
         return Err("--resume applies to nexsort/degen (the baseline is not journalled)".into());
+    }
+    if corrupt.is_some() && !matches!(command, Command::Scrub { .. }) {
+        return Err("--corrupt is a scrub-only test hook".into());
+    }
+    if parity_group > 0 && algo == Algo::Mergesort {
+        return Err(
+            "--parity-group applies to nexsort/degen (the baseline is measured bare)".into()
+        );
     }
     let spec = build_spec(default_rule.as_deref(), &keys)?;
     Ok(Cli {
@@ -440,8 +501,38 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         resume,
         crash_after_ios,
         crash_seed,
+        parity_group,
+        corrupt,
         spec,
     })
+}
+
+/// A failed command plus the process exit code its failure category maps to
+/// (see the EXIT CODES section of [`USAGE`]). Plain-`String` errors convert
+/// to the generic code 1.
+#[derive(Debug)]
+pub struct CliError {
+    /// Process exit code: 1 generic, 3 transient, 4 persistent media
+    /// fault, 5 lost source (2 is reserved for argument parsing).
+    pub code: u8,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
+
+/// The exit code a [`FailureCategory`] maps to.
+fn exit_code(cat: FailureCategory) -> u8 {
+    match cat {
+        FailureCategory::Other => 1,
+        FailureCategory::Transient => 3,
+        FailureCategory::Persistent => 4,
+        FailureCategory::Source => 5,
+    }
 }
 
 fn mem_frames(cli: &Cli) -> usize {
@@ -658,7 +749,7 @@ fn sort_one(
     disk: &Rc<Disk>,
     input: &Staged,
     crash: Option<&CrashController>,
-) -> Result<SortedDoc, String> {
+) -> Result<SortedDoc, CliError> {
     let opts = NexsortOptions {
         mem_frames: mem_frames(cli),
         threshold: cli.threshold,
@@ -672,6 +763,7 @@ fn sort_one(
         write_behind: cli.write_behind,
         checkpoint: cli.checkpoint,
         journal_blocks: journal_blocks(cli.block_size as usize),
+        parity_group: cli.parity_group,
         ..Default::default()
     };
     let sorter = Nexsort::new(disk.clone(), opts, cli.spec.clone()).map_err(|e| e.to_string())?;
@@ -707,9 +799,12 @@ fn sort_one(
                 Staged::Xml(ext) => sorter.try_resume_xml_extent(ext),
                 Staged::Recs(ext, dict) => sorter.try_resume_rec_extent(ext, dict.clone()),
             }
-            .map_err(|f| format!("resume failed: {f}"))?
+            .map_err(|f| CliError {
+                code: exit_code(f.category()),
+                message: format!("resume failed: {f}"),
+            })?
         }
-        Err(f) => return Err(f.to_string()),
+        Err(f) => return Err(CliError { code: exit_code(f.category()), message: f.to_string() }),
     };
     if let Some(ctl) = crash {
         // The sort outlived the armed point (or was resumed): disarm so the
@@ -729,6 +824,12 @@ fn sort_one(
         if retried > 0 {
             eprintln!("sort: {retried} transfer(s) healed by retry");
         }
+        if doc.report.degraded {
+            eprintln!(
+                "sort: degraded completion; device health: {} block(s) quarantined",
+                disk.health().num_quarantined()
+            );
+        }
     }
     Ok(doc)
 }
@@ -743,10 +844,92 @@ fn emit(cli: &Cli, xml: Vec<u8>) -> Result<(), String> {
     }
 }
 
-/// Execute a parsed command line.
+/// Execute a parsed command line. Convenience wrapper over [`run_code`]
+/// that drops the exit-code classification.
 pub fn run(cli: &Cli) -> Result<(), String> {
+    run_code(cli).map_err(|e| e.message)
+}
+
+/// Open the device file of a finished `--checkpoint` sort, replay its
+/// journal, and scrub every parity-protected run -- or, with `--corrupt
+/// IDX`, damage a data block instead (the test hook the repair path is
+/// exercised with end to end). Repaired extents are re-sealed into the
+/// journal, so the healed layout is what the next invocation sees.
+pub fn scrub_device(cli: &Cli, path: &Path) -> Result<ScrubReport, CliError> {
+    let disk = Disk::open_file(path, cli.block_size as usize)
+        .map_err(|e| format!("cannot open device file {path:?}: {e}"))?;
+    let recovered = recover(&disk, &[]).map_err(|e| format!("journal replay: {e}"))?;
+    let Some((mut journal, state)) = recovered else {
+        return Err(
+            format!("no journal on {path:?}: scrub needs a --checkpoint device file").into()
+        );
+    };
+    if let Some(idx) = cli.corrupt {
+        // Test hook: damage the idx-th data block of the first protected
+        // run. The write goes through the normal checksum layer, so only
+        // the sealed per-block sums (journalled with the run) can convict
+        // it -- exactly the silent-corruption case scrub exists for.
+        let (token, ext, _) = state
+            .runs
+            .iter()
+            .find(|(_, ext, par)| par.is_some() && ext.num_blocks() > idx)
+            .ok_or_else(|| format!("no parity-protected run with more than {idx} block(s)"))?;
+        let block = ext.blocks()[idx];
+        let junk = vec![0xA5u8; disk.block_size()];
+        disk.write_block(block, &junk, IoCat::Parity).map_err(|e| e.to_string())?;
+        println!("scrub: corrupted run {token} data block {idx} (device block {block})");
+        return Ok(ScrubReport::default());
+    }
+    let store = RunStore::restore(disk.clone(), state.runs.clone());
+    let report =
+        store.scrub().map_err(|e| CliError { code: 4, message: format!("scrub failed: {e}") })?;
+    // Re-seal the healed layout: repairs relocate data blocks and rewrite
+    // parity, and only a journal record makes that durable. The snapshot
+    // goes through `reset` (in-place compaction) rather than an append --
+    // repeated maintenance passes must not grow the fixed journal extent
+    // until it overflows.
+    let mut records = vec![JournalRecord::SortStarted { input_len: state.input_len }];
+    for &(token, _, _) in &state.runs {
+        let id = RunId(token);
+        records.push(JournalRecord::RunSealed {
+            token,
+            len: store.run_len(id).map_err(|e| e.to_string())?,
+            blocks: store.extent_of(id).map_err(|e| e.to_string())?.blocks().to_vec(),
+            parity: store.parity_of(id).map_err(|e| e.to_string())?,
+        });
+    }
+    if let Some((root, root_flat)) = state.sort_done {
+        records.push(JournalRecord::SortDone { root, root_flat, stats: state.stats });
+    } else if let Some(pending) = state.pending.clone() {
+        records.push(JournalRecord::ScanDone { pending, stats: state.stats });
+    }
+    journal.reset(&records).map_err(|e| format!("re-seal: {e}"))?;
+    println!("scrub: {report}");
+    let quarantined = disk.health().num_quarantined();
+    if quarantined > 0 {
+        println!("scrub: {quarantined} block(s) quarantined this pass");
+    }
+    if report.unrecoverable > 0 {
+        return Err(CliError {
+            code: 4,
+            message: format!(
+                "scrub: {} block(s) unrecoverable; re-derive them from the source",
+                report.unrecoverable
+            ),
+        });
+    }
+    Ok(report)
+}
+
+/// Execute a parsed command line, classifying any failure into the exit
+/// code the process should end with (see the EXIT CODES section of
+/// [`USAGE`]).
+pub fn run_code(cli: &Cli) -> Result<(), CliError> {
+    if let Command::Scrub { device } = &cli.command {
+        return scrub_device(cli, device).map(|_| ());
+    }
     let (disk, injectors, crash) = make_disk(cli)?;
-    let result = match &cli.command {
+    let result: Result<(), CliError> = match &cli.command {
         Command::Sort { input } => {
             let staged = load(cli, &disk, input)?;
             let out = if cli.algo == Algo::Mergesort {
@@ -817,7 +1000,7 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                     }
                 }
             };
-            emit(cli, out)
+            emit(cli, out).map_err(CliError::from)
         }
         Command::Merge { left, right } => {
             let a = sort_one(cli, &disk, &load(cli, &disk, left)?, crash.as_ref())?;
@@ -836,7 +1019,7 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                 eprintln!("merge: {stats:?}");
             }
             let events = nexsort_xml::recs_to_events(&out, &dict).map_err(|e| e.to_string())?;
-            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
+            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty)).map_err(CliError::from)
         }
         Command::Check { input } => {
             let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
@@ -870,7 +1053,8 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                                 rec.level(),
                                 rec.key(),
                                 prev
-                            ));
+                            )
+                            .into());
                         }
                     }
                 }
@@ -901,7 +1085,7 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                 match parts.as_slice() {
                     [h, k] => Box::new(IbmGen::new(*h as u32, *k, None, cfg)),
                     [h, k, n] => Box::new(IbmGen::new(*h as u32, *k, Some(*n), cfg)),
-                    _ => return Err("ibm: expects HEIGHT,MAXFAN[,MAXELEMS]".into()),
+                    _ => return Err("ibm: expects HEIGHT,MAXFAN[,MAXELEMS]".to_string().into()),
                 }
             } else if let Some(spec) = shape.strip_prefix("auction:") {
                 let sellers =
@@ -914,13 +1098,14 @@ pub fn run(cli: &Cli) -> Result<(), String> {
             } else {
                 return Err(format!(
                     "unknown shape {shape:?} (expected exact:..., ibm:..., auction:...)"
-                ));
+                )
+                .into());
             };
             let mut events = Vec::new();
             while let Some(ev) = gen.next_event().map_err(xml_err)? {
                 events.push(ev);
             }
-            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
+            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty)).map_err(CliError::from)
         }
         Command::Update { base, updates } => {
             let b = sort_one(cli, &disk, &load(cli, &disk, base)?, crash.as_ref())?;
@@ -939,16 +1124,19 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                 eprintln!("update: {stats:?}");
             }
             let events = nexsort_xml::recs_to_events(&out, &dict).map_err(|e| e.to_string())?;
-            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty))
+            emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty)).map_err(CliError::from)
         }
+        Command::Scrub { .. } => unreachable!("scrub is handled before device setup"),
     };
     // Under write-back the pool may still hold dirty frames; push them to the
     // device so a `--device` file is complete on exit. The cache flush can
     // enqueue deferred writes, so the scheduler barrier comes after it.
-    let result =
-        result.and_then(|()| disk.cache_flush_all().map_err(|e| format!("final cache flush: {e}")));
-    let result = result
-        .and_then(|()| disk.io_barrier().map_err(|e| format!("final write-behind drain: {e}")));
+    let result = result.and_then(|()| {
+        disk.cache_flush_all().map_err(|e| CliError::from(format!("final cache flush: {e}")))
+    });
+    let result = result.and_then(|()| {
+        disk.io_barrier().map_err(|e| CliError::from(format!("final write-behind drain: {e}")))
+    });
     if cli.stats {
         for (i, inj) in injectors.iter().enumerate() {
             let counts = inj.counts();
@@ -1450,6 +1638,156 @@ mod tests {
 
         assert_eq!(std::fs::read(&plain_out).unwrap(), std::fs::read(&cached_out).unwrap());
         assert!(std::fs::metadata(&dev).unwrap().len() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parity_flags_parse_and_validate() {
+        let plain = parse_args(&args(&["sort", "x.xml"])).unwrap();
+        assert_eq!(plain.parity_group, 0, "redundancy is opt-in");
+        assert_eq!(plain.corrupt, None);
+
+        let cli = parse_args(&args(&["sort", "x.xml", "--parity-group", "4"])).unwrap();
+        assert_eq!(cli.parity_group, 4);
+        let cli = parse_args(&args(&["scrub", "dev.bin", "--corrupt", "2"])).unwrap();
+        assert!(matches!(cli.command, Command::Scrub { .. }));
+        assert_eq!(cli.corrupt, Some(2));
+
+        assert!(parse_args(&args(&["sort", "x.xml", "--parity-group", "some"])).is_err());
+        let err = parse_args(&args(&["sort", "x.xml", "--corrupt", "1"])).unwrap_err();
+        assert!(err.contains("scrub"), "{err}");
+        let err =
+            parse_args(&args(&["sort", "x.xml", "--parity-group", "2", "--algo", "mergesort"]))
+                .unwrap_err();
+        assert!(err.contains("nexsort/degen"), "{err}");
+        assert!(parse_args(&args(&["scrub"])).is_err());
+    }
+
+    #[test]
+    fn failure_categories_map_to_documented_exit_codes() {
+        assert_eq!(exit_code(FailureCategory::Other), 1);
+        assert_eq!(exit_code(FailureCategory::Transient), 3);
+        assert_eq!(exit_code(FailureCategory::Persistent), 4);
+        assert_eq!(exit_code(FailureCategory::Source), 5);
+        // Untyped errors fall back to the generic failure code.
+        assert_eq!(CliError::from("boom".to_string()).code, 1);
+        // An unrecoverable faulty sort must exit through an I/O code (3..=5),
+        // never the generic 1 that hides what a re-run could achieve.
+        let dir = std::env::temp_dir().join(format!("xsort-exc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let gen = parse_args(&args(&["gen", "exact:40,4", "-o", raw.to_str().unwrap()])).unwrap();
+        run(&gen).unwrap();
+        let cli = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "--default",
+            "@k",
+            "--block",
+            "256",
+            "--fault-flips",
+            "0.5",
+            "--retries",
+            "0",
+        ]))
+        .unwrap();
+        let err = run_code(&cli).unwrap_err();
+        assert!((3..=5).contains(&err.code), "code {} for {}", err.code, err.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parity_protected_sort_matches_the_bare_output() {
+        let dir = std::env::temp_dir().join(format!("xsort-par-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let gen =
+            parse_args(&args(&["gen", "exact:30,6", "--seed", "5", "-o", raw.to_str().unwrap()]))
+                .unwrap();
+        run(&gen).unwrap();
+
+        let base = ["--default", "@k", "--block", "256", "--mem", "4K"];
+        let sort_with = |extra: &[&str], out: &Path| {
+            let mut a = vec!["sort", raw.to_str().unwrap(), "-o", out.to_str().unwrap()];
+            a.extend_from_slice(&base);
+            a.extend_from_slice(extra);
+            run(&parse_args(&args(&a)).unwrap()).unwrap();
+            std::fs::read(out).unwrap()
+        };
+        let out = dir.join("out.xml");
+        let bare = sort_with(&[], &out);
+        for extra in [
+            &["--parity-group", "1"][..],
+            &["--parity-group", "4"][..],
+            &["--parity-group", "4", "--algo", "degen"][..],
+            &["--parity-group", "2", "--checkpoint"][..],
+        ] {
+            assert_eq!(sort_with(extra, &out), bare, "{extra:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrub_corrupt_repair_roundtrip_restores_full_redundancy() {
+        let dir = std::env::temp_dir().join(format!("xsort-scr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let dev = dir.join("device.bin");
+        let out = dir.join("out.xml");
+        let gen =
+            parse_args(&args(&["gen", "exact:40,6", "--seed", "3", "-o", raw.to_str().unwrap()]))
+                .unwrap();
+        run(&gen).unwrap();
+
+        // A checkpointed, parity-protected sort leaves its journal and the
+        // sealed root run (plus parity) on the device file.
+        let sort = parse_args(&args(&[
+            "sort",
+            raw.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--default",
+            "@k",
+            "--block",
+            "256",
+            "--mem",
+            "4K",
+            "--checkpoint",
+            "--parity-group",
+            "2",
+            "--device",
+            dev.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sort).unwrap();
+
+        let scrub_args = |extra: &[&str]| {
+            let mut a = vec!["scrub", dev.to_str().unwrap(), "--block", "256"];
+            a.extend_from_slice(extra);
+            parse_args(&args(&a)).unwrap()
+        };
+        // Pass 1: a healthy store scrubs clean.
+        let clean = scrub_args(&[]);
+        let report = scrub_device(&clean, &dev).unwrap();
+        assert!(report.scanned > 0, "the sealed root run must be scanned");
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.unrecoverable, 0);
+        // Pass 2: corrupt one data block (the test hook), then scrub heals it.
+        scrub_device(&scrub_args(&["--corrupt", "0"]), &dev).unwrap();
+        let report = scrub_device(&clean, &dev).unwrap();
+        assert_eq!(report.repaired, 1, "{report:?}");
+        assert_eq!(report.unrecoverable, 0);
+        // Pass 3: the re-sealed layout scrubs clean again.
+        let report = scrub_device(&clean, &dev).unwrap();
+        assert_eq!(report.repaired, 0, "{report:?}");
+        assert_eq!(report.parity_rewritten, 0, "{report:?}");
+        assert_eq!(report.unrecoverable, 0);
+
+        // A journal-less device file is rejected with a helpful message.
+        let bare = dir.join("bare.bin");
+        std::fs::write(&bare, vec![0u8; 512]).unwrap();
+        let err = scrub_device(&scrub_args(&[]), &bare).unwrap_err();
+        assert!(err.message.contains("--checkpoint"), "{}", err.message);
         std::fs::remove_dir_all(&dir).ok();
     }
 

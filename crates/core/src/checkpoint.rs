@@ -44,11 +44,17 @@ pub(crate) fn restore_report(stats: &JournalStats, report: &mut SortReport) {
     report.degenerate_merges = stats.degenerate_merges;
 }
 
-/// A `RunSealed` record for one run, naming its extent as the durable
+/// A `RunSealed` record for one run, naming its extent -- and its parity
+/// metadata, when the run was sealed with redundancy -- as the durable
 /// identity recovery rebuilds the store from.
 pub(crate) fn seal_record(store: &RunStore, id: RunId) -> Result<JournalRecord> {
     let ext = store.extent_of(id)?;
-    Ok(JournalRecord::RunSealed { token: id.0, len: ext.len(), blocks: ext.blocks().to_vec() })
+    Ok(JournalRecord::RunSealed {
+        token: id.0,
+        len: ext.len(),
+        blocks: ext.blocks().to_vec(),
+        parity: store.parity_of(id)?,
+    })
 }
 
 /// `RunSealed` records for every non-empty run in the store. Discarded and
@@ -75,6 +81,7 @@ pub(crate) fn seal_records_except(store: &RunStore, skip: &[u32]) -> Result<Vec<
             token,
             len: ext.len(),
             blocks: ext.blocks().to_vec(),
+            parity: store.parity_of(RunId(token))?,
         });
     }
     Ok(recs)

@@ -30,8 +30,8 @@ use std::time::Instant;
 
 use nexsort_baseline::{sort_recs, RecSource};
 use nexsort_extmem::{
-    ByteSink, Disk, ExtentReader, IoCat, IoPhase, Journal, JournalRecord, KWayMerger, MemoryBudget,
-    MergeStream, RecoveredState, RunId, RunStore,
+    ByteSink, Disk, IoCat, IoPhase, Journal, JournalRecord, KWayMerger, MemoryBudget, MergeStream,
+    RecoveredState, RunId, RunReader, RunStore,
 };
 use nexsort_xml::{KeyPath, PathComp, PathedRec, PtrRec, Rec, Result, SortSpec, XmlError};
 
@@ -53,7 +53,7 @@ struct Frame {
 }
 
 struct PStream {
-    reader: ExtentReader,
+    reader: RunReader,
     left: u64,
 }
 
@@ -384,10 +384,12 @@ pub(crate) fn sort_degenerate(
     let mut staging_guard = budget.reserve(staging_frames).map_err(XmlError::from)?;
     let capacity = staging_frames as u64 * block_size as u64;
 
+    let store = RunStore::new(disk.clone());
+    store.set_parity_group(opts.parity_group);
     let mut st = Degenerate {
         opts,
         budget,
-        store: RunStore::new(disk.clone()),
+        store,
         threshold,
         capacity,
         staging: Vec::new(),
@@ -541,6 +543,7 @@ pub(crate) fn resume_degenerate(
         return Err(XmlError::Record("journal seals the scan but names no pending runs".into()));
     }
     let store = RunStore::restore(disk.clone(), state.runs);
+    store.set_parity_group(opts.parity_group);
     let mut st = Degenerate {
         opts,
         budget,

@@ -12,8 +12,27 @@
 
 use std::fmt;
 
-use nexsort_extmem::{Disk, IoCat, IoPhase, IoSnapshot};
+use nexsort_extmem::{Disk, ExtError, IoCat, IoPhase, IoSnapshot};
 use nexsort_xml::XmlError;
+
+/// Coarse classification of a [`SortFailure`], used by callers (the CLI maps
+/// these to distinct exit codes) to decide what a re-run could achieve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureCategory {
+    /// The failing transfer could plausibly succeed on a clean re-run
+    /// (flaky device, exhausted retry budget on a transient error).
+    Transient,
+    /// A hard media fault on the sort's own storage that redundancy could
+    /// not absorb: persistent corruption, a quarantined block, a parity
+    /// group with more losses than one parity block covers. Re-running on
+    /// the same device will hit the same damage; the input itself is fine.
+    Persistent,
+    /// The *source* is unreadable. No amount of retrying, parity repair, or
+    /// re-derivation can help: the data the sort was asked to sort is lost.
+    Source,
+    /// Not an I/O fault at all (malformed input, budget exhaustion, ...).
+    Other,
+}
 
 /// A sort that ended in an unrecoverable fault, with enough context to say
 /// what was lost: the phase, the failing transfer, and the work done so far.
@@ -68,6 +87,29 @@ impl SortFailure {
                 error,
                 io_so_far,
             },
+        }
+    }
+
+    /// Classify the failure for retry/exit-code decisions. A fault while
+    /// reading the input is a lost [`Source`](FailureCategory::Source)
+    /// regardless of its error shape; otherwise hard media faults (including
+    /// parity-layer verdicts) are [`Persistent`](FailureCategory::Persistent)
+    /// and retryable errors are [`Transient`](FailureCategory::Transient).
+    pub fn category(&self) -> FailureCategory {
+        if matches!(self.cat, Some(IoCat::InputRead)) {
+            return FailureCategory::Source;
+        }
+        let XmlError::Ext(e) = &self.error else { return FailureCategory::Other };
+        if e.is_hard_media_fault()
+            || matches!(e, ExtError::ParityMismatch { .. } | ExtError::UnrecoverableGroup { .. })
+        {
+            FailureCategory::Persistent
+        } else if e.is_transient()
+            || matches!(e, ExtError::RetriesExhausted { last, .. } if last.is_transient())
+        {
+            FailureCategory::Transient
+        } else {
+            FailureCategory::Other
         }
     }
 
@@ -201,6 +243,40 @@ mod tests {
         let msg = f.to_string();
         assert!(msg.contains("block 9"), "{msg}");
         assert!(msg.contains("reading"), "{msg}");
+    }
+
+    #[test]
+    fn categories_distinguish_source_media_and_transient_faults() {
+        let mk = |cat, error| SortFailure {
+            phase: IoPhase::RunFormation,
+            cat,
+            block: Some(1),
+            is_read: true,
+            attempts: 1,
+            error,
+            io_so_far: nexsort_extmem::IoStats::new().snapshot(),
+        };
+        // A fault while reading the input is a lost source, whatever its shape.
+        let f = mk(Some(IoCat::InputRead), XmlError::Ext(ExtError::Io(std::io::Error::other("x"))));
+        assert_eq!(f.category(), FailureCategory::Source);
+        // Hard media verdicts on the sort's own storage are persistent.
+        let f = mk(
+            Some(IoCat::RunRead),
+            XmlError::Ext(ExtError::UnrecoverableGroup { run: 0, lost: 7 }),
+        );
+        assert_eq!(f.category(), FailureCategory::Persistent);
+        let f = mk(Some(IoCat::RunRead), XmlError::Ext(ExtError::ChecksumMismatch { block: 7 }));
+        assert_eq!(f.category(), FailureCategory::Persistent);
+        // An exhausted retry budget on a flaky (transient) error stays transient.
+        let last = Box::new(ExtError::Io(std::io::Error::other("flaky")));
+        let f = mk(
+            Some(IoCat::RunWrite),
+            XmlError::Ext(ExtError::RetriesExhausted { attempts: 4, last }),
+        );
+        assert_eq!(f.category(), FailureCategory::Transient);
+        // Non-I/O errors are out of scope for any retry strategy.
+        let f = mk(None, XmlError::Record("bogus".into()));
+        assert_eq!(f.category(), FailureCategory::Other);
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod report;
 mod sorter;
 mod subtree;
 
-pub use failure::SortFailure;
+pub use failure::{FailureCategory, SortFailure};
 pub use options::NexsortOptions;
 pub use output::{DocCursor, OutputReport, SortedDoc};
 pub use report::SortReport;

@@ -67,6 +67,15 @@ pub struct NexsortOptions {
     /// when `checkpoint` is on. The journal is fixed-size; a sort whose
     /// manifest outgrows it fails with a structured overflow error.
     pub journal_blocks: usize,
+    /// Parity protection for sealed runs: every `parity_group` data blocks
+    /// get one XOR parity block, written alongside the run and charged to
+    /// `IoCat::Parity`. A hard media fault (persistent corruption, retries
+    /// exhausted) on a protected block is then repaired transparently during
+    /// merge and output reads: the block is reconstructed from its parity
+    /// group, rewritten to a fresh extent, and the bad block quarantined.
+    /// `1` mirrors every block; `0` (the default) disables redundancy -- the
+    /// paper's model charges no parity I/O.
+    pub parity_group: usize,
 }
 
 impl NexsortOptions {
@@ -99,6 +108,7 @@ impl Default for NexsortOptions {
             write_behind: false,
             checkpoint: false,
             journal_blocks: 32,
+            parity_group: 0,
         }
     }
 }
@@ -136,5 +146,6 @@ mod tests {
         assert!(!o.write_behind);
         assert!(!o.checkpoint, "journaling is opt-in: extra I/O outside the paper's model");
         assert!(o.journal_blocks >= 2, "journal needs a header block plus record space");
+        assert_eq!(o.parity_group, 0, "redundancy is opt-in: parity I/O is outside the model");
     }
 }

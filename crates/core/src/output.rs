@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use nexsort_baseline::RecSource;
 use nexsort_extmem::{
-    Disk, ExtStack, ExtentReader, IoCat, IoPhase, IoSnapshot, MemoryBudget, RunId, RunStore,
+    Disk, ExtStack, IoCat, IoPhase, IoSnapshot, MemoryBudget, RunId, RunReader, RunStore,
 };
 use nexsort_xml::{Event, Rec, RecDecoder, Result, TagDict, XmlError};
 
@@ -262,7 +262,7 @@ pub struct DocCursor {
     outloc: ExtStack,
     /// Current run and its decoder, with the run id and base offset needed
     /// to compute the return location when a pointer is followed.
-    cur: Option<(RunId, u64, u64, RecDecoder<ExtentReader>)>,
+    cur: Option<(RunId, u64, u64, RecDecoder<RunReader>)>,
 }
 
 impl DocCursor {

@@ -56,6 +56,18 @@ pub struct SortReport {
     /// `degenerate_merges + committed_passes_skipped` equals the
     /// uninterrupted run's `degenerate_merges`.
     pub committed_passes_skipped: u32,
+    /// True when the sort hit hard media faults and completed anyway --
+    /// through parity repair, block quarantine, or source re-derivation.
+    /// The output is still bit-identical to an undamaged run's; degraded
+    /// only flags that redundancy was consumed along the way.
+    pub degraded: bool,
+    /// Blocks reconstructed from parity and rewritten during this sort.
+    pub repairs: u64,
+    /// Blocks quarantined (permanently retired) during this sort.
+    pub quarantined_blocks: u64,
+    /// Last-resort re-derivations: sorts restarted from the intact source
+    /// after a parity group was itself unrecoverable.
+    pub rederivations: u64,
     /// I/O taken by the sorting phase, by category.
     pub io: IoSnapshot,
     /// Wall-clock time of the sorting phase.
@@ -84,6 +96,10 @@ impl SortReport {
             root_flat: false,
             resumed: false,
             committed_passes_skipped: 0,
+            degraded: false,
+            repairs: 0,
+            quarantined_blocks: 0,
+            rederivations: 0,
             io: nexsort_extmem::IoStats::new().snapshot(),
             elapsed: Duration::ZERO,
         }
@@ -126,9 +142,17 @@ impl SortReport {
         } else {
             String::new()
         };
+        let degraded = if self.degraded {
+            format!(
+                " | degraded ({} repaired, {} quarantined, {} rederived)",
+                self.repairs, self.quarantined_blocks, self.rederivations
+            )
+        } else {
+            String::new()
+        };
         format!(
             "N={} recs ({} B, {} blk) k={} h={} | x={} sorts (int {}, ext {}, dump {}) \
-             | inc-runs={} merges={}{resumed} | io={} | {:?}",
+             | inc-runs={} merges={}{resumed}{degraded} | io={} | {:?}",
             self.n_records,
             self.input_bytes,
             self.input_blocks(),
@@ -186,5 +210,10 @@ mod tests {
         r.resumed = true;
         r.committed_passes_skipped = 2;
         assert!(r.summary().contains("resumed (2 committed passes skipped)"));
+        assert!(!r.summary().contains("degraded"), "healthy runs do not claim degradation");
+        r.degraded = true;
+        r.repairs = 3;
+        r.quarantined_blocks = 3;
+        assert!(r.summary().contains("degraded (3 repaired, 3 quarantined, 0 rederived)"));
     }
 }

@@ -86,36 +86,82 @@ impl Nexsort {
     }
 
     /// Sort an XML text document resident on the disk.
+    ///
+    /// When parity protection is on (`opts.parity_group > 0`), hard media
+    /// faults on sealed runs are repaired transparently mid-sort; if a whole
+    /// parity group is lost, the sort is re-derived once from the (intact)
+    /// input rather than failing -- the quarantine retires the damaged
+    /// blocks, so the re-run allocates around them. Either path marks the
+    /// report degraded; the output bytes are identical to an undamaged run's.
     pub fn sort_xml_extent(&self, input: &Extent) -> Result<SortedDoc> {
         let budget = MemoryBudget::new(self.opts.mem_frames);
+        let health_before = self.disk.health();
         let mut journal = self.start_journal(input)?;
-        let mut src = ParsedRecSource::new(
-            self.disk.clone(),
-            &budget,
-            input,
-            &self.spec,
-            self.opts.compaction,
-        )?;
-        let (store, root_run, report) = self.sort_source(&mut src, &budget, &mut journal)?;
-        Ok(SortedDoc::new(
-            self.disk.clone(),
-            store,
-            root_run,
-            src.into_dict(),
-            report,
-            self.opts.mem_frames,
-        ))
+        let mut rederived = false;
+        loop {
+            let mut src = ParsedRecSource::new(
+                self.disk.clone(),
+                &budget,
+                input,
+                &self.spec,
+                self.opts.compaction,
+            )?;
+            match self.sort_source(&mut src, &budget, &mut journal) {
+                Ok((store, root_run, mut report)) => {
+                    absorb_health(&mut report, &health_before, &self.disk.health());
+                    return Ok(SortedDoc::new(
+                        self.disk.clone(),
+                        store,
+                        root_run,
+                        src.into_dict(),
+                        report,
+                        self.opts.mem_frames,
+                    ));
+                }
+                Err(e) if !rederived && is_beyond_parity(&e) => {
+                    // Last resort (once): the source is still readable, so
+                    // re-form every run from it. The failed attempt's blocks
+                    // stay allocated (reclaimable by a later journal
+                    // recovery), keeping the re-run off the damaged extents.
+                    rederived = true;
+                    self.disk.note_rederivation();
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Sort a pre-encoded record extent (`dict` is the dictionary the
     /// records were encoded against; benchmarks use this to factor out
-    /// XML-parsing CPU while keeping the I/O pattern identical).
+    /// XML-parsing CPU while keeping the I/O pattern identical). Degraded-
+    /// mode behavior matches [`sort_xml_extent`](Self::sort_xml_extent).
     pub fn sort_rec_extent(&self, input: &Extent, dict: TagDict) -> Result<SortedDoc> {
         let budget = MemoryBudget::new(self.opts.mem_frames);
+        let health_before = self.disk.health();
         let mut journal = self.start_journal(input)?;
-        let mut src = ExtentRecSource::new(self.disk.clone(), &budget, input, IoCat::InputRead)?;
-        let (store, root_run, report) = self.sort_source(&mut src, &budget, &mut journal)?;
-        Ok(SortedDoc::new(self.disk.clone(), store, root_run, dict, report, self.opts.mem_frames))
+        let mut rederived = false;
+        loop {
+            let mut src =
+                ExtentRecSource::new(self.disk.clone(), &budget, input, IoCat::InputRead)?;
+            match self.sort_source(&mut src, &budget, &mut journal) {
+                Ok((store, root_run, mut report)) => {
+                    absorb_health(&mut report, &health_before, &self.disk.health());
+                    return Ok(SortedDoc::new(
+                        self.disk.clone(),
+                        store,
+                        root_run,
+                        dict,
+                        report,
+                        self.opts.mem_frames,
+                    ));
+                }
+                Err(e) if !rederived && is_beyond_parity(&e) => {
+                    rederived = true;
+                    self.disk.note_rederivation();
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Resume an interrupted checkpointed sort of an XML document.
@@ -134,6 +180,7 @@ impl Nexsort {
     /// sort; fan-in and pass structure are re-derived from them.
     pub fn resume_xml_extent(&self, input: &Extent) -> Result<SortedDoc> {
         let budget = MemoryBudget::new(self.opts.mem_frames);
+        let health_before = self.disk.health();
         let Some((journal, state)) = recover(&self.disk, input.blocks())? else {
             return self.sort_xml_extent(input);
         };
@@ -152,8 +199,9 @@ impl Nexsort {
             // fan-in -- identical to the uninterrupted run's.
             while src.next_rec()?.is_some() {}
         }
-        let (store, root_run, report) =
+        let (store, root_run, mut report) =
             self.resume_source(&mut src, &budget, &mut journal, state)?;
+        absorb_health(&mut report, &health_before, &self.disk.health());
         Ok(SortedDoc::new(
             self.disk.clone(),
             store,
@@ -169,13 +217,15 @@ impl Nexsort {
     /// caller supplies the dictionary, so nothing is re-parsed.
     pub fn resume_rec_extent(&self, input: &Extent, dict: TagDict) -> Result<SortedDoc> {
         let budget = MemoryBudget::new(self.opts.mem_frames);
+        let health_before = self.disk.health();
         let Some((journal, state)) = recover(&self.disk, input.blocks())? else {
             return self.sort_rec_extent(input, dict);
         };
         let mut journal = Some(journal);
         let mut src = ExtentRecSource::new(self.disk.clone(), &budget, input, IoCat::InputRead)?;
-        let (store, root_run, report) =
+        let (store, root_run, mut report) =
             self.resume_source(&mut src, &budget, &mut journal, state)?;
+        absorb_health(&mut report, &health_before, &self.disk.health());
         Ok(SortedDoc::new(self.disk.clone(), store, root_run, dict, report, self.opts.mem_frames))
     }
 
@@ -259,6 +309,7 @@ impl Nexsort {
             report.committed_passes_skipped = report.degenerate_merges;
             report.degenerate_merges = 0;
             let store = RunStore::restore(self.disk.clone(), state.runs);
+            store.set_parity_group(self.opts.parity_group);
             return Ok((store, RunId(root), report));
         }
         if state.scan_done && self.opts.degeneration && !self.spec.has_deferred_keys() {
@@ -305,6 +356,7 @@ impl Nexsort {
         let mut report = SortReport::new(block_size, self.opts.mem_frames, threshold);
 
         let store = RunStore::new(self.disk.clone());
+        store.set_parity_group(self.opts.parity_group);
         let mut data = ExtStack::new(
             self.disk.clone(),
             budget,
@@ -450,6 +502,35 @@ impl Nexsort {
     }
 }
 
+/// Whether `e` is a parity-layer verdict that repair cannot fix but a
+/// re-derivation from the intact source can: a group with more losses than
+/// its parity covers, or redundancy that no longer matches its checksums.
+fn is_beyond_parity(e: &XmlError) -> bool {
+    matches!(
+        e,
+        XmlError::Ext(
+            nexsort_extmem::ExtError::UnrecoverableGroup { .. }
+                | nexsort_extmem::ExtError::ParityMismatch { .. }
+        )
+    )
+}
+
+/// Fold the disk's health delta across a sort into its report: repairs,
+/// quarantined blocks, and re-derivations that happened during this sort
+/// mark it degraded. The output is still bit-identical to an undamaged
+/// run's; `degraded` only records that redundancy was consumed.
+fn absorb_health(
+    report: &mut SortReport,
+    before: &nexsort_extmem::DeviceHealth,
+    after: &nexsort_extmem::DeviceHealth,
+) {
+    report.repairs = after.repairs().saturating_sub(before.repairs());
+    report.quarantined_blocks = after.num_quarantined().saturating_sub(before.num_quarantined());
+    report.rederivations = after.rederived_runs().saturating_sub(before.rederived_runs());
+    report.degraded =
+        report.repairs > 0 || report.quarantined_blocks > 0 || report.rederivations > 0;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +623,127 @@ mod tests {
                 "{cat} writes"
             );
         }
+    }
+
+    #[test]
+    fn parity_repair_mid_sort_keeps_output_identical_and_reports_degraded() {
+        use nexsort_extmem::{FaultKind, FaultPlan, MemDevice};
+        // Degeneration mode merges incomplete runs *during* the sort, so a
+        // scripted hard fault on a scratch-run block exercises the repair
+        // path mid-sort. Pass 1 (clean) learns which blocks the run store
+        // writes; pass 2 replays the identical sort with one block damaged.
+        let mut doc = String::from("<root>");
+        for i in (0..300).rev() {
+            doc.push_str(&format!("<item k=\"{i:06}\"/>"));
+        }
+        doc.push_str("</root>");
+        let opts = NexsortOptions {
+            degeneration: true,
+            mem_frames: 10,
+            parity_group: 2,
+            ..Default::default()
+        };
+        let run = |faults: &[u64]| {
+            let (disk, inj) = Disk::new_faulty(Box::new(MemDevice::new(128)), FaultPlan::new(0));
+            for &b in faults {
+                inj.script_block_read(b, FaultKind::BitFlip);
+            }
+            let input = nexsort_baseline::stage_input(&disk, doc.as_bytes()).unwrap();
+            disk.start_trace();
+            let nx = Nexsort::new(disk.clone(), opts.clone(), spec()).unwrap();
+            let sorted = nx.sort_xml_extent(&input).unwrap();
+            let trace = disk.take_trace();
+            (sorted.to_recs().unwrap(), sorted.report.clone(), trace)
+        };
+        let (clean_recs, clean_report, trace) = run(&[]);
+        assert!(!clean_report.degraded);
+        assert_eq!(clean_report.repairs, 0);
+        let scratch: Vec<u64> = trace
+            .iter()
+            .filter(|t| !t.is_read && t.cat == IoCat::SortScratch)
+            .map(|t| t.block)
+            .collect();
+        assert!(scratch.len() >= 2, "expected several scratch-run blocks");
+        // One loss in a parity group: repaired transparently.
+        let (recs, report, _) = run(&scratch[..1]);
+        assert_eq!(recs, clean_recs, "repaired sort must be bit-identical");
+        assert!(report.degraded, "{}", report.summary());
+        assert!(report.repairs >= 1);
+        assert!(report.quarantined_blocks >= 1);
+        assert_eq!(report.rederivations, 0);
+    }
+
+    #[test]
+    fn lost_parity_group_triggers_rederivation_from_the_source() {
+        use nexsort_extmem::{FaultKind, FaultPlan, MemDevice};
+        let mut doc = String::from("<root>");
+        for i in (0..300).rev() {
+            doc.push_str(&format!("<item k=\"{i:06}\"/>"));
+        }
+        doc.push_str("</root>");
+        let opts = NexsortOptions {
+            degeneration: true,
+            mem_frames: 10,
+            parity_group: 2,
+            ..Default::default()
+        };
+        let (disk, _inj) = Disk::new_faulty(Box::new(MemDevice::new(128)), FaultPlan::new(0));
+        let input = nexsort_baseline::stage_input(&disk, doc.as_bytes()).unwrap();
+        disk.start_trace();
+        let nx = Nexsort::new(disk.clone(), opts.clone(), spec()).unwrap();
+        let clean_recs = nx.sort_xml_extent(&input).unwrap().to_recs().unwrap();
+        let scratch: Vec<u64> = disk
+            .take_trace()
+            .iter()
+            .filter(|t| !t.is_read && t.cat == IoCat::SortScratch)
+            .map(|t| t.block)
+            .collect();
+        assert!(scratch.len() >= 2);
+
+        // Both data blocks of the first run's first parity group are lost:
+        // reconstruction is impossible, so the sort must fall back to
+        // re-deriving every run from the (still intact) input.
+        let (disk, inj) = Disk::new_faulty(Box::new(MemDevice::new(128)), FaultPlan::new(0));
+        inj.script_block_read(scratch[0], FaultKind::BitFlip);
+        inj.script_block_read(scratch[1], FaultKind::BitFlip);
+        let input = nexsort_baseline::stage_input(&disk, doc.as_bytes()).unwrap();
+        let nx = Nexsort::new(disk.clone(), opts, spec()).unwrap();
+        let sorted = nx.sort_xml_extent(&input).unwrap();
+        assert_eq!(sorted.to_recs().unwrap(), clean_recs, "re-derived sort is bit-identical");
+        assert!(sorted.report.degraded, "{}", sorted.report.summary());
+        assert_eq!(sorted.report.rederivations, 1);
+    }
+
+    #[test]
+    fn parity_off_by_default_charges_no_parity_io() {
+        let sorted = sort_doc(figure_1_d1(), NexsortOptions::default());
+        assert_eq!(sorted.report.io_of(IoCat::Parity), 0);
+        assert!(!sorted.report.degraded);
+    }
+
+    #[test]
+    fn parity_changes_only_parity_io_when_healthy() {
+        let doc = figure_1_d1();
+        let baseline = sort_doc(doc, NexsortOptions { threshold: Some(1), ..Default::default() });
+        let opts = NexsortOptions { threshold: Some(1), parity_group: 2, ..Default::default() };
+        let protected = sort_doc(doc, opts);
+        assert!(protected.report.io_of(IoCat::Parity) > 0, "parity blocks must be written");
+        for cat in nexsort_extmem::IoCat::ALL {
+            if cat == IoCat::Parity {
+                continue;
+            }
+            assert_eq!(
+                protected.report.io.reads(cat),
+                baseline.report.io.reads(cat),
+                "{cat} reads must not change under parity protection"
+            );
+            assert_eq!(
+                protected.report.io.writes(cat),
+                baseline.report.io.writes(cat),
+                "{cat} writes must not change under parity protection"
+            );
+        }
+        assert_eq!(protected.to_recs().unwrap(), baseline.to_recs().unwrap());
     }
 
     #[test]

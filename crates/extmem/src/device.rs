@@ -18,8 +18,8 @@ use std::rc::Rc;
 use crate::budget::MemoryBudget;
 use crate::error::{ExtError, Result};
 use crate::fault::{
-    ChecksummedDevice, CrashController, CrashDevice, CrashPlan, DiskFailure, FaultInjector,
-    FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
+    ChecksummedDevice, CrashController, CrashDevice, CrashPlan, DeviceHealth, DiskFailure,
+    FaultInjector, FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
 };
 use crate::pool::{
     CachePolicy, EvictionPolicy, PinGuard, PinMutGuard, PoolCore, SlotAcquire, WriteMode,
@@ -194,6 +194,22 @@ impl FileDevice {
             free_set: HashSet::new(),
         })
     }
+
+    /// Open an *existing* device file without truncating it, e.g. to scrub or
+    /// recover a finished sort. Every block within the file length starts out
+    /// live; journal recovery reconciles the free map from there.
+    pub fn open(path: &Path, block_size: usize) -> Result<Self> {
+        assert!(block_size > 0, "block size must be nonzero");
+        let file = File::options().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            block_size,
+            file,
+            num_blocks: len.div_ceil(block_size as u64),
+            free_list: Vec::new(),
+            free_set: HashSet::new(),
+        })
+    }
 }
 
 impl BlockDevice for FileDevice {
@@ -292,6 +308,7 @@ pub struct Disk {
     sched: RefCell<Option<SchedCore>>,
     stripe: Cell<usize>,
     shadow: RefCell<Option<ShadowState>>,
+    health: RefCell<DeviceHealth>,
 }
 
 /// One recorded block transfer (see [`Disk::start_trace`]).
@@ -322,6 +339,7 @@ impl Disk {
             sched: RefCell::new(None),
             stripe: Cell::new(1),
             shadow: RefCell::new(shadow),
+            health: RefCell::new(DeviceHealth::new()),
         })
     }
 
@@ -457,6 +475,53 @@ impl Disk {
         Ok(Self::new(Box::new(FileDevice::create(path, block_size)?)))
     }
 
+    /// A disk over an *existing* device file at `path`, preserving its
+    /// contents (see [`FileDevice::open`]). Used by the scrub/recovery paths.
+    pub fn open_file(path: &Path, block_size: usize) -> Result<Rc<Self>> {
+        Ok(Self::new(Box::new(FileDevice::open(path, block_size)?)))
+    }
+
+    /// A point-in-time copy of the device health map: quarantined blocks,
+    /// parity repairs, re-derived runs, and per-device fault clustering.
+    pub fn health(&self) -> DeviceHealth {
+        self.health.borrow().clone()
+    }
+
+    /// True if `block` has been quarantined after a hard media fault.
+    pub fn is_quarantined(&self, block: u64) -> bool {
+        self.health.borrow().is_quarantined(block)
+    }
+
+    /// Quarantine `block`: it is never freed, never reallocated, and every
+    /// subsequent transfer addressing it fails with
+    /// [`ExtError::BlockQuarantined`](crate::ExtError::BlockQuarantined).
+    /// Any cached frame or deferred write of the block is dropped -- its
+    /// content is untrustworthy and must not resurface. The fault is
+    /// attributed to stripe device `block % stripe_width` for clustering.
+    pub fn quarantine_block(&self, block: u64) {
+        if let Some(pool) = self.pool.borrow_mut().as_mut() {
+            // A pinned frame on a quarantined block would be a repair-layer
+            // bug; invalidation failure is not actionable here.
+            let _ = pool.invalidate(block);
+        }
+        if let Some(s) = self.sched.borrow_mut().as_mut() {
+            s.wb.retain(|e| e.block != block);
+            s.inflight.remove(&block);
+        }
+        let device = (block % self.stripe.get().max(1) as u64) as u32;
+        self.health.borrow_mut().quarantine(block, device);
+    }
+
+    /// Count one successful parity reconstruction in the health map.
+    pub fn note_repair(&self) {
+        self.health.borrow_mut().note_repair();
+    }
+
+    /// Count one run re-derived from its journalled source in the health map.
+    pub fn note_rederivation(&self) {
+        self.health.borrow_mut().note_rederivation();
+    }
+
     /// Block size in bytes.
     pub fn block_size(&self) -> usize {
         self.block_size
@@ -570,6 +635,12 @@ impl Disk {
     /// must not be written back over a future reallocation of the id. Errors
     /// with [`ExtError::FramePinned`] if a pin guard on the block is alive.
     pub fn free_block(&self, id: u64) -> Result<()> {
+        // A quarantined block is permanently retired: it must never re-enter
+        // the allocator (a recycled bad sector would fault again), so freeing
+        // one -- e.g. while discarding a partially-healed run -- is a no-op.
+        if self.health.borrow().is_quarantined(id) {
+            return Ok(());
+        }
         if let Some(pool) = self.pool.borrow_mut().as_mut() {
             if pool.invalidate(id)? {
                 self.stats.add_sched_event(self.phase.get(), SchedEvent::PrefetchWasted);
@@ -701,6 +772,9 @@ impl Disk {
         if let Some(sh) = self.shadow.borrow().as_ref() {
             sh.check_read(id, self.dev.borrow().num_blocks())?;
         }
+        if self.health.borrow().is_quarantined(id) {
+            return Err(ExtError::BlockQuarantined { block: id });
+        }
         {
             let mut pool_ref = self.pool.borrow_mut();
             if let Some(pool) = pool_ref.as_mut() {
@@ -722,6 +796,9 @@ impl Disk {
         debug_assert!(data.len() <= self.block_size);
         if let Some(sh) = self.shadow.borrow().as_ref() {
             sh.check_write(id, self.dev.borrow().num_blocks())?;
+        }
+        if self.health.borrow().is_quarantined(id) {
+            return Err(ExtError::BlockQuarantined { block: id });
         }
         {
             let mut pool_ref = self.pool.borrow_mut();

@@ -54,6 +54,17 @@ pub enum ExtError {
     /// break, or a record overrunning the journal extent. `offset` is the
     /// byte offset of the offending record within the journal.
     JournalCorrupt { offset: u64, reason: &'static str },
+    /// A block reconstructed from its parity group (or scrubbed in place)
+    /// does not match the per-block checksum sealed in the journal: the
+    /// redundancy itself is inconsistent.
+    ParityMismatch { block: u64 },
+    /// A transfer addressed a block that the health map has quarantined
+    /// after a hard media fault; quarantined blocks are never reused.
+    BlockQuarantined { block: u64 },
+    /// More members of one parity group hard-failed than the group's single
+    /// parity block can reconstruct; the run must be re-derived from its
+    /// source or the job fails.
+    UnrecoverableGroup { run: u32, lost: u64 },
 }
 
 impl ExtError {
@@ -61,10 +72,59 @@ impl ExtError {
     ///
     /// Device-level errors (`Io`) and detected corruption (`ChecksumMismatch`,
     /// which a re-read heals when the damage happened on the read path) are
-    /// transient; everything else is a logic error or an exhausted retry
-    /// budget, where retrying again is pointless.
+    /// transient; everything else is a logic error, a hard media fault, or an
+    /// exhausted retry budget, where retrying again is pointless.
+    ///
+    /// Every variant is classified explicitly (no wildcard arm) so that
+    /// adding a variant forces a decision here; xlint rule R10 enforces this.
     pub fn is_transient(&self) -> bool {
-        matches!(self, ExtError::Io(_) | ExtError::ChecksumMismatch { .. })
+        match self {
+            ExtError::Io(_) | ExtError::ChecksumMismatch { .. } => true,
+            ExtError::BadBlock { .. }
+            | ExtError::UnexpectedEof { .. }
+            | ExtError::StackUnderflow { .. }
+            | ExtError::BudgetExceeded { .. }
+            | ExtError::BadRun { .. }
+            | ExtError::Corrupt(_)
+            | ExtError::DoubleFree { .. }
+            | ExtError::RetriesExhausted { .. }
+            | ExtError::FramePinned { .. }
+            | ExtError::AllFramesPinned { .. }
+            | ExtError::CacheDisabled
+            | ExtError::ShadowViolation { .. }
+            | ExtError::SimulatedCrash { .. }
+            | ExtError::JournalCorrupt { .. }
+            | ExtError::ParityMismatch { .. }
+            | ExtError::BlockQuarantined { .. }
+            | ExtError::UnrecoverableGroup { .. } => false,
+        }
+    }
+
+    /// Whether this error marks a *hard media fault* on one block: content
+    /// that will never read back correctly no matter how often it is retried.
+    /// These are the faults the parity layer repairs (a `ChecksumMismatch`
+    /// that survives the retry policy, or one raised with retries disabled).
+    pub fn is_hard_media_fault(&self) -> bool {
+        match self {
+            ExtError::ChecksumMismatch { .. } | ExtError::BlockQuarantined { .. } => true,
+            ExtError::RetriesExhausted { last, .. } => last.is_hard_media_fault(),
+            ExtError::BadBlock { .. }
+            | ExtError::UnexpectedEof { .. }
+            | ExtError::StackUnderflow { .. }
+            | ExtError::BudgetExceeded { .. }
+            | ExtError::BadRun { .. }
+            | ExtError::Corrupt(_)
+            | ExtError::Io(_)
+            | ExtError::DoubleFree { .. }
+            | ExtError::FramePinned { .. }
+            | ExtError::AllFramesPinned { .. }
+            | ExtError::CacheDisabled
+            | ExtError::ShadowViolation { .. }
+            | ExtError::SimulatedCrash { .. }
+            | ExtError::JournalCorrupt { .. }
+            | ExtError::ParityMismatch { .. }
+            | ExtError::UnrecoverableGroup { .. } => false,
+        }
     }
 }
 
@@ -115,6 +175,18 @@ impl fmt::Display for ExtError {
             ExtError::JournalCorrupt { offset, reason } => {
                 write!(f, "journal corrupt at offset {offset}: {reason}")
             }
+            ExtError::ParityMismatch { block } => {
+                write!(f, "parity mismatch on block {block}: redundancy is inconsistent")
+            }
+            ExtError::BlockQuarantined { block } => {
+                write!(f, "block {block} is quarantined after a hard media fault")
+            }
+            ExtError::UnrecoverableGroup { run, lost } => {
+                write!(
+                    f,
+                    "parity group of run {run} is unrecoverable (block {lost} lost beyond parity)"
+                )
+            }
         }
     }
 }
@@ -137,7 +209,10 @@ impl std::error::Error for ExtError {
             | ExtError::CacheDisabled
             | ExtError::ShadowViolation { .. }
             | ExtError::SimulatedCrash { .. }
-            | ExtError::JournalCorrupt { .. } => None,
+            | ExtError::JournalCorrupt { .. }
+            | ExtError::ParityMismatch { .. }
+            | ExtError::BlockQuarantined { .. }
+            | ExtError::UnrecoverableGroup { .. } => None,
         }
     }
 }
@@ -234,5 +309,32 @@ mod tests {
         assert!(!ExtError::Corrupt("x".into()).is_transient());
         let last = Box::new(ExtError::ChecksumMismatch { block: 0 });
         assert!(!ExtError::RetriesExhausted { attempts: 3, last }.is_transient());
+    }
+
+    #[test]
+    fn parity_variants_display_and_classify() {
+        let e = ExtError::ParityMismatch { block: 11 };
+        assert!(e.to_string().contains("11") && e.to_string().contains("parity"));
+        assert!(!e.is_transient());
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ExtError::BlockQuarantined { block: 6 };
+        assert!(e.to_string().contains('6') && e.to_string().contains("quarantined"));
+        assert!(!e.is_transient());
+        let e = ExtError::UnrecoverableGroup { run: 3, lost: 40 };
+        assert!(e.to_string().contains("run 3") && e.to_string().contains("40"));
+        assert!(!e.is_transient());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn hard_media_faults_are_recognised_through_retry_wrappers() {
+        assert!(ExtError::ChecksumMismatch { block: 2 }.is_hard_media_fault());
+        assert!(ExtError::BlockQuarantined { block: 2 }.is_hard_media_fault());
+        let last = Box::new(ExtError::ChecksumMismatch { block: 2 });
+        assert!(ExtError::RetriesExhausted { attempts: 4, last }.is_hard_media_fault());
+        let last = Box::new(ExtError::Io(std::io::Error::other("flaky")));
+        assert!(!ExtError::RetriesExhausted { attempts: 4, last }.is_hard_media_fault());
+        assert!(!ExtError::Io(std::io::Error::other("x")).is_hard_media_fault());
+        assert!(!ExtError::UnrecoverableGroup { run: 0, lost: 0 }.is_hard_media_fault());
     }
 }

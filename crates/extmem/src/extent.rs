@@ -57,6 +57,13 @@ impl Extent {
         self.len = len;
     }
 
+    /// Swap the block at `idx` for `block` -- the extent's length and layout
+    /// are unchanged; only the backing device block moves. Used by the repair
+    /// path to relocate a run block off a quarantined sector.
+    pub(crate) fn replace_block(&mut self, idx: usize, block: u64) {
+        self.blocks[idx] = block;
+    }
+
     /// Return all blocks to the device allocator. The extent becomes empty.
     pub fn free(&mut self, disk: &Disk) -> Result<()> {
         for &b in &self.blocks {

@@ -28,7 +28,7 @@
 //! tests rely on.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
 
@@ -83,10 +83,12 @@ pub enum FaultKind {
 
 /// A seeded, deterministic schedule of faults for one device.
 ///
-/// Faults come from two sources, checked in order per operation:
-/// 1. *scripted* faults at exact read/write operation indices (0-based,
+/// Faults come from three sources, checked in order per operation:
+/// 1. *block-scripted* faults keyed by the block id the operation targets
+///    (these fire on *every* matching operation, modelling a bad sector);
+/// 2. *scripted* faults at exact read/write operation indices (0-based,
 ///    counted separately for reads and writes), for precise test scenarios;
-/// 2. *probabilistic* faults drawn from the plan's seeded generator at the
+/// 3. *probabilistic* faults drawn from the plan's seeded generator at the
 ///    configured per-operation rates.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -98,6 +100,8 @@ pub struct FaultPlan {
     torn_write_rate: f64,
     scripted_reads: HashMap<u64, FaultKind>,
     scripted_writes: HashMap<u64, FaultKind>,
+    block_reads: HashMap<u64, FaultKind>,
+    block_writes: HashMap<u64, FaultKind>,
 }
 
 fn check_rate(rate: f64) -> f64 {
@@ -117,6 +121,8 @@ impl FaultPlan {
             torn_write_rate: 0.0,
             scripted_reads: HashMap::new(),
             scripted_writes: HashMap::new(),
+            block_reads: HashMap::new(),
+            block_writes: HashMap::new(),
         }
     }
 
@@ -169,6 +175,20 @@ impl FaultPlan {
         self.scripted_writes.insert(index, kind);
         self
     }
+
+    /// Script `kind` on *every* read of block `block` (a bad sector).
+    pub fn at_block_read(mut self, block: u64, kind: FaultKind) -> Self {
+        self.block_reads.insert(block, kind);
+        self
+    }
+
+    /// Script `kind` on *every* write to block `block`. With
+    /// [`FaultKind::BitFlip`] this models a hard media fault: the write lands
+    /// corrupted and every subsequent read fails checksum verification.
+    pub fn at_block_write(mut self, block: u64, kind: FaultKind) -> Self {
+        self.block_writes.insert(block, kind);
+        self
+    }
 }
 
 // ---------- the fault-injecting device ----------
@@ -207,11 +227,11 @@ struct FaultState {
 impl FaultState {
     /// Decide the fate of the next read. Draws a fixed number of random
     /// values per op so the stream stays aligned whatever the outcomes.
-    fn decide_read(&mut self) -> Option<FaultKind> {
+    fn decide_read(&mut self, block: u64) -> Option<FaultKind> {
         let idx = self.read_ops;
         self.read_ops += 1;
         let (err, flip) = (self.rng.next_f64(), self.rng.next_f64());
-        if let Some(k) = self.plan.scripted_reads.get(&idx) {
+        if let Some(k) = self.plan.block_reads.get(&block).or(self.plan.scripted_reads.get(&idx)) {
             // TornWrite makes no sense for a read; degrade to transient.
             return Some(match k {
                 FaultKind::TornWrite => FaultKind::TransientError,
@@ -227,11 +247,12 @@ impl FaultState {
         }
     }
 
-    fn decide_write(&mut self) -> Option<FaultKind> {
+    fn decide_write(&mut self, block: u64) -> Option<FaultKind> {
         let idx = self.write_ops;
         self.write_ops += 1;
         let (err, torn, flip) = (self.rng.next_f64(), self.rng.next_f64(), self.rng.next_f64());
-        if let Some(k) = self.plan.scripted_writes.get(&idx) {
+        if let Some(k) = self.plan.block_writes.get(&block).or(self.plan.scripted_writes.get(&idx))
+        {
             return Some(*k);
         }
         if err < self.plan.write_error_rate {
@@ -307,7 +328,7 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
 
     fn read(&mut self, id: u64, buf: &mut [u8]) -> Result<()> {
         let mut st = self.state.borrow_mut();
-        match st.decide_read() {
+        match st.decide_read(id) {
             None => {
                 drop(st);
                 self.inner.read(id, buf)
@@ -332,7 +353,7 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
 
     fn write(&mut self, id: u64, data: &[u8]) -> Result<()> {
         let mut st = self.state.borrow_mut();
-        match st.decide_write() {
+        match st.decide_write(id) {
             None => {
                 drop(st);
                 self.inner.write(id, data)
@@ -396,6 +417,23 @@ impl FaultInjector {
     /// creation. Indices already consumed never fire.
     pub fn script_write(&self, index: u64, kind: FaultKind) {
         self.state.borrow_mut().plan.scripted_writes.insert(index, kind);
+    }
+
+    /// Script `kind` on every read of block `block` from now on.
+    pub fn script_block_read(&self, block: u64, kind: FaultKind) {
+        self.state.borrow_mut().plan.block_reads.insert(block, kind);
+    }
+
+    /// Script `kind` on every write to block `block` from now on.
+    pub fn script_block_write(&self, block: u64, kind: FaultKind) {
+        self.state.borrow_mut().plan.block_writes.insert(block, kind);
+    }
+
+    /// Drop any block-scripted fault on `block` (both directions).
+    pub fn clear_block_fault(&self, block: u64) {
+        let mut st = self.state.borrow_mut();
+        st.plan.block_reads.remove(&block);
+        st.plan.block_writes.remove(&block);
     }
 }
 
@@ -596,12 +634,22 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 pub(crate) fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
+    fnv1a64_update(FNV_OFFSET, data)
+}
+
+/// Fold `data` into a running FNV-1a state (seeded with [`fnv1a64_seed`]),
+/// so per-block sums can be computed incrementally while streaming.
+pub(crate) fn fnv1a64_update(mut h: u64, data: &[u8]) -> u64 {
     for &b in data {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
     }
     h
+}
+
+/// The FNV-1a offset basis: the initial state for [`fnv1a64_update`].
+pub(crate) fn fnv1a64_seed() -> u64 {
+    FNV_OFFSET
 }
 
 /// A [`BlockDevice`] wrapper that verifies block content against a per-block
@@ -779,6 +827,97 @@ impl fmt::Display for IoPhase {
             IoPhase::OutputEmit => f.write_str("output emit"),
             IoPhase::Recovery => f.write_str("recovery"),
         }
+    }
+}
+
+// ---------- the device health map ----------
+
+/// Per-device health record kept by [`Disk`](crate::Disk): which blocks have
+/// been quarantined after hard media faults, how many repairs the parity
+/// layer performed, and how the faults cluster across the devices of a
+/// stripe set (device 0 for an unstriped disk).
+///
+/// A quarantined block is *never freed and never reallocated*: its content is
+/// untrustworthy, so the self-healing layer rewrites repaired data to a fresh
+/// block and abandons the bad one here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceHealth {
+    quarantined: BTreeSet<u64>,
+    repairs: u64,
+    rederived_runs: u64,
+    faults_by_device: BTreeMap<u32, u64>,
+}
+
+impl DeviceHealth {
+    /// A health map with no recorded faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quarantine `block`, attributing the fault to stripe device `device`.
+    /// Re-quarantining an already-quarantined block is a no-op.
+    pub fn quarantine(&mut self, block: u64, device: u32) {
+        if self.quarantined.insert(block) {
+            *self.faults_by_device.entry(device).or_insert(0) += 1;
+        }
+    }
+
+    /// True if `block` has been quarantined.
+    pub fn is_quarantined(&self, block: u64) -> bool {
+        self.quarantined.contains(&block)
+    }
+
+    /// Count one successful parity reconstruction.
+    pub fn note_repair(&mut self) {
+        self.repairs += 1;
+    }
+
+    /// Count one run re-derived from its journalled source region.
+    pub fn note_rederivation(&mut self) {
+        self.rederived_runs += 1;
+    }
+
+    /// Blocks quarantined so far, ascending.
+    pub fn quarantined_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Number of quarantined blocks.
+    pub fn num_quarantined(&self) -> u64 {
+        self.quarantined.len() as u64
+    }
+
+    /// Successful parity reconstructions so far.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Runs re-derived from their source so far.
+    pub fn rederived_runs(&self) -> u64 {
+        self.rederived_runs
+    }
+
+    /// Hard faults attributed to each stripe device: `(device, faults)`
+    /// pairs, ascending by device. Clustering here (many faults on one
+    /// device) is the signal an operator would use to pull a disk.
+    pub fn fault_clustering(&self) -> Vec<(u32, u64)> {
+        self.faults_by_device.iter().map(|(&d, &n)| (d, n)).collect()
+    }
+}
+
+impl fmt::Display for DeviceHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} quarantined, {} repaired, {} rederived",
+            self.num_quarantined(),
+            self.repairs,
+            self.rederived_runs
+        )?;
+        for (dev, n) in self.fault_clustering() {
+            write!(f, "; dev{dev}:{n}")?;
+        }
+        Ok(())
     }
 }
 
@@ -1005,6 +1144,72 @@ mod tests {
         assert_eq!(ctl.crash_point(), None);
         ctl.arm_after(5);
         assert!(d.write(id, &[9u8; 64]).is_err(), "armed point already reached");
+    }
+
+    #[test]
+    fn block_scripted_faults_fire_on_every_touch_of_that_block() {
+        let mut d = FaultyDevice::new(dev(), FaultPlan::new(6));
+        let inj = d.injector();
+        let a = d.allocate();
+        let b = d.allocate();
+        inj.script_block_write(b, FaultKind::BitFlip);
+        d.write(a, &[1u8; 64]).unwrap();
+        d.write(b, &[2u8; 64]).unwrap(); // lands corrupted, reports success
+        d.write(b, &[3u8; 64]).unwrap(); // corrupts again: a bad sector
+        assert_eq!(d.injector().counts().write_flips, 2);
+        let mut buf = [0u8; 64];
+        d.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64], "other blocks are untouched");
+        inj.clear_block_fault(b);
+        d.write(b, &[4u8; 64]).unwrap();
+        d.read(b, &mut buf).unwrap();
+        assert_eq!(buf, [4u8; 64], "cleared block faults stop firing");
+    }
+
+    #[test]
+    fn block_scripted_write_flip_is_a_persistent_checksum_failure() {
+        let faulty = FaultyDevice::new(dev(), FaultPlan::new(7));
+        let inj = faulty.injector();
+        let mut d = ChecksummedDevice::new(faulty);
+        let a = d.allocate();
+        inj.script_block_write(a, FaultKind::BitFlip);
+        d.write(a, &[9u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        for _ in 0..3 {
+            assert!(matches!(d.read(a, &mut buf), Err(ExtError::ChecksumMismatch { .. })));
+        }
+    }
+
+    #[test]
+    fn device_health_tracks_quarantine_repairs_and_clustering() {
+        let mut h = DeviceHealth::new();
+        assert_eq!(h.num_quarantined(), 0);
+        h.quarantine(10, 0);
+        h.quarantine(11, 1);
+        h.quarantine(10, 2); // duplicate: ignored, not re-attributed
+        h.note_repair();
+        h.note_repair();
+        h.note_rederivation();
+        assert!(h.is_quarantined(10) && h.is_quarantined(11));
+        assert!(!h.is_quarantined(12));
+        assert_eq!(h.num_quarantined(), 2);
+        assert_eq!(h.quarantined_blocks().collect::<Vec<_>>(), vec![10, 11]);
+        assert_eq!(h.repairs(), 2);
+        assert_eq!(h.rederived_runs(), 1);
+        assert_eq!(h.fault_clustering(), vec![(0, 1), (1, 1)]);
+        let s = h.to_string();
+        assert!(s.contains("2 quarantined") && s.contains("2 repaired"), "{s}");
+        assert!(s.contains("dev0:1") && s.contains("dev1:1"), "{s}");
+    }
+
+    #[test]
+    fn incremental_fnv_matches_the_one_shot_hash() {
+        let data = b"parity groups protect sealed runs";
+        let mut h = fnv1a64_seed();
+        h = fnv1a64_update(h, &data[..7]);
+        h = fnv1a64_update(h, &data[7..]);
+        assert_eq!(h, fnv1a64(data));
+        assert_eq!(fnv1a64_seed(), fnv1a64(b""));
     }
 
     #[test]

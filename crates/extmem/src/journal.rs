@@ -55,6 +55,7 @@ use crate::device::Disk;
 use crate::error::{ExtError, Result};
 use crate::extent::{ByteReader, ByteSink, SliceReader};
 use crate::fault::fnv1a64;
+use crate::repair::RunParity;
 
 /// Magic prefix of the journal header block.
 const JOURNAL_MAGIC: &[u8; 8] = b"NXJRNL01";
@@ -139,6 +140,12 @@ pub enum JournalRecord {
         len: u64,
         /// The run's blocks, in extent order.
         blocks: Vec<u64>,
+        /// Redundancy metadata when the run was sealed with parity. Encoded
+        /// as a versioned record tail, so journals written before parity
+        /// existed replay as `None`. Recovery treats the parity blocks as
+        /// journal-owned: they must survive free-map reconciliation or the
+        /// run loses its protection.
+        parity: Option<RunParity>,
     },
     /// Merge pass `pass` began (advisory; not required for replay).
     MergePassStarted {
@@ -208,12 +215,24 @@ impl JournalRecord {
             JournalRecord::SortStarted { input_len } => {
                 put_u64(&mut p, *input_len);
             }
-            JournalRecord::RunSealed { token, len, blocks } => {
+            JournalRecord::RunSealed { token, len, blocks, parity } => {
                 put_u32(&mut p, *token);
                 put_u64(&mut p, *len);
                 put_u32(&mut p, blocks.len() as u32);
                 for &b in blocks {
                     put_u64(&mut p, b);
+                }
+                if let Some(par) = parity {
+                    put_u8(&mut p, 1); // parity-tail version
+                    put_u32(&mut p, par.group);
+                    put_u32(&mut p, par.parity.len() as u32);
+                    for &b in &par.parity {
+                        put_u64(&mut p, b);
+                    }
+                    put_u32(&mut p, par.sums.len() as u32);
+                    for &s in &par.sums {
+                        put_u64(&mut p, s);
+                    }
                 }
             }
             JournalRecord::MergePassStarted { pass } => {
@@ -259,7 +278,31 @@ impl JournalRecord {
                 for _ in 0..n {
                     blocks.push(r.read_u64()?);
                 }
-                JournalRecord::RunSealed { token, len, blocks }
+                // Pre-parity records end here; newer ones carry a versioned
+                // redundancy tail.
+                let parity = if r.remaining() > 0 {
+                    if r.read_u8()? != 1 {
+                        return Err(ExtError::JournalCorrupt {
+                            offset,
+                            reason: "unknown parity tail version",
+                        });
+                    }
+                    let group = r.read_u32()?;
+                    let np = r.read_u32()? as usize;
+                    let mut pblocks = Vec::with_capacity(np);
+                    for _ in 0..np {
+                        pblocks.push(r.read_u64()?);
+                    }
+                    let ns = r.read_u32()? as usize;
+                    let mut sums = Vec::with_capacity(ns);
+                    for _ in 0..ns {
+                        sums.push(r.read_u64()?);
+                    }
+                    Some(RunParity { group, parity: pblocks, sums })
+                } else {
+                    None
+                };
+                JournalRecord::RunSealed { token, len, blocks, parity }
             }
             T_MERGE_STARTED => JournalRecord::MergePassStarted { pass: r.read_u32()? },
             T_MERGE_COMMITTED => {
@@ -501,6 +544,29 @@ impl Journal {
         self.append(&JournalRecord::Commit)
     }
 
+    /// Compact the journal in place: zero the record region (in memory and
+    /// on the device), restart sequence numbering, then [`checkpoint`]
+    /// `recs` as the new log. An append-only log over a fixed extent
+    /// eventually overflows under repeated maintenance -- scrub re-seals
+    /// every repaired extent after each pass -- so compaction folds the
+    /// live state back down to the space one checkpoint needs.
+    ///
+    /// Not crash-atomic: a crash between the zeroing and the commit leaves
+    /// an empty journal. Callers run it on quiescent maintenance paths
+    /// (scrub on a finished sort), never mid-sort.
+    ///
+    /// [`checkpoint`]: Journal::checkpoint
+    pub fn reset(&mut self, recs: &[JournalRecord]) -> Result<()> {
+        self.image.fill(0);
+        let zeros = vec![0u8; self.disk.block_size()];
+        for &b in &self.blocks[1..] {
+            self.disk.journal_write(b, &zeros)?;
+        }
+        self.head = 0;
+        self.next_seq = 1;
+        self.checkpoint(recs)
+    }
+
     /// Parse the record region, returning every record up to and including
     /// the last `Commit`. The journal is then positioned to append after
     /// that commit, and any bytes beyond it (an uncommitted tail, torn or
@@ -621,7 +687,13 @@ mod tests {
     fn sample_records() -> Vec<JournalRecord> {
         vec![
             JournalRecord::SortStarted { input_len: 4096 },
-            JournalRecord::RunSealed { token: 0, len: 777, blocks: vec![5, 9, 13] },
+            JournalRecord::RunSealed { token: 0, len: 777, blocks: vec![5, 9, 13], parity: None },
+            JournalRecord::RunSealed {
+                token: 5,
+                len: 888,
+                blocks: vec![20, 21],
+                parity: Some(RunParity { group: 2, parity: vec![22], sums: vec![10, 11] }),
+            },
             JournalRecord::MergePassStarted { pass: 1 },
             JournalRecord::MergePassCommitted { pass: 1, output: 2, consumed: vec![0, 1] },
             JournalRecord::RunDiscarded { token: 1 },
@@ -647,9 +719,45 @@ mod tests {
         expected.push(JournalRecord::Commit);
         assert_eq!(j2.replay().unwrap(), expected);
         let snap = disk.stats().snapshot();
-        assert_eq!(snap.journal_appends(), 8, "seven records plus the commit");
+        assert_eq!(snap.journal_appends(), 9, "eight records plus the commit");
         assert_eq!(snap.journal_commits(), 1);
         assert!(snap.writes(IoCat::Journal) > 0 && snap.reads(IoCat::Journal) > 0);
+    }
+
+    #[test]
+    fn reset_compacts_the_log_and_survives_a_cold_reopen() {
+        let disk = crate::Disk::new_mem(128);
+        let mut j = Journal::create(&disk, 8).unwrap();
+        // Burn most of the extent with append-only history.
+        for token in 0..8u32 {
+            j.checkpoint(&[JournalRecord::RunSealed {
+                token,
+                len: 64,
+                blocks: vec![u64::from(token)],
+                parity: None,
+            }])
+            .unwrap();
+        }
+        let used_before = j.used();
+        let snapshot = vec![
+            JournalRecord::SortStarted { input_len: 99 },
+            JournalRecord::RunSealed { token: 7, len: 64, blocks: vec![7], parity: None },
+        ];
+        j.reset(&snapshot).unwrap();
+        assert!(j.used() < used_before, "compaction must reclaim space");
+        let header = j.blocks()[0];
+        drop(j);
+        // A cold reopen replays exactly the snapshot (plus its commit):
+        // the pre-reset history is gone from the device too.
+        let mut j2 = Journal::open(&disk, header).unwrap();
+        let mut expected = snapshot;
+        expected.push(JournalRecord::Commit);
+        assert_eq!(j2.replay().unwrap(), expected);
+        // The reset journal keeps accepting appends with a clean sequence.
+        j2.checkpoint(&[JournalRecord::RunDiscarded { token: 7 }]).unwrap();
+        drop(j2);
+        let mut j3 = Journal::open(&disk, header).unwrap();
+        assert_eq!(j3.replay().unwrap().len(), 5);
     }
 
     #[test]
@@ -679,7 +787,8 @@ mod tests {
         let mut j = Journal::create(&disk, 8).unwrap();
         j.checkpoint(&[JournalRecord::SortStarted { input_len: 10 }]).unwrap();
         // Appended but never committed: must not survive replay.
-        j.append(&JournalRecord::RunSealed { token: 9, len: 1, blocks: vec![] }).unwrap();
+        j.append(&JournalRecord::RunSealed { token: 9, len: 1, blocks: vec![], parity: None })
+            .unwrap();
         let header = j.blocks()[0];
         drop(j);
         let mut j2 = Journal::open(&disk, header).unwrap();
@@ -700,7 +809,8 @@ mod tests {
         let disk = crate::Disk::new_mem(128);
         let mut j = Journal::create(&disk, 8).unwrap();
         j.checkpoint(&[JournalRecord::SortStarted { input_len: 10 }]).unwrap();
-        j.append(&JournalRecord::RunSealed { token: 1, len: 64, blocks: vec![7] }).unwrap();
+        j.append(&JournalRecord::RunSealed { token: 1, len: 64, blocks: vec![7], parity: None })
+            .unwrap();
         let (blocks, used) = (j.blocks().to_vec(), j.used());
         drop(j);
         // Tear the last record: zero its trailing 10 bytes (as if the crash
@@ -791,7 +901,12 @@ mod tests {
         j.append(&JournalRecord::SortStarted { input_len: 1 }).unwrap();
         j.append(&JournalRecord::Commit).unwrap();
         let err = j
-            .append(&JournalRecord::RunSealed { token: 0, len: 0, blocks: vec![1, 2, 3] })
+            .append(&JournalRecord::RunSealed {
+                token: 0,
+                len: 0,
+                blocks: vec![1, 2, 3],
+                parity: None,
+            })
             .unwrap_err();
         assert!(matches!(err, ExtError::Corrupt(ref m) if m.contains("journal overflow")), "{err}");
     }

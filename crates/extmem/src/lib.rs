@@ -51,6 +51,7 @@ mod journal;
 mod kway;
 mod pool;
 mod recovery;
+mod repair;
 mod run_store;
 mod sched;
 mod shadow;
@@ -64,8 +65,8 @@ pub use extent::{
     ByteReader, ByteSink, Extent, ExtentReader, ExtentRevCursor, ExtentWriter, SliceReader,
 };
 pub use fault::{
-    ChecksummedDevice, CrashController, CrashDevice, CrashPlan, DiskFailure, FaultCounts,
-    FaultInjector, FaultKind, FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
+    ChecksummedDevice, CrashController, CrashDevice, CrashPlan, DeviceHealth, DiskFailure,
+    FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
 };
 pub use journal::{Journal, JournalRecord, JournalStats};
 pub use kway::{KWayMerger, MergeStream, VecStream};
@@ -73,6 +74,7 @@ pub use pool::{
     CachePolicy, ClockPolicy, EvictionPolicy, LruPolicy, PinGuard, PinMutGuard, WriteMode,
 };
 pub use recovery::{fold_records, recover, RecoveredState};
+pub use repair::{RunParity, RunReader, ScrubReport};
 pub use run_store::{RunId, RunStore, RunWriter};
 pub use sched::{SchedConfig, StripedDevice};
 pub use shadow::ShadowState;

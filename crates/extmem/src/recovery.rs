@@ -27,15 +27,17 @@ use crate::error::Result;
 use crate::extent::Extent;
 use crate::fault::IoPhase;
 use crate::journal::{Journal, JournalRecord, JournalStats};
+use crate::repair::RunParity;
 
 /// The committed state of a sort, reconstructed from the journal.
 #[derive(Debug, Default)]
 pub struct RecoveredState {
     /// Input length recorded at sort start (identity check on resume).
     pub input_len: u64,
-    /// Surviving sealed runs: original store token -> extent. Runs consumed
-    /// by a committed merge pass or discarded are gone.
-    pub runs: Vec<(u32, Extent)>,
+    /// Surviving sealed runs: original store token -> extent plus the run's
+    /// parity metadata (if sealed with redundancy). Runs consumed by a
+    /// committed merge pass or discarded are gone.
+    pub runs: Vec<(u32, Extent, Option<RunParity>)>,
     /// Pending-merge order: present once the scan phase was sealed, then
     /// updated per committed merge pass (consumed head removed, output
     /// appended) -- exactly the order the merge loop would hold in memory.
@@ -53,13 +55,13 @@ pub struct RecoveredState {
 
 impl RecoveredState {
     /// Fold one committed journal record into the state.
-    fn apply(&mut self, rec: JournalRecord, live: &mut BTreeMap<u32, Extent>) {
+    fn apply(&mut self, rec: JournalRecord, live: &mut BTreeMap<u32, (Extent, Option<RunParity>)>) {
         match rec {
             JournalRecord::SortStarted { input_len } => self.input_len = input_len,
-            JournalRecord::RunSealed { token, len, blocks } => {
+            JournalRecord::RunSealed { token, len, blocks, parity } => {
                 let mut ext = Extent::empty();
                 ext.set_raw(blocks, len);
-                live.insert(token, ext);
+                live.insert(token, (ext, parity));
             }
             JournalRecord::MergePassStarted { .. } => {}
             JournalRecord::MergePassCommitted { pass, output, consumed } => {
@@ -96,11 +98,11 @@ impl RecoveredState {
 /// into a [`RecoveredState`].
 pub fn fold_records(records: Vec<JournalRecord>) -> RecoveredState {
     let mut state = RecoveredState::default();
-    let mut live: BTreeMap<u32, Extent> = BTreeMap::new();
+    let mut live: BTreeMap<u32, (Extent, Option<RunParity>)> = BTreeMap::new();
     for rec in records {
         state.apply(rec, &mut live);
     }
-    state.runs = live.into_iter().collect();
+    state.runs = live.into_iter().map(|(t, (ext, par))| (t, ext, par)).collect();
     state
 }
 
@@ -132,8 +134,13 @@ fn recover_inner(disk: &Rc<Disk>, protect: &[u64]) -> Result<Option<(Journal, Re
     // the interrupted sort (an unsealed run, uncommitted merge output, a
     // stack page) and is freed for reuse.
     let mut owned: std::collections::BTreeSet<u64> = journal.blocks().iter().copied().collect();
-    for (_, ext) in &state.runs {
+    for (_, ext, par) in &state.runs {
         owned.extend(ext.blocks().iter().copied());
+        if let Some(par) = par {
+            // Parity blocks are journal-owned too: freeing them would strip
+            // the surviving runs of their redundancy.
+            owned.extend(par.parity.iter().copied());
+        }
     }
     owned.extend(protect.iter().copied());
     for id in disk.live_blocks() {
@@ -154,13 +161,13 @@ mod tests {
         let stats = JournalStats { n_records: 9, ..JournalStats::default() };
         let records = vec![
             JournalRecord::SortStarted { input_len: 100 },
-            JournalRecord::RunSealed { token: 0, len: 10, blocks: vec![3] },
-            JournalRecord::RunSealed { token: 1, len: 10, blocks: vec![4] },
-            JournalRecord::RunSealed { token: 2, len: 10, blocks: vec![5] },
+            JournalRecord::RunSealed { token: 0, len: 10, blocks: vec![3], parity: None },
+            JournalRecord::RunSealed { token: 1, len: 10, blocks: vec![4], parity: None },
+            JournalRecord::RunSealed { token: 2, len: 10, blocks: vec![5], parity: None },
             JournalRecord::ScanDone { pending: vec![0, 1, 2], stats },
             JournalRecord::Commit,
             JournalRecord::MergePassStarted { pass: 1 },
-            JournalRecord::RunSealed { token: 3, len: 20, blocks: vec![6, 7] },
+            JournalRecord::RunSealed { token: 3, len: 20, blocks: vec![6, 7], parity: None },
             JournalRecord::MergePassCommitted { pass: 1, output: 3, consumed: vec![0, 1] },
             JournalRecord::Commit,
         ];
@@ -171,7 +178,7 @@ mod tests {
         assert_eq!(state.committed_passes, 1);
         assert_eq!(state.stats.n_records, 9);
         // Runs 0 and 1 were consumed; 2 and the pass-1 output 3 survive.
-        let tokens: Vec<u32> = state.runs.iter().map(|&(t, _)| t).collect();
+        let tokens: Vec<u32> = state.runs.iter().map(|&(t, _, _)| t).collect();
         assert_eq!(tokens, vec![2, 3]);
         // The pending order continues exactly where the merge loop left off.
         assert_eq!(state.pending, Some(vec![2, 3]));
@@ -192,7 +199,12 @@ mod tests {
         journal
             .checkpoint(&[
                 JournalRecord::SortStarted { input_len: 128 },
-                JournalRecord::RunSealed { token: 0, len: 64, blocks: vec![run_block] },
+                JournalRecord::RunSealed {
+                    token: 0,
+                    len: 64,
+                    blocks: vec![run_block],
+                    parity: None,
+                },
             ])
             .unwrap();
         // ...and two leaked blocks from an "interrupted" write.
@@ -217,6 +229,30 @@ mod tests {
     }
 
     #[test]
+    fn recover_keeps_parity_blocks_of_surviving_runs() {
+        let disk = crate::Disk::new_mem(64);
+        let mut journal = Journal::create(&disk, 4).unwrap();
+        let data_block = disk.alloc_block();
+        let parity_block = disk.alloc_block();
+        disk.write_block(data_block, &[2; 64], IoCat::RunWrite).unwrap();
+        disk.write_block(parity_block, &[2; 64], IoCat::Parity).unwrap();
+        journal
+            .checkpoint(&[JournalRecord::RunSealed {
+                token: 0,
+                len: 64,
+                blocks: vec![data_block],
+                parity: Some(RunParity { group: 1, parity: vec![parity_block], sums: vec![7] }),
+            }])
+            .unwrap();
+        drop(journal);
+        let (_j, state) = recover(&disk, &[]).unwrap().unwrap();
+        assert_eq!(state.runs[0].2.as_ref().unwrap().parity, vec![parity_block]);
+        let live = disk.live_blocks();
+        assert!(live.contains(&parity_block), "parity block survived reconciliation");
+        assert!(live.contains(&data_block));
+    }
+
+    #[test]
     fn recover_on_a_journal_less_disk_is_none() {
         let disk = crate::Disk::new_mem(64);
         let b = disk.alloc_block();
@@ -233,7 +269,12 @@ mod tests {
         journal
             .checkpoint(&[
                 JournalRecord::SortStarted { input_len: 10 },
-                JournalRecord::RunSealed { token: 0, len: 64, blocks: vec![root_block] },
+                JournalRecord::RunSealed {
+                    token: 0,
+                    len: 64,
+                    blocks: vec![root_block],
+                    parity: None,
+                },
                 JournalRecord::SortDone {
                     root: 0,
                     root_flat: true,

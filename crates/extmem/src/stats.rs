@@ -40,11 +40,16 @@ pub enum IoCat {
     /// Reads/writes of the write-ahead manifest journal (crash-consistency
     /// overhead; not part of the paper's cost model, reported separately).
     Journal,
+    /// Redundancy traffic of the self-healing run store: writing XOR parity
+    /// blocks for sealed runs, reading group members during reconstruction,
+    /// and rewriting repaired blocks. Not part of the paper's cost model;
+    /// reported separately so the logical categories above stay comparable.
+    Parity,
 }
 
 impl IoCat {
     /// All categories, in a stable report order.
-    pub const ALL: [IoCat; 10] = [
+    pub const ALL: [IoCat; 11] = [
         IoCat::InputRead,
         IoCat::OutputWrite,
         IoCat::DataStack,
@@ -55,6 +60,7 @@ impl IoCat {
         IoCat::RunRead,
         IoCat::SortScratch,
         IoCat::Journal,
+        IoCat::Parity,
     ];
 
     /// Short human-readable label used in experiment tables.
@@ -70,6 +76,7 @@ impl IoCat {
             IoCat::RunRead => "run-read",
             IoCat::SortScratch => "sort-scratch",
             IoCat::Journal => "journal",
+            IoCat::Parity => "parity",
         }
     }
 
@@ -85,6 +92,7 @@ impl IoCat {
             IoCat::RunRead => 7,
             IoCat::SortScratch => 8,
             IoCat::Journal => 9,
+            IoCat::Parity => 10,
         }
     }
 }
@@ -95,7 +103,7 @@ impl fmt::Display for IoCat {
     }
 }
 
-const NCATS: usize = 10;
+const NCATS: usize = 11;
 const NPHASES: usize = IoPhase::NUM_CLASSES;
 
 /// A buffer-pool event recorded against the current [`IoPhase`]; see

@@ -5,7 +5,7 @@
 //! substrate reports failures instead of panicking, that every counter a
 //! PR adds is actually wired through reset/snapshot/Display, and so on.
 //! `xlint` closes that gap with a hand-rolled lexer (no `syn`, no
-//! dependencies — the build is offline) and nine lexical rules.
+//! dependencies — the build is offline) and ten lexical rules.
 //!
 //! Run it with `cargo run -p xlint -- --deny` from the workspace root.
 //! Findings print as `file:line: rule — message`; a finding is suppressed

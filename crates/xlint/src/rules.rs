@@ -11,7 +11,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`R1`..`R9`).
+    /// Rule id (`R1`..`R10`).
     pub rule: &'static str,
     /// Human explanation.
     pub message: String,
@@ -34,6 +34,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("R7", "IoStats counter mutators called only from the device/stats layer"),
     ("R8", "manifest dependencies are path-only (the build is offline)"),
     ("R9", "journal commit records are appended only after an io_barrier"),
+    ("R10", "every ExtError variant is classified explicitly in is_transient"),
 ];
 
 /// Files allowed to name `BlockDevice`: the device layer itself.
@@ -97,6 +98,9 @@ pub fn check_rust_file(rel: &str, src: &str) -> Vec<Finding> {
     }
     if rel == "crates/extmem/src/stats.rs" {
         rule_r3(rel, &toks, &mut out);
+    }
+    if rel == "crates/extmem/src/error.rs" {
+        rule_r10(rel, &toks, &mut out);
     }
 
     let mut findings: Vec<Finding> =
@@ -408,6 +412,66 @@ fn rule_r9(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut 
     }
 }
 
+/// R10: `ExtError::is_transient` is the oracle behind the retry policy and
+/// the CLI's exit-code mapping, so its classification must be *total*:
+/// every `ExtError` variant appears in the function by name, and no
+/// wildcard `_ =>` arm swallows future variants. A binding arm
+/// (`other => ...`) passes R5 but still hides any variant it absorbs, so
+/// the per-variant presence check convicts it too. Runs only on the real
+/// `crates/extmem/src/error.rs`.
+fn rule_r10(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let Some((open, close)) = enum_span(toks, "ExtError") else {
+        push(out, rel, 1, "R10", "enum ExtError not found".to_string());
+        return;
+    };
+    // Variant names: uppercase idents at depth 1 of the enum body (field
+    // types and attribute contents sit at depth >= 2).
+    let mut variants: Vec<(&str, usize)> = Vec::new();
+    let mut depth = 0usize;
+    for tok in &toks[open..close] {
+        match tok.text {
+            "{" | "[" | "(" => depth += 1,
+            "}" | "]" | ")" => depth = depth.saturating_sub(1),
+            t => {
+                if depth == 1 && t.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    variants.push((t, tok.pos));
+                }
+            }
+        }
+    }
+    let Some((s, e)) = fn_span(toks, "is_transient") else {
+        push(out, rel, 1, "R10", "fn is_transient not found".to_string());
+        return;
+    };
+    let body = &toks[s..e];
+    for (variant, pos) in variants {
+        if !body.iter().any(|t| t.text == variant) {
+            push(
+                out,
+                rel,
+                line_at(toks, pos),
+                "R10",
+                format!("ExtError variant `{variant}` is not classified in is_transient"),
+            );
+        }
+    }
+    for (k, t) in body.iter().enumerate() {
+        if t.text == "_"
+            && body.get(k + 1).map(|n| n.text) == Some("=")
+            && body.get(k + 2).map(|n| n.text) == Some(">")
+        {
+            push(
+                out,
+                rel,
+                line_at(toks, t.pos),
+                "R10",
+                "wildcard `_ =>` arm in is_transient; classify every variant explicitly"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// R8: every dependency in a manifest must resolve inside the workspace
 /// (`path = ...` or `workspace = true`): the build environment is offline.
 pub fn check_manifest(rel: &str, src: &str) -> Vec<Finding> {
@@ -490,6 +554,18 @@ fn brace_match(toks: &[Tok], open: usize) -> Option<usize> {
 fn struct_span(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
     for i in 0..toks.len().saturating_sub(1) {
         if toks[i].text == "struct" && toks[i + 1].text == name {
+            let open = body_open(toks, i)?;
+            let close = brace_match(toks, open)?;
+            return Some((open, close + 1));
+        }
+    }
+    None
+}
+
+/// Token span (exclusive) of `enum <name> { ... }`.
+fn enum_span(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].text == "enum" && toks[i + 1].text == name {
             let open = body_open(toks, i)?;
             let close = brace_match(toks, open)?;
             return Some((open, close + 1));

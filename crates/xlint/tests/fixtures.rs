@@ -301,6 +301,49 @@ fn seal(j: &mut Journal) -> Result<()> {
 }
 
 #[test]
+fn r10_exterror_transience_classification_must_be_total() {
+    // `Corrupt` is swallowed by the binding arm: one finding, anchored on
+    // the variant that was never named.
+    let bad = r#"
+enum ExtError {
+    Io(Error),
+    Corrupt(String),
+}
+impl ExtError {
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ExtError::Io(_) => true,
+            other => false,
+        }
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/extmem/src/error.rs", bad), ["R10"]);
+
+    let good = bad.replace("other => false,", "ExtError::Corrupt(_) => false,");
+    assert_eq!(rules_fired("crates/extmem/src/error.rs", &good), Vec::<String>::new());
+
+    // A wildcard arm fires even when every variant is named (it would let
+    // the *next* variant slip through unclassified). R5 convicts the same
+    // line for its own reason.
+    let wild = good.replace(
+        "ExtError::Corrupt(_) => false,",
+        "ExtError::Corrupt(_) => false,\n            _ => false,",
+    );
+    assert_eq!(rules_fired("crates/extmem/src/error.rs", &wild), ["R10", "R5"]);
+
+    // The rule only runs on the real error.rs; elsewhere it is silent.
+    assert_eq!(rules_fired("crates/extmem/src/fake.rs", bad), Vec::<String>::new());
+
+    // A file without the classifier at all is a finding, not a pass.
+    let gone = "enum ExtError { Io(Error) }\n";
+    assert_eq!(rules_fired("crates/extmem/src/error.rs", gone), ["R10"]);
+
+    let silenced = bad.replace("    Corrupt(String),", "    Corrupt(String), // xlint::allow(R10)");
+    assert_eq!(rules_fired("crates/extmem/src/error.rs", &silenced), Vec::<String>::new());
+}
+
+#[test]
 fn findings_format_as_file_line_rule_message() {
     let found = check_rust_file(
         "crates/extmem/src/fake.rs",
