@@ -4,7 +4,7 @@
 //! ```text
 //! xsort-bench [--quick|--full] [--csv DIR] [--json DIR] [all|table1|table2|
 //!              threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|
-//!              bounds|faults|cache|overlap|recovery|degradation]
+//!              bounds|faults|cache|overlap|recovery|degradation|jobs]
 //! ```
 
 use std::path::PathBuf;
@@ -12,14 +12,14 @@ use std::process::ExitCode;
 
 use nexsort_bench::{
     ablate_compaction, ablate_frames, bounds_vs_measured, cache_sweep, degradation_sweep,
-    fault_sweep, fig5, fig6, fig7, overlap_sweep, recovery_sweep, table1, table2,
+    fault_sweep, fig5, fig6, fig7, jobs_sweep, overlap_sweep, recovery_sweep, table1, table2,
     threshold_experiment, ExpScale, ExpTable,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xsort-bench [--quick|--full] [--csv DIR] [--json DIR] \
-         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache|overlap|recovery|degradation]..."
+         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache|overlap|recovery|degradation|jobs]..."
     );
     ExitCode::FAILURE
 }
@@ -69,6 +69,7 @@ fn main() -> ExitCode {
             "overlap" => overlap_sweep(scale).map_err(|e| e.to_string())?,
             "recovery" => recovery_sweep(scale).map_err(|e| e.to_string())?,
             "degradation" => degradation_sweep(scale).map_err(|e| e.to_string())?,
+            "jobs" => jobs_sweep(scale).map_err(|e| e.to_string())?,
             _ => return Ok(None),
         };
         Ok(Some(t))
@@ -89,6 +90,7 @@ fn main() -> ExitCode {
         "overlap",
         "recovery",
         "degradation",
+        "jobs",
     ];
     let mut queue: Vec<&str> = Vec::new();
     for t in &targets {

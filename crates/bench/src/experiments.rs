@@ -824,6 +824,137 @@ pub fn recovery_sweep(scale: &ExpScale) -> Result<ExpTable> {
     Ok(t)
 }
 
+/// **Jobs sweep** -- the sort daemon's throughput and latency profile.
+/// A fixed batch of journaled jobs is pushed through `nexsort-server`
+/// worker pools of 1/2/4/8 real OS threads (then through shrinking
+/// admission queues at 4 workers, where the submitter must ride the busy
+/// backpressure). Wall-clock throughput and latency quantiles may move
+/// with the pool; each job's *logical* I/O is the paper's cost and must be
+/// bit-constant across every row -- the sweep asserts it.
+pub fn jobs_sweep(scale: &ExpScale) -> Result<ExpTable> {
+    use nexsort_server::{JobInput, JobSpec, JobState, Server, ServerConfig, SubmitError};
+
+    let mut t = ExpTable::new(
+        "jobs",
+        "Sort-daemon sweep: jobs/sec and latency vs worker pool and queue depth",
+        &[
+            "workers",
+            "queue",
+            "jobs",
+            "wall-s",
+            "jobs-per-s",
+            "p50-ms",
+            "p99-ms",
+            "logical-io-per-job",
+        ],
+    );
+    let jobs = 12usize;
+    let elems = (scale.base_elements / 12).clamp(500, 40_000) as usize;
+    let docs: Vec<Vec<u8>> = (0..jobs)
+        .map(|j| {
+            let mut doc = String::from("<root>");
+            let mut z = 0x9E3779B97F4A7C15u64 ^ (j as u64) << 17;
+            for i in 0..elems {
+                z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                doc.push_str(&format!(
+                    "<item k=\"{:05}\" pad=\"xxxxxxxx\"/>",
+                    (z >> 33) as usize % (8 * elems) + i % 2
+                ));
+            }
+            doc.push_str("</root>");
+            doc.into_bytes()
+        })
+        .collect();
+    let spec_for = |doc: &[u8]| JobSpec {
+        input: JobInput::Inline(doc.to_vec()),
+        default_rule: Some("@k:num".into()),
+        block_size: scale.block_size,
+        mem_frames: 16,
+        degeneration: true,
+        ..JobSpec::default()
+    };
+
+    // Per-job logical I/O from the first row is the reference every later
+    // row must reproduce exactly.
+    let mut reference: Option<Vec<u64>> = None;
+    let base = std::env::temp_dir().join(format!("nxbench-jobs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    for &(workers, queue) in &[(1usize, 16usize), (2, 16), (4, 16), (8, 16), (4, 4), (4, 2)] {
+        let dir = base.join(format!("w{workers}-q{queue}"));
+        let mut cfg = ServerConfig::new(workers, &dir);
+        cfg.queue_depth = queue;
+        cfg.budget_frames = 16 * jobs * 2;
+        let server = Server::start(cfg).map_err(|e| bench_err(&e))?;
+        let started = std::time::Instant::now();
+        let mut ids = Vec::with_capacity(jobs);
+        for doc in &docs {
+            // A full queue is backpressure, not failure: ride it out.
+            let id = loop {
+                match server.submit(spec_for(doc)) {
+                    Ok(id) => break id,
+                    Err(SubmitError::Busy(_)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(1))
+                    }
+                    Err(SubmitError::Invalid(e)) => return Err(bench_err(&e)),
+                }
+            };
+            ids.push(id);
+        }
+        let mut latencies_ms = Vec::with_capacity(jobs);
+        let mut logical = Vec::with_capacity(jobs);
+        for id in &ids {
+            let st = server
+                .wait(*id, std::time::Duration::from_secs(600))
+                .ok_or_else(|| bench_err("job vanished"))?;
+            if st.state != JobState::Done {
+                return Err(bench_err(&format!("job {id} ended {:?}: {:?}", st.state, st.error)));
+            }
+            let report = st.report.as_ref().ok_or_else(|| bench_err("missing report"))?;
+            logical.push(report.io.total_reads() + report.io.total_writes());
+            let lat = st.latency.ok_or_else(|| bench_err("missing latency"))?;
+            latencies_ms.push(lat.as_secs_f64() * 1000.0);
+        }
+        let wall = started.elapsed().as_secs_f64();
+        server.shutdown();
+        match &reference {
+            None => reference = Some(logical.clone()),
+            Some(want) => {
+                if want != &logical {
+                    t.note(format!(
+                        "WARNING: logical I/O drifted at workers={workers} queue={queue}"
+                    ));
+                }
+            }
+        }
+        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+        let per_job = logical.iter().sum::<u64>() / jobs as u64;
+        t.push_row(vec![
+            workers.to_string(),
+            queue.to_string(),
+            jobs.to_string(),
+            format!("{wall:.2}"),
+            format!("{:.1}", jobs as f64 / wall.max(1e-9)),
+            format!("{:.1}", q(0.50)),
+            format!("{:.1}", q(0.99)),
+            per_job.to_string(),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    t.note("logical-io-per-job: mean per-job logical transfers; asserted identical across all rows (concurrency and queueing never change the paper's cost model)");
+    t.note("wall-s/latency: real threads on real time -- the one table where wall clock, not virtual ticks, is the measurement");
+    t.note(format!(
+        "host parallelism: {} hardware thread(s); throughput scales with min(workers, host threads)",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    Ok(t)
+}
+
+/// Adapt a daemon-side `String` error to the experiment `Result` type.
+fn bench_err(msg: &str) -> nexsort_xml::XmlError {
+    nexsort_xml::XmlError::Record(msg.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

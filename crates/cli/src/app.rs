@@ -5,13 +5,10 @@ use std::rc::Rc;
 
 use nexsort::{FailureCategory, Nexsort, NexsortOptions, SortedDoc};
 use nexsort_baseline::{sort_xml_extent, stage_input, BaselineOptions};
-// The CLI is the one sanctioned place outside the device layer that
-// assembles raw devices (it hands them straight to Disk::new).
-use nexsort_extmem::BlockDevice; // xlint::allow(R1)
 use nexsort_extmem::{
-    recover, CachePolicy, CrashController, CrashPlan, Disk, ExtError, Extent, FaultInjector,
-    FaultPlan, FileDevice, IoCat, JournalRecord, MemDevice, MemoryBudget, RetryPolicy, RunId,
-    RunStore, SchedConfig, ScrubReport, WriteMode,
+    recover, CachePolicy, CrashController, CrashPlan, Disk, DiskBuilder, ExtError, Extent,
+    FaultInjector, FaultPlan, IoCat, JournalRecord, RetryPolicy, RunId, RunStore, SchedConfig,
+    ScrubReport, WriteMode,
 };
 use nexsort_merge::{BatchUpdate, MergeOptions, StructuralMerge};
 use nexsort_xml::SortSpec;
@@ -165,6 +162,35 @@ pub enum Command {
         /// RNG seed.
         seed: u64,
     },
+    /// Run the sort daemon: accept jobs over a socket until told to stop.
+    Serve {
+        /// Listen address: `unix:/path` or `host:port`.
+        listen: String,
+        /// Worker threads (concurrent jobs).
+        workers: usize,
+        /// Queue capacity before `submit` pushes back.
+        queue: usize,
+        /// Global memory budget in frames, shared across jobs.
+        budget_frames: usize,
+        /// Directory owning job inputs, manifests, and device files.
+        job_dir: PathBuf,
+    },
+    /// Talk to a running daemon.
+    Client {
+        /// Daemon address: `unix:/path` or `host:port`.
+        connect: String,
+        /// Verb: ping | submit | status | wait | fetch | cancel | list |
+        /// stats | shutdown.
+        verb: String,
+        /// Verb arguments (a file for submit, a job id for the rest).
+        args: Vec<String>,
+        /// Timeout for `wait`, in milliseconds.
+        timeout_ms: u64,
+        /// Raw `--default` rule string, forwarded in the job spec.
+        default_rule: Option<String>,
+        /// Raw `--key TAG=RULE` strings, forwarded in the job spec.
+        keys: Vec<String>,
+    },
 }
 
 /// Usage text.
@@ -178,6 +204,8 @@ USAGE:
   xsort check  INPUT.xml           [OPTIONS]      # is it fully sorted?
   xsort gen    SHAPE [--seed N]    [OPTIONS]      # synthetic documents
   xsort scrub  DEVICE.bin          [OPTIONS]      # repair parity-protected runs
+  xsort serve                      [SERVER OPTS]  # run the sort daemon
+  xsort client VERB [ARGS]         [OPTIONS]      # talk to a running daemon
 
 OPTIONS:
   -o, --output FILE     write result here (default: stdout)
@@ -244,6 +272,26 @@ SELF-HEALING RUN STORAGE (XOR parity over sealed runs; nexsort/degen):
   protected data block against its sealed sum, repairs failures from parity,
   rewrites stale parity, and re-seals the repaired extents into the journal.
 
+SORT DAEMON (`xsort serve` / `xsort client`, newline-delimited JSON):
+      --listen ADDR     serve: listen address, unix:/path or host:port
+                        (default: 127.0.0.1:7171)
+      --connect ADDR    client: daemon address   (default: 127.0.0.1:7171)
+      --workers N       serve: worker threads / concurrent jobs (default: 4)
+      --queue N         serve: queued jobs before submit pushes back
+                        (default: 16)
+      --budget-frames N serve: global memory budget shared by all jobs,
+                        in frames (default: 4096)
+      --job-dir DIR     serve: durable job state -- inputs, manifests,
+                        device files (default: ./xsort-jobs). Restarting a
+                        daemon on the same --job-dir resumes every
+                        unfinished job from its journal
+      --timeout-ms N    client wait: give up after N ms (default: 60000)
+  Client verbs: ping | submit FILE | status ID | wait ID | fetch ID |
+                cancel ID | list | stats | shutdown.
+  `client submit` forwards the sort flags above (--default, --key, --block,
+  --mem, --cache-frames, --stripe, --parity-group, ...) in the job spec and
+  ships FILE inline; `client fetch` writes the sorted XML to -o or stdout.
+
 EXIT CODES:
   0  success
   1  failure outside I/O (malformed input, memory budget, internal error)
@@ -301,6 +349,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut crash_seed: Option<u64> = None;
     let mut parity_group = 0usize;
     let mut corrupt: Option<usize> = None;
+    let mut listen: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut workers = 4usize;
+    let mut queue = 16usize;
+    let mut budget_frames = 4096usize;
+    let mut job_dir: Option<PathBuf> = None;
+    let mut timeout_ms = 60_000u64;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -420,6 +475,35 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .map_err(|_| "--crash-seed needs an integer".to_string())?,
                 )
             }
+            "--listen" => listen = Some(next_value(&mut it, arg)?),
+            "--connect" => connect = Some(next_value(&mut it, arg)?),
+            "--workers" => {
+                workers = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--workers needs a positive integer".to_string())?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--queue" => {
+                queue = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--queue needs a positive integer".to_string())?;
+                if queue == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--budget-frames" => {
+                budget_frames = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--budget-frames needs a positive integer".to_string())?
+            }
+            "--job-dir" => job_dir = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--timeout-ms" => {
+                timeout_ms = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "--timeout-ms needs a nonnegative integer".to_string())?
+            }
             "--pretty" => pretty = true,
             "--stats" => stats = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -445,6 +529,26 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let base = positional.pop().expect("len 1");
             Command::Update { base, updates }
         }
+        ("serve", 0) => Command::Serve {
+            listen: listen.or(connect).unwrap_or_else(|| "127.0.0.1:7171".into()),
+            workers,
+            queue,
+            budget_frames,
+            job_dir: job_dir.unwrap_or_else(|| PathBuf::from("xsort-jobs")),
+        },
+        ("client", n) if n >= 1 => {
+            let mut words = positional.drain(..).map(|p| p.to_string_lossy().into_owned());
+            Command::Client {
+                connect: connect.or(listen).unwrap_or_else(|| "127.0.0.1:7171".into()),
+                verb: words.next().expect("n >= 1"),
+                args: words.collect(),
+                timeout_ms,
+                default_rule: default_rule.clone(),
+                keys: keys.clone(),
+            }
+        }
+        ("serve", n) => return Err(format!("serve takes no positional arguments, got {n}")),
+        ("client", _) => return Err("client needs a verb (ping | submit | status | ...)".into()),
         ("sort" | "check" | "gen" | "scrub", n) => {
             return Err(format!("{sub} expects 1 argument, got {n}"))
         }
@@ -563,160 +667,76 @@ fn crash_offset(cli: &Cli) -> Option<u64> {
     })
 }
 
-/// The `i`-th backing file of a striped `--device FILE`: `FILE.i`.
+/// The `i`-th backing file of a striped `--device FILE`: `FILE.i` (the
+/// builder's scheme; tests use this to inspect the created stripe set).
+#[cfg(test)]
 fn stripe_path(path: &Path, i: usize) -> PathBuf {
-    let mut os = path.as_os_str().to_owned();
-    os.push(format!(".{i}"));
-    PathBuf::from(os)
+    DiskBuilder::stripe_path(path, i)
 }
 
 /// A configured device stack: the disk, its per-device fault injectors, and
 /// the crash controller when `--crash-after-ios` is in play.
 type DiskSetup = (Rc<Disk>, Vec<FaultInjector>, Option<CrashController>);
 
-fn make_disk(cli: &Cli) -> Result<DiskSetup, String> {
+/// Map the parsed command line onto a [`DiskBuilder`] -- the stack itself
+/// is assembled by the builder (the one sanctioned assembly site), so the
+/// CLI and the server configure byte-identical stacks from the same knobs.
+pub fn disk_spec(cli: &Cli) -> Result<DiskBuilder, String> {
     // The crash layer is created *disarmed*: `--crash-after-ios` counts I/Os
     // of the sort itself (armed in `sort_one`), not the input staging.
     let want_crash = cli.crash_after_ios.is_some();
     if want_crash && cli.faults_enabled() {
         return Err("--crash-after-ios cannot be combined with fault injection".into());
     }
-    let mut crash: Option<CrashController> = None;
-    let (disk, injectors) = if !cli.faults_enabled() {
-        let disk = if cli.stripe > 1 {
-            if want_crash {
-                if cli.device.is_some() {
-                    return Err(
-                        "--crash-after-ios with --stripe uses the in-memory device; drop --device"
-                            .into(),
-                    );
-                }
-                let (disk, ctl) = Disk::new_striped_crash(
-                    cli.block_size as usize,
-                    cli.stripe,
-                    CrashPlan::Disarmed,
-                );
-                crash = Some(ctl);
-                disk
-            } else {
-                // xlint::allow(R1): device assembly before the Disk takes over.
-                let mut inners: Vec<Box<dyn BlockDevice>> = Vec::with_capacity(cli.stripe);
-                let mut created: Vec<PathBuf> = Vec::new();
-                for i in 0..cli.stripe {
-                    // xlint::allow(R1)
-                    let dev: Box<dyn BlockDevice> = match &cli.device {
-                        Some(path) => {
-                            let p = stripe_path(path, i);
-                            match FileDevice::create(&p, cli.block_size as usize) {
-                                Ok(d) => {
-                                    created.push(p);
-                                    Box::new(d) // xlint::allow(R1)
-                                }
-                                Err(e) => {
-                                    // Device `i` failed to open: remove the
-                                    // backing files of 0..i (handles dropped
-                                    // first) so a failed stripe set leaves
-                                    // no partial `FILE.0..FILE.i-1` behind.
-                                    let msg = format!("cannot open device file {p:?}: {e}");
-                                    drop(inners);
-                                    for q in &created {
-                                        let _ = std::fs::remove_file(q);
-                                    }
-                                    return Err(msg);
-                                }
-                            }
-                        }
-                        None => Box::new(MemDevice::new(cli.block_size as usize)),
-                    };
-                    inners.push(dev);
-                }
-                Disk::new_striped(inners)
-            }
-        } else if want_crash {
-            // xlint::allow(R1): device assembly before the Disk takes over.
-            let base: Box<dyn BlockDevice> = match &cli.device {
-                Some(path) => Box::new(
-                    FileDevice::create(path, cli.block_size as usize)
-                        .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
-                ),
-                None => Box::new(MemDevice::new(cli.block_size as usize)),
-            };
-            let (disk, ctl) = Disk::new_crash(base, CrashPlan::Disarmed);
-            crash = Some(ctl);
-            disk
-        } else {
-            match &cli.device {
-                Some(path) => Disk::new_file(path, cli.block_size as usize)
-                    .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
-                None => Disk::new_mem(cli.block_size as usize),
-            }
-        };
-        if let Some(n) = cli.retries {
-            if n > 0 {
-                disk.set_retry_policy(RetryPolicy::retries(n));
-            }
-        }
-        (disk, Vec::new())
-    } else {
-        let plan_for = |seed: u64| {
-            FaultPlan::new(seed)
+    if cli.faults_enabled() && cli.stripe > 1 && cli.device.is_some() {
+        return Err("--stripe with fault injection uses the in-memory device; drop --device".into());
+    }
+    let mut b = DiskBuilder::new(cli.block_size as usize).stripe(cli.stripe);
+    if let Some(path) = &cli.device {
+        b = b.file(path);
+    }
+    if want_crash {
+        b = b.crash(CrashPlan::Disarmed);
+    }
+    if cli.faults_enabled() {
+        // One base plan; the builder reseeds it per stripe device.
+        b = b.faults(
+            FaultPlan::new(cli.fault_seed)
                 .with_read_error_rate(cli.fault_rate)
                 .with_write_error_rate(cli.fault_rate)
                 .with_read_flip_rate(cli.fault_flips)
                 .with_write_flip_rate(cli.fault_flips)
-                .with_torn_write_rate(cli.fault_torn)
-        };
-        if cli.stripe > 1 {
-            if cli.device.is_some() {
-                return Err(
-                    "--stripe with fault injection uses the in-memory device; drop --device".into(),
-                );
-            }
-            // One independently seeded plan per inner device.
-            let plans =
-                (0..cli.stripe).map(|i| plan_for(cli.fault_seed.wrapping_add(i as u64))).collect();
-            let (disk, injectors) = Disk::new_striped_faulty(cli.block_size as usize, plans);
-            let n = cli.retries.unwrap_or(3);
-            if n > 0 {
-                disk.set_retry_policy(RetryPolicy::retries(n));
-            }
-            (disk, injectors)
-        } else {
-            // xlint::allow(R1): device assembly before the Disk takes over.
-            let base: Box<dyn BlockDevice> = match &cli.device {
-                Some(path) => Box::new(
-                    FileDevice::create(path, cli.block_size as usize)
-                        .map_err(|e| format!("cannot open device file {path:?}: {e}"))?,
-                ),
-                None => Box::new(MemDevice::new(cli.block_size as usize)),
-            };
-            let (disk, injector) = Disk::new_faulty(base, plan_for(cli.fault_seed));
-            let n = cli.retries.unwrap_or(3);
-            if n > 0 {
-                disk.set_retry_policy(RetryPolicy::retries(n));
-            }
-            (disk, vec![injector])
-        }
-    };
+                .with_torn_write_rate(cli.fault_torn),
+        );
+    }
+    // Retries default to 3 under fault injection (transient faults are the
+    // point), and to none otherwise.
+    let retries = cli.retries.unwrap_or(if cli.faults_enabled() { 3 } else { 0 });
+    if retries > 0 {
+        b = b.retry(RetryPolicy::retries(retries));
+    }
     if cli.cache_frames > 0 {
         // The pool's frames come out of a dedicated budget so the sort
         // algorithm's own `--mem` allowance is untouched.
-        let pool_budget = MemoryBudget::new(cli.cache_frames);
         let mode = if cli.write_back { WriteMode::Back } else { WriteMode::Through };
-        disk.enable_cache(&pool_budget, cli.cache_frames, cli.cache_policy, mode)
-            .map_err(|e| format!("cannot enable the page cache: {e}"))?;
+        b = b.cache(cli.cache_frames, cli.cache_policy, mode);
     }
     if cli.io_workers > 0 {
-        // Enabled here (not in the sorter) so every algorithm, including the
-        // mergesort baseline, runs under the same scheduler configuration.
-        disk.enable_sched(SchedConfig {
+        // Configured here (not in the sorter) so every algorithm, including
+        // the mergesort baseline, runs under the same scheduler.
+        b = b.sched(SchedConfig {
             workers: cli.io_workers,
             prefetch_depth: cli.prefetch_depth,
             write_behind: cli.write_behind,
             ..SchedConfig::default()
         });
     }
-    Ok((disk, injectors, crash))
+    Ok(b)
+}
+
+fn make_disk(cli: &Cli) -> Result<DiskSetup, String> {
+    let stack = disk_spec(cli)?.build().map_err(|e| e.to_string())?;
+    Ok((stack.disk, stack.injectors, stack.crash))
 }
 
 /// A staged input document: XML text, or pre-encoded records + dictionary.
@@ -921,12 +941,136 @@ pub fn scrub_device(cli: &Cli, path: &Path) -> Result<ScrubReport, CliError> {
     Ok(report)
 }
 
+/// Boot (or re-open) the daemon over its job directory and serve until a
+/// client asks it to shut down. Re-opening an existing `--job-dir` adopts
+/// and resumes every unfinished job -- that is the whole restart story.
+fn run_serve(
+    listen: &str,
+    workers: usize,
+    queue: usize,
+    budget_frames: usize,
+    job_dir: &Path,
+) -> Result<(), String> {
+    let mut cfg = nexsort_server::ServerConfig::new(workers, job_dir);
+    cfg.queue_depth = queue;
+    cfg.budget_frames = budget_frames;
+    let server = nexsort_server::Server::open(cfg)?;
+    eprintln!(
+        "xsort serve: listening on {listen}; {workers} worker(s), queue {queue}, \
+         budget {budget_frames} frames, jobs in {}",
+        job_dir.display()
+    );
+    nexsort_server::serve(server, listen)
+}
+
+/// The job spec a `client submit` forwards: the shared sort flags mapped
+/// onto the wire spec, with the input document shipped inline.
+fn client_spec(
+    cli: &Cli,
+    default_rule: &Option<String>,
+    keys: &[String],
+    input: &Path,
+) -> Result<nexsort_server::JobSpec, String> {
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+    Ok(nexsort_server::JobSpec {
+        input: nexsort_server::JobInput::Inline(bytes),
+        output: cli.output.clone(),
+        default_rule: default_rule.clone(),
+        keys: keys.to_vec(),
+        block_size: cli.block_size as usize,
+        mem_frames: mem_frames(cli),
+        threshold: cli.threshold,
+        depth_limit: cli.depth_limit,
+        degeneration: cli.algo == Algo::Degen,
+        cache_frames: cli.cache_frames,
+        cache_policy: cli.cache_policy,
+        write_back: cli.write_back,
+        io_workers: cli.io_workers,
+        prefetch_depth: cli.prefetch_depth,
+        write_behind: cli.write_behind,
+        stripe: cli.stripe,
+        parity_group: cli.parity_group,
+        pretty: cli.pretty,
+        crash_after_ios: cli.crash_after_ios,
+    })
+}
+
+/// One client exchange: build the request for `verb`, send it, and print
+/// the response. A `busy` rejection maps to exit code 3 (transient: a
+/// retry may pass), any other failure to 1.
+fn run_client(
+    cli: &Cli,
+    connect: &str,
+    verb: &str,
+    args: &[String],
+    timeout_ms: u64,
+    default_rule: &Option<String>,
+    keys: &[String],
+) -> Result<(), CliError> {
+    use nexsort_server::json::{n, obj, s, Value};
+    let job_id = |args: &[String]| -> Result<u64, String> {
+        args.first()
+            .ok_or_else(|| format!("client {verb} needs a job id"))?
+            .parse::<u64>()
+            .map_err(|_| format!("client {verb} needs a numeric job id"))
+    };
+    let resp = match verb {
+        "ping" | "list" | "stats" | "shutdown" => {
+            nexsort_server::request(connect, &obj(vec![("op", s(verb))]))
+        }
+        "submit" => {
+            let input =
+                args.first().ok_or_else(|| "client submit needs an input file".to_string())?;
+            let spec = client_spec(cli, default_rule, keys, Path::new(input))?;
+            nexsort_server::request_submit(connect, &spec)
+        }
+        "status" | "cancel" | "fetch" => {
+            nexsort_server::request(connect, &obj(vec![("op", s(verb)), ("id", n(job_id(args)?))]))
+        }
+        "wait" => nexsort_server::request(
+            connect,
+            &obj(vec![("op", s(verb)), ("id", n(job_id(args)?)), ("timeout_ms", n(timeout_ms))]),
+        ),
+        other => return Err(format!("unknown client verb {other:?}").into()),
+    }
+    .map_err(CliError::from)?;
+    if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+        let message = resp
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("daemon rejected the request")
+            .to_string();
+        let busy = resp.get("busy").and_then(Value::as_bool) == Some(true);
+        return Err(CliError { code: if busy { 3 } else { 1 }, message });
+    }
+    if verb == "fetch" {
+        // The sorted document itself, not the JSON envelope.
+        let xml = resp.get("output").and_then(Value::as_str).unwrap_or("");
+        match &cli.output {
+            Some(path) => {
+                std::fs::write(path, xml).map_err(|e| format!("cannot write {path:?}: {e}"))?
+            }
+            None => print!("{xml}"),
+        }
+    } else {
+        println!("{}", resp.to_json());
+    }
+    Ok(())
+}
+
 /// Execute a parsed command line, classifying any failure into the exit
 /// code the process should end with (see the EXIT CODES section of
 /// [`USAGE`]).
 pub fn run_code(cli: &Cli) -> Result<(), CliError> {
     if let Command::Scrub { device } = &cli.command {
         return scrub_device(cli, device).map(|_| ());
+    }
+    if let Command::Serve { listen, workers, queue, budget_frames, job_dir } = &cli.command {
+        return run_serve(listen, *workers, *queue, *budget_frames, job_dir)
+            .map_err(CliError::from);
+    }
+    if let Command::Client { connect, verb, args, timeout_ms, default_rule, keys } = &cli.command {
+        return run_client(cli, connect, verb, args, *timeout_ms, default_rule, keys);
     }
     let (disk, injectors, crash) = make_disk(cli)?;
     let result: Result<(), CliError> = match &cli.command {
@@ -1126,7 +1270,9 @@ pub fn run_code(cli: &Cli) -> Result<(), CliError> {
             let events = nexsort_xml::recs_to_events(&out, &dict).map_err(|e| e.to_string())?;
             emit(cli, nexsort_xml::events_to_xml(&events, cli.pretty)).map_err(CliError::from)
         }
-        Command::Scrub { .. } => unreachable!("scrub is handled before device setup"),
+        Command::Scrub { .. } | Command::Serve { .. } | Command::Client { .. } => {
+            unreachable!("scrub/serve/client are handled before device setup")
+        }
     };
     // Under write-back the pool may still hold dirty frames; push them to the
     // device so a `--device` file is complete on exit. The cache flush can
@@ -1381,6 +1527,166 @@ mod tests {
 
         assert!(parse_args(&args(&["sort", "x.xml", "--io-workers", "lots"])).is_err());
         assert!(parse_args(&args(&["sort", "x.xml", "--stripe", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_and_client_args_parse() {
+        let cli = parse_args(&args(&["serve"])).unwrap();
+        match cli.command {
+            Command::Serve { listen, workers, queue, budget_frames, job_dir } => {
+                assert_eq!(listen, "127.0.0.1:7171");
+                assert_eq!(workers, 4);
+                assert_eq!(queue, 16);
+                assert_eq!(budget_frames, 4096);
+                assert_eq!(job_dir, PathBuf::from("xsort-jobs"));
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        let cli = parse_args(&args(&[
+            "serve",
+            "--listen",
+            "unix:/tmp/x.sock",
+            "--workers",
+            "8",
+            "--queue",
+            "2",
+            "--budget-frames",
+            "512",
+            "--job-dir",
+            "/tmp/jobs",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Serve { listen, workers, queue, budget_frames, job_dir } => {
+                assert_eq!(listen, "unix:/tmp/x.sock");
+                assert_eq!(workers, 8);
+                assert_eq!(queue, 2);
+                assert_eq!(budget_frames, 512);
+                assert_eq!(job_dir, PathBuf::from("/tmp/jobs"));
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+
+        let cli = parse_args(&args(&[
+            "client",
+            "submit",
+            "input.xml",
+            "--connect",
+            "unix:/tmp/x.sock",
+            "--default",
+            "@id",
+            "--key",
+            "emp=@name",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Client { connect, verb, args, default_rule, keys, .. } => {
+                assert_eq!(connect, "unix:/tmp/x.sock");
+                assert_eq!(verb, "submit");
+                assert_eq!(args, vec!["input.xml".to_string()]);
+                assert_eq!(default_rule.as_deref(), Some("@id"));
+                assert_eq!(keys, vec!["emp=@name".to_string()]);
+            }
+            other => panic!("expected client, got {other:?}"),
+        }
+
+        assert!(parse_args(&args(&["serve", "stray"])).is_err());
+        assert!(parse_args(&args(&["client"])).is_err());
+        assert!(parse_args(&args(&["serve", "--workers", "0"])).is_err());
+    }
+
+    #[test]
+    fn cli_and_builder_assemble_identical_stacks() {
+        // Describe-level identity: mapping the CLI flags through `disk_spec`
+        // yields exactly the builder a caller would configure by hand.
+        let cli = parse_args(&args(&[
+            "sort",
+            "x.xml",
+            "--block",
+            "256",
+            "--stripe",
+            "4",
+            "--cache-frames",
+            "8",
+            "--cache-policy",
+            "clock",
+            "--write-back",
+            "--io-workers",
+            "2",
+            "--prefetch-depth",
+            "4",
+            "--write-behind",
+            "--retries",
+            "2",
+        ]))
+        .unwrap();
+        let by_hand = DiskBuilder::new(256)
+            .stripe(4)
+            .retry(RetryPolicy::retries(2))
+            .cache(8, CachePolicy::Clock, WriteMode::Back)
+            .sched(SchedConfig {
+                workers: 2,
+                prefetch_depth: 4,
+                write_behind: true,
+                ..SchedConfig::default()
+            });
+        assert_eq!(disk_spec(&cli).unwrap().describe(), by_hand.describe());
+
+        // Fault flags map to one reseedable base plan plus default retries.
+        let faulty = parse_args(&args(&[
+            "sort",
+            "x.xml",
+            "--block",
+            "128",
+            "--fault-rate",
+            "0.01",
+            "--fault-seed",
+            "9",
+        ]))
+        .unwrap();
+        let by_hand = DiskBuilder::new(128)
+            .stripe(1)
+            .faults(
+                FaultPlan::new(9)
+                    .with_read_error_rate(0.01)
+                    .with_write_error_rate(0.01)
+                    .with_read_flip_rate(0.0)
+                    .with_write_flip_rate(0.0)
+                    .with_torn_write_rate(0.0),
+            )
+            .retry(RetryPolicy::retries(3));
+        assert_eq!(disk_spec(&faulty).unwrap().describe(), by_hand.describe());
+
+        // Behavioural identity: both assembly paths run the same workload
+        // with the same physical accounting.
+        let (cli_disk, _, _) = make_disk(&cli).unwrap();
+        let hand_disk = by_hand.build().unwrap().disk;
+        assert_eq!(cli_disk.stripe_width(), 4);
+        for disk in [&cli_disk, &hand_disk] {
+            for i in 0..10u8 {
+                let b = disk.alloc_block();
+                disk.write_block(b, &[i; 128], IoCat::SortScratch).unwrap();
+            }
+            disk.io_barrier().unwrap();
+        }
+        // (the faulty hand-built stack has block size 128; the CLI stack 256
+        // -- compare each against itself over time, and the two fault-free
+        // paths against each other)
+        let (a, _, _) = make_disk(&faulty).unwrap();
+        let b = disk_spec(&faulty).unwrap().build().unwrap().disk;
+        for disk in [&a, &b] {
+            for i in 0..10u8 {
+                let blk = disk.alloc_block();
+                disk.write_block(blk, &[i; 128], IoCat::SortScratch).unwrap();
+                let mut buf = [0u8; 128];
+                disk.read_block(blk, &mut buf, IoCat::SortScratch).unwrap();
+                assert_eq!(buf, [i; 128]);
+            }
+        }
+        assert!(
+            a.stats().snapshot() == b.stats().snapshot(),
+            "identical stacks must account identically"
+        );
     }
 
     #[test]

@@ -1,101 +1,12 @@
-//! Parsing ordering criteria from command-line arguments.
+//! Command-line argument helpers.
 //!
-//! Grammar for one rule:
-//!
-//! ```text
-//! RULE   := PART ( '+' PART )*                 -- '+' builds a composite
-//! PART   := SOURCE ( ':' FLAG )*
-//! SOURCE := '@' NAME        attribute value
-//!         | 'tag'           element tag name
-//!         | 'text'          first immediate text child
-//!         | 'path=' P/A/TH  text at the child-element path
-//!         | 'doc'           document order
-//! FLAG   := 'num'           numeric comparison
-//!         | 'desc'          descending order
-//! ```
-//!
-//! Examples: `@ID:num`, `@last+@first`, `path=info/name/last:desc`, `tag`.
-//!
-//! A `--key TAG=RULE` argument adds a per-tag override; `--default RULE`
-//! replaces the default (which starts as document order).
+//! The ordering-criterion string grammar (`@attr`, `tag`, `path=a/b/c`,
+//! `:num`, `:desc`, composites with `+`) moved to
+//! [`nexsort_xml::specstr`](nexsort_xml::parse_rule) so the server's JSON
+//! protocol and the CLI parse specs identically; this module re-exports it
+//! and keeps the helpers that are genuinely about command-line syntax.
 
-use nexsort_xml::{KeyRule, KeySource, KeyType, SortSpec};
-
-/// Parse one `PART` (no `+`).
-fn parse_part(part: &str) -> Result<KeyRule, String> {
-    let mut pieces = part.split(':');
-    let source = pieces.next().unwrap_or("");
-    let mut rule = if let Some(attr) = source.strip_prefix('@') {
-        if attr.is_empty() {
-            return Err("empty attribute name after '@'".into());
-        }
-        KeyRule::attr(attr)
-    } else if let Some(path) = source.strip_prefix("path=") {
-        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
-        if comps.is_empty() {
-            return Err("empty child path after 'path='".into());
-        }
-        KeyRule::child_path(&comps)
-    } else {
-        match source {
-            "tag" => KeyRule::tag_name(),
-            "text" => KeyRule::text(),
-            "doc" => KeyRule::doc_order(),
-            other => {
-                return Err(format!(
-                    "unknown key source {other:?} (expected @attr, tag, text, path=..., doc)"
-                ))
-            }
-        }
-    };
-    for flag in pieces {
-        match flag {
-            "num" => rule.ty = KeyType::Numeric,
-            "desc" => rule.descending = true,
-            other => return Err(format!("unknown key flag {other:?} (expected num, desc)")),
-        }
-    }
-    Ok(rule)
-}
-
-/// Parse a full `RULE` (possibly composite).
-pub fn parse_rule(rule: &str) -> Result<KeyRule, String> {
-    let parts: Vec<&str> = rule.split('+').collect();
-    if parts.len() == 1 {
-        parse_part(parts[0])
-    } else {
-        let rules = parts.iter().map(|p| parse_part(p)).collect::<Result<Vec<_>, _>>()?;
-        if rules.iter().any(|r| matches!(r.source, KeySource::Text | KeySource::ChildPath(_))) {
-            return Err("composite rules ('+') only support @attr and tag parts".into());
-        }
-        Ok(KeyRule::composite(rules))
-    }
-}
-
-/// Parse a `--key` argument: `TAG=RULE`.
-pub fn parse_key_arg(arg: &str) -> Result<(String, KeyRule), String> {
-    let (tag, rule) =
-        arg.split_once('=').ok_or_else(|| format!("--key expects TAG=RULE, got {arg:?}"))?;
-    if tag.is_empty() {
-        return Err("--key has an empty tag name".into());
-    }
-    Ok((tag.to_string(), parse_rule(rule)?))
-}
-
-/// Assemble a [`SortSpec`] from CLI arguments.
-pub fn build_spec(default: Option<&str>, keys: &[String]) -> Result<SortSpec, String> {
-    let default_rule = match default {
-        Some(r) => parse_rule(r)?,
-        None => KeyRule::doc_order(),
-    };
-    let mut spec = SortSpec::uniform(default_rule);
-    for arg in keys {
-        let (tag, rule) = parse_key_arg(arg)?;
-        spec = spec.with_rule(&tag, rule);
-    }
-    spec.validate().map_err(|e| e.to_string())?;
-    Ok(spec)
-}
+pub use nexsort_xml::{build_spec, parse_key_arg, parse_rule};
 
 /// Parse a human size like `64K`, `4M`, `512`, `1G` into bytes.
 pub fn parse_size(s: &str) -> Result<u64, String> {
@@ -115,69 +26,6 @@ pub fn parse_size(s: &str) -> Result<u64, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nexsort_xml::KeyValue;
-
-    #[test]
-    fn basic_sources_parse() {
-        assert_eq!(parse_rule("@ID").unwrap(), KeyRule::attr("ID"));
-        assert_eq!(parse_rule("tag").unwrap(), KeyRule::tag_name());
-        assert_eq!(parse_rule("text").unwrap(), KeyRule::text());
-        assert_eq!(parse_rule("doc").unwrap(), KeyRule::doc_order());
-        assert_eq!(
-            parse_rule("path=info/name/last").unwrap(),
-            KeyRule::child_path(&["info", "name", "last"])
-        );
-    }
-
-    #[test]
-    fn flags_apply() {
-        assert_eq!(parse_rule("@ID:num").unwrap(), KeyRule::attr_numeric("ID"));
-        assert_eq!(parse_rule("@ID:desc").unwrap(), KeyRule::attr("ID").desc());
-        assert_eq!(parse_rule("@ID:num:desc").unwrap(), KeyRule::attr_numeric("ID").desc());
-    }
-
-    #[test]
-    fn composite_rules_parse_and_reject_deferred_parts() {
-        let r = parse_rule("@last+@first:desc").unwrap();
-        match &r.source {
-            KeySource::Composite(parts) => {
-                assert_eq!(parts.len(), 2);
-                assert!(parts[1].descending);
-            }
-            other => panic!("expected composite, got {other:?}"),
-        }
-        assert!(parse_rule("@a+text").is_err());
-        assert!(parse_rule("@a+path=x").is_err());
-    }
-
-    #[test]
-    fn key_args_and_spec_assembly() {
-        let spec =
-            build_spec(Some("@name"), &["employee=@ID:num".to_string(), "note=doc".to_string()])
-                .unwrap();
-        assert_eq!(spec.rule_for(b"employee"), &KeyRule::attr_numeric("ID"));
-        assert_eq!(spec.rule_for(b"note"), &KeyRule::doc_order());
-        assert_eq!(spec.rule_for(b"region"), &KeyRule::attr("name"));
-        // The composite actually orders as declared.
-        let spec = build_spec(Some("@a+@b"), &[]).unwrap();
-        let k = spec
-            .start_key(b"x", &[(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())])
-            .unwrap();
-        assert_eq!(
-            k,
-            KeyValue::Tuple(vec![KeyValue::Bytes(b"1".to_vec()), KeyValue::Bytes(b"2".to_vec())])
-        );
-    }
-
-    #[test]
-    fn malformed_arguments_give_readable_errors() {
-        assert!(parse_rule("@").is_err());
-        assert!(parse_rule("path=").is_err());
-        assert!(parse_rule("bogus").is_err());
-        assert!(parse_rule("@a:sideways").is_err());
-        assert!(parse_key_arg("noequals").is_err());
-        assert!(parse_key_arg("=@a").is_err());
-    }
 
     #[test]
     fn sizes_parse_with_suffixes() {
@@ -187,5 +35,13 @@ mod tests {
         assert_eq!(parse_size("1g").unwrap(), 1 << 30);
         assert!(parse_size("lots").is_err());
         assert!(parse_size("12Q").is_err());
+    }
+
+    #[test]
+    fn spec_grammar_reexports_work() {
+        use nexsort_xml::KeyRule;
+        assert_eq!(parse_rule("@ID:num").unwrap(), KeyRule::attr_numeric("ID"));
+        assert!(build_spec(Some("@a"), &["t=@b".to_string()]).is_ok());
+        assert!(parse_key_arg("noequals").is_err());
     }
 }

@@ -464,6 +464,22 @@ impl Disk {
         (disk, ctl)
     }
 
+    /// Like [`new_striped_crash`](Self::new_striped_crash) but over
+    /// caller-supplied inner devices (e.g. file-backed stripes), for
+    /// assembly sites that need crash injection above a non-memory stripe.
+    pub fn new_striped_crash_over(
+        inners: Vec<Box<dyn BlockDevice>>,
+        plan: CrashPlan,
+    ) -> (Rc<Self>, CrashController) {
+        assert!(!inners.is_empty(), "a stripe needs at least one device");
+        let n = inners.len();
+        let crash = CrashDevice::new(StripedDevice::new(inners), plan);
+        let ctl = crash.controller();
+        let disk = Self::new(Box::new(crash));
+        disk.stripe.set(n);
+        (disk, ctl)
+    }
+
     /// How many devices the underlying storage is striped across (1 when
     /// not striped).
     pub fn stripe_width(&self) -> usize {

@@ -57,6 +57,16 @@ impl Extent {
         self.len = len;
     }
 
+    /// Assemble an extent from raw parts (`blocks` in order plus the byte
+    /// length): `ExtStack::range_extent` internally, and reattachment from a
+    /// persisted job manifest after a daemon restart. The caller vouches
+    /// that the blocks are live on the target disk.
+    pub fn from_raw(blocks: Vec<u64>, len: u64) -> Self {
+        let mut ext = Self::empty();
+        ext.set_raw(blocks, len);
+        ext
+    }
+
     /// Swap the block at `idx` for `block` -- the extent's length and layout
     /// are unchanged; only the backing device block moves. Used by the repair
     /// path to relocate a run block off a quarantined sector.

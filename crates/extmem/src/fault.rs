@@ -131,6 +131,13 @@ impl FaultPlan {
         Self::new(seed).with_read_error_rate(rate).with_write_error_rate(rate)
     }
 
+    /// The same plan with its seed offset by `delta`: how a stripe set turns
+    /// one plan into independently seeded per-device plans.
+    pub fn reseeded(mut self, delta: u64) -> Self {
+        self.seed = self.seed.wrapping_add(delta);
+        self
+    }
+
     /// Probability that a read fails with a transient error.
     pub fn with_read_error_rate(mut self, rate: f64) -> Self {
         self.read_error_rate = check_rate(rate);

@@ -42,7 +42,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbiter;
 mod budget;
+mod build;
 mod device;
 mod error;
 mod extent;
@@ -58,7 +60,9 @@ mod shadow;
 mod stack;
 mod stats;
 
+pub use arbiter::{BudgetArbiter, BudgetLease};
 pub use budget::{FrameGuard, MemoryBudget};
+pub use build::{BuildError, DiskBuilder, DiskStack};
 pub use device::{BlockDevice, Disk, FileDevice, MemDevice, TraceEntry};
 pub use error::{ExtError, Result};
 pub use extent::{

@@ -199,7 +199,20 @@ impl StripedDevice {
             inners.iter().all(|d| d.block_size() == block_size),
             "striped inner devices must share a block size"
         );
-        Self { inners, block_size, next_dev: 0, num_blocks: 0 }
+        // Reopened inner devices may already hold blocks; the global count
+        // must cover their highest mapped id (local id `nb-1` of device `d`
+        // maps to `(nb-1) * n + d`), or a reattached stack would treat
+        // preexisting blocks as out of bounds (and the shadow sanitizer
+        // would refuse to grandfather them).
+        let n = inners.len() as u64;
+        let num_blocks = inners
+            .iter()
+            .enumerate()
+            .filter(|(_, dev)| dev.num_blocks() > 0)
+            .map(|(d, dev)| (dev.num_blocks() - 1) * n + d as u64 + 1)
+            .max()
+            .unwrap_or(0);
+        Self { inners, block_size, next_dev: 0, num_blocks }
     }
 
     /// Number of inner devices.

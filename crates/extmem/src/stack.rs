@@ -255,15 +255,6 @@ impl ExtStack {
     }
 }
 
-impl Extent {
-    /// Assemble an extent from raw parts (used by `ExtStack::range_extent`).
-    pub(crate) fn from_raw(blocks: Vec<u64>, len: u64) -> Self {
-        let mut e = Extent::empty();
-        e.set_raw(blocks, len);
-        e
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

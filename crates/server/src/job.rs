@@ -1,0 +1,492 @@
+//! Job specifications, lifecycle state, and the persisted per-job manifest.
+//!
+//! Every accepted job owns a directory `job-<id>/` under the server's job
+//! root holding:
+//!
+//! * `input.xml`  -- a private copy of the input document, taken at accept
+//!   time so a resumed job never depends on the submitter's file surviving;
+//! * `device.bin` (plus `.0..N-1` when striped) -- the job's block device,
+//!   carrying the sort's PR-5 write-ahead journal;
+//! * `job.json`   -- the manifest: the full spec, the lifecycle state, and
+//!   (once staged) the raw input extent, i.e. everything a restarted daemon
+//!   needs to reattach the device and resume the sort.
+//!
+//! The manifest is rewritten via temp-file + rename so a crash mid-update
+//! leaves the previous consistent version in place.
+
+use std::path::{Path, PathBuf};
+
+use nexsort_extmem::CachePolicy;
+
+use crate::json::{self, b, n, obj, s, Value};
+
+/// Where a submitted job's input bytes come from.
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// Read the file at accept time.
+    Path(PathBuf),
+    /// The document text was inlined in the submit request.
+    Inline(Vec<u8>),
+}
+
+/// Everything needed to run one sort job. Plain data (`Send`): the worker
+/// thread builds the actual device stack and sorter from it.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Input document.
+    pub input: JobInput,
+    /// Where the sorted output lands; `out.xml` inside the job directory
+    /// when absent (fetch it over the protocol).
+    pub output: Option<PathBuf>,
+    /// Default ordering rule (spec-string grammar); document order if absent.
+    pub default_rule: Option<String>,
+    /// Per-tag `TAG=RULE` overrides.
+    pub keys: Vec<String>,
+    /// Device block size in bytes.
+    pub block_size: usize,
+    /// Sort memory in frames (the model's `m`).
+    pub mem_frames: usize,
+    /// Sort threshold in bytes (`None` = 2 blocks).
+    pub threshold: Option<u64>,
+    /// Depth limit for subtree descent.
+    pub depth_limit: Option<u32>,
+    /// Run the graceful-degeneration variant.
+    pub degeneration: bool,
+    /// Page-cache frames (0 = no cache). Leased from the global budget on
+    /// top of `mem_frames`.
+    pub cache_frames: usize,
+    /// Page-cache eviction policy.
+    pub cache_policy: CachePolicy,
+    /// Write-back caching instead of write-through.
+    pub write_back: bool,
+    /// I/O scheduler workers (0 = synchronous).
+    pub io_workers: usize,
+    /// Read-ahead depth in blocks.
+    pub prefetch_depth: usize,
+    /// Defer physical writes to the write-behind queue.
+    pub write_behind: bool,
+    /// Stripe the device over N backing files.
+    pub stripe: usize,
+    /// Parity blocks per K data blocks of each sealed run (0 = none).
+    pub parity_group: usize,
+    /// Pretty-print the XML output.
+    pub pretty: bool,
+    /// Test hook: freeze the job's device after this many physical I/Os of
+    /// the sort proper -- the in-process stand-in for `kill -9` mid-job.
+    pub crash_after_ios: Option<u64>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            input: JobInput::Inline(Vec::new()),
+            output: None,
+            default_rule: None,
+            keys: Vec::new(),
+            block_size: 4096,
+            mem_frames: 32,
+            threshold: None,
+            depth_limit: None,
+            degeneration: false,
+            cache_frames: 0,
+            cache_policy: CachePolicy::Lru,
+            write_back: false,
+            io_workers: 0,
+            prefetch_depth: 0,
+            write_behind: false,
+            stripe: 1,
+            parity_group: 0,
+            pretty: false,
+            crash_after_ios: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Frames this job holds from the global budget while it runs: its sort
+    /// memory plus its private page cache.
+    pub fn frames_needed(&self) -> usize {
+        self.mem_frames + self.cache_frames
+    }
+}
+
+/// Lifecycle of a job. Terminal states are `Done`, `Failed`, and
+/// `Canceled`; `Interrupted` means the job's device froze mid-sort (crash
+/// injection or daemon death) and the job resumes on the next restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// On a worker thread (staging, sorting, or writing output).
+    Running,
+    /// Output written and byte-complete.
+    Done,
+    /// Sort failed; see the error message.
+    Failed,
+    /// Dequeued by a cancel request before a worker picked it up.
+    Canceled,
+    /// Frozen mid-sort; will resume from the journal on restart.
+    Interrupted,
+}
+
+impl JobState {
+    /// Stable wire/manifest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    /// Parse a manifest/wire name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "canceled" => JobState::Canceled,
+            "interrupted" => JobState::Interrupted,
+            other => return Err(format!("unknown job state {other:?}")),
+        })
+    }
+
+    /// True when no further work will happen on this job.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Canceled)
+    }
+}
+
+/// The persisted manifest of one job.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Job id (also names the job directory).
+    pub id: u64,
+    /// Lifecycle state at the last manifest write.
+    pub state: JobState,
+    /// The job's full specification (input is always the job-local copy).
+    pub spec: JobSpec,
+    /// The staged input extent `(blocks, byte_len)`, recorded before the
+    /// sort starts so a restart can reattach it.
+    pub staged: Option<(Vec<u64>, u64)>,
+    /// Error message of a failed job.
+    pub error: Option<String>,
+    /// True when the job has already been resumed at least once.
+    pub resumed: bool,
+}
+
+/// Cache-policy wire names.
+pub fn policy_name(policy: CachePolicy) -> &'static str {
+    match policy {
+        CachePolicy::Lru => "lru",
+        CachePolicy::Clock => "clock",
+    }
+}
+
+/// Parse a cache-policy wire name.
+pub fn policy_from_name(name: &str) -> Result<CachePolicy, String> {
+    match name {
+        "lru" => Ok(CachePolicy::Lru),
+        "clock" => Ok(CachePolicy::Clock),
+        other => Err(format!("unknown cache policy {other:?} (expected lru, clock)")),
+    }
+}
+
+fn opt_num(v: Option<u64>) -> Value {
+    match v {
+        Some(x) => n(x),
+        None => Value::Null,
+    }
+}
+
+fn opt_str(v: &Option<String>) -> Value {
+    match v {
+        Some(x) => s(x.clone()),
+        None => Value::Null,
+    }
+}
+
+/// Serialize a spec to its JSON object form (shared by the manifest and the
+/// submit protocol's echo).
+pub fn spec_to_value(spec: &JobSpec) -> Value {
+    obj(vec![
+        ("output", spec.output.as_ref().map_or(Value::Null, |p| s(p.display().to_string()))),
+        ("default", opt_str(&spec.default_rule)),
+        ("keys", Value::Arr(spec.keys.iter().map(|k| s(k.clone())).collect())),
+        ("block", n(spec.block_size as u64)),
+        ("mem_frames", n(spec.mem_frames as u64)),
+        ("threshold", opt_num(spec.threshold)),
+        ("depth_limit", opt_num(spec.depth_limit.map(u64::from))),
+        ("degeneration", b(spec.degeneration)),
+        ("cache_frames", n(spec.cache_frames as u64)),
+        ("cache_policy", s(policy_name(spec.cache_policy))),
+        ("write_back", b(spec.write_back)),
+        ("io_workers", n(spec.io_workers as u64)),
+        ("prefetch_depth", n(spec.prefetch_depth as u64)),
+        ("write_behind", b(spec.write_behind)),
+        ("stripe", n(spec.stripe as u64)),
+        ("parity_group", n(spec.parity_group as u64)),
+        ("pretty", b(spec.pretty)),
+        ("crash_after_ios", opt_num(spec.crash_after_ios)),
+    ])
+}
+
+/// Parse the spec fields out of a JSON object (absent fields keep their
+/// defaults). The `input` field is handled by the caller: the protocol
+/// accepts `input` (a path) or `xml` (inline text); the manifest always
+/// uses the job-local copy.
+pub fn spec_from_value(v: &Value) -> Result<JobSpec, String> {
+    let mut spec = JobSpec::default();
+    let get_usize = |key: &str| -> Result<Option<usize>, String> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(x) => x
+                .as_u64()
+                .map(|u| Some(u as usize))
+                .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+        }
+    };
+    let get_bool = |key: &str| -> Result<Option<bool>, String> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(x) => {
+                x.as_bool().map(Some).ok_or_else(|| format!("field {key:?} must be a boolean"))
+            }
+        }
+    };
+    if let Some(out) = v.get("output") {
+        if let Some(path) = out.as_str() {
+            spec.output = Some(PathBuf::from(path));
+        }
+    }
+    if let Some(d) = v.get("default") {
+        if let Some(rule) = d.as_str() {
+            spec.default_rule = Some(rule.to_string());
+        }
+    }
+    if let Some(keys) = v.get("keys") {
+        let items = keys.as_arr().ok_or("field \"keys\" must be an array of TAG=RULE strings")?;
+        for item in items {
+            spec.keys.push(item.as_str().ok_or("field \"keys\" must contain strings")?.to_string());
+        }
+    }
+    if let Some(x) = get_usize("block")? {
+        spec.block_size = x;
+    }
+    if let Some(x) = get_usize("mem_frames")? {
+        spec.mem_frames = x;
+    }
+    if let Some(x) = get_usize("threshold")? {
+        spec.threshold = Some(x as u64);
+    }
+    if let Some(x) = get_usize("depth_limit")? {
+        spec.depth_limit = Some(x as u32);
+    }
+    if let Some(x) = get_bool("degeneration")? {
+        spec.degeneration = x;
+    }
+    if let Some(x) = get_usize("cache_frames")? {
+        spec.cache_frames = x;
+    }
+    if let Some(p) = v.get("cache_policy") {
+        if let Some(name) = p.as_str() {
+            spec.cache_policy = policy_from_name(name)?;
+        }
+    }
+    if let Some(x) = get_bool("write_back")? {
+        spec.write_back = x;
+    }
+    if let Some(x) = get_usize("io_workers")? {
+        spec.io_workers = x;
+    }
+    if let Some(x) = get_usize("prefetch_depth")? {
+        spec.prefetch_depth = x;
+    }
+    if let Some(x) = get_bool("write_behind")? {
+        spec.write_behind = x;
+    }
+    if let Some(x) = get_usize("stripe")? {
+        spec.stripe = x.max(1);
+    }
+    if let Some(x) = get_usize("parity_group")? {
+        spec.parity_group = x;
+    }
+    if let Some(x) = get_bool("pretty")? {
+        spec.pretty = x;
+    }
+    if let Some(x) = get_usize("crash_after_ios")? {
+        spec.crash_after_ios = Some(x as u64);
+    }
+    Ok(spec)
+}
+
+impl Manifest {
+    /// Serialize to the `job.json` document.
+    pub fn to_json(&self) -> String {
+        let staged = match &self.staged {
+            None => Value::Null,
+            Some((blocks, len)) => obj(vec![
+                ("blocks", Value::Arr(blocks.iter().map(|&id| n(id)).collect())),
+                ("len", n(*len)),
+            ]),
+        };
+        obj(vec![
+            ("id", n(self.id)),
+            ("state", s(self.state.name())),
+            ("spec", spec_to_value(&self.spec)),
+            ("staged", staged),
+            ("error", opt_str(&self.error)),
+            ("resumed", b(self.resumed)),
+        ])
+        .to_json()
+    }
+
+    /// Parse a `job.json` document. `job_dir` supplies the input path (the
+    /// manifest never records it; the copy is always `job_dir/input.xml`).
+    pub fn from_json(text: &str, job_dir: &Path) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let id = v.get("id").and_then(Value::as_u64).ok_or("manifest missing \"id\"")?;
+        let state = JobState::from_name(
+            v.get("state").and_then(Value::as_str).ok_or("manifest missing \"state\"")?,
+        )?;
+        let mut spec = spec_from_value(v.get("spec").ok_or("manifest missing \"spec\"")?)?;
+        spec.input = JobInput::Path(job_dir.join("input.xml"));
+        let staged = match v.get("staged") {
+            None | Some(Value::Null) => None,
+            Some(st) => {
+                let blocks = st
+                    .get("blocks")
+                    .and_then(Value::as_arr)
+                    .ok_or("manifest \"staged\" missing \"blocks\"")?
+                    .iter()
+                    .map(|b| b.as_u64().ok_or("staged block ids must be integers"))
+                    .collect::<Result<Vec<u64>, _>>()?;
+                let len = st
+                    .get("len")
+                    .and_then(Value::as_u64)
+                    .ok_or("manifest \"staged\" missing \"len\"")?;
+                Some((blocks, len))
+            }
+        };
+        let error = v.get("error").and_then(Value::as_str).map(str::to_string);
+        let resumed = v.get("resumed").and_then(Value::as_bool).unwrap_or(false);
+        Ok(Self { id, state, spec, staged, error, resumed })
+    }
+
+    /// Write the manifest atomically (temp file + rename) into `job_dir`.
+    pub fn store(&self, job_dir: &Path) -> Result<(), String> {
+        let tmp = job_dir.join("job.json.tmp");
+        let dst = job_dir.join("job.json");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| format!("cannot write manifest {tmp:?}: {e}"))?;
+        std::fs::rename(&tmp, &dst).map_err(|e| format!("cannot commit manifest {dst:?}: {e}"))
+    }
+
+    /// Load the manifest from `job_dir`, if one exists.
+    pub fn load(job_dir: &Path) -> Result<Option<Self>, String> {
+        let path = job_dir.join("job.json");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Self::from_json(&text, job_dir).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("cannot read manifest {path:?}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifests_round_trip() {
+        let spec = JobSpec {
+            output: Some(PathBuf::from("/tmp/out.xml")),
+            default_rule: Some("@k:num".into()),
+            keys: vec!["t=@a".into(), "u=@b:desc".into()],
+            block_size: 256,
+            mem_frames: 16,
+            threshold: Some(512),
+            depth_limit: Some(3),
+            degeneration: true,
+            cache_frames: 8,
+            cache_policy: CachePolicy::Clock,
+            write_back: true,
+            io_workers: 2,
+            prefetch_depth: 4,
+            write_behind: true,
+            stripe: 3,
+            parity_group: 4,
+            pretty: true,
+            crash_after_ios: Some(77),
+            ..JobSpec::default()
+        };
+        let m = Manifest {
+            id: 9,
+            state: JobState::Interrupted,
+            spec,
+            staged: Some((vec![5, 6, 7], 1234)),
+            error: None,
+            resumed: true,
+        };
+        let back = Manifest::from_json(&m.to_json(), Path::new("/jobs/job-9")).unwrap();
+        assert_eq!(back.id, 9);
+        assert_eq!(back.state, JobState::Interrupted);
+        assert_eq!(back.staged, Some((vec![5, 6, 7], 1234)));
+        assert!(back.resumed);
+        assert_eq!(back.spec.block_size, 256);
+        assert_eq!(back.spec.mem_frames, 16);
+        assert_eq!(back.spec.threshold, Some(512));
+        assert_eq!(back.spec.depth_limit, Some(3));
+        assert!(back.spec.degeneration && back.spec.write_back && back.spec.write_behind);
+        assert_eq!(back.spec.cache_policy, CachePolicy::Clock);
+        assert_eq!(back.spec.stripe, 3);
+        assert_eq!(back.spec.parity_group, 4);
+        assert_eq!(back.spec.crash_after_ios, Some(77));
+        assert_eq!(back.spec.keys, vec!["t=@a".to_string(), "u=@b:desc".to_string()]);
+        match &back.spec.input {
+            JobInput::Path(p) => assert_eq!(p, Path::new("/jobs/job-9/input.xml")),
+            other => panic!("expected job-local input path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn states_round_trip_and_classify() {
+        for st in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Canceled,
+            JobState::Interrupted,
+        ] {
+            assert_eq!(JobState::from_name(st.name()).unwrap(), st);
+        }
+        assert!(JobState::Done.is_terminal());
+        assert!(!JobState::Interrupted.is_terminal(), "interrupted jobs resume on restart");
+        assert!(JobState::from_name("zombie").is_err());
+    }
+
+    #[test]
+    fn store_and_load_are_atomic_siblings() {
+        let dir = std::env::temp_dir().join(format!("xjob-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Manifest::load(&dir).unwrap().is_none());
+        let m = Manifest {
+            id: 1,
+            state: JobState::Queued,
+            spec: JobSpec::default(),
+            staged: None,
+            error: Some("boom".into()),
+            resumed: false,
+        };
+        m.store(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap().expect("stored");
+        assert_eq!(back.error.as_deref(), Some("boom"));
+        assert!(!dir.join("job.json.tmp").exists(), "temp file was renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

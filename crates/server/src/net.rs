@@ -1,0 +1,443 @@
+//! Wire protocol: newline-delimited JSON over a Unix or TCP socket.
+//!
+//! # Grammar
+//!
+//! One request per line, one response per line, UTF-8, no framing beyond
+//! the newline. Every request is an object with an `"op"` field:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"submit","spec":{...}}          -> {"ok":true,"id":3}
+//! {"op":"status","id":3}                -> {"ok":true,"job":{...}}
+//! {"op":"wait","id":3,"timeout_ms":N}   -> {"ok":true,"job":{...}}
+//! {"op":"fetch","id":3}                 -> {"ok":true,"output":"<xml.."}
+//! {"op":"cancel","id":3}                -> {"ok":true,"canceled":true}
+//! {"op":"list"}                         -> {"ok":true,"jobs":[...]}
+//! {"op":"stats"}                        -> {"ok":true,"stats":{...}}
+//! {"op":"shutdown"}                     -> {"ok":true}
+//! ```
+//!
+//! Failures are `{"ok":false,"error":"..."}`; a full queue additionally
+//! sets `"busy":true` so clients can distinguish backpressure (retry
+//! later) from rejection (fix the job).
+//!
+//! Addresses are `unix:/path/to.sock` or `host:port`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::job::{spec_from_value, spec_to_value};
+use crate::json::{b, n, obj, parse, s, Value};
+use crate::server::{JobStatus, Server, ServerStats, SubmitError};
+
+/// A parsed listen/connect address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// `unix:/path/to.sock`
+    Unix(PathBuf),
+    /// `host:port`
+    Tcp(String),
+}
+
+/// Parse `unix:/path` or `host:port`.
+pub fn parse_addr(addr: &str) -> Result<Addr, String> {
+    if let Some(path) = addr.strip_prefix("unix:") {
+        if path.is_empty() {
+            return Err("unix: address needs a socket path".into());
+        }
+        return Ok(Addr::Unix(PathBuf::from(path)));
+    }
+    match addr.rsplit_once(':') {
+        Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+            Ok(Addr::Tcp(addr.to_string()))
+        }
+        _ => Err(format!("bad address {addr:?}: expected unix:/path or host:port")),
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(st) => st.read(buf),
+            Stream::Tcp(st) => st.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(st) => st.write(buf),
+            Stream::Tcp(st) => st.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(st) => st.flush(),
+            Stream::Tcp(st) => st.flush(),
+        }
+    }
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(st) => Stream::Unix(st.try_clone()?),
+            Stream::Tcp(st) => Stream::Tcp(st.try_clone()?),
+        })
+    }
+}
+
+/// Serve `server` on `addr` until a client sends `{"op":"shutdown"}`.
+/// Blocks the calling thread; on return the listener is closed, running
+/// jobs have finished, and queued jobs are parked in their manifests.
+pub fn serve(server: Server, addr: &str) -> Result<(), String> {
+    let parsed = parse_addr(addr)?;
+    let listener = match &parsed {
+        Addr::Unix(path) => {
+            // A dead daemon leaves its socket file behind; reclaim it.
+            let _ = std::fs::remove_file(path);
+            Listener::Unix(UnixListener::bind(path).map_err(|e| format!("bind {path:?}: {e}"))?)
+        }
+        Addr::Tcp(hostport) => {
+            Listener::Tcp(TcpListener::bind(hostport).map_err(|e| format!("bind {hostport}: {e}"))?)
+        }
+    };
+    match &listener {
+        Listener::Unix(l) => l.set_nonblocking(true),
+        Listener::Tcp(l) => l.set_nonblocking(true),
+    }
+    .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+    let server = Arc::new(server);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let accepted = match &listener {
+            Listener::Unix(l) => l.accept().map(|(st, _)| Stream::Unix(st)),
+            Listener::Tcp(l) => l.accept().map(|(st, _)| Stream::Tcp(st)),
+        };
+        match accepted {
+            Ok(stream) => {
+                let server = server.clone();
+                let stop = stop.clone();
+                conns.push(std::thread::spawn(move || {
+                    handle_conn(&server, &stop, stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                conns.retain(|h| !h.is_finished());
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    for handle in conns {
+        let _ = handle.join();
+    }
+    if let Addr::Unix(path) = &parsed {
+        let _ = std::fs::remove_file(path);
+    }
+    // Last reference: drops the Server, which joins the worker pool.
+    drop(server);
+    Ok(())
+}
+
+fn handle_conn(server: &Server, stop: &AtomicBool, stream: Stream) {
+    let Ok(writer) = stream.try_clone() else { return };
+    let mut writer = std::io::BufWriter::new(writer);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, shutdown) = match parse(&line) {
+            Ok(req) => dispatch(server, &req),
+            Err(e) => (err_value(&format!("bad request: {e}"), false), false),
+        };
+        let mut text = resp.to_json();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+}
+
+fn err_value(msg: &str, busy: bool) -> Value {
+    let mut fields = vec![("ok", b(false)), ("error", s(msg))];
+    if busy {
+        fields.push(("busy", b(true)));
+    }
+    obj(fields)
+}
+
+fn req_id(req: &Value) -> Result<u64, Value> {
+    req.get("id").and_then(Value::as_u64).ok_or_else(|| err_value("missing numeric \"id\"", false))
+}
+
+/// Map one request to one response; the bool asks the accept loop to stop.
+fn dispatch(server: &Server, req: &Value) -> (Value, bool) {
+    let op = req.get("op").and_then(Value::as_str).unwrap_or("");
+    match op {
+        "ping" => (obj(vec![("ok", b(true))]), false),
+        "submit" => {
+            let spec = match req.get("spec") {
+                Some(v) => spec_from_value(v).and_then(|mut spec| {
+                    // The input rides next to the spec fields: "xml" carries
+                    // the document inline; "input" names a daemon-visible path.
+                    if let Some(xml) = v.get("xml").and_then(Value::as_str) {
+                        spec.input = crate::job::JobInput::Inline(xml.as_bytes().to_vec());
+                        Ok(spec)
+                    } else if let Some(path) = v.get("input").and_then(Value::as_str) {
+                        spec.input = crate::job::JobInput::Path(PathBuf::from(path));
+                        Ok(spec)
+                    } else {
+                        Err("spec needs \"xml\" (inline document) or \"input\" (path)".into())
+                    }
+                }),
+                None => Err("missing \"spec\"".into()),
+            };
+            match spec {
+                Ok(spec) => match server.submit(spec) {
+                    Ok(id) => (obj(vec![("ok", b(true)), ("id", n(id))]), false),
+                    Err(SubmitError::Busy(msg)) => (err_value(&msg, true), false),
+                    Err(SubmitError::Invalid(msg)) => (err_value(&msg, false), false),
+                },
+                Err(e) => (err_value(&e, false), false),
+            }
+        }
+        "status" => match req_id(req) {
+            Ok(id) => match server.status(id) {
+                Some(st) => (obj(vec![("ok", b(true)), ("job", status_value(&st))]), false),
+                None => (err_value(&format!("no such job {id}"), false), false),
+            },
+            Err(resp) => (resp, false),
+        },
+        "wait" => match req_id(req) {
+            Ok(id) => {
+                let timeout = req.get("timeout_ms").and_then(Value::as_u64).unwrap_or(60_000);
+                match server.wait(id, Duration::from_millis(timeout)) {
+                    Some(st) => (obj(vec![("ok", b(true)), ("job", status_value(&st))]), false),
+                    None => (err_value(&format!("no such job {id}"), false), false),
+                }
+            }
+            Err(resp) => (resp, false),
+        },
+        "fetch" => match req_id(req) {
+            Ok(id) => match server.fetch_output(id) {
+                Ok(bytes) => (
+                    obj(vec![
+                        ("ok", b(true)),
+                        ("output", s(String::from_utf8_lossy(&bytes).into_owned())),
+                    ]),
+                    false,
+                ),
+                Err(e) => (err_value(&e, false), false),
+            },
+            Err(resp) => (resp, false),
+        },
+        "cancel" => match req_id(req) {
+            Ok(id) => (obj(vec![("ok", b(true)), ("canceled", b(server.cancel(id)))]), false),
+            Err(resp) => (resp, false),
+        },
+        "list" => {
+            let jobs = server.list().iter().map(status_value).collect();
+            (obj(vec![("ok", b(true)), ("jobs", Value::Arr(jobs))]), false)
+        }
+        "stats" => (obj(vec![("ok", b(true)), ("stats", stats_value(&server.stats()))]), false),
+        "shutdown" => (obj(vec![("ok", b(true))]), true),
+        other => (err_value(&format!("unknown op {other:?}"), false), false),
+    }
+}
+
+fn status_value(st: &JobStatus) -> Value {
+    let mut fields = vec![
+        ("id", n(st.id)),
+        ("state", s(st.state.name())),
+        ("output", s(st.output.display().to_string())),
+        ("resumed", b(st.resumed)),
+    ];
+    if let Some(e) = &st.error {
+        fields.push(("error", s(e)));
+    }
+    if let Some(latency) = st.latency {
+        fields.push(("latency_ms", Value::Num(latency.as_secs_f64() * 1000.0)));
+    }
+    if let Some(report) = &st.report {
+        fields.push((
+            "report",
+            obj(vec![
+                ("records", n(report.n_records)),
+                ("input_bytes", n(report.input_bytes)),
+                ("logical_reads", n(report.io.total_reads())),
+                ("logical_writes", n(report.io.total_writes())),
+                ("physical_total", n(report.io.grand_total_physical())),
+                ("external_sorts", n(report.external_sorts as u64)),
+                ("resumed", b(report.resumed)),
+                ("committed_passes_skipped", n(report.committed_passes_skipped as u64)),
+                ("degraded", b(report.degraded)),
+                ("repairs", n(report.repairs)),
+                ("quarantined_blocks", n(report.quarantined_blocks)),
+                ("elapsed_ms", Value::Num(report.elapsed.as_secs_f64() * 1000.0)),
+            ]),
+        ));
+    }
+    obj(fields)
+}
+
+fn stats_value(st: &ServerStats) -> Value {
+    obj(vec![
+        ("workers", n(st.workers as u64)),
+        ("queue_depth", n(st.queue_depth as u64)),
+        ("queued", n(st.queued as u64)),
+        ("running", n(st.running as u64)),
+        ("done", n(st.done as u64)),
+        ("failed", n(st.failed as u64)),
+        ("canceled", n(st.canceled as u64)),
+        ("interrupted", n(st.interrupted as u64)),
+        ("submitted", n(st.submitted)),
+        ("resumed", n(st.resumed)),
+        ("budget_total", n(st.budget_total as u64)),
+        ("budget_used", n(st.budget_used as u64)),
+        ("budget_high_water", n(st.budget_high_water as u64)),
+        ("budget_waiters", n(st.budget_waiters as u64)),
+    ])
+}
+
+/// Client side: send one request line to `addr`, read one response line.
+pub fn request(addr: &str, req: &Value) -> Result<Value, String> {
+    let mut stream = connect(addr)?;
+    let mut text = req.to_json();
+    text.push('\n');
+    stream
+        .write_all(text.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read from {addr}: {e}"))?;
+    if line.trim().is_empty() {
+        return Err(format!("server at {addr} closed the connection"));
+    }
+    parse(line.trim())
+}
+
+/// Client side: a convenience wrapper building the request from a spec.
+/// Inline input is shipped in the request; a path input is sent as a path
+/// for the daemon to read (it must be visible to the daemon).
+pub fn request_submit(addr: &str, spec: &crate::job::JobSpec) -> Result<Value, String> {
+    let mut fields = match spec_to_value(spec) {
+        Value::Obj(fields) => fields,
+        _ => unreachable!("spec_to_value returns an object"),
+    };
+    match &spec.input {
+        crate::job::JobInput::Inline(bytes) => {
+            fields.push(("xml".into(), s(String::from_utf8_lossy(bytes).into_owned())))
+        }
+        crate::job::JobInput::Path(path) => {
+            fields.push(("input".into(), s(path.display().to_string())))
+        }
+    }
+    request(addr, &obj(vec![("op", s("submit")), ("spec", Value::Obj(fields))]))
+}
+
+fn connect(addr: &str) -> Result<Stream, String> {
+    match parse_addr(addr)? {
+        Addr::Unix(path) => UnixStream::connect(&path)
+            .map(Stream::Unix)
+            .map_err(|e| format!("connect {path:?}: {e}")),
+        Addr::Tcp(hostport) => TcpStream::connect(&hostport)
+            .map(Stream::Tcp)
+            .map_err(|e| format!("connect {hostport}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_parse() {
+        assert_eq!(parse_addr("unix:/tmp/x.sock"), Ok(Addr::Unix(PathBuf::from("/tmp/x.sock"))));
+        assert_eq!(parse_addr("127.0.0.1:7070"), Ok(Addr::Tcp("127.0.0.1:7070".into())));
+        assert!(parse_addr("unix:").is_err());
+        assert!(parse_addr("nonsense").is_err());
+        assert!(parse_addr("host:notaport").is_err());
+    }
+
+    #[test]
+    fn protocol_round_trips_over_a_unix_socket() {
+        use crate::job::{JobInput, JobSpec};
+        use crate::server::{Server, ServerConfig};
+
+        let dir = std::env::temp_dir().join(format!("nxsrv-net-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = format!("unix:{}", dir.join("srv.sock").display());
+        let server = Server::start(ServerConfig::new(2, dir.join("jobs"))).unwrap();
+        let addr = sock.clone();
+        let daemon = std::thread::spawn(move || serve(server, &addr));
+
+        // The daemon needs a beat to bind; ping until it answers.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match request(&sock, &obj(vec![("op", s("ping"))])) {
+                Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => break,
+                _ if std::time::Instant::now() > deadline => panic!("daemon never came up"),
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+
+        let spec = JobSpec {
+            input: JobInput::Inline(b"<r><x k=\"2\"/><x k=\"1\"/></r>".to_vec()),
+            default_rule: Some("@k".into()),
+            ..JobSpec::default()
+        };
+        let resp = request_submit(&sock, &spec).unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{}", resp.to_json());
+        let id = resp.get("id").and_then(Value::as_u64).unwrap();
+
+        let resp =
+            request(&sock, &obj(vec![("op", s("wait")), ("id", n(id)), ("timeout_ms", n(30_000))]))
+                .unwrap();
+        let job = resp.get("job").expect("wait returns the job");
+        assert_eq!(job.get("state").and_then(Value::as_str), Some("done"), "{}", resp.to_json());
+
+        let resp = request(&sock, &obj(vec![("op", s("fetch")), ("id", n(id))])).unwrap();
+        let xml = resp.get("output").and_then(Value::as_str).unwrap();
+        assert!(xml.contains("<x k=\"1\"></x><x k=\"2\"></x>"), "sorted by @k: {xml}");
+
+        let resp = request(&sock, &obj(vec![("op", s("stats"))])).unwrap();
+        let stats = resp.get("stats").unwrap();
+        assert_eq!(stats.get("done").and_then(Value::as_u64), Some(1));
+
+        // Unknown ops and malformed lines error without killing the server.
+        let resp = request(&sock, &obj(vec![("op", s("frobnicate"))])).unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+
+        let resp = request(&sock, &obj(vec![("op", s("shutdown"))])).unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+        daemon.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,848 @@
+//! The sort daemon: a bounded worker pool running journaled, resumable sort
+//! jobs under one globally-arbitrated memory budget.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//! submit -> queued -> running -> done
+//!              |         |-----> failed        (unrecoverable fault)
+//!              |         `-----> interrupted   (device froze mid-sort)
+//!              `-> canceled                    (cancel before a worker)
+//! interrupted/queued/running --[restart: Server::open]--> queued -> ...
+//! ```
+//!
+//! Admission control happens at `submit`: a job whose frame demand exceeds
+//! the global budget is rejected outright (it could never run), and a full
+//! queue pushes back with a busy error instead of queueing unboundedly.
+//! Once accepted, a job is durable: its input copy, manifest, and device
+//! file live in the server's job directory, so a killed daemon reopened
+//! with [`Server::open`] re-queues every unfinished job and resumes it from
+//! its on-device journal (PR-5 crash consistency) -- committed merge passes
+//! are never redone.
+//!
+//! # Threading
+//!
+//! The sorting substrate is deliberately single-threaded (`Rc`/`Cell`), so
+//! each job's entire device stack is built, used, and dropped on one worker
+//! thread. The only cross-thread pieces are plain-data [`JobSpec`]s, the
+//! job table, and the [`BudgetArbiter`]: a worker leases its job's frames
+//! (sort memory + private page cache) before building the stack and
+//! releases them when the job leaves the thread, so concurrent jobs share
+//! one machine-wide budget with strict-FIFO fairness.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use nexsort::{Nexsort, NexsortOptions, SortReport};
+use nexsort_baseline::stage_input;
+use nexsort_extmem::{BudgetArbiter, CrashPlan, Disk, DiskBuilder, DiskStack, ExtError, Extent};
+use nexsort_xml::{build_spec, XmlError};
+
+use crate::job::{JobInput, JobSpec, JobState, Manifest};
+
+/// Configuration of a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (concurrent jobs).
+    pub workers: usize,
+    /// Maximum jobs waiting in the queue before `submit` pushes back.
+    pub queue_depth: usize,
+    /// Global memory budget in frames, shared by all concurrent jobs.
+    pub budget_frames: usize,
+    /// Directory owning every job's input copy, device file, and manifest.
+    pub job_dir: PathBuf,
+}
+
+impl ServerConfig {
+    /// A config with `workers` threads and proportionate defaults, rooted
+    /// at `job_dir`.
+    pub fn new(workers: usize, job_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            workers: workers.max(1),
+            queue_depth: 16,
+            budget_frames: 4096,
+            job_dir: job_dir.into(),
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full; retry later (backpressure, not failure).
+    Busy(String),
+    /// The job can never run as specified.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy(msg) => write!(f, "busy: {msg}"),
+            SubmitError::Invalid(msg) => write!(f, "invalid job: {msg}"),
+        }
+    }
+}
+
+/// A queryable snapshot of one job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Error message of a failed job.
+    pub error: Option<String>,
+    /// Where the output landed (or will land).
+    pub output: PathBuf,
+    /// True when the job was resumed from its journal at least once.
+    pub resumed: bool,
+    /// The sort's full report, once the job is done.
+    pub report: Option<SortReport>,
+    /// Submit-to-finish latency, once the job is terminal.
+    pub latency: Option<Duration>,
+}
+
+/// Aggregate server counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue capacity.
+    pub queue_depth: usize,
+    /// Jobs currently waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently on a worker.
+    pub running: usize,
+    /// Jobs completed byte-exact.
+    pub done: usize,
+    /// Jobs failed.
+    pub failed: usize,
+    /// Jobs canceled before running.
+    pub canceled: usize,
+    /// Jobs frozen mid-sort, awaiting a restart.
+    pub interrupted: usize,
+    /// Jobs accepted over this instance's lifetime (including re-queued
+    /// jobs adopted by [`Server::open`]).
+    pub submitted: u64,
+    /// Jobs that went through journal resume.
+    pub resumed: u64,
+    /// Global budget: total frames.
+    pub budget_total: usize,
+    /// Global budget: frames currently leased.
+    pub budget_used: usize,
+    /// Global budget: high-water mark of simultaneous leases.
+    pub budget_high_water: usize,
+    /// Requests parked in the budget's FIFO waiter queue.
+    pub budget_waiters: usize,
+}
+
+/// One job's record in the in-memory table.
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    /// Start via journal resume (set for jobs adopted from manifests).
+    resume: bool,
+    error: Option<String>,
+    report: Option<SortReport>,
+    output: PathBuf,
+    submitted: Instant,
+    latency: Option<Duration>,
+    resumed: bool,
+}
+
+struct Core {
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, JobRecord>,
+    next_id: u64,
+    submitted: u64,
+    resumed_total: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    arbiter: BudgetArbiter,
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The daemon: owns the worker pool and the job table. Dropping (or
+/// [`shutdown`](Server::shutdown)) stops the workers after their current
+/// job; everything else is durable in the job directory.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Journal extent size for a given block size: 32 blocks, clamped so the
+/// header still self-describes the extent within one block.
+pub fn journal_blocks(block_size: usize) -> usize {
+    32usize.min(((block_size.saturating_sub(28)) / 8).max(2))
+}
+
+impl Server {
+    /// Start a fresh server over `cfg.job_dir` (created if missing).
+    pub fn start(cfg: ServerConfig) -> Result<Self, String> {
+        std::fs::create_dir_all(&cfg.job_dir)
+            .map_err(|e| format!("cannot create job dir {:?}: {e}", cfg.job_dir))?;
+        Ok(Self::boot(cfg, Vec::new()))
+    }
+
+    /// Open an existing job directory: adopt every persisted job, re-queue
+    /// the unfinished ones (resuming from their journals), and start the
+    /// workers. This is the restart path after a daemon death.
+    pub fn open(cfg: ServerConfig) -> Result<Self, String> {
+        std::fs::create_dir_all(&cfg.job_dir)
+            .map_err(|e| format!("cannot create job dir {:?}: {e}", cfg.job_dir))?;
+        let mut adopted = Vec::new();
+        let entries = std::fs::read_dir(&cfg.job_dir)
+            .map_err(|e| format!("cannot scan job dir {:?}: {e}", cfg.job_dir))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot scan job dir: {e}"))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with("job-") {
+                continue;
+            }
+            match Manifest::load(&entry.path())? {
+                Some(m) => adopted.push(m),
+                None => continue,
+            }
+        }
+        adopted.sort_by_key(|m| m.id);
+        Ok(Self::boot(cfg, adopted))
+    }
+
+    fn boot(cfg: ServerConfig, adopted: Vec<Manifest>) -> Self {
+        let mut core = Core {
+            queue: VecDeque::new(),
+            jobs: BTreeMap::new(),
+            next_id: adopted.iter().map(|m| m.id + 1).max().unwrap_or(0),
+            submitted: 0,
+            resumed_total: 0,
+            shutdown: false,
+        };
+        for m in adopted {
+            let unfinished = !m.state.is_terminal();
+            // A job with a staged input extent has a device image (and
+            // journal) worth reattaching; one without re-runs from its
+            // input copy.
+            let resume = unfinished && m.staged.is_some();
+            let output = resolve_output(&cfg, m.id, &m.spec);
+            core.jobs.insert(
+                m.id,
+                JobRecord {
+                    spec: m.spec,
+                    state: if unfinished { JobState::Queued } else { m.state },
+                    resume,
+                    error: m.error,
+                    report: None,
+                    output,
+                    submitted: Instant::now(),
+                    latency: None,
+                    resumed: m.resumed,
+                },
+            );
+            if unfinished {
+                core.queue.push_back(m.id);
+                core.submitted += 1;
+            }
+        }
+        let shared = Arc::new(Shared {
+            arbiter: BudgetArbiter::new(cfg.budget_frames),
+            cfg,
+            core: Mutex::new(core),
+            cv: Condvar::new(),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let sh = shared.clone();
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The job directory this server owns.
+    pub fn job_dir(&self) -> &PathBuf {
+        &self.shared.cfg.job_dir
+    }
+
+    /// Submit a job. Validates the spec, copies the input into the job
+    /// directory, persists the manifest, and queues the job. Backpressure:
+    /// a full queue returns [`SubmitError::Busy`] without accepting.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<u64, SubmitError> {
+        // Validation first: reject what could never run.
+        build_spec(spec.default_rule.as_deref(), &spec.keys).map_err(SubmitError::Invalid)?;
+        if spec.block_size < 64 {
+            return Err(SubmitError::Invalid(format!(
+                "block size {} is below the 64-byte minimum",
+                spec.block_size
+            )));
+        }
+        spec.mem_frames = spec.mem_frames.max(NexsortOptions::MIN_MEM_FRAMES);
+        spec.stripe = spec.stripe.max(1);
+        if spec.frames_needed() > self.shared.arbiter.total_frames() {
+            return Err(SubmitError::Invalid(format!(
+                "job needs {} frames ({} sort + {} cache); the global budget is {}",
+                spec.frames_needed(),
+                spec.mem_frames,
+                spec.cache_frames,
+                self.shared.arbiter.total_frames()
+            )));
+        }
+        let input_bytes = match &spec.input {
+            JobInput::Path(path) => std::fs::read(path)
+                .map_err(|e| SubmitError::Invalid(format!("cannot read {path:?}: {e}")))?,
+            JobInput::Inline(bytes) => bytes.clone(),
+        };
+        if nexsort_xml::is_xrec(&input_bytes) {
+            return Err(SubmitError::Invalid(
+                "server jobs take XML text; .xrec inputs are not resumable across restarts".into(),
+            ));
+        }
+        // Admission: reserve a queue slot (or push back) and an id.
+        let id = {
+            let mut core = self.shared.lock();
+            if core.shutdown {
+                return Err(SubmitError::Busy("server is shutting down".into()));
+            }
+            if core.queue.len() >= self.shared.cfg.queue_depth {
+                return Err(SubmitError::Busy(format!(
+                    "queue full ({} job(s) waiting); retry later",
+                    core.queue.len()
+                )));
+            }
+            let id = core.next_id;
+            core.next_id += 1;
+            id
+        };
+        // Make the job durable before announcing it.
+        let job_dir = self.shared.cfg.job_dir.join(format!("job-{id}"));
+        let persist = (|| -> Result<(), String> {
+            std::fs::create_dir_all(&job_dir).map_err(|e| format!("mkdir {job_dir:?}: {e}"))?;
+            std::fs::write(job_dir.join("input.xml"), &input_bytes)
+                .map_err(|e| format!("cannot copy input: {e}"))?;
+            let mut stored = spec.clone();
+            stored.input = JobInput::Path(job_dir.join("input.xml"));
+            Manifest {
+                id,
+                state: JobState::Queued,
+                spec: stored,
+                staged: None,
+                error: None,
+                resumed: false,
+            }
+            .store(&job_dir)
+        })();
+        if let Err(e) = persist {
+            return Err(SubmitError::Invalid(e));
+        }
+        spec.input = JobInput::Path(job_dir.join("input.xml"));
+        let output = resolve_output(&self.shared.cfg, id, &spec);
+        let mut core = self.shared.lock();
+        core.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                resume: false,
+                error: None,
+                report: None,
+                output,
+                submitted: Instant::now(),
+                latency: None,
+                resumed: false,
+            },
+        );
+        core.queue.push_back(id);
+        core.submitted += 1;
+        drop(core);
+        self.shared.cv.notify_all();
+        Ok(id)
+    }
+
+    /// Status of one job.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let core = self.shared.lock();
+        core.jobs.get(&id).map(|r| snapshot(id, r))
+    }
+
+    /// Status of every known job, in id order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let core = self.shared.lock();
+        core.jobs.iter().map(|(&id, r)| snapshot(id, r)).collect()
+    }
+
+    /// Cancel a queued job. Returns true when the job was dequeued; a job
+    /// already on a worker runs to completion (the sorting substrate is
+    /// single-threaded and cannot be interrupted across threads) and
+    /// cancel returns false.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut core = self.shared.lock();
+        let Some(rec) = core.jobs.get_mut(&id) else { return false };
+        if rec.state != JobState::Queued {
+            return false;
+        }
+        rec.state = JobState::Canceled;
+        rec.latency = Some(rec.submitted.elapsed());
+        let spec = rec.spec.clone();
+        let resumed = rec.resumed;
+        core.queue.retain(|&q| q != id);
+        drop(core);
+        let job_dir = self.shared.cfg.job_dir.join(format!("job-{id}"));
+        let _ =
+            Manifest { id, state: JobState::Canceled, spec, staged: None, error: None, resumed }
+                .store(&job_dir);
+        true
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        let core = self.shared.lock();
+        let mut st = ServerStats {
+            workers: self.shared.cfg.workers,
+            queue_depth: self.shared.cfg.queue_depth,
+            submitted: core.submitted,
+            resumed: core.resumed_total,
+            budget_total: self.shared.arbiter.total_frames(),
+            budget_used: self.shared.arbiter.used_frames(),
+            budget_high_water: self.shared.arbiter.high_water_frames(),
+            budget_waiters: self.shared.arbiter.waiters(),
+            ..ServerStats::default()
+        };
+        for rec in core.jobs.values() {
+            match rec.state {
+                JobState::Queued => st.queued += 1,
+                JobState::Running => st.running += 1,
+                JobState::Done => st.done += 1,
+                JobState::Failed => st.failed += 1,
+                JobState::Canceled => st.canceled += 1,
+                JobState::Interrupted => st.interrupted += 1,
+            }
+        }
+        st
+    }
+
+    /// Read the finished output of a done job.
+    pub fn fetch_output(&self, id: u64) -> Result<Vec<u8>, String> {
+        let (state, output) = {
+            let core = self.shared.lock();
+            let rec = core.jobs.get(&id).ok_or_else(|| format!("no such job {id}"))?;
+            (rec.state, rec.output.clone())
+        };
+        if state != JobState::Done {
+            return Err(format!("job {id} is {}, not done", state.name()));
+        }
+        std::fs::read(&output).map_err(|e| format!("cannot read output {output:?}: {e}"))
+    }
+
+    /// Block until job `id` reaches a settled state (terminal or
+    /// interrupted) or `timeout` passes. Returns the final status.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if status.state.is_terminal() || status.state == JobState::Interrupted {
+                return Some(status);
+            }
+            if Instant::now() >= deadline {
+                return Some(status);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Block until no job is queued or running, or `timeout` passes.
+    /// Returns true when the server is idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let core = self.shared.lock();
+                let busy = !core.queue.is_empty()
+                    || core.jobs.values().any(|r| matches!(r.state, JobState::Running));
+                if !busy {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stop accepting work, let running jobs finish, and join the workers.
+    /// Queued jobs stay queued in their manifests and run on the next
+    /// [`Server::open`].
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        {
+            let mut core = self.shared.lock();
+            core.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn snapshot(id: u64, rec: &JobRecord) -> JobStatus {
+    JobStatus {
+        id,
+        state: rec.state,
+        error: rec.error.clone(),
+        output: rec.output.clone(),
+        resumed: rec.resumed,
+        report: rec.report.clone(),
+        latency: rec.latency,
+    }
+}
+
+/// Where a job's output lands: the requested path, or `out.xml` in the job
+/// directory.
+fn resolve_output(cfg: &ServerConfig, id: u64, spec: &JobSpec) -> PathBuf {
+    match &spec.output {
+        Some(path) => path.clone(),
+        None => cfg.job_dir.join(format!("job-{id}")).join("out.xml"),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut core = shared.lock();
+            loop {
+                if core.shutdown {
+                    return;
+                }
+                if let Some(id) = core.queue.pop_front() {
+                    break id;
+                }
+                core = shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_job(shared, id);
+    }
+}
+
+/// Run one job end to end on this thread. Every failure path lands in the
+/// job record and manifest; this function never panics the worker.
+fn run_job(shared: &Arc<Shared>, id: u64) {
+    let (spec, resume, was_resumed) = {
+        let mut core = shared.lock();
+        let Some(rec) = core.jobs.get_mut(&id) else { return };
+        rec.state = JobState::Running;
+        (rec.spec.clone(), rec.resume, rec.resumed)
+    };
+    let job_dir = shared.cfg.job_dir.join(format!("job-{id}"));
+    let manifest = |state: JobState,
+                    staged: &Option<(Vec<u64>, u64)>,
+                    error: Option<String>,
+                    resumed: bool| {
+        let mut stored = spec.clone();
+        stored.input = JobInput::Path(job_dir.join("input.xml"));
+        let _ = Manifest { id, state, spec: stored, staged: staged.clone(), error, resumed }
+            .store(&job_dir);
+    };
+    let resumed_now = was_resumed || resume;
+    // Keep whatever input extent an earlier (interrupted) run staged: the
+    // resume path reattaches through it.
+    let prior_staged = Manifest::load(&job_dir).ok().flatten().and_then(|m| m.staged);
+    manifest(JobState::Running, &prior_staged, None, resumed_now);
+    if resume {
+        let mut core = shared.lock();
+        core.resumed_total += 1;
+        if let Some(rec) = core.jobs.get_mut(&id) {
+            rec.resumed = true;
+        }
+    }
+
+    // Lease the job's frames from the global budget (strict-FIFO; blocks
+    // until admitted) for the whole on-thread lifetime of the stack.
+    let lease = match shared.arbiter.acquire(spec.frames_needed()) {
+        Ok(lease) => lease,
+        Err(e) => {
+            finish(shared, id, JobState::Failed, Some(format!("budget lease: {e}")), None);
+            manifest(JobState::Failed, &None, Some(format!("budget lease: {e}")), resumed_now);
+            return;
+        }
+    };
+
+    let outcome = execute(shared, id, &spec, resume, &job_dir, &manifest);
+    drop(lease);
+    match outcome {
+        Outcome::Done(report) => finish(shared, id, JobState::Done, None, Some(*report)),
+        Outcome::Interrupted => finish(shared, id, JobState::Interrupted, None, None),
+        Outcome::Failed(msg) => finish(shared, id, JobState::Failed, Some(msg), None),
+    }
+}
+
+enum Outcome {
+    Done(Box<SortReport>),
+    Interrupted,
+    Failed(String),
+}
+
+/// Writer closure persisting the job manifest at each state change
+/// (state, staged input extent, error, resumed).
+type ManifestWriter<'a> = dyn Fn(JobState, &Option<(Vec<u64>, u64)>, Option<String>, bool) + 'a;
+
+fn finish(
+    shared: &Arc<Shared>,
+    id: u64,
+    state: JobState,
+    error: Option<String>,
+    report: Option<SortReport>,
+) {
+    let mut core = shared.lock();
+    if let Some(rec) = core.jobs.get_mut(&id) {
+        rec.state = state;
+        rec.error = error;
+        rec.report = report;
+        rec.latency = Some(rec.submitted.elapsed());
+    }
+}
+
+/// The single-threaded portion: device stack, staging, sort (or resume),
+/// output. Everything `Rc` lives and dies inside this call.
+fn execute(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &JobSpec,
+    resume: bool,
+    job_dir: &std::path::Path,
+    manifest: &ManifestWriter<'_>,
+) -> Outcome {
+    let sortspec = match build_spec(spec.default_rule.as_deref(), &spec.keys) {
+        Ok(sp) => sp,
+        Err(e) => return Outcome::Failed(format!("ordering criterion: {e}")),
+    };
+    let device_path = job_dir.join("device.bin");
+    let mut builder = DiskBuilder::new(spec.block_size).stripe(spec.stripe);
+    builder = if resume { builder.open_file(&device_path) } else { builder.file(&device_path) };
+    if !resume && spec.crash_after_ios.is_some() {
+        // Created disarmed; armed only after staging so the crash point
+        // counts I/Os of the sort proper, exactly like the CLI.
+        builder = builder.crash(CrashPlan::Disarmed);
+    }
+    let DiskStack { disk, injectors: _injectors, crash } = match builder.build() {
+        Ok(stack) => stack,
+        Err(e) => return Outcome::Failed(e.to_string()),
+    };
+
+    // Stage (or reattach) the input.
+    let manifest_of = Manifest::load(job_dir).ok().flatten();
+    let (input, staged) = if resume {
+        match manifest_of.as_ref().and_then(|m| m.staged.clone()) {
+            Some((blocks, len)) => {
+                let ext = Extent::from_raw(blocks.clone(), len);
+                (ext, Some((blocks, len)))
+            }
+            None => return Outcome::Failed("resume without a staged input extent".into()),
+        }
+    } else {
+        let bytes = match std::fs::read(job_dir.join("input.xml")) {
+            Ok(b) => b,
+            Err(e) => return Outcome::Failed(format!("cannot read input copy: {e}")),
+        };
+        match stage_input(&disk, &bytes) {
+            Ok(ext) => {
+                let staged = Some((ext.blocks().to_vec(), ext.len()));
+                (ext, staged)
+            }
+            Err(e) => return Outcome::Failed(format!("staging: {e}")),
+        }
+    };
+    // The staged extent is what a restart reattaches: persist it before the
+    // sort can be interrupted.
+    manifest(JobState::Running, &staged, None, resume);
+
+    let opts = NexsortOptions {
+        mem_frames: spec.mem_frames,
+        threshold: spec.threshold,
+        depth_limit: spec.depth_limit,
+        degeneration: spec.degeneration,
+        cache_frames: spec.cache_frames,
+        cache_policy: spec.cache_policy,
+        cache_write_mode: if spec.write_back {
+            nexsort_extmem::WriteMode::Back
+        } else {
+            nexsort_extmem::WriteMode::Through
+        },
+        io_workers: spec.io_workers,
+        prefetch_depth: spec.prefetch_depth,
+        write_behind: spec.write_behind,
+        checkpoint: true,
+        journal_blocks: journal_blocks(spec.block_size),
+        parity_group: spec.parity_group,
+        ..Default::default()
+    };
+    let sorter = match Nexsort::new(disk.clone(), opts, sortspec) {
+        Ok(s) => s,
+        Err(e) => return Outcome::Failed(e.to_string()),
+    };
+    if let (Some(ctl), Some(after)) = (&crash, spec.crash_after_ios) {
+        ctl.arm_after(ctl.ios() + after);
+    }
+    let result = if resume {
+        sorter.try_resume_xml_extent(&input)
+    } else {
+        sorter.try_sort_xml_extent(&input)
+    };
+    let doc = match result {
+        Ok(doc) => doc,
+        Err(f)
+            if matches!(f.error, XmlError::Ext(ExtError::SimulatedCrash { .. }))
+                && crash.as_ref().is_some_and(|c| c.crashed()) =>
+        {
+            // The device froze mid-sort: the job's durable state (journal,
+            // staged input, manifest) is exactly what a kill -9 leaves
+            // behind. The next Server::open resumes it.
+            manifest(JobState::Interrupted, &staged, None, resume);
+            return Outcome::Interrupted;
+        }
+        Err(f) => {
+            let msg = f.to_string();
+            manifest(JobState::Failed, &staged, Some(msg.clone()), resume);
+            return Outcome::Failed(msg);
+        }
+    };
+    let xml = match doc.to_xml(spec.pretty) {
+        Ok(xml) => xml,
+        Err(XmlError::Ext(ExtError::SimulatedCrash { .. }))
+            if crash.as_ref().is_some_and(|c| c.crashed()) =>
+        {
+            // Froze during the output phase: the sort itself is fully
+            // journalled, so the restart replays it and redoes the output.
+            manifest(JobState::Interrupted, &staged, None, resume);
+            return Outcome::Interrupted;
+        }
+        Err(e) => {
+            let msg = format!("output phase: {e}");
+            manifest(JobState::Failed, &staged, Some(msg.clone()), resume);
+            return Outcome::Failed(msg);
+        }
+    };
+    let output = resolve_output(&shared.cfg, id, spec);
+    if let Err(e) = std::fs::write(&output, &xml) {
+        let msg = format!("cannot write output {output:?}: {e}");
+        manifest(JobState::Failed, &staged, Some(msg.clone()), resume);
+        return Outcome::Failed(msg);
+    }
+    // Settle the device image (flush write-back pages, drain write-behind)
+    // so the on-disk file is consistent once the job is marked done.
+    let _ = settle(&disk);
+    manifest(JobState::Done, &staged, None, resume);
+    let mut report = doc.report.clone();
+    report.resumed = report.resumed || resume;
+    Outcome::Done(Box::new(report))
+}
+
+fn settle(disk: &Rc<Disk>) -> Result<(), ExtError> {
+    disk.cache_flush_all()?;
+    disk.io_barrier()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_xml() -> Vec<u8> {
+        let mut doc = String::from("<catalog>");
+        for i in (0..40).rev() {
+            doc.push_str(&format!("<item id=\"{:03}\"><name>n{}</name></item>", i, (i * 7) % 40));
+        }
+        doc.push_str("</catalog>");
+        doc.into_bytes()
+    }
+
+    /// What a one-shot in-memory sort of the same spec produces.
+    fn direct_sort(xml: &[u8], spec: &JobSpec) -> Vec<u8> {
+        let stack = DiskBuilder::new(spec.block_size).build().unwrap();
+        let input = stage_input(&stack.disk, xml).unwrap();
+        let sortspec = build_spec(spec.default_rule.as_deref(), &spec.keys).unwrap();
+        let opts = NexsortOptions { mem_frames: spec.mem_frames, ..Default::default() };
+        let sorter = Nexsort::new(stack.disk.clone(), opts, sortspec).unwrap();
+        sorter.sort_xml_extent(&input).unwrap().to_xml(spec.pretty).unwrap()
+    }
+
+    #[test]
+    fn submit_runs_to_done_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("nxsrv-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::start(ServerConfig::new(2, &dir)).unwrap();
+        let xml = sample_xml();
+        let spec = JobSpec {
+            input: JobInput::Inline(xml.clone()),
+            default_rule: Some("@id".into()),
+            ..JobSpec::default()
+        };
+        let expected = direct_sort(&xml, &spec);
+        let id = server.submit(spec).unwrap();
+        let st = server.wait(id, Duration::from_secs(30)).unwrap();
+        assert_eq!(st.state, JobState::Done, "error: {:?}", st.error);
+        assert_eq!(server.fetch_output(id).unwrap(), expected);
+        let report = st.report.expect("done job carries a report");
+        assert!(report.n_records >= 40, "report covers the whole document");
+        assert!(st.latency.is_some());
+        // The manifest on disk agrees.
+        let m = Manifest::load(&dir.join(format!("job-{id}"))).unwrap().unwrap();
+        assert_eq!(m.state, JobState::Done);
+        assert!(m.staged.is_some());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_at_submit() {
+        let dir = std::env::temp_dir().join(format!("nxsrv-unit-inv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ServerConfig::new(1, &dir);
+        cfg.budget_frames = 64;
+        let server = Server::start(cfg).unwrap();
+        // Bad ordering criterion.
+        let bad_rule = JobSpec {
+            input: JobInput::Inline(b"<a/>".to_vec()),
+            default_rule: Some("::".into()),
+            ..JobSpec::default()
+        };
+        assert!(matches!(server.submit(bad_rule), Err(SubmitError::Invalid(_))));
+        // Demands more frames than the global budget will ever have.
+        let too_big = JobSpec {
+            input: JobInput::Inline(b"<a/>".to_vec()),
+            mem_frames: 1000,
+            ..JobSpec::default()
+        };
+        assert!(matches!(server.submit(too_big), Err(SubmitError::Invalid(_))));
+        // Missing input file.
+        let no_input =
+            JobSpec { input: JobInput::Path(dir.join("nope.xml")), ..JobSpec::default() };
+        assert!(matches!(server.submit(no_input), Err(SubmitError::Invalid(_))));
+        assert_eq!(server.stats().submitted, 0);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

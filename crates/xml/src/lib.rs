@@ -18,6 +18,7 @@ mod keypath;
 mod parser;
 mod rec;
 mod recstream;
+mod specstr;
 mod sym;
 mod varint;
 mod writer;
@@ -31,6 +32,7 @@ pub use keypath::{attach_paths, KeyPath, PathBuilder, PathComp, PathedRec};
 pub use parser::{parse_events, XmlParser};
 pub use rec::{ElemRec, PatchRec, PtrRec, Rec, RecDecoder, TextRec};
 pub use recstream::{apply_patches, events_to_recs, recs_to_events, RecBuilder, RecEmitter};
+pub use specstr::{build_spec, parse_key_arg, parse_rule};
 pub use sym::{NameRef, TagDict};
 pub use varint::{
     read_bytes, read_ivarint, read_uvarint, uvarint_len, write_bytes, write_ivarint, write_uvarint,

@@ -1,0 +1,173 @@
+//! Parsing ordering criteria from their string form.
+//!
+//! The string grammar is shared by every front end -- the CLI's `--key` /
+//! `--default` flags, the server's JSON job submissions, and job manifests
+//! replayed after a daemon restart -- so it lives with the data model, not
+//! with any one front end.
+//!
+//! Grammar for one rule:
+//!
+//! ```text
+//! RULE   := PART ( '+' PART )*                 -- '+' builds a composite
+//! PART   := SOURCE ( ':' FLAG )*
+//! SOURCE := '@' NAME        attribute value
+//!         | 'tag'           element tag name
+//!         | 'text'          first immediate text child
+//!         | 'path=' P/A/TH  text at the child-element path
+//!         | 'doc'           document order
+//! FLAG   := 'num'           numeric comparison
+//!         | 'desc'          descending order
+//! ```
+//!
+//! Examples: `@ID:num`, `@last+@first`, `path=info/name/last:desc`, `tag`.
+//!
+//! A `TAG=RULE` key argument adds a per-tag override; a default rule
+//! replaces the document-order default. Errors are plain strings meant to
+//! be surfaced verbatim to the user who wrote the spec.
+
+use crate::key::{KeyRule, KeySource, KeyType, SortSpec};
+
+/// Parse one `PART` (no `+`).
+fn parse_part(part: &str) -> Result<KeyRule, String> {
+    let mut pieces = part.split(':');
+    let source = pieces.next().unwrap_or("");
+    let mut rule = if let Some(attr) = source.strip_prefix('@') {
+        if attr.is_empty() {
+            return Err("empty attribute name after '@'".into());
+        }
+        KeyRule::attr(attr)
+    } else if let Some(path) = source.strip_prefix("path=") {
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if comps.is_empty() {
+            return Err("empty child path after 'path='".into());
+        }
+        KeyRule::child_path(&comps)
+    } else {
+        match source {
+            "tag" => KeyRule::tag_name(),
+            "text" => KeyRule::text(),
+            "doc" => KeyRule::doc_order(),
+            other => {
+                return Err(format!(
+                    "unknown key source {other:?} (expected @attr, tag, text, path=..., doc)"
+                ))
+            }
+        }
+    };
+    for flag in pieces {
+        match flag {
+            "num" => rule.ty = KeyType::Numeric,
+            "desc" => rule.descending = true,
+            other => return Err(format!("unknown key flag {other:?} (expected num, desc)")),
+        }
+    }
+    Ok(rule)
+}
+
+/// Parse a full `RULE` (possibly composite).
+pub fn parse_rule(rule: &str) -> Result<KeyRule, String> {
+    let parts: Vec<&str> = rule.split('+').collect();
+    if parts.len() == 1 {
+        parse_part(parts[0])
+    } else {
+        let rules = parts.iter().map(|p| parse_part(p)).collect::<Result<Vec<_>, _>>()?;
+        if rules.iter().any(|r| matches!(r.source, KeySource::Text | KeySource::ChildPath(_))) {
+            return Err("composite rules ('+') only support @attr and tag parts".into());
+        }
+        Ok(KeyRule::composite(rules))
+    }
+}
+
+/// Parse a per-tag key argument: `TAG=RULE`.
+pub fn parse_key_arg(arg: &str) -> Result<(String, KeyRule), String> {
+    let (tag, rule) =
+        arg.split_once('=').ok_or_else(|| format!("--key expects TAG=RULE, got {arg:?}"))?;
+    if tag.is_empty() {
+        return Err("--key has an empty tag name".into());
+    }
+    Ok((tag.to_string(), parse_rule(rule)?))
+}
+
+/// Assemble a [`SortSpec`] from an optional default rule plus `TAG=RULE`
+/// overrides, validating the result.
+pub fn build_spec(default: Option<&str>, keys: &[String]) -> Result<SortSpec, String> {
+    let default_rule = match default {
+        Some(r) => parse_rule(r)?,
+        None => KeyRule::doc_order(),
+    };
+    let mut spec = SortSpec::uniform(default_rule);
+    for arg in keys {
+        let (tag, rule) = parse_key_arg(arg)?;
+        spec = spec.with_rule(&tag, rule);
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyValue;
+
+    #[test]
+    fn basic_sources_parse() {
+        assert_eq!(parse_rule("@ID").unwrap(), KeyRule::attr("ID"));
+        assert_eq!(parse_rule("tag").unwrap(), KeyRule::tag_name());
+        assert_eq!(parse_rule("text").unwrap(), KeyRule::text());
+        assert_eq!(parse_rule("doc").unwrap(), KeyRule::doc_order());
+        assert_eq!(
+            parse_rule("path=info/name/last").unwrap(),
+            KeyRule::child_path(&["info", "name", "last"])
+        );
+    }
+
+    #[test]
+    fn flags_apply() {
+        assert_eq!(parse_rule("@ID:num").unwrap(), KeyRule::attr_numeric("ID"));
+        assert_eq!(parse_rule("@ID:desc").unwrap(), KeyRule::attr("ID").desc());
+        assert_eq!(parse_rule("@ID:num:desc").unwrap(), KeyRule::attr_numeric("ID").desc());
+    }
+
+    #[test]
+    fn composite_rules_parse_and_reject_deferred_parts() {
+        let r = parse_rule("@last+@first:desc").unwrap();
+        match &r.source {
+            KeySource::Composite(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(parts[1].descending);
+            }
+            other => panic!("expected composite, got {other:?}"),
+        }
+        assert!(parse_rule("@a+text").is_err());
+        assert!(parse_rule("@a+path=x").is_err());
+    }
+
+    #[test]
+    fn key_args_and_spec_assembly() {
+        let spec =
+            build_spec(Some("@name"), &["employee=@ID:num".to_string(), "note=doc".to_string()])
+                .unwrap();
+        assert_eq!(spec.rule_for(b"employee"), &KeyRule::attr_numeric("ID"));
+        assert_eq!(spec.rule_for(b"note"), &KeyRule::doc_order());
+        assert_eq!(spec.rule_for(b"region"), &KeyRule::attr("name"));
+        // The composite actually orders as declared.
+        let spec = build_spec(Some("@a+@b"), &[]).unwrap();
+        let k = spec
+            .start_key(b"x", &[(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())])
+            .unwrap();
+        assert_eq!(
+            k,
+            KeyValue::Tuple(vec![KeyValue::Bytes(b"1".to_vec()), KeyValue::Bytes(b"2".to_vec())])
+        );
+    }
+
+    #[test]
+    fn malformed_arguments_give_readable_errors() {
+        assert!(parse_rule("@").is_err());
+        assert!(parse_rule("path=").is_err());
+        assert!(parse_rule("bogus").is_err());
+        assert!(parse_rule("@a:sideways").is_err());
+        assert!(parse_key_arg("noequals").is_err());
+        assert!(parse_key_arg("=@a").is_err());
+    }
+}
