@@ -4,7 +4,7 @@
 //! ```text
 //! xsort-bench [--quick|--full] [--csv DIR] [--json DIR] [all|table1|table2|
 //!              threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|
-//!              bounds|faults|cache|overlap|recovery|degradation|jobs]
+//!              bounds|faults|cache|overlap|recovery|degradation|jobs|topk]
 //! ```
 
 use std::path::PathBuf;
@@ -13,13 +13,13 @@ use std::process::ExitCode;
 use nexsort_bench::{
     ablate_compaction, ablate_frames, bounds_vs_measured, cache_sweep, degradation_sweep,
     fault_sweep, fig5, fig6, fig7, jobs_sweep, overlap_sweep, recovery_sweep, table1, table2,
-    threshold_experiment, ExpScale, ExpTable,
+    threshold_experiment, topk_sweep, ExpScale, ExpTable,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xsort-bench [--quick|--full] [--csv DIR] [--json DIR] \
-         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache|overlap|recovery|degradation|jobs]..."
+         [all|table1|table2|threshold|fig5|fig6|fig7|ablate-compaction|ablate-frames|bounds|faults|cache|overlap|recovery|degradation|jobs|topk]..."
     );
     ExitCode::FAILURE
 }
@@ -70,6 +70,7 @@ fn main() -> ExitCode {
             "recovery" => recovery_sweep(scale).map_err(|e| e.to_string())?,
             "degradation" => degradation_sweep(scale).map_err(|e| e.to_string())?,
             "jobs" => jobs_sweep(scale).map_err(|e| e.to_string())?,
+            "topk" => topk_sweep(scale).map_err(|e| e.to_string())?,
             _ => return Ok(None),
         };
         Ok(Some(t))
@@ -91,6 +92,7 @@ fn main() -> ExitCode {
         "recovery",
         "degradation",
         "jobs",
+        "topk",
     ];
     let mut queue: Vec<&str> = Vec::new();
     for t in &targets {

@@ -950,6 +950,98 @@ pub fn jobs_sweep(scale: &ExpScale) -> Result<ExpTable> {
     Ok(t)
 }
 
+/// **Top-k sweep** -- logical I/O of `ORDER BY ... LIMIT k` vs k, against
+/// the full-sort cost of the same document. The pruning claim in one curve:
+/// I/O decreases monotonically as k shrinks and sits strictly below the
+/// full sort once k is a small fraction of N, while the output stays
+/// byte-identical to the first k records of the full sort.
+pub fn topk_sweep(scale: &ExpScale) -> Result<ExpTable> {
+    use nexsort::{Nexsort, NexsortOptions};
+    use nexsort_baseline::stage_input;
+    use nexsort_extmem::Disk;
+    use nexsort_query::TopK;
+    use nexsort_xml::EventSource;
+
+    let mut t = ExpTable::new(
+        "topk",
+        "Top-k sweep: logical I/O of ORDER BY ... LIMIT k vs the full sort",
+        &[
+            "k",
+            "emitted",
+            "runs",
+            "pruned",
+            "bound-drops",
+            "passes",
+            "skipped",
+            "topk-io",
+            "fullsort-io",
+            "io-ratio",
+            "identical",
+        ],
+    );
+    let spec = bench_spec();
+    let mem_frames = 12usize;
+    let mut gen = ExactGen::new(
+        &fanouts_for(scale.base_elements, 85),
+        GenConfig { seed: 11, ..Default::default() },
+    );
+    let mut events = Vec::new();
+    while let Some(ev) = gen.next_event()? {
+        events.push(ev);
+    }
+    let xml = nexsort_xml::events_to_xml(&events, false);
+
+    // The full-sort reference: same document, same memory, same stack.
+    let disk = Disk::new_mem(scale.block_size);
+    let input = stage_input(&disk, &xml)?;
+    let opts = NexsortOptions { degeneration: true, mem_frames, ..Default::default() };
+    let full = Nexsort::new(disk, opts, spec.clone())?.sort_xml_extent(&input)?;
+    let full_ios = full.report.total_ios();
+    let full_recs = full.to_recs()?;
+    let n = full_recs.len() as u64;
+
+    let mut ks: Vec<u64> = vec![1, (n / 1000).max(2), n / 100, n / 10, n / 2, n]
+        .into_iter()
+        .filter(|&k| k > 0)
+        .collect();
+    ks.dedup();
+    for k in ks {
+        let disk = Disk::new_mem(scale.block_size);
+        let input = stage_input(&disk, &xml)?;
+        let opts = NexsortOptions { mem_frames, ..Default::default() };
+        let doc = TopK::new(disk, opts, spec.clone(), k)?.topk_xml_extent(&input)?;
+        let got = doc.to_recs()?;
+        let want: Vec<_> = full_recs.iter().take(k as usize).cloned().collect();
+        let identical = got == want;
+        let r = &doc.report;
+        t.push_row(vec![
+            k.to_string(),
+            r.records_emitted.to_string(),
+            r.runs_formed.to_string(),
+            r.runs_pruned.to_string(),
+            r.bound_drops.to_string(),
+            r.merge_passes.to_string(),
+            r.merge_passes_skipped.to_string(),
+            r.total_ios().to_string(),
+            full_ios.to_string(),
+            format!("{:.3}", r.total_ios() as f64 / full_ios.max(1) as f64),
+            identical.to_string(),
+        ]);
+        if !identical {
+            t.note(format!("WARNING: k={k} output diverged from the full-sort prefix"));
+        }
+    }
+    t.note(format!(
+        "document: {n} records, {mem_frames} memory frames, block {} B",
+        scale.block_size
+    ));
+    t.note(
+        "identical: topk output == first k records of the full sort (byte-level record compare)",
+    );
+    t.note("io-ratio: topk logical I/O over full-sort logical I/O; shrinks with k as run pruning and pass skipping bite");
+    Ok(t)
+}
+
 /// Adapt a daemon-side `String` error to the experiment `Result` type.
 fn bench_err(msg: &str) -> nexsort_xml::XmlError {
     nexsort_xml::XmlError::Record(msg.to_string())

@@ -100,6 +100,15 @@ pub struct Cli {
     /// Scrub test hook: corrupt the IDX-th data block of the first
     /// parity-protected run instead of scrubbing.
     pub corrupt: Option<usize>,
+    /// Result size for `topk` (`-k` / `--limit`); also forwarded in
+    /// `client submit --op topk` job specs.
+    pub k: u64,
+    /// Tenant tag forwarded on `client submit` for per-tenant fairness.
+    pub tenant: Option<String>,
+    /// Per-tenant outstanding-lease cap for `serve` (0 = disabled).
+    pub tenant_cap: usize,
+    /// Operation a `client submit` requests: sort (default), topk, or pq.
+    pub client_op: Option<String>,
     /// The ordering criterion.
     pub spec: SortSpec,
 }
@@ -147,6 +156,18 @@ pub enum Command {
     Check {
         /// Document path.
         input: PathBuf,
+    },
+    /// ORDER BY ... LIMIT k: the first k records of the full sort, computed
+    /// with run-level pruning so the I/O stays well below a full sort.
+    TopK {
+        /// Input document path.
+        input: PathBuf,
+    },
+    /// Run an external priority-queue script (`push KEY` / `pop` / `peek`,
+    /// one operation per line) against the run store.
+    Pq {
+        /// Script path.
+        script: PathBuf,
     },
     /// Verify-and-repair every parity-protected run on a finished
     /// `--checkpoint` device file, then re-seal the repaired extents.
@@ -202,6 +223,8 @@ USAGE:
   xsort merge  LEFT.xml RIGHT.xml  [OPTIONS]
   xsort update BASE.xml BATCH.xml  [OPTIONS]
   xsort check  INPUT.xml           [OPTIONS]      # is it fully sorted?
+  xsort topk   INPUT.xml -k N      [OPTIONS]      # ORDER BY ... LIMIT k
+  xsort pq     SCRIPT.txt          [OPTIONS]      # external priority queue
   xsort gen    SHAPE [--seed N]    [OPTIONS]      # synthetic documents
   xsort scrub  DEVICE.bin          [OPTIONS]      # repair parity-protected runs
   xsort serve                      [SERVER OPTS]  # run the sort daemon
@@ -221,6 +244,20 @@ OPTIONS:
                         by any xsort subcommand without re-parsing)
       --pretty          indent the output
       --stats           print the I/O report to stderr
+
+QUERY OPERATORS (`xsort topk` / `xsort pq`):
+  -k, --limit N         topk: how many leading records of the full sort to
+                        produce. Runs whose minimum key exceeds the running
+                        k-th bound are pruned whole; logical I/O shrinks as
+                        k does. Output is one line per record (`level kind
+                        name key`) -- byte-identical to the first k records
+                        of a full sort. --format xrec emits the raw encoded
+                        records instead. Honors --checkpoint / --resume /
+                        --crash-after-ios exactly like sort.
+  `xsort pq SCRIPT` executes `push KEY` | `pop` | `peek` lines (# comments)
+  against an external priority queue backed by sealed insertion runs, and
+  prints one result line per pop/peek plus a final `len N`. Duplicate keys
+  pop in FIFO order. --parity-group protects the sealed runs.
 
 BUFFER POOL (a pinning page cache between the sorter and the device):
       --cache-frames N  pool capacity in frames (default: 0 = no cache);
@@ -285,12 +322,19 @@ SORT DAEMON (`xsort serve` / `xsort client`, newline-delimited JSON):
                         device files (default: ./xsort-jobs). Restarting a
                         daemon on the same --job-dir resumes every
                         unfinished job from its journal
+      --tenant-cap N    serve: at most N outstanding frame leases per tenant
+                        (0 = disabled); capped tenants step aside in the
+                        FIFO queue so a greedy tenant cannot starve others
       --timeout-ms N    client wait: give up after N ms (default: 60000)
+      --op OP           client submit: job kind, sort | topk | pq
+                        (default: sort; topk needs -k N; pq ships a script)
+      --tenant NAME     client submit: tag the job for per-tenant fairness
   Client verbs: ping | submit FILE | status ID | wait ID | fetch ID |
                 cancel ID | list | stats | shutdown.
   `client submit` forwards the sort flags above (--default, --key, --block,
   --mem, --cache-frames, --stripe, --parity-group, ...) in the job spec and
-  ships FILE inline; `client fetch` writes the sorted XML to -o or stdout.
+  ships FILE inline; `client fetch` streams the output in bounded chunks
+  (the `fetch_chunk` protocol verb) and writes it to -o or stdout.
 
 EXIT CODES:
   0  success
@@ -356,6 +400,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut budget_frames = 4096usize;
     let mut job_dir: Option<PathBuf> = None;
     let mut timeout_ms = 60_000u64;
+    let mut k = 0u64;
+    let mut tenant: Option<String> = None;
+    let mut tenant_cap = 0usize;
+    let mut client_op: Option<String> = None;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -499,6 +547,27 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .map_err(|_| "--budget-frames needs a positive integer".to_string())?
             }
             "--job-dir" => job_dir = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "-k" | "--limit" => {
+                k = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "-k/--limit needs a positive integer".to_string())?;
+                if k == 0 {
+                    return Err("-k/--limit must be at least 1".into());
+                }
+            }
+            "--tenant" => tenant = Some(next_value(&mut it, arg)?),
+            "--tenant-cap" => {
+                tenant_cap = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--tenant-cap needs a nonnegative integer".to_string())?
+            }
+            "--op" => {
+                let op = next_value(&mut it, arg)?;
+                if !matches!(op.as_str(), "sort" | "topk" | "pq") {
+                    return Err(format!("--op must be sort, topk, or pq, got {op:?}"));
+                }
+                client_op = Some(op);
+            }
             "--timeout-ms" => {
                 timeout_ms = next_value(&mut it, arg)?
                     .parse::<u64>()
@@ -515,6 +584,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let command = match (sub.as_str(), positional.len()) {
         ("sort", 1) => Command::Sort { input: positional.remove(0) },
         ("check", 1) => Command::Check { input: positional.remove(0) },
+        ("topk", 1) => Command::TopK { input: positional.remove(0) },
+        ("pq", 1) => Command::Pq { script: positional.remove(0) },
         ("scrub", 1) => Command::Scrub { device: positional.remove(0) },
         ("gen", 1) => {
             Command::Gen { shape: positional.remove(0).to_string_lossy().into_owned(), seed }
@@ -549,7 +620,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         }
         ("serve", n) => return Err(format!("serve takes no positional arguments, got {n}")),
         ("client", _) => return Err("client needs a verb (ping | submit | status | ...)".into()),
-        ("sort" | "check" | "gen" | "scrub", n) => {
+        ("sort" | "check" | "gen" | "scrub" | "topk" | "pq", n) => {
             return Err(format!("{sub} expects 1 argument, got {n}"))
         }
         ("merge" | "update", n) => return Err(format!("{sub} expects 2 input files, got {n}")),
@@ -575,6 +646,24 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         return Err(
             "--parity-group applies to nexsort/degen (the baseline is measured bare)".into()
         );
+    }
+    if matches!(command, Command::TopK { .. }) && k == 0 {
+        return Err("topk needs -k N (how many leading records to produce)".into());
+    }
+    if client_op.as_deref() == Some("topk") && k == 0 {
+        return Err("--op topk needs -k N".into());
+    }
+    if client_op.is_some() && !matches!(command, Command::Client { .. }) {
+        return Err("--op applies to client submit".into());
+    }
+    if tenant.is_some() && !matches!(command, Command::Client { .. }) {
+        return Err("--tenant applies to client submit".into());
+    }
+    if tenant_cap > 0 && !matches!(command, Command::Serve { .. }) {
+        return Err("--tenant-cap applies to serve".into());
+    }
+    if k > 0 && !matches!(command, Command::TopK { .. } | Command::Client { .. }) {
+        return Err("-k/--limit applies to topk (or client submit --op topk)".into());
     }
     let spec = build_spec(default_rule.as_deref(), &keys)?;
     Ok(Cli {
@@ -607,6 +696,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         crash_seed,
         parity_group,
         corrupt,
+        k,
+        tenant,
+        tenant_cap,
+        client_op,
         spec,
     })
 }
@@ -854,6 +947,105 @@ fn sort_one(
     Ok(doc)
 }
 
+/// Run the top-k operator over a staged XML extent, with the same
+/// crash/resume choreography as [`sort_one`].
+fn topk_one(
+    cli: &Cli,
+    disk: &Rc<Disk>,
+    input: &Extent,
+    crash: Option<&CrashController>,
+) -> Result<nexsort_query::TopKDoc, CliError> {
+    let opts = NexsortOptions {
+        mem_frames: mem_frames(cli),
+        threshold: cli.threshold,
+        depth_limit: cli.depth_limit,
+        degeneration: cli.algo == Algo::Degen,
+        cache_frames: cli.cache_frames,
+        cache_policy: cli.cache_policy,
+        cache_write_mode: if cli.write_back { WriteMode::Back } else { WriteMode::Through },
+        io_workers: cli.io_workers,
+        prefetch_depth: cli.prefetch_depth,
+        write_behind: cli.write_behind,
+        checkpoint: cli.checkpoint,
+        journal_blocks: journal_blocks(cli.block_size as usize),
+        parity_group: cli.parity_group,
+        ..Default::default()
+    };
+    let topk = nexsort_query::TopK::new(disk.clone(), opts, cli.spec.clone(), cli.k)
+        .map_err(|e| e.to_string())?;
+    if let (Some(ctl), Some(offset)) = (crash, crash_offset(cli)) {
+        ctl.arm_after(ctl.ios() + offset);
+    }
+    let doc = match topk.topk_xml_extent(input) {
+        Ok(doc) => doc,
+        Err(nexsort_xml::XmlError::Ext(ExtError::SimulatedCrash { .. }))
+            if cli.resume && crash.is_some_and(|c| c.crashed()) =>
+        {
+            let ctl = crash.expect("guard checked");
+            ctl.thaw();
+            eprintln!(
+                "xsort: simulated crash after {} physical I/Os; resuming top-k from the journal",
+                ctl.ios()
+            );
+            topk.resume_xml_extent(input)
+                .map_err(|e| CliError { code: 1, message: format!("resume failed: {e}") })?
+        }
+        Err(e) => return Err(CliError { code: 1, message: e.to_string() }),
+    };
+    if let Some(ctl) = crash {
+        ctl.thaw();
+    }
+    if cli.stats {
+        eprintln!("topk: {}", doc.report.summary());
+        eprintln!("{}", doc.report.sort.io);
+    }
+    Ok(doc)
+}
+
+/// Execute a priority-queue script (`push KEY` | `pop` | `peek`, one
+/// operation per line, `#` comments) and return the result transcript:
+/// one line per pop/peek plus a final `len N`.
+fn run_pq_script(cli: &Cli, disk: &Rc<Disk>, script: &str) -> Result<String, CliError> {
+    let mut pq = nexsort_query::ExtPq::new(disk.clone(), mem_frames(cli), cli.parity_group)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (ln, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let step = if let Some(key) = line.strip_prefix("push ") {
+            pq.push(key.as_bytes())
+        } else if line == "pop" {
+            pq.pop().map(|popped| match popped {
+                Some(k) => out.push_str(&format!("pop {}\n", String::from_utf8_lossy(&k))),
+                None => out.push_str("pop -\n"),
+            })
+        } else if line == "peek" {
+            pq.peek().map(|head| match head {
+                Some(k) => out.push_str(&format!("peek {}\n", String::from_utf8_lossy(&k))),
+                None => out.push_str("peek -\n"),
+            })
+        } else {
+            return Err(format!(
+                "pq script line {}: expected \"push KEY\", \"pop\", or \"peek\", got {line:?}",
+                ln + 1
+            )
+            .into());
+        };
+        step.map_err(|e| format!("pq script line {}: {e}", ln + 1))?;
+    }
+    out.push_str(&format!("len {}\n", pq.len()));
+    if cli.stats {
+        let s = &pq.stats;
+        eprintln!(
+            "pq: pushes={} pops={} runs_sealed={} restructures={} tombstones_dropped={}",
+            s.pushes, s.pops, s.runs_sealed, s.restructures, s.tombstones_dropped
+        );
+    }
+    Ok(out)
+}
+
 fn emit(cli: &Cli, xml: Vec<u8>) -> Result<(), String> {
     match &cli.output {
         Some(path) => std::fs::write(path, xml).map_err(|e| format!("cannot write {path:?}: {e}")),
@@ -949,11 +1141,13 @@ fn run_serve(
     workers: usize,
     queue: usize,
     budget_frames: usize,
+    tenant_cap: usize,
     job_dir: &Path,
 ) -> Result<(), String> {
     let mut cfg = nexsort_server::ServerConfig::new(workers, job_dir);
     cfg.queue_depth = queue;
     cfg.budget_frames = budget_frames;
+    cfg.tenant_cap = tenant_cap;
     let server = nexsort_server::Server::open(cfg)?;
     eprintln!(
         "xsort serve: listening on {listen}; {workers} worker(s), queue {queue}, \
@@ -972,7 +1166,14 @@ fn client_spec(
     input: &Path,
 ) -> Result<nexsort_server::JobSpec, String> {
     let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+    let op = match cli.client_op.as_deref() {
+        None => nexsort_server::JobOp::Sort,
+        Some(name) => nexsort_server::JobOp::from_name(name)?,
+    };
     Ok(nexsort_server::JobSpec {
+        op,
+        k: cli.k,
+        tenant: cli.tenant.clone(),
         input: nexsort_server::JobInput::Inline(bytes),
         output: cli.output.clone(),
         default_rule: default_rule.clone(),
@@ -1014,6 +1215,19 @@ fn run_client(
             .parse::<u64>()
             .map_err(|_| format!("client {verb} needs a numeric job id"))
     };
+    if verb == "fetch" {
+        // Stream the output in bounded chunks (the fetch_chunk protocol
+        // verb): arbitrarily large results never need one giant response.
+        let output = nexsort_server::request_fetch_chunked(connect, job_id(args)?, 64 * 1024)
+            .map_err(CliError::from)?;
+        match &cli.output {
+            Some(path) => {
+                std::fs::write(path, &output).map_err(|e| format!("cannot write {path:?}: {e}"))?
+            }
+            None => print!("{output}"),
+        }
+        return Ok(());
+    }
     let resp = match verb {
         "ping" | "list" | "stats" | "shutdown" => {
             nexsort_server::request(connect, &obj(vec![("op", s(verb))]))
@@ -1024,7 +1238,7 @@ fn run_client(
             let spec = client_spec(cli, default_rule, keys, Path::new(input))?;
             nexsort_server::request_submit(connect, &spec)
         }
-        "status" | "cancel" | "fetch" => {
+        "status" | "cancel" => {
             nexsort_server::request(connect, &obj(vec![("op", s(verb)), ("id", n(job_id(args)?))]))
         }
         "wait" => nexsort_server::request(
@@ -1043,18 +1257,7 @@ fn run_client(
         let busy = resp.get("busy").and_then(Value::as_bool) == Some(true);
         return Err(CliError { code: if busy { 3 } else { 1 }, message });
     }
-    if verb == "fetch" {
-        // The sorted document itself, not the JSON envelope.
-        let xml = resp.get("output").and_then(Value::as_str).unwrap_or("");
-        match &cli.output {
-            Some(path) => {
-                std::fs::write(path, xml).map_err(|e| format!("cannot write {path:?}: {e}"))?
-            }
-            None => print!("{xml}"),
-        }
-    } else {
-        println!("{}", resp.to_json());
-    }
+    println!("{}", resp.to_json());
     Ok(())
 }
 
@@ -1066,7 +1269,7 @@ pub fn run_code(cli: &Cli) -> Result<(), CliError> {
         return scrub_device(cli, device).map(|_| ());
     }
     if let Command::Serve { listen, workers, queue, budget_frames, job_dir } = &cli.command {
-        return run_serve(listen, *workers, *queue, *budget_frames, job_dir)
+        return run_serve(listen, *workers, *queue, *budget_frames, cli.tenant_cap, job_dir)
             .map_err(CliError::from);
     }
     if let Command::Client { connect, verb, args, timeout_ms, default_rule, keys } = &cli.command {
@@ -1145,6 +1348,30 @@ pub fn run_code(cli: &Cli) -> Result<(), CliError> {
                 }
             };
             emit(cli, out).map_err(CliError::from)
+        }
+        Command::TopK { input } => {
+            let staged = load(cli, &disk, input)?;
+            let out = match &staged {
+                Staged::Xml(ext) => {
+                    let doc = topk_one(cli, &disk, ext, crash.as_ref())?;
+                    match cli.format {
+                        OutFormat::Xml => doc.to_text().map_err(|e| e.to_string())?.into_bytes(),
+                        OutFormat::Xrec => doc.encoded().map_err(|e| e.to_string())?,
+                    }
+                }
+                Staged::Recs(..) => {
+                    return Err("topk reads XML input (render the xrec back to XML first)"
+                        .to_string()
+                        .into())
+                }
+            };
+            emit(cli, out).map_err(CliError::from)
+        }
+        Command::Pq { script } => {
+            let text = std::fs::read_to_string(script)
+                .map_err(|e| format!("cannot read {script:?}: {e}"))?;
+            let out = run_pq_script(cli, &disk, &text)?;
+            emit(cli, out.into_bytes()).map_err(CliError::from)
         }
         Command::Merge { left, right } => {
             let a = sort_one(cli, &disk, &load(cli, &disk, left)?, crash.as_ref())?;
@@ -2094,6 +2321,112 @@ mod tests {
         std::fs::write(&bare, vec![0u8; 512]).unwrap();
         let err = scrub_device(&scrub_args(&[]), &bare).unwrap_err();
         assert!(err.message.contains("--checkpoint"), "{}", err.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn topk_and_pq_args_parse_and_validate() {
+        let cli = parse_args(&args(&["topk", "in.xml", "-k", "10", "--default", "@id"])).unwrap();
+        assert!(matches!(cli.command, Command::TopK { .. }));
+        assert_eq!(cli.k, 10);
+        let cli = parse_args(&args(&["topk", "in.xml", "--limit", "3"])).unwrap();
+        assert_eq!(cli.k, 3);
+        let cli = parse_args(&args(&["pq", "script.txt"])).unwrap();
+        assert!(matches!(cli.command, Command::Pq { .. }));
+
+        let err = parse_args(&args(&["topk", "in.xml"])).unwrap_err();
+        assert!(err.contains("-k"), "{err}");
+        assert!(parse_args(&args(&["topk", "in.xml", "-k", "0"])).is_err());
+        let err = parse_args(&args(&["sort", "in.xml", "-k", "5"])).unwrap_err();
+        assert!(err.contains("topk"), "{err}");
+
+        // Server-side knobs stay scoped to their commands.
+        let cli = parse_args(&args(&["serve", "--tenant-cap", "2"])).unwrap();
+        assert_eq!(cli.tenant_cap, 2);
+        assert!(parse_args(&args(&["sort", "x.xml", "--tenant-cap", "2"])).is_err());
+        let cli = parse_args(&args(&[
+            "client", "submit", "in.xml", "--op", "topk", "-k", "7", "--tenant", "acme",
+        ]))
+        .unwrap();
+        assert_eq!(cli.client_op.as_deref(), Some("topk"));
+        assert_eq!(cli.k, 7);
+        assert_eq!(cli.tenant.as_deref(), Some("acme"));
+        assert!(parse_args(&args(&["client", "submit", "in.xml", "--op", "topk"])).is_err());
+        assert!(parse_args(&args(&["client", "submit", "in.xml", "--op", "frob"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--op", "topk"])).is_err());
+        assert!(parse_args(&args(&["sort", "x.xml", "--tenant", "acme"])).is_err());
+    }
+
+    #[test]
+    fn topk_output_is_a_prefix_of_the_full_listing() {
+        let dir = std::env::temp_dir().join(format!("xsort-tpk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.xml");
+        let gen =
+            parse_args(&args(&["gen", "exact:40,5", "--seed", "5", "-o", raw.to_str().unwrap()]))
+                .unwrap();
+        run(&gen).unwrap();
+
+        let topk_with = |extra: &[&str], out: &Path| {
+            let mut a = vec!["topk", raw.to_str().unwrap(), "-o", out.to_str().unwrap()];
+            a.extend_from_slice(&["--default", "@k", "--block", "256", "--mem", "4K"]);
+            a.extend_from_slice(extra);
+            run(&parse_args(&args(&a)).unwrap()).unwrap();
+            std::fs::read_to_string(out).unwrap()
+        };
+        let out = dir.join("out.txt");
+        // A huge k degenerates to the whole sorted record listing; every
+        // smaller k must be an exact prefix of it.
+        let all = topk_with(&["-k", "100000"], &out);
+        for k in ["1", "5", "25"] {
+            let some = topk_with(&["-k", k], &out);
+            assert_eq!(some.lines().count(), k.parse::<usize>().unwrap());
+            assert!(all.starts_with(&some), "k={k} must be a prefix of the full listing");
+        }
+        // The crash/resume choreography carries over from sort.
+        let resumed =
+            topk_with(&["-k", "5", "--checkpoint", "--resume", "--crash-after-ios", "40"], &out);
+        assert_eq!(resumed, topk_with(&["-k", "5"], &out));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pq_scripts_pop_in_sorted_fifo_order() {
+        let dir = std::env::temp_dir().join(format!("xsort-cpq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("ops.txt");
+        let out = dir.join("out.txt");
+        std::fs::write(
+            &script,
+            "# a tiny interleave\npush b\npush a\npush c\npop\npeek\npush a\npop\npop\n",
+        )
+        .unwrap();
+        let cli = parse_args(&args(&[
+            "pq",
+            script.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--block",
+            "256",
+            "--mem",
+            "4K",
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "pop a\npeek b\npop a\npop b\nlen 1\n");
+        // An unknown verb names its line.
+        std::fs::write(&script, "push x\nshove y\n").unwrap();
+        let err = run(&parse_args(&args(&[
+            "pq",
+            script.to_str().unwrap(),
+            "--block",
+            "256",
+            "--mem",
+            "4K",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

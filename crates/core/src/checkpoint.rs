@@ -10,6 +10,10 @@
 //! * [`journal_stats`] / [`restore_report`] round-trip the progress counters
 //!   that ride inside `ScanDone` / `SortDone`, so a resumed sort reports the
 //!   totals of the whole document, not just the work it redid.
+//!
+//! The helpers are public: operator crates built on the same run store
+//! (e.g. `nexsort-query`'s top-k) reuse the journal protocol verbatim, and
+//! these are the only glue they need.
 
 use nexsort_extmem::{JournalRecord, JournalStats, RunId, RunStore};
 use nexsort_xml::Result;
@@ -19,7 +23,7 @@ use crate::report::SortReport;
 /// Snapshot the report counters that a phase seal carries. Fan-out is
 /// clamped into the journal's `u32` (a fan-out beyond 4 billion children is
 /// outside any input this reproduction handles).
-pub(crate) fn journal_stats(report: &SortReport) -> JournalStats {
+pub fn journal_stats(report: &SortReport) -> JournalStats {
     JournalStats {
         n_records: report.n_records,
         input_bytes: report.input_bytes,
@@ -34,7 +38,7 @@ pub(crate) fn journal_stats(report: &SortReport) -> JournalStats {
 /// Fold journalled counters back into a fresh report on resume. Counters
 /// the journal does not carry (per-sort byte sums, internal/external split)
 /// stay at zero; they describe work the resumed process never ran.
-pub(crate) fn restore_report(stats: &JournalStats, report: &mut SortReport) {
+pub fn restore_report(stats: &JournalStats, report: &mut SortReport) {
     report.n_records = stats.n_records;
     report.input_bytes = stats.input_bytes;
     report.max_level = stats.max_level;
@@ -47,7 +51,7 @@ pub(crate) fn restore_report(stats: &JournalStats, report: &mut SortReport) {
 /// A `RunSealed` record for one run, naming its extent -- and its parity
 /// metadata, when the run was sealed with redundancy -- as the durable
 /// identity recovery rebuilds the store from.
-pub(crate) fn seal_record(store: &RunStore, id: RunId) -> Result<JournalRecord> {
+pub fn seal_record(store: &RunStore, id: RunId) -> Result<JournalRecord> {
     let ext = store.extent_of(id)?;
     Ok(JournalRecord::RunSealed {
         token: id.0,
@@ -60,14 +64,14 @@ pub(crate) fn seal_record(store: &RunStore, id: RunId) -> Result<JournalRecord> 
 /// `RunSealed` records for every non-empty run in the store. Discarded and
 /// never-finished runs hold empty extents and are skipped; their tokens stay
 /// reserved so surviving pointer records keep resolving.
-pub(crate) fn seal_records(store: &RunStore) -> Result<Vec<JournalRecord>> {
+pub fn seal_records(store: &RunStore) -> Result<Vec<JournalRecord>> {
     seal_records_except(store, &[])
 }
 
 /// [`seal_records`], skipping the tokens in `skip` -- runs whose discard is
 /// being journalled in the same batch must not be re-sealed, or a later
 /// replay would resurrect them as live.
-pub(crate) fn seal_records_except(store: &RunStore, skip: &[u32]) -> Result<Vec<JournalRecord>> {
+pub fn seal_records_except(store: &RunStore, skip: &[u32]) -> Result<Vec<JournalRecord>> {
     let mut recs = Vec::new();
     for token in 0..store.num_runs() {
         if skip.contains(&token) {

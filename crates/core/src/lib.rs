@@ -44,8 +44,11 @@ mod report;
 mod sorter;
 mod subtree;
 
+pub use checkpoint::{
+    journal_stats, restore_report, seal_record, seal_records, seal_records_except,
+};
 pub use failure::{FailureCategory, SortFailure};
 pub use options::NexsortOptions;
 pub use output::{DocCursor, OutputReport, SortedDoc};
 pub use report::SortReport;
-pub use sorter::Nexsort;
+pub use sorter::{is_beyond_parity, Nexsort};

@@ -75,7 +75,10 @@ pub struct SortReport {
 }
 
 impl SortReport {
-    pub(crate) fn new(block_size: usize, mem_frames: usize, threshold: u64) -> Self {
+    /// An all-zero report for a run with the given geometry. Public so
+    /// operator crates (e.g. `nexsort-query`) can report through the same
+    /// structure the server and CLI already understand.
+    pub fn new(block_size: usize, mem_frames: usize, threshold: u64) -> Self {
         Self {
             n_records: 0,
             input_bytes: 0,

@@ -505,7 +505,11 @@ impl Nexsort {
 /// Whether `e` is a parity-layer verdict that repair cannot fix but a
 /// re-derivation from the intact source can: a group with more losses than
 /// its parity covers, or redundancy that no longer matches its checksums.
-fn is_beyond_parity(e: &XmlError) -> bool {
+/// True when `e` reports damage parity could not repair (a whole group lost
+/// or mismatched): the caller's last resort is re-deriving from the intact
+/// source. Public so operator crates over the same run store can share the
+/// re-derivation policy.
+pub fn is_beyond_parity(e: &XmlError) -> bool {
     matches!(
         e,
         XmlError::Ext(

@@ -22,15 +22,36 @@
 //! biggest-first would let a big job starve the small ones. FIFO starves
 //! nobody.)
 //!
+//! Strict FIFO has one loophole a shared server cares about: a single
+//! *tenant* can keep the queue saturated with its own jobs and make every
+//! other tenant wait behind its backlog. An optional per-tenant cap closes
+//! it ([`BudgetArbiter::set_tenant_cap`]): a tenant already holding `cap`
+//! outstanding leases becomes temporarily *ineligible*, and the grant rule
+//! changes from "head of the queue" to "first **eligible** request in the
+//! queue" -- still FIFO among eligible requests, so nobody leapfrogs anyone
+//! who is allowed to run. An ineligible request keeps its queue position
+//! and becomes eligible again the moment one of its tenant's own leases
+//! releases, so it cannot starve either. Untagged requests (no tenant) are
+//! always eligible. A cap of 0 disables the mechanism entirely and the
+//! arbiter behaves exactly as before.
+//!
 //! The grant logic itself lives in the lock-free-of-threads [`ArbState`]
 //! state machine, so the fairness and accounting invariants are testable
 //! deterministically, without spawning threads.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::budget::MemoryBudget;
 use crate::error::{ExtError, Result};
+
+/// One queued request.
+#[derive(Debug, Clone)]
+struct Waiter {
+    ticket: u64,
+    frames: usize,
+    tenant: Option<String>,
+}
 
 /// The deterministic core: who holds frames, who waits, in what order.
 #[derive(Debug)]
@@ -39,43 +60,92 @@ struct ArbState {
     used: usize,
     high_water: usize,
     next_ticket: u64,
-    /// FIFO queue of waiting requests: `(ticket, frames)`.
-    queue: VecDeque<(u64, usize)>,
+    /// FIFO queue of waiting requests.
+    queue: VecDeque<Waiter>,
+    /// Max outstanding leases per tenant; 0 disables the cap.
+    tenant_cap: usize,
+    /// Outstanding lease count per tenant (entries removed at zero).
+    outstanding: HashMap<String, usize>,
 }
 
 impl ArbState {
     fn new(total: usize) -> Self {
-        Self { total, used: 0, high_water: 0, next_ticket: 0, queue: VecDeque::new() }
+        Self {
+            total,
+            used: 0,
+            high_water: 0,
+            next_ticket: 0,
+            queue: VecDeque::new(),
+            tenant_cap: 0,
+            outstanding: HashMap::new(),
+        }
     }
 
     /// Join the waiter queue; returns the ticket that names the request.
+    #[cfg(test)]
     fn enqueue(&mut self, frames: usize) -> u64 {
+        self.enqueue_as(frames, None)
+    }
+
+    /// Join the waiter queue on behalf of `tenant`.
+    fn enqueue_as(&mut self, frames: usize, tenant: Option<&str>) -> u64 {
         let t = self.next_ticket;
         self.next_ticket += 1;
-        self.queue.push_back((t, frames));
+        self.queue.push_back(Waiter { ticket: t, frames, tenant: tenant.map(str::to_owned) });
         t
     }
 
-    /// True when `ticket` is at the head of the queue and its frames fit:
-    /// the only state in which a grant is allowed.
+    /// A request is *eligible* unless its tenant is at the outstanding-lease
+    /// cap. Untagged requests and a cap of 0 are always eligible.
+    fn eligible(&self, w: &Waiter) -> bool {
+        if self.tenant_cap == 0 {
+            return true;
+        }
+        match &w.tenant {
+            None => true,
+            Some(t) => self.outstanding.get(t).copied().unwrap_or(0) < self.tenant_cap,
+        }
+    }
+
+    /// The first eligible waiter in arrival order, if any.
+    fn first_eligible(&self) -> Option<&Waiter> {
+        self.queue.iter().find(|w| self.eligible(w))
+    }
+
+    /// True when `ticket` is the first *eligible* request in the queue and
+    /// its frames fit: the only state in which a grant is allowed. With no
+    /// tenant cap this degenerates to "head of the queue".
     fn grantable(&self, ticket: u64) -> bool {
-        match self.queue.front() {
-            Some(&(head, frames)) => head == ticket && self.used + frames <= self.total,
+        match self.first_eligible() {
+            Some(w) => w.ticket == ticket && self.used + w.frames <= self.total,
             None => false,
         }
     }
 
-    /// Grant the head request (must be [`grantable`](Self::grantable)).
-    fn grant_head(&mut self) -> usize {
-        let (_, frames) = self.queue.pop_front().unwrap_or((0, 0));
-        self.used += frames;
+    /// Grant `ticket` (must be [`grantable`](Self::grantable)); returns the
+    /// granted waiter, or `None` for a ticket that is not queued.
+    fn grant(&mut self, ticket: u64) -> Option<Waiter> {
+        let pos = self.queue.iter().position(|w| w.ticket == ticket)?;
+        let w = self.queue.remove(pos)?;
+        self.used += w.frames;
         self.high_water = self.high_water.max(self.used);
-        frames
+        if let Some(t) = &w.tenant {
+            *self.outstanding.entry(t.clone()).or_insert(0) += 1;
+        }
+        Some(w)
     }
 
-    /// Return `frames` to the pool.
-    fn release(&mut self, frames: usize) {
+    /// Return `frames` to the pool, crediting `tenant`'s outstanding count.
+    fn release(&mut self, frames: usize, tenant: Option<&str>) {
         self.used = self.used.saturating_sub(frames);
+        if let Some(t) = tenant {
+            if let Some(n) = self.outstanding.get_mut(t) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.outstanding.remove(t);
+                }
+            }
+        }
     }
 
     /// Abandon a queued request (a waiter giving up must not wedge the
@@ -83,7 +153,7 @@ impl ArbState {
     /// gives up, so only tests exercise this today.
     #[cfg(test)]
     fn abandon(&mut self, ticket: u64) {
-        self.queue.retain(|&(t, _)| t != ticket);
+        self.queue.retain(|w| w.ticket != ticket);
     }
 }
 
@@ -127,23 +197,46 @@ impl BudgetArbiter {
         self.lock().queue.len()
     }
 
+    /// Cap the number of leases any single tenant may hold at once; 0
+    /// (the default) disables the cap. See the [module docs](self).
+    pub fn set_tenant_cap(&self, cap: usize) {
+        self.lock().tenant_cap = cap;
+        self.inner.1.notify_all();
+    }
+
+    /// Outstanding leases currently held by `tenant`.
+    pub fn tenant_outstanding(&self, tenant: &str) -> usize {
+        self.lock().outstanding.get(tenant).copied().unwrap_or(0)
+    }
+
     /// Block until `frames` can be leased, in strict arrival order. Fails
     /// immediately (without queueing) only when the request can *never* be
     /// satisfied because it exceeds the arbiter's total.
     pub fn acquire(&self, frames: usize) -> Result<BudgetLease> {
+        self.acquire_as(frames, None)
+    }
+
+    /// [`acquire`](Self::acquire) on behalf of `tenant`: the request counts
+    /// against the per-tenant outstanding-lease cap, and waits (without
+    /// blocking other tenants) while its tenant is at the cap.
+    pub fn acquire_as(&self, frames: usize, tenant: Option<&str>) -> Result<BudgetLease> {
         let (lock, cv) = &*self.inner;
         let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
         if frames > st.total {
             return Err(ExtError::BudgetExceeded { requested: frames, free: st.total - st.used });
         }
-        let ticket = st.enqueue(frames);
+        let ticket = st.enqueue_as(frames, tenant);
         while !st.grantable(ticket) {
             st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        let granted = st.grant_head();
-        // The next waiter in line may also fit in what remains.
+        let Some(w) = st.grant(ticket) else {
+            // Unreachable (a grantable ticket is queued), but a lost ticket
+            // must surface as a refusal rather than a panic.
+            return Err(ExtError::BudgetExceeded { requested: frames, free: st.total - st.used });
+        };
+        // The next eligible waiter may also fit in what remains.
         cv.notify_all();
-        Ok(BudgetLease { arbiter: self.clone(), frames: granted })
+        Ok(BudgetLease { arbiter: self.clone(), frames: w.frames, tenant: w.tenant })
     }
 
     /// Lease `frames` only if that is possible *right now* without cutting
@@ -156,7 +249,7 @@ impl BudgetArbiter {
         }
         st.used += frames;
         st.high_water = st.high_water.max(st.used);
-        Some(BudgetLease { arbiter: self.clone(), frames })
+        Some(BudgetLease { arbiter: self.clone(), frames, tenant: None })
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, ArbState> {
@@ -170,6 +263,7 @@ impl BudgetArbiter {
 pub struct BudgetLease {
     arbiter: BudgetArbiter,
     frames: usize,
+    tenant: Option<String>,
 }
 
 impl BudgetLease {
@@ -183,13 +277,18 @@ impl BudgetLease {
     pub fn budget(&self) -> MemoryBudget {
         MemoryBudget::new(self.frames)
     }
+
+    /// The tenant this lease is charged to, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
 }
 
 impl Drop for BudgetLease {
     fn drop(&mut self) {
         let (lock, cv) = &*self.arbiter.inner;
         let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
-        st.release(self.frames);
+        st.release(self.frames, self.tenant.as_deref());
         drop(st);
         cv.notify_all();
     }
@@ -205,30 +304,48 @@ mod tests {
         let mut st = ArbState::new(10);
         let a = st.enqueue(8);
         assert!(st.grantable(a));
-        assert_eq!(st.grant_head(), 8);
+        assert_eq!(st.grant(a).unwrap().frames, 8);
         let big = st.enqueue(8); // cannot fit while `a` holds 8
         let small = st.enqueue(1); // would fit, but is behind `big`
         assert!(!st.grantable(big));
         assert!(!st.grantable(small), "FIFO: the small request must not leapfrog");
-        st.release(8);
+        st.release(8, None);
         assert!(st.grantable(big), "head goes first once frames free up");
         assert!(!st.grantable(small));
-        assert_eq!(st.grant_head(), 8);
-        st.release(8);
+        assert_eq!(st.grant(big).unwrap().frames, 8);
+        st.release(8, None);
         assert!(st.grantable(small));
     }
 
     #[test]
     fn abandon_unwedges_the_queue() {
         let mut st = ArbState::new(4);
-        st.enqueue(4);
-        st.grant_head();
+        let first = st.enqueue(4);
+        st.grant(first).unwrap();
         let stuck = st.enqueue(4);
         let behind = st.enqueue(2);
-        st.release(4);
+        st.release(4, None);
         assert!(st.grantable(stuck));
         st.abandon(stuck);
         assert!(st.grantable(behind), "abandoning the head promotes the next waiter");
+    }
+
+    #[test]
+    fn capped_tenant_steps_aside_and_resumes_in_place() {
+        let mut st = ArbState::new(10);
+        st.tenant_cap = 1;
+        let g1 = st.enqueue_as(2, Some("greedy"));
+        assert!(st.grantable(g1));
+        st.grant(g1).unwrap();
+        let g2 = st.enqueue_as(2, Some("greedy")); // at the cap now
+        let meek = st.enqueue_as(2, Some("meek"));
+        assert!(!st.grantable(g2), "tenant at its cap is ineligible");
+        assert!(st.grantable(meek), "first eligible request wins, not the head");
+        st.grant(meek).unwrap();
+        // Greedy's first lease releases: its queued request becomes
+        // eligible again at its original position.
+        st.release(2, Some("greedy"));
+        assert!(st.grantable(g2));
     }
 
     #[test]
@@ -311,17 +428,17 @@ mod tests {
                     st.enqueue(n.min(total).max(1));
                 } else if let Some((t, frames)) = held.pop() {
                     let _ = t;
-                    st.release(frames);
+                    st.release(frames, None);
                 }
                 // Drain every grant that is now legal; the sync wrapper
                 // does exactly this after each release.
-                while let Some(&(head, frames)) = st.queue.front() {
-                    if !st.grantable(head) {
+                while let Some(w) = st.queue.front().cloned() {
+                    if !st.grantable(w.ticket) {
                         break;
                     }
-                    st.grant_head();
-                    held.push((head, frames));
-                    granted_order.push(head);
+                    st.grant(w.ticket).unwrap();
+                    held.push((w.ticket, w.frames));
+                    granted_order.push(w.ticket);
                 }
                 prop_assert!(st.used <= st.total, "over-committed: {} > {}", st.used, st.total);
                 prop_assert!(st.high_water >= last_high, "high water regressed");
@@ -333,17 +450,56 @@ mod tests {
                 "grants out of arrival order: {granted_order:?}");
             // (2) no starvation: release everything and the queue drains.
             for (_, frames) in held.drain(..) {
-                st.release(frames);
+                st.release(frames, None);
             }
-            while let Some(&(head, frames)) = st.queue.front() {
-                prop_assert!(st.grantable(head), "queue wedged with all frames free");
-                st.grant_head();
-                granted_order.push(head);
-                st.release(frames);
+            while let Some(w) = st.queue.front().cloned() {
+                prop_assert!(st.grantable(w.ticket), "queue wedged with all frames free");
+                st.grant(w.ticket).unwrap();
+                granted_order.push(w.ticket);
+                st.release(w.frames, None);
             }
             prop_assert!(st.queue.is_empty());
             // (4) high water equals the maximum simultaneous usage seen.
             prop_assert!(st.high_water >= max_used);
+        }
+
+        /// One greedy tenant floods the queue ahead of everyone else and
+        /// never releases voluntarily. With a tenant cap in force, every
+        /// other tenant's request must still be granted -- the greedy
+        /// backlog parks at the cap instead of walling off the queue.
+        #[test]
+        fn greedy_tenant_cannot_starve_others(
+            total in 3usize..12,
+            cap in 1usize..3,
+            backlog in 4usize..30,
+            others in 1usize..4,
+        ) {
+            let mut st = ArbState::new(total);
+            st.tenant_cap = cap;
+            // The greedy tenant's flood arrives first...
+            let flood: Vec<u64> =
+                (0..backlog).map(|_| st.enqueue_as(1, Some("greedy"))).collect();
+            // ...then one request per well-behaved tenant.
+            let meek: Vec<u64> = (0..others)
+                .map(|i| st.enqueue_as(1, Some(&format!("tenant-{i}"))))
+                .collect();
+            // Drain grants exactly like the sync wrapper; nobody releases.
+            let mut granted: Vec<u64> = Vec::new();
+            while let Some(t) = st.first_eligible().map(|w| w.ticket) {
+                if !st.grantable(t) {
+                    break; // out of frames
+                }
+                st.grant(t).unwrap();
+                granted.push(t);
+            }
+            // The greedy tenant holds exactly its cap (frames permitting)...
+            let greedy_granted = flood.iter().filter(|t| granted.contains(t)).count();
+            prop_assert_eq!(greedy_granted, cap.min(total));
+            // ...and every other tenant that fits in the remaining frames
+            // was served despite arriving behind the whole flood.
+            let meek_granted = meek.iter().filter(|t| granted.contains(t)).count();
+            prop_assert_eq!(meek_granted, others.min(total - cap.min(total)));
+            prop_assert!(st.used <= st.total);
         }
     }
 }

@@ -29,10 +29,53 @@ pub enum JobInput {
     Inline(Vec<u8>),
 }
 
+/// What kind of work a job performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobOp {
+    /// Full NEXSORT sort (the default).
+    #[default]
+    Sort,
+    /// `ORDER BY ... LIMIT k`: sort, keep only the first `k` records.
+    /// Journaled and resumable exactly like a sort.
+    TopK,
+    /// External priority queue: the input is a script of `push KEY` /
+    /// `pop` / `peek` lines; the output records each pop/peek result.
+    /// Deterministic, so an interrupted job redoes the script from its
+    /// input copy.
+    Pq,
+}
+
+impl JobOp {
+    /// Stable wire/manifest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobOp::Sort => "sort",
+            JobOp::TopK => "topk",
+            JobOp::Pq => "pq",
+        }
+    }
+
+    /// Parse a manifest/wire name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "sort" => JobOp::Sort,
+            "topk" => JobOp::TopK,
+            "pq" => JobOp::Pq,
+            other => return Err(format!("unknown job op {other:?} (expected sort, topk, pq)")),
+        })
+    }
+}
+
 /// Everything needed to run one sort job. Plain data (`Send`): the worker
 /// thread builds the actual device stack and sorter from it.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
+    /// What to do with the input.
+    pub op: JobOp,
+    /// The `k` of a top-k job; ignored by other ops.
+    pub k: u64,
+    /// Tenant this job is billed to, for the per-tenant fairness cap.
+    pub tenant: Option<String>,
     /// Input document.
     pub input: JobInput,
     /// Where the sorted output lands; `out.xml` inside the job directory
@@ -79,6 +122,9 @@ pub struct JobSpec {
 impl Default for JobSpec {
     fn default() -> Self {
         Self {
+            op: JobOp::Sort,
+            k: 0,
+            tenant: None,
             input: JobInput::Inline(Vec::new()),
             output: None,
             default_rule: None,
@@ -214,6 +260,9 @@ fn opt_str(v: &Option<String>) -> Value {
 /// submit protocol's echo).
 pub fn spec_to_value(spec: &JobSpec) -> Value {
     obj(vec![
+        ("op", s(spec.op.name())),
+        ("k", n(spec.k)),
+        ("tenant", opt_str(&spec.tenant)),
         ("output", spec.output.as_ref().map_or(Value::Null, |p| s(p.display().to_string()))),
         ("default", opt_str(&spec.default_rule)),
         ("keys", Value::Arr(spec.keys.iter().map(|k| s(k.clone())).collect())),
@@ -258,6 +307,19 @@ pub fn spec_from_value(v: &Value) -> Result<JobSpec, String> {
             }
         }
     };
+    if let Some(op) = v.get("op") {
+        if let Some(name) = op.as_str() {
+            spec.op = JobOp::from_name(name)?;
+        }
+    }
+    if let Some(x) = get_usize("k")? {
+        spec.k = x as u64;
+    }
+    if let Some(t) = v.get("tenant") {
+        if let Some(name) = t.as_str() {
+            spec.tenant = Some(name.to_string());
+        }
+    }
     if let Some(out) = v.get("output") {
         if let Some(path) = out.as_str() {
             spec.output = Some(PathBuf::from(path));
@@ -404,6 +466,9 @@ mod tests {
     #[test]
     fn manifests_round_trip() {
         let spec = JobSpec {
+            op: JobOp::TopK,
+            k: 25,
+            tenant: Some("acme".into()),
             output: Some(PathBuf::from("/tmp/out.xml")),
             default_rule: Some("@k:num".into()),
             keys: vec!["t=@a".into(), "u=@b:desc".into()],
@@ -446,6 +511,9 @@ mod tests {
         assert_eq!(back.spec.stripe, 3);
         assert_eq!(back.spec.parity_group, 4);
         assert_eq!(back.spec.crash_after_ios, Some(77));
+        assert_eq!(back.spec.op, JobOp::TopK);
+        assert_eq!(back.spec.k, 25);
+        assert_eq!(back.spec.tenant.as_deref(), Some("acme"));
         assert_eq!(back.spec.keys, vec!["t=@a".to_string(), "u=@b:desc".to_string()]);
         match &back.spec.input {
             JobInput::Path(p) => assert_eq!(p, Path::new("/jobs/job-9/input.xml")),

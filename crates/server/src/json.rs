@@ -393,4 +393,111 @@ mod tests {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
     }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Characters that stress every serializer path: ASCII, all the
+        /// short escapes, raw control chars, multi-byte BMP, and an
+        /// astral-plane char (surrogate pair territory), plus JSON
+        /// punctuation embedded in string content.
+        const PALETTE: &[char] = &[
+            'a',
+            'Z',
+            '9',
+            '_',
+            '"',
+            '\\',
+            '/',
+            '\n',
+            '\r',
+            '\t',
+            '\u{0008}',
+            '\u{000C}',
+            '\u{1}',
+            '\u{1f}',
+            'é',
+            '\u{2013}',
+            '中',
+            '\u{1F600}',
+            ' ',
+            ':',
+            '{',
+            '}',
+            '[',
+            ']',
+            ',',
+        ];
+
+        fn strings() -> BoxedStrategy<String> {
+            proptest::collection::vec(0usize..PALETTE.len(), 0..12)
+                .prop_map(|idx| idx.into_iter().map(|i| PALETTE[i]).collect())
+                .boxed()
+        }
+
+        /// Arbitrary JSON values: nested objects/arrays over leaves that
+        /// cover null, booleans, whole numbers up to 2^53, exact binary
+        /// fractions, and palette strings.
+        fn values() -> BoxedStrategy<Value> {
+            let leaf = prop_oneof![
+                Just(Value::Null),
+                any::<bool>().prop_map(Value::Bool),
+                (0u64..(1u64 << 53)).prop_map(|u| Value::Num(u as f64)),
+                ((-(1i64 << 31))..(1i64 << 31), 0u32..3)
+                    .prop_map(|(m, d)| Value::Num(m as f64 / f64::from(1u32 << d))),
+                strings().prop_map(Value::Str),
+            ];
+            leaf.prop_recursive(3, 24, 4, |inner| {
+                prop_oneof![
+                    proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Arr),
+                    proptest::collection::vec((strings(), inner), 0..4).prop_map(Value::Obj),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// encode -> decode is the identity for every representable
+            /// value, including escapes, unicode, nesting, and numbers at
+            /// the edge of exact f64 integers.
+            #[test]
+            fn encode_decode_is_identity(v in values()) {
+                let text = v.to_json();
+                let back = parse(&text)
+                    .map_err(|e| TestCaseError::fail(format!("{e} parsing {text:?}")))?;
+                prop_assert_eq!(back, v);
+            }
+
+            /// Any truncation of a valid document either parses (a shorter
+            /// prefix can itself be a complete document, e.g. numbers) or
+            /// yields a structured error -- never a panic, and re-encoding
+            /// a successful parse still round-trips.
+            #[test]
+            fn truncated_documents_never_panic(v in values(), cut in 0usize..64) {
+                let text = v.to_json();
+                let cut = cut.min(text.len());
+                let prefix: String = text.chars().take(cut).collect();
+                match parse(&prefix) {
+                    Ok(reparsed) => {
+                        let again = parse(&reparsed.to_json())
+                            .map_err(TestCaseError::fail)?;
+                        prop_assert_eq!(again, reparsed);
+                    }
+                    Err(e) => prop_assert!(!e.is_empty(), "error text must describe the failure"),
+                }
+            }
+
+            /// Arbitrary palette junk (quotes, braces, backslashes, raw
+            /// control characters) never panics the parser.
+            #[test]
+            fn arbitrary_input_never_panics(junk in strings()) {
+                match parse(&junk) {
+                    Ok(_) => {}
+                    Err(e) => prop_assert!(!e.is_empty()),
+                }
+            }
+        }
+    }
 }

@@ -31,6 +31,6 @@ pub mod json;
 pub mod net;
 pub mod server;
 
-pub use job::{JobInput, JobSpec, JobState, Manifest};
-pub use net::{parse_addr, request, request_submit, serve, Addr};
+pub use job::{JobInput, JobOp, JobSpec, JobState, Manifest};
+pub use net::{parse_addr, request, request_fetch_chunked, request_submit, serve, Addr};
 pub use server::{JobStatus, Server, ServerConfig, ServerStats, SubmitError};

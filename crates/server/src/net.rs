@@ -11,6 +11,9 @@
 //! {"op":"status","id":3}                -> {"ok":true,"job":{...}}
 //! {"op":"wait","id":3,"timeout_ms":N}   -> {"ok":true,"job":{...}}
 //! {"op":"fetch","id":3}                 -> {"ok":true,"output":"<xml.."}
+//! {"op":"fetch_chunk","id":3,
+//!        "offset":0,"len":65536}        -> {"ok":true,"chunk":"..",
+//!                                           "offset":0,"total":N,"eof":false}
 //! {"op":"cancel","id":3}                -> {"ok":true,"canceled":true}
 //! {"op":"list"}                         -> {"ok":true,"jobs":[...]}
 //! {"op":"stats"}                        -> {"ok":true,"stats":{...}}
@@ -256,6 +259,29 @@ fn dispatch(server: &Server, req: &Value) -> (Value, bool) {
             },
             Err(resp) => (resp, false),
         },
+        "fetch_chunk" => match req_id(req) {
+            Ok(id) => {
+                let offset = req.get("offset").and_then(Value::as_u64).unwrap_or(0);
+                // Clamp so a chunk always makes progress (at least one full
+                // UTF-8 character) and bounds the response line.
+                let len =
+                    req.get("len").and_then(Value::as_u64).unwrap_or(64 * 1024).clamp(16, 1 << 20);
+                match server.fetch_output_chunk(id, offset, len) {
+                    Ok((chunk, total, eof)) => (
+                        obj(vec![
+                            ("ok", b(true)),
+                            ("chunk", s(String::from_utf8_lossy(&chunk).into_owned())),
+                            ("offset", n(offset)),
+                            ("total", n(total)),
+                            ("eof", b(eof)),
+                        ]),
+                        false,
+                    ),
+                    Err(e) => (err_value(&e, false), false),
+                }
+            }
+            Err(resp) => (resp, false),
+        },
         "cancel" => match req_id(req) {
             Ok(id) => (obj(vec![("ok", b(true)), ("canceled", b(server.cancel(id)))]), false),
             Err(resp) => (resp, false),
@@ -361,6 +387,40 @@ pub fn request_submit(addr: &str, spec: &crate::job::JobSpec) -> Result<Value, S
     request(addr, &obj(vec![("op", s("submit")), ("spec", Value::Obj(fields))]))
 }
 
+/// Client side: stream a done job's output in bounded chunks via
+/// `fetch_chunk`, reassembling the full text. Keeps each response line
+/// (and the server's per-request buffer) at roughly `chunk_len` bytes no
+/// matter how large the output is.
+pub fn request_fetch_chunked(addr: &str, id: u64, chunk_len: u64) -> Result<String, String> {
+    let mut out = String::new();
+    let mut offset = 0u64;
+    loop {
+        let resp = request(
+            addr,
+            &obj(vec![
+                ("op", s("fetch_chunk")),
+                ("id", n(id)),
+                ("offset", n(offset)),
+                ("len", n(chunk_len)),
+            ]),
+        )?;
+        if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+            let msg = resp.get("error").and_then(Value::as_str).unwrap_or("fetch_chunk failed");
+            return Err(msg.to_string());
+        }
+        let chunk = resp.get("chunk").and_then(Value::as_str).unwrap_or("");
+        let eof = resp.get("eof").and_then(Value::as_bool).unwrap_or(true);
+        out.push_str(chunk);
+        offset += chunk.len() as u64;
+        if eof {
+            return Ok(out);
+        }
+        if chunk.is_empty() {
+            return Err(format!("fetch_chunk stalled at offset {offset} without eof"));
+        }
+    }
+}
+
 fn connect(addr: &str) -> Result<Stream, String> {
     match parse_addr(addr)? {
         Addr::Unix(path) => UnixStream::connect(&path)
@@ -426,6 +486,17 @@ mod tests {
         let resp = request(&sock, &obj(vec![("op", s("fetch")), ("id", n(id))])).unwrap();
         let xml = resp.get("output").and_then(Value::as_str).unwrap();
         assert!(xml.contains("<x k=\"1\"></x><x k=\"2\"></x>"), "sorted by @k: {xml}");
+
+        // Chunked fetch with a tiny chunk reassembles the same bytes.
+        let chunked = request_fetch_chunked(&sock, id, 16).unwrap();
+        assert_eq!(chunked, xml, "chunked fetch must equal one-shot fetch");
+        let resp = request(
+            &sock,
+            &obj(vec![("op", s("fetch_chunk")), ("id", n(id)), ("offset", n(4)), ("len", n(16))]),
+        )
+        .unwrap();
+        assert_eq!(resp.get("eof").and_then(Value::as_bool), Some(false));
+        assert_eq!(resp.get("chunk").and_then(Value::as_str).map(str::len), Some(16));
 
         let resp = request(&sock, &obj(vec![("op", s("stats"))])).unwrap();
         let stats = resp.get("stats").unwrap();

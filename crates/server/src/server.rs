@@ -41,7 +41,7 @@ use nexsort_baseline::stage_input;
 use nexsort_extmem::{BudgetArbiter, CrashPlan, Disk, DiskBuilder, DiskStack, ExtError, Extent};
 use nexsort_xml::{build_spec, XmlError};
 
-use crate::job::{JobInput, JobSpec, JobState, Manifest};
+use crate::job::{JobInput, JobOp, JobSpec, JobState, Manifest};
 
 /// Configuration of a server instance.
 #[derive(Debug, Clone)]
@@ -52,6 +52,9 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Global memory budget in frames, shared by all concurrent jobs.
     pub budget_frames: usize,
+    /// Max budget leases any single tenant may hold at once (0 = no cap).
+    /// See `BudgetArbiter::set_tenant_cap` for the fairness model.
+    pub tenant_cap: usize,
     /// Directory owning every job's input copy, device file, and manifest.
     pub job_dir: PathBuf,
 }
@@ -64,6 +67,7 @@ impl ServerConfig {
             workers: workers.max(1),
             queue_depth: 16,
             budget_frames: 4096,
+            tenant_cap: 0,
             job_dir: job_dir.into(),
         }
     }
@@ -236,8 +240,11 @@ impl Server {
             let unfinished = !m.state.is_terminal();
             // A job with a staged input extent has a device image (and
             // journal) worth reattaching; one without re-runs from its
-            // input copy.
-            let resume = unfinished && m.staged.is_some();
+            // input copy. An unfinished pq job that already ran once is a
+            // deterministic redo: flag it so the crash hook (which models
+            // the daemon death that got us here) is not re-armed.
+            let resume = unfinished
+                && (m.staged.is_some() || (m.spec.op == JobOp::Pq && m.state != JobState::Queued));
             let output = resolve_output(&cfg, m.id, &m.spec);
             core.jobs.insert(
                 m.id,
@@ -258,12 +265,9 @@ impl Server {
                 core.submitted += 1;
             }
         }
-        let shared = Arc::new(Shared {
-            arbiter: BudgetArbiter::new(cfg.budget_frames),
-            cfg,
-            core: Mutex::new(core),
-            cv: Condvar::new(),
-        });
+        let arbiter = BudgetArbiter::new(cfg.budget_frames);
+        arbiter.set_tenant_cap(cfg.tenant_cap);
+        let shared = Arc::new(Shared { arbiter, cfg, core: Mutex::new(core), cv: Condvar::new() });
         let workers = (0..shared.cfg.workers)
             .map(|_| {
                 let sh = shared.clone();
@@ -292,6 +296,9 @@ impl Server {
         }
         spec.mem_frames = spec.mem_frames.max(NexsortOptions::MIN_MEM_FRAMES);
         spec.stripe = spec.stripe.max(1);
+        if spec.op == JobOp::TopK && spec.k == 0 {
+            return Err(SubmitError::Invalid("top-k jobs need k >= 1".into()));
+        }
         if spec.frames_needed() > self.shared.arbiter.total_frames() {
             return Err(SubmitError::Invalid(format!(
                 "job needs {} frames ({} sort + {} cache); the global budget is {}",
@@ -306,7 +313,7 @@ impl Server {
                 .map_err(|e| SubmitError::Invalid(format!("cannot read {path:?}: {e}")))?,
             JobInput::Inline(bytes) => bytes.clone(),
         };
-        if nexsort_xml::is_xrec(&input_bytes) {
+        if spec.op != JobOp::Pq && nexsort_xml::is_xrec(&input_bytes) {
             return Err(SubmitError::Invalid(
                 "server jobs take XML text; .xrec inputs are not resumable across restarts".into(),
             ));
@@ -447,6 +454,29 @@ impl Server {
         std::fs::read(&output).map_err(|e| format!("cannot read output {output:?}: {e}"))
     }
 
+    /// Read one bounded chunk of a done job's output: up to `len` bytes
+    /// starting at byte `offset`, trimmed back to a UTF-8 character
+    /// boundary so every chunk is valid text on the wire. Returns
+    /// `(chunk, total_len, eof)`.
+    pub fn fetch_output_chunk(
+        &self,
+        id: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, u64, bool), String> {
+        let bytes = self.fetch_output(id)?;
+        let total = bytes.len() as u64;
+        let start = offset.min(total) as usize;
+        let mut end = (offset.saturating_add(len)).min(total) as usize;
+        // Never split a multi-byte character: back off while the byte at
+        // `end` is a UTF-8 continuation byte (0b10xxxxxx).
+        while end > start && end < bytes.len() && bytes[end] & 0xC0 == 0x80 {
+            end -= 1;
+        }
+        let eof = end as u64 >= total;
+        Ok((bytes[start..end].to_vec(), total, eof))
+    }
+
     /// Block until job `id` reaches a settled state (terminal or
     /// interrupted) or `timeout` passes. Returns the final status.
     pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobStatus> {
@@ -579,9 +609,10 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         }
     }
 
-    // Lease the job's frames from the global budget (strict-FIFO; blocks
-    // until admitted) for the whole on-thread lifetime of the stack.
-    let lease = match shared.arbiter.acquire(spec.frames_needed()) {
+    // Lease the job's frames from the global budget (strict-FIFO with the
+    // per-tenant cap; blocks until admitted) for the whole on-thread
+    // lifetime of the stack.
+    let lease = match shared.arbiter.acquire_as(spec.frames_needed(), spec.tenant.as_deref()) {
         Ok(lease) => lease,
         Err(e) => {
             finish(shared, id, JobState::Failed, Some(format!("budget lease: {e}")), None);
@@ -593,14 +624,14 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     let outcome = execute(shared, id, &spec, resume, &job_dir, &manifest);
     drop(lease);
     match outcome {
-        Outcome::Done(report) => finish(shared, id, JobState::Done, None, Some(*report)),
+        Outcome::Done(report) => finish(shared, id, JobState::Done, None, report.map(|b| *b)),
         Outcome::Interrupted => finish(shared, id, JobState::Interrupted, None, None),
         Outcome::Failed(msg) => finish(shared, id, JobState::Failed, Some(msg), None),
     }
 }
 
 enum Outcome {
-    Done(Box<SortReport>),
+    Done(Option<Box<SortReport>>),
     Interrupted,
     Failed(String),
 }
@@ -635,6 +666,11 @@ fn execute(
     job_dir: &std::path::Path,
     manifest: &ManifestWriter<'_>,
 ) -> Outcome {
+    if spec.op == JobOp::Pq {
+        // Not journaled: the script is deterministic, so an interrupted pq
+        // job redoes the whole script from its input copy.
+        return execute_pq(shared, id, spec, resume, job_dir, manifest);
+    }
     let sortspec = match build_spec(spec.default_rule.as_deref(), &spec.keys) {
         Ok(sp) => sp,
         Err(e) => return Outcome::Failed(format!("ordering criterion: {e}")),
@@ -699,6 +735,46 @@ fn execute(
         parity_group: spec.parity_group,
         ..Default::default()
     };
+    if spec.op == JobOp::TopK {
+        let topk = match nexsort_query::TopK::new(disk.clone(), opts, sortspec, spec.k) {
+            Ok(t) => t,
+            Err(e) => return Outcome::Failed(e.to_string()),
+        };
+        if let (Some(ctl), Some(after)) = (&crash, spec.crash_after_ios) {
+            ctl.arm_after(ctl.ios() + after);
+        }
+        let result =
+            if resume { topk.resume_xml_extent(&input) } else { topk.topk_xml_extent(&input) };
+        let text = result.and_then(|doc| doc.to_text().map(|t| (t, doc.report)));
+        let (text, report) = match text {
+            Ok(pair) => pair,
+            Err(XmlError::Ext(ExtError::SimulatedCrash { .. }))
+                if crash.as_ref().is_some_and(|c| c.crashed()) =>
+            {
+                // Same durable state as a killed sort: the journal has the
+                // last sealed phase, and the next Server::open resumes it.
+                manifest(JobState::Interrupted, &staged, None, resume);
+                return Outcome::Interrupted;
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                manifest(JobState::Failed, &staged, Some(msg.clone()), resume);
+                return Outcome::Failed(msg);
+            }
+        };
+        let output = resolve_output(&shared.cfg, id, spec);
+        if let Err(e) = std::fs::write(&output, &text) {
+            let msg = format!("cannot write output {output:?}: {e}");
+            manifest(JobState::Failed, &staged, Some(msg.clone()), resume);
+            return Outcome::Failed(msg);
+        }
+        let _ = settle(&disk);
+        manifest(JobState::Done, &staged, None, resume);
+        let mut sort_report = report.sort;
+        sort_report.resumed = sort_report.resumed || resume;
+        return Outcome::Done(Some(Box::new(sort_report)));
+    }
+
     let sorter = match Nexsort::new(disk.clone(), opts, sortspec) {
         Ok(s) => s,
         Err(e) => return Outcome::Failed(e.to_string()),
@@ -757,7 +833,95 @@ fn execute(
     manifest(JobState::Done, &staged, None, resume);
     let mut report = doc.report.clone();
     report.resumed = report.resumed || resume;
-    Outcome::Done(Box::new(report))
+    Outcome::Done(Some(Box::new(report)))
+}
+
+/// Run a pq job: execute its `push KEY` / `pop` / `peek` script over an
+/// [`ExtPq`](nexsort_query::ExtPq) on the job's device, recording one
+/// output line per pop/peek. The script is deterministic, so this same
+/// function is also the resume path -- an interrupted job redoes the
+/// script from the input copy and lands on identical output.
+fn execute_pq(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &JobSpec,
+    redo: bool,
+    job_dir: &std::path::Path,
+    manifest: &ManifestWriter<'_>,
+) -> Outcome {
+    let device_path = job_dir.join("device.bin");
+    let mut builder = DiskBuilder::new(spec.block_size).stripe(spec.stripe).file(&device_path);
+    if !redo && spec.crash_after_ios.is_some() {
+        // The crash hook models the daemon death; a post-restart redo runs
+        // the script to completion on a clean device.
+        builder = builder.crash(CrashPlan::Disarmed);
+    }
+    let DiskStack { disk, injectors: _injectors, crash } = match builder.build() {
+        Ok(stack) => stack,
+        Err(e) => return Outcome::Failed(e.to_string()),
+    };
+    let script = match std::fs::read_to_string(job_dir.join("input.xml")) {
+        Ok(s) => s,
+        Err(e) => return Outcome::Failed(format!("cannot read pq script copy: {e}")),
+    };
+    let mut pq = match nexsort_query::ExtPq::new(disk.clone(), spec.mem_frames, spec.parity_group) {
+        Ok(q) => q,
+        Err(e) => return Outcome::Failed(e.to_string()),
+    };
+    if let (Some(ctl), Some(after)) = (&crash, spec.crash_after_ios) {
+        ctl.arm_after(ctl.ios() + after);
+    }
+    let mut out = String::new();
+    for (ln, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let step = if let Some(key) = line.strip_prefix("push ") {
+            pq.push(key.as_bytes())
+        } else if line == "pop" {
+            pq.pop().map(|popped| match popped {
+                Some(k) => out.push_str(&format!("pop {}\n", String::from_utf8_lossy(&k))),
+                None => out.push_str("pop -\n"),
+            })
+        } else if line == "peek" {
+            pq.peek().map(|head| match head {
+                Some(k) => out.push_str(&format!("peek {}\n", String::from_utf8_lossy(&k))),
+                None => out.push_str("peek -\n"),
+            })
+        } else {
+            return Outcome::Failed(format!(
+                "pq script line {}: expected \"push KEY\", \"pop\", or \"peek\", got {line:?}",
+                ln + 1
+            ));
+        };
+        match step {
+            Ok(()) => {}
+            Err(XmlError::Ext(ExtError::SimulatedCrash { .. }))
+                if crash.as_ref().is_some_and(|c| c.crashed()) =>
+            {
+                // The device froze mid-script; the next Server::open
+                // re-queues the job, which redoes the script from scratch.
+                manifest(JobState::Interrupted, &None, None, false);
+                return Outcome::Interrupted;
+            }
+            Err(e) => {
+                let msg = format!("pq script line {}: {e}", ln + 1);
+                manifest(JobState::Failed, &None, Some(msg.clone()), false);
+                return Outcome::Failed(msg);
+            }
+        }
+    }
+    out.push_str(&format!("len {}\n", pq.len()));
+    let output = resolve_output(&shared.cfg, id, spec);
+    if let Err(e) = std::fs::write(&output, &out) {
+        let msg = format!("cannot write output {output:?}: {e}");
+        manifest(JobState::Failed, &None, Some(msg.clone()), false);
+        return Outcome::Failed(msg);
+    }
+    let _ = settle(&disk);
+    manifest(JobState::Done, &None, None, false);
+    Outcome::Done(None)
 }
 
 fn settle(disk: &Rc<Disk>) -> Result<(), ExtError> {
