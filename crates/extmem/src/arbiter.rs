@@ -40,7 +40,9 @@
 //! deterministically, without spawning threads.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use crate::locksan::{self, TrackedCondvar, TrackedGuard, TrackedMutex};
 
 use crate::budget::MemoryBudget;
 use crate::error::{ExtError, Result};
@@ -161,52 +163,57 @@ impl ArbState {
 /// shares the arbiter; see the [module docs](self) for the fairness model.
 #[derive(Clone, Debug)]
 pub struct BudgetArbiter {
-    inner: Arc<(Mutex<ArbState>, Condvar)>,
+    inner: Arc<(TrackedMutex<ArbState>, TrackedCondvar)>,
 }
 
 impl BudgetArbiter {
     /// An arbiter over `total_frames` globally-shared block frames.
     pub fn new(total_frames: usize) -> Self {
-        Self { inner: Arc::new((Mutex::new(ArbState::new(total_frames)), Condvar::new())) }
+        Self {
+            inner: Arc::new((
+                TrackedMutex::new("arbiter.state", ArbState::new(total_frames)),
+                TrackedCondvar::new(),
+            )),
+        }
     }
 
     /// Total frames under arbitration.
     pub fn total_frames(&self) -> usize {
-        self.lock().total
+        self.lock_state().total
     }
 
     /// Frames currently leased out.
     pub fn used_frames(&self) -> usize {
-        self.lock().used
+        self.lock_state().used
     }
 
     /// Frames currently free.
     pub fn free_frames(&self) -> usize {
-        let st = self.lock();
+        let st = self.lock_state();
         st.total - st.used
     }
 
     /// Highest simultaneous lease total ever observed. Monotone: it never
     /// decreases over the arbiter's lifetime.
     pub fn high_water_frames(&self) -> usize {
-        self.lock().high_water
+        self.lock_state().high_water
     }
 
     /// Requests currently parked in the waiter queue.
     pub fn waiters(&self) -> usize {
-        self.lock().queue.len()
+        self.lock_state().queue.len()
     }
 
     /// Cap the number of leases any single tenant may hold at once; 0
     /// (the default) disables the cap. See the [module docs](self).
     pub fn set_tenant_cap(&self, cap: usize) {
-        self.lock().tenant_cap = cap;
+        self.lock_state().tenant_cap = cap;
         self.inner.1.notify_all();
     }
 
     /// Outstanding leases currently held by `tenant`.
     pub fn tenant_outstanding(&self, tenant: &str) -> usize {
-        self.lock().outstanding.get(tenant).copied().unwrap_or(0)
+        self.lock_state().outstanding.get(tenant).copied().unwrap_or(0)
     }
 
     /// Block until `frames` can be leased, in strict arrival order. Fails
@@ -220,14 +227,14 @@ impl BudgetArbiter {
     /// against the per-tenant outstanding-lease cap, and waits (without
     /// blocking other tenants) while its tenant is at the cap.
     pub fn acquire_as(&self, frames: usize, tenant: Option<&str>) -> Result<BudgetLease> {
-        let (lock, cv) = &*self.inner;
-        let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+        let cv = &self.inner.1;
+        let mut st = self.lock_state();
         if frames > st.total {
             return Err(ExtError::BudgetExceeded { requested: frames, free: st.total - st.used });
         }
         let ticket = st.enqueue_as(frames, tenant);
         while !st.grantable(ticket) {
-            st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            st = cv.wait(st);
         }
         let Some(w) = st.grant(ticket) else {
             // Unreachable (a grantable ticket is queued), but a lost ticket
@@ -243,7 +250,7 @@ impl BudgetArbiter {
     /// the line: the queue must be empty and the frames free. `None` means
     /// "would have to wait".
     pub fn try_acquire(&self, frames: usize) -> Option<BudgetLease> {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         if frames > st.total || !st.queue.is_empty() || st.used + frames > st.total {
             return None;
         }
@@ -252,8 +259,14 @@ impl BudgetArbiter {
         Some(BudgetLease { arbiter: self.clone(), frames, tenant: None })
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, ArbState> {
-        self.inner.0.lock().unwrap_or_else(|e| e.into_inner())
+    /// The single acquisition choke point for the arbiter lock: every
+    /// mutation of [`ArbState`] goes through here, which is what lets the
+    /// static checker (xlint R11-R14) and the runtime sanitizer identify
+    /// arbiter critical sections.
+    fn lock_state(&self) -> TrackedGuard<'_, ArbState> {
+        let st = self.inner.0.lock();
+        locksan::access("arbiter.state");
+        st
     }
 }
 
@@ -286,11 +299,10 @@ impl BudgetLease {
 
 impl Drop for BudgetLease {
     fn drop(&mut self) {
-        let (lock, cv) = &*self.arbiter.inner;
-        let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.arbiter.lock_state();
         st.release(self.frames, self.tenant.as_deref());
         drop(st);
-        cv.notify_all();
+        self.arbiter.inner.1.notify_all();
     }
 }
 

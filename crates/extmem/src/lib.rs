@@ -51,6 +51,7 @@ mod extent;
 mod fault;
 mod journal;
 mod kway;
+pub mod locksan;
 mod pool;
 mod recovery;
 mod repair;

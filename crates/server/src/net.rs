@@ -347,6 +347,8 @@ fn stats_value(st: &ServerStats) -> Value {
         ("budget_used", n(st.budget_used as u64)),
         ("budget_high_water", n(st.budget_high_water as u64)),
         ("budget_waiters", n(st.budget_waiters as u64)),
+        ("lock_recoveries", n(st.lock_recoveries)),
+        ("locksan_violations", n(st.locksan_violations)),
     ])
 }
 

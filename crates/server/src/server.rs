@@ -33,11 +33,12 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::rc::Rc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nexsort::{Nexsort, NexsortOptions, SortReport};
 use nexsort_baseline::stage_input;
+use nexsort_extmem::locksan::{self, TrackedCondvar, TrackedGuard, TrackedMutex};
 use nexsort_extmem::{BudgetArbiter, CrashPlan, Disk, DiskBuilder, DiskStack, ExtError, Extent};
 use nexsort_xml::{build_spec, XmlError};
 
@@ -142,6 +143,14 @@ pub struct ServerStats {
     pub budget_high_water: usize,
     /// Requests parked in the budget's FIFO waiter queue.
     pub budget_waiters: usize,
+    /// Mutex-poisoning recoveries performed (process-wide) by the audited
+    /// `locksan::recover_poison` helper: each one means a thread panicked
+    /// while holding a lock and the guard was recovered rather than
+    /// silently swallowed.
+    pub lock_recoveries: u64,
+    /// Violations recorded (process-wide) by the `NEXSORT_LOCKSAN=1`
+    /// lock-discipline sanitizer; always 0 when the sanitizer is off.
+    pub locksan_violations: u64,
 }
 
 /// One job's record in the in-memory table.
@@ -170,13 +179,22 @@ struct Core {
 struct Shared {
     cfg: ServerConfig,
     arbiter: BudgetArbiter,
-    core: Mutex<Core>,
-    cv: Condvar,
+    core: TrackedMutex<Core>,
+    cv: TrackedCondvar,
 }
 
 impl Shared {
-    fn lock(&self) -> MutexGuard<'_, Core> {
-        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    /// The single acquisition choke point for the core lock: the job
+    /// table, queue, and lifetime counters are only ever touched through
+    /// the guard returned here, which is what lets the static checker
+    /// (xlint R11-R14) and the runtime sanitizer identify core critical
+    /// sections. Poisoning routes through the audited
+    /// `locksan::recover_poison` helper inside `TrackedMutex::lock` and is
+    /// surfaced as `ServerStats::lock_recoveries`.
+    fn lock_core(&self) -> TrackedGuard<'_, Core> {
+        let core = self.core.lock();
+        locksan::access("server.job-table");
+        core
     }
 }
 
@@ -267,7 +285,12 @@ impl Server {
         }
         let arbiter = BudgetArbiter::new(cfg.budget_frames);
         arbiter.set_tenant_cap(cfg.tenant_cap);
-        let shared = Arc::new(Shared { arbiter, cfg, core: Mutex::new(core), cv: Condvar::new() });
+        let shared = Arc::new(Shared {
+            arbiter,
+            cfg,
+            core: TrackedMutex::new("server.core", core),
+            cv: TrackedCondvar::new(),
+        });
         let workers = (0..shared.cfg.workers)
             .map(|_| {
                 let sh = shared.clone();
@@ -320,7 +343,7 @@ impl Server {
         }
         // Admission: reserve a queue slot (or push back) and an id.
         let id = {
-            let mut core = self.shared.lock();
+            let mut core = self.shared.lock_core();
             if core.shutdown {
                 return Err(SubmitError::Busy("server is shutting down".into()));
             }
@@ -357,7 +380,7 @@ impl Server {
         }
         spec.input = JobInput::Path(job_dir.join("input.xml"));
         let output = resolve_output(&self.shared.cfg, id, &spec);
-        let mut core = self.shared.lock();
+        let mut core = self.shared.lock_core();
         core.jobs.insert(
             id,
             JobRecord {
@@ -381,13 +404,13 @@ impl Server {
 
     /// Status of one job.
     pub fn status(&self, id: u64) -> Option<JobStatus> {
-        let core = self.shared.lock();
+        let core = self.shared.lock_core();
         core.jobs.get(&id).map(|r| snapshot(id, r))
     }
 
     /// Status of every known job, in id order.
     pub fn list(&self) -> Vec<JobStatus> {
-        let core = self.shared.lock();
+        let core = self.shared.lock_core();
         core.jobs.iter().map(|(&id, r)| snapshot(id, r)).collect()
     }
 
@@ -396,7 +419,7 @@ impl Server {
     /// single-threaded and cannot be interrupted across threads) and
     /// cancel returns false.
     pub fn cancel(&self, id: u64) -> bool {
-        let mut core = self.shared.lock();
+        let mut core = self.shared.lock_core();
         let Some(rec) = core.jobs.get_mut(&id) else { return false };
         if rec.state != JobState::Queued {
             return false;
@@ -416,16 +439,29 @@ impl Server {
 
     /// Aggregate counters.
     pub fn stats(&self) -> ServerStats {
-        let core = self.shared.lock();
+        // Lock order (xlint R11): the arbiter counters are read *before*
+        // the core lock is taken — each arbiter getter briefly takes the
+        // arbiter lock, and the global order is arbiter before core.
+        let budget_total = self.shared.arbiter.total_frames();
+        let budget_used = self.shared.arbiter.used_frames();
+        let budget_high_water = self.shared.arbiter.high_water_frames();
+        let budget_waiters = self.shared.arbiter.waiters();
+        // Likewise read outside the core region: violation_count takes the
+        // sanitizer's own bookkeeping lock, which must not nest under core.
+        let lock_recoveries = locksan::poison_recoveries();
+        let locksan_violations = locksan::violation_count() as u64;
+        let core = self.shared.lock_core();
         let mut st = ServerStats {
             workers: self.shared.cfg.workers,
             queue_depth: self.shared.cfg.queue_depth,
             submitted: core.submitted,
             resumed: core.resumed_total,
-            budget_total: self.shared.arbiter.total_frames(),
-            budget_used: self.shared.arbiter.used_frames(),
-            budget_high_water: self.shared.arbiter.high_water_frames(),
-            budget_waiters: self.shared.arbiter.waiters(),
+            budget_total,
+            budget_used,
+            budget_high_water,
+            budget_waiters,
+            lock_recoveries,
+            locksan_violations,
             ..ServerStats::default()
         };
         for rec in core.jobs.values() {
@@ -444,7 +480,7 @@ impl Server {
     /// Read the finished output of a done job.
     pub fn fetch_output(&self, id: u64) -> Result<Vec<u8>, String> {
         let (state, output) = {
-            let core = self.shared.lock();
+            let core = self.shared.lock_core();
             let rec = core.jobs.get(&id).ok_or_else(|| format!("no such job {id}"))?;
             (rec.state, rec.output.clone())
         };
@@ -499,7 +535,7 @@ impl Server {
         let deadline = Instant::now() + timeout;
         loop {
             {
-                let core = self.shared.lock();
+                let core = self.shared.lock_core();
                 let busy = !core.queue.is_empty()
                     || core.jobs.values().any(|r| matches!(r.state, JobState::Running));
                 if !busy {
@@ -522,7 +558,7 @@ impl Server {
 
     fn stop_workers(&mut self) {
         {
-            let mut core = self.shared.lock();
+            let mut core = self.shared.lock_core();
             core.shutdown = true;
         }
         self.shared.cv.notify_all();
@@ -562,7 +598,7 @@ fn resolve_output(cfg: &ServerConfig, id: u64, spec: &JobSpec) -> PathBuf {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let id = {
-            let mut core = shared.lock();
+            let mut core = shared.lock_core();
             loop {
                 if core.shutdown {
                     return;
@@ -570,7 +606,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if let Some(id) = core.queue.pop_front() {
                     break id;
                 }
-                core = shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+                core = shared.cv.wait(core);
             }
         };
         run_job(shared, id);
@@ -581,7 +617,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// job record and manifest; this function never panics the worker.
 fn run_job(shared: &Arc<Shared>, id: u64) {
     let (spec, resume, was_resumed) = {
-        let mut core = shared.lock();
+        let mut core = shared.lock_core();
         let Some(rec) = core.jobs.get_mut(&id) else { return };
         rec.state = JobState::Running;
         (rec.spec.clone(), rec.resume, rec.resumed)
@@ -602,7 +638,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     let prior_staged = Manifest::load(&job_dir).ok().flatten().and_then(|m| m.staged);
     manifest(JobState::Running, &prior_staged, None, resumed_now);
     if resume {
-        let mut core = shared.lock();
+        let mut core = shared.lock_core();
         core.resumed_total += 1;
         if let Some(rec) = core.jobs.get_mut(&id) {
             rec.resumed = true;
@@ -647,7 +683,7 @@ fn finish(
     error: Option<String>,
     report: Option<SortReport>,
 ) {
-    let mut core = shared.lock();
+    let mut core = shared.lock_core();
     if let Some(rec) = core.jobs.get_mut(&id) {
         rec.state = state;
         rec.error = error;
@@ -951,6 +987,31 @@ mod tests {
         let opts = NexsortOptions { mem_frames: spec.mem_frames, ..Default::default() };
         let sorter = Nexsort::new(stack.disk.clone(), opts, sortspec).unwrap();
         sorter.sort_xml_extent(&input).unwrap().to_xml(spec.pretty).unwrap()
+    }
+
+    #[test]
+    fn journal_blocks_clamps_at_the_boundaries() {
+        // Nominal: 32 blocks whenever the block can describe that many.
+        assert_eq!(journal_blocks(284), 32, "(284-28)/8 = 32: smallest size at the cap");
+        assert_eq!(journal_blocks(1 << 20), 32, "huge blocks stay capped at 32");
+        assert_eq!(journal_blocks(usize::MAX), 32, "no overflow at the extreme");
+        // Small blocks: the 28-byte header eats into the self-description.
+        assert_eq!(journal_blocks(64), 4, "(64-28)/8 floors to 4");
+        assert_eq!(journal_blocks(52), 3);
+        assert_eq!(journal_blocks(44), 2);
+        // Just above the header: the floor of 2 takes over.
+        assert_eq!(journal_blocks(36), 2, "(36-28)/8 = 1 is clamped up to the floor");
+        assert_eq!(journal_blocks(29), 2);
+        // At or below the header size the subtraction saturates; still 2.
+        assert_eq!(journal_blocks(28), 2);
+        assert_eq!(journal_blocks(0), 2);
+    }
+
+    #[test]
+    fn stats_surface_lock_recovery_counters() {
+        let st = ServerStats::default();
+        assert_eq!(st.lock_recoveries, 0);
+        assert_eq!(st.locksan_violations, 0);
     }
 
     #[test]

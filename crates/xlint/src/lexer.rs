@@ -373,6 +373,46 @@ mod tests {
     }
 
     #[test]
+    fn crlf_sources_keep_line_numbers_and_pragmas() {
+        // Windows checkouts: `\r\n` line endings must not shift line
+        // numbers, leak `\r` into tokens, or detach pragmas from the line
+        // they cover.
+        let src = "a();\r\n// xlint::allow(R2)\r\nb.unwrap();\r\nc();\r\n";
+        let m = mask(src);
+        assert!(m.allowed(3, "R2"), "pragma covers the line below across CRLF");
+        assert!(!m.allowed(4, "R2"));
+        let toks = tokens(&m.code);
+        assert!(toks.iter().all(|t| !t.text.contains('\r')), "no \\r inside tokens");
+        let c = toks.iter().find(|t| t.text == "c").expect("c survives");
+        assert_eq!(c.line, 4);
+    }
+
+    #[test]
+    fn trailing_backslash_string_continuation() {
+        // A `\` before the newline continues the string literal onto the
+        // next line; the continuation is still string content and must be
+        // masked, while line accounting stays exact.
+        let src = "let s = \"spans \\\n    unwrap() lines\";\nafter();\n";
+        let m = mask(src);
+        assert!(!m.code.contains("unwrap"), "continued string content is blanked");
+        assert!(m.code.contains("after();"));
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count(), "newlines preserved");
+        let toks = tokens(&m.code);
+        let after = toks.iter().find(|t| t.text == "after").expect("after survives");
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn truncated_escape_at_eof_does_not_panic() {
+        // A source ending mid-escape (backslash as the last byte of an
+        // unterminated string) must mask to the end without panicking.
+        for src in ["let s = \"dangling\\", "let c = '\\", "x(); // trail\\"] {
+            let m = mask(src);
+            assert_eq!(m.code.len(), src.len(), "mask preserves length for {src:?}");
+        }
+    }
+
+    #[test]
     fn cfg_test_spans_cover_test_modules() {
         let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn more() {}\n";
         let m = mask(src);

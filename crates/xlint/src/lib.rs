@@ -5,7 +5,10 @@
 //! substrate reports failures instead of panicking, that every counter a
 //! PR adds is actually wired through reset/snapshot/Display, and so on.
 //! `xlint` closes that gap with a hand-rolled lexer (no `syn`, no
-//! dependencies — the build is offline) and ten lexical rules.
+//! dependencies — the build is offline) and fifteen rules: ten lexical
+//! ones (R1–R10) plus five concurrency rules (R11–R15) powered by a
+//! cross-file symbol/call-graph pass (`symbols.rs`/`callgraph.rs`) that
+//! tracks which functions may acquire the server-path locks.
 //!
 //! Run it with `cargo run -p xlint -- --deny` from the workspace root.
 //! Findings print as `file:line: rule — message`; a finding is suppressed
@@ -17,10 +20,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 
-pub use rules::{check_manifest, check_rust_file, Finding, RULES};
+pub use callgraph::{Analysis, CallGraph};
+pub use rules::{check_manifest, check_rust_file, check_sources, Finding, RULES};
 
 use std::path::{Path, PathBuf};
 
@@ -57,10 +63,17 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     }
 
     rust_files.sort();
-    for path in rust_files {
-        let text = std::fs::read_to_string(&path)?;
-        findings.extend(check_rust_file(&rel_of(root, &path), &text));
+    // Two-phase pass: build the workspace call graph over every file
+    // first, then lint each file against the sealed analysis so the
+    // concurrency rules see cross-crate reachability.
+    let mut sources = Vec::new();
+    for path in &rust_files {
+        let text = std::fs::read_to_string(path)?;
+        sources.push((rel_of(root, path), text));
     }
+    let borrowed: Vec<(&str, &str)> =
+        sources.iter().map(|(rel, text)| (rel.as_str(), text.as_str())).collect();
+    findings.extend(check_sources(&borrowed));
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)

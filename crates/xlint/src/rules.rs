@@ -2,7 +2,9 @@
 //! [masked](crate::lexer::mask) source, and answers for one substrate
 //! invariant (see DESIGN.md, "Enforced invariants").
 
+use crate::callgraph::Analysis;
 use crate::lexer::{self, Tok};
+use crate::symbols::{self, body_open, brace_match, line_at, LockClass};
 
 /// One finding, printed as `file:line: rule — message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,7 +13,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`R1`..`R10`).
+    /// Rule id (`R1`..`R15`).
     pub rule: &'static str,
     /// Human explanation.
     pub message: String,
@@ -23,18 +25,110 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// The rules and what they enforce, for `--list-rules`.
-pub const RULES: &[(&str, &str)] = &[
-    ("R1", "raw BlockDevice access only inside the extmem device layer"),
-    ("R2", "no unwrap/expect/panic!/unreachable! in non-test extmem or core code"),
-    ("R3", "every IoStats counter appears in reset, snapshot, since, and Display"),
-    ("R4", "every function that stamps set_phase(IoPhase::..) also restores a saved phase"),
-    ("R5", "no wildcard `_ =>` arm in a match over ExtError variants"),
-    ("R6", "#![forbid(unsafe_code)] present in every crate root"),
-    ("R7", "IoStats counter mutators called only from the device/stats layer"),
-    ("R8", "manifest dependencies are path-only (the build is offline)"),
-    ("R9", "journal commit records are appended only after an io_barrier"),
-    ("R10", "every ExtError variant is classified explicitly in is_transient"),
+/// The rule registry: `(id, title, summary)`. The DESIGN.md "Enforced
+/// invariants" table is generated from this list (`--rules-table`), and a
+/// drift test fails when the two disagree — keep summaries free of `|`.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "R1",
+        "device confinement",
+        "raw BlockDevice access appears only in the extmem device layer and the DiskBuilder \
+         assembly site; everything else goes through Disk so no I/O bypasses the per-category \
+         accounting the Section-4 lemmas are asserted against",
+    ),
+    (
+        "R2",
+        "no panics in the substrate",
+        "no unwrap, expect, panic!, unreachable!, todo!, or unimplemented! in non-test extmem or \
+         core code; every failure surfaces as ExtError or SortFailure, which is what makes the \
+         fault-injection suite's recovery guarantees meaningful",
+    ),
+    (
+        "R3",
+        "counter parity",
+        "every Counters field in stats.rs appears in reset, snapshot, since, and the IoSnapshot \
+         Display impl, so a new counter cannot silently vanish from a reporting path the \
+         experiments read",
+    ),
+    (
+        "R4",
+        "phase pair-restore",
+        "a function that stamps set_phase(IoPhase::..) also restores a saved phase, so \
+         deferred-write attribution survives nesting",
+    ),
+    (
+        "R5",
+        "no wildcard ExtError arms",
+        "a match whose patterns name ExtError variants may not have a bare `_ =>` arm: adding an \
+         error variant forces every classification site to decide explicitly",
+    ),
+    (
+        "R6",
+        "forbid(unsafe_code)",
+        "#![forbid(unsafe_code)] is present in every crate root; the whole reproduction is safe \
+         Rust",
+    ),
+    (
+        "R7",
+        "accounting confinement",
+        "the IoStats counter mutators are called only from device.rs and stats.rs, so logical \
+         I/O accounting cannot drift (pragma'd exceptions: the staging helpers that roll setup \
+         cost out of measurements)",
+    ),
+    (
+        "R8",
+        "path-only dependencies",
+        "every manifest dependency resolves inside the workspace (path = or workspace = true): \
+         the build is offline and the crates/shim-* stand-ins are the only registry substitutes",
+    ),
+    (
+        "R9",
+        "barrier-before-commit",
+        "a journal Commit record is appended only after an io_barrier in the same function body \
+         (Journal::checkpoint is the sanctioned wrapper), guarding the crash-consistency \
+         contract the crash_recovery sweep relies on",
+    ),
+    (
+        "R10",
+        "total is_transient classification",
+        "every ExtError variant appears explicitly in ExtError::is_transient and the function \
+         has no wildcard arm; is_transient is the oracle behind the retry policy and exit-code \
+         mapping",
+    ),
+    (
+        "R11",
+        "lock acquisition order",
+        "the arbiter lock (BudgetArbiter::lock_state) is never acquired, even transitively, \
+         while the server core lock (Shared::lock_core) is held: the global order is arbiter \
+         before core, so the two-lock server path cannot deadlock",
+    ),
+    (
+        "R12",
+        "no blocking while holding core",
+        "no device I/O, thread::sleep, or socket read may run, even transitively, while the \
+         server core lock is held, and every Condvar wait sits inside a predicate loop",
+    ),
+    (
+        "R13",
+        "concurrency confinement",
+        "Mutex, Condvar, Arc, atomics, and thread spawns appear only in the sanctioned sites \
+         (crates/server, arbiter.rs, locksan.rs); the Rc/Cell sorting substrate stays provably \
+         single-threaded",
+    ),
+    (
+        "R14",
+        "no guard across barriers",
+        "arbiter and core lock guards are never held across io_barrier, checkpoint, or \
+         cache_flush, even transitively: critical sections stay memory-only and never couple to \
+         device flushing",
+    ),
+    (
+        "R15",
+        "audited poison recovery",
+        "mutex-poisoning recovery (unwrap_or_else into_inner) lives only in locksan.rs's \
+         recover_poison helper, which counts every recovery into server stats instead of \
+         silently swallowing the panic",
+    ),
 ];
 
 /// Files allowed to name `BlockDevice`: the device layer itself, plus its
@@ -80,30 +174,69 @@ fn is_crate_root(rel: &str) -> bool {
         && (parts[3] == "lib.rs" || parts[3] == "main.rs")
 }
 
-/// Lint one Rust source file. `rel` is the workspace-relative path, which
-/// selects each rule's scope. Suppressed findings are filtered here.
+/// Lint one Rust source file in isolation: the cross-file rules (R11–R14)
+/// see only this file's call graph. `rel` is the workspace-relative path,
+/// which selects each rule's scope.
 pub fn check_rust_file(rel: &str, src: &str) -> Vec<Finding> {
     let m = lexer::mask(src);
     let toks = lexer::tokens(&m.code);
+    let analysis = Analysis::of_tokens(&toks, &m);
+    check_masked(rel, &m, &toks, &analysis)
+}
+
+/// Lint a set of sources as one workspace: the call graph is built over
+/// all of them first, so R11–R14 see cross-file (and cross-crate)
+/// reachability. Findings come back sorted by (file, line, rule).
+pub fn check_sources(files: &[(&str, &str)]) -> Vec<Finding> {
+    let prepared: Vec<(&str, lexer::Masked)> =
+        files.iter().map(|&(rel, src)| (rel, lexer::mask(src))).collect();
+    let mut graph = crate::callgraph::CallGraph::new();
+    let toks: Vec<Vec<Tok>> = prepared.iter().map(|(_, m)| lexer::tokens(&m.code)).collect();
+    for ((_, m), t) in prepared.iter().zip(&toks) {
+        graph.add_file(t, m);
+    }
+    let analysis = Analysis::build(graph);
+    let mut findings = Vec::new();
+    for ((rel, m), t) in prepared.iter().zip(&toks) {
+        findings.extend(check_masked(rel, m, t, &analysis));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// The per-file rule pass over an already-masked source, with the
+/// workspace [`Analysis`] supplied by the caller. Suppressed findings are
+/// filtered here.
+pub fn check_masked(
+    rel: &str,
+    m: &lexer::Masked,
+    toks: &[Tok],
+    analysis: &Analysis,
+) -> Vec<Finding> {
     let mut out = Vec::new();
 
     let in_tests_dir = rel.starts_with("tests/") || rel.contains("/tests/");
     let non_test = |pos: usize| !in_tests_dir && !m.in_test(pos);
 
-    rule_r1(rel, &toks, &non_test, &mut out);
-    rule_r2(rel, &toks, &non_test, &mut out);
-    rule_r4(rel, &toks, &non_test, &mut out);
-    rule_r5(rel, &toks, &non_test, &mut out);
-    rule_r7(rel, &toks, &non_test, &mut out);
-    rule_r9(rel, &toks, &non_test, &mut out);
+    rule_r1(rel, toks, &non_test, &mut out);
+    rule_r2(rel, toks, &non_test, &mut out);
+    rule_r4(rel, toks, &non_test, &mut out);
+    rule_r5(rel, toks, &non_test, &mut out);
+    rule_r7(rel, toks, &non_test, &mut out);
+    rule_r9(rel, toks, &non_test, &mut out);
+    rule_r11(rel, toks, analysis, &non_test, &mut out);
+    rule_r12(rel, toks, analysis, &non_test, &mut out);
+    rule_r13(rel, toks, &non_test, &mut out);
+    rule_r14(rel, toks, analysis, &non_test, &mut out);
+    rule_r15(rel, toks, &non_test, &mut out);
     if is_crate_root(rel) {
         rule_r6(rel, &m.code, &mut out);
     }
     if rel == "crates/extmem/src/stats.rs" {
-        rule_r3(rel, &toks, &mut out);
+        rule_r3(rel, toks, &mut out);
     }
     if rel == "crates/extmem/src/error.rs" {
-        rule_r10(rel, &toks, &mut out);
+        rule_r10(rel, toks, &mut out);
     }
 
     let mut findings: Vec<Finding> =
@@ -475,6 +608,211 @@ fn rule_r10(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
+/// Files sanctioned to use cross-thread primitives (R13): the server
+/// crate (the one threaded component), the arbiter it leases frames
+/// from, and the lock sanitizer's own instrumentation.
+const R13_ALLOW_PREFIX: &str = "crates/server/src/";
+const R13_ALLOW: &[&str] = &["crates/extmem/src/arbiter.rs", "crates/extmem/src/locksan.rs"];
+
+/// Cross-thread primitives R13 confines (plus any `Atomic*`-prefixed
+/// ident and `spawn`).
+const R13_TOKENS: &[&str] =
+    &["Mutex", "RwLock", "Condvar", "Arc", "TrackedMutex", "TrackedCondvar", "spawn"];
+
+/// The one audited poisoning-recovery site R15 permits.
+const R15_ALLOW: &[&str] = &["crates/extmem/src/locksan.rs"];
+
+/// Call names the hold-region rules (R11/R12/R14) never flag: a condvar
+/// wait under the lock is the one sanctioned block — the guard is released
+/// while the thread is parked, so nothing is actually held across whatever
+/// the merged `wait` name may reach. R12 separately checks every wait for
+/// the predicate-loop shape.
+const WAIT_CALLS: &[&str] = &["wait", "wait_timeout"];
+
+/// Hold regions of `class` across every function body in the file.
+fn regions_of(toks: &[Tok], class: LockClass) -> Vec<symbols::HoldRegion> {
+    let mut all = Vec::new();
+    for (open, close) in fn_spans(toks) {
+        all.extend(
+            symbols::hold_regions(toks, open, close).into_iter().filter(|r| r.class == class),
+        );
+    }
+    all
+}
+
+/// Calls inside `region` excluding the acquiring call itself.
+fn region_calls<'a>(toks: &[Tok<'a>], region: &symbols::HoldRegion) -> Vec<(usize, &'a str)> {
+    symbols::calls_in(toks, region.start, region.end)
+        .into_iter()
+        .filter(|&(i, _)| i != region.acquire)
+        .collect()
+}
+
+/// R11: the global lock order is arbiter before core. While the server
+/// core lock is held, nothing may acquire the arbiter lock — directly or
+/// through any function whose may-acquire set reaches `lock_state`.
+fn rule_r11(
+    rel: &str,
+    toks: &[Tok],
+    analysis: &Analysis,
+    non_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for region in regions_of(toks, LockClass::Core) {
+        for (i, callee) in region_calls(toks, &region) {
+            if analysis.may_arbiter.contains(callee)
+                && !WAIT_CALLS.contains(&callee)
+                && non_test(toks[i].pos)
+            {
+                push(
+                    out,
+                    rel,
+                    line_at(toks, toks[i].pos),
+                    "R11",
+                    format!(
+                        "`{callee}` may acquire {} while {} is held; the global lock order \
+                         is arbiter before core",
+                        LockClass::Arbiter.describe(),
+                        LockClass::Core.describe()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// R12: no blocking call while holding the server core lock, and every
+/// `Condvar::wait` sits in a predicate loop.
+fn rule_r12(
+    rel: &str,
+    toks: &[Tok],
+    analysis: &Analysis,
+    non_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for region in regions_of(toks, LockClass::Core) {
+        for (i, callee) in region_calls(toks, &region) {
+            if analysis.may_block.contains(callee)
+                && !WAIT_CALLS.contains(&callee)
+                && non_test(toks[i].pos)
+            {
+                push(
+                    out,
+                    rel,
+                    line_at(toks, toks[i].pos),
+                    "R12",
+                    format!(
+                        "`{callee}` may block (sleep, device or socket I/O) while {} is held",
+                        LockClass::Core.describe()
+                    ),
+                );
+            }
+        }
+    }
+    let spans = fn_spans(toks);
+    for i in symbols::condvar_waits(toks) {
+        if !non_test(toks[i].pos) {
+            continue;
+        }
+        let span =
+            spans.iter().filter(|&&(s, e)| s <= i && i < e).min_by_key(|&&(s, e)| e - s).copied();
+        let looped = span.is_some_and(|(s, e)| symbols::in_predicate_loop(toks, s, e, i));
+        if !looped {
+            push(
+                out,
+                rel,
+                line_at(toks, toks[i].pos),
+                "R12",
+                "Condvar::wait outside a predicate loop; spurious wakeups make the awaited \
+                 condition unreliable without `while !cond { .. }`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R13: cross-thread primitives stay confined to the sanctioned
+/// concurrency sites, keeping the Rc/Cell sorting substrate provably
+/// single-threaded ahead of in-sort parallelism.
+fn rule_r13(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    if rel.starts_with(R13_ALLOW_PREFIX) || R13_ALLOW.contains(&rel) {
+        return;
+    }
+    for t in toks {
+        if (R13_TOKENS.contains(&t.text) || t.text.starts_with("Atomic")) && non_test(t.pos) {
+            push(
+                out,
+                rel,
+                line_at(toks, t.pos),
+                "R13",
+                format!(
+                    "cross-thread primitive `{}` outside the sanctioned concurrency sites \
+                     (crates/server, arbiter.rs, locksan.rs)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// R14: no lock guard (arbiter or core) held across a durability barrier.
+fn rule_r14(
+    rel: &str,
+    toks: &[Tok],
+    analysis: &Analysis,
+    non_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for class in [LockClass::Arbiter, LockClass::Core] {
+        for region in regions_of(toks, class) {
+            for (i, callee) in region_calls(toks, &region) {
+                if analysis.may_barrier.contains(callee)
+                    && !WAIT_CALLS.contains(&callee)
+                    && non_test(toks[i].pos)
+                {
+                    push(
+                        out,
+                        rel,
+                        line_at(toks, toks[i].pos),
+                        "R14",
+                        format!(
+                            "`{callee}` may reach a durability barrier (io_barrier/checkpoint/\
+                             cache_flush) while {} is held",
+                            class.describe()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// R15: the `unwrap_or_else(..into_inner())` poisoning-recovery pattern is
+/// allowed only inside the audited `locksan::recover_poison` helper, which
+/// counts recoveries instead of silently swallowing them.
+fn rule_r15(rel: &str, toks: &[Tok], non_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    if R15_ALLOW.contains(&rel) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "unwrap_or_else" || !non_test(t.pos) {
+            continue;
+        }
+        let window = &toks[i + 1..toks.len().min(i + 14)];
+        if window.iter().any(|n| n.text == "into_inner") {
+            push(
+                out,
+                rel,
+                line_at(toks, t.pos),
+                "R15",
+                "mutex-poisoning recovery outside the audited helper; route the lock through \
+                 locksan::recover_poison (or TrackedMutex) so recoveries are counted"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// R8: every dependency in a manifest must resolve inside the workspace
 /// (`path = ...` or `workspace = true`): the build environment is offline.
 pub fn check_manifest(rel: &str, src: &str) -> Vec<Finding> {
@@ -514,44 +852,7 @@ pub fn check_manifest(rel: &str, src: &str) -> Vec<Finding> {
     out
 }
 
-// ---- token-walking helpers ----
-
-fn line_at(toks: &[Tok], pos: usize) -> usize {
-    match toks.binary_search_by(|t| t.pos.cmp(&pos)) {
-        Ok(k) => toks[k].line,
-        Err(k) => toks.get(k.saturating_sub(1)).map_or(1, |t| t.line),
-    }
-}
-
-/// First `{` at or after `from`, stopping at a `;` (a bodiless item).
-fn body_open(toks: &[Tok], from: usize) -> Option<usize> {
-    for (k, t) in toks.iter().enumerate().skip(from) {
-        match t.text {
-            "{" => return Some(k),
-            ";" => return None,
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Matching `}` for the `{` at token index `open`.
-fn brace_match(toks: &[Tok], open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for (k, t) in toks.iter().enumerate().skip(open) {
-        match t.text {
-            "{" => depth += 1,
-            "}" => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(k);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
+// ---- token-walking helpers (line_at/body_open/brace_match live in symbols.rs) ----
 
 /// Token span (exclusive) of `struct <name> { ... }`.
 fn struct_span(toks: &[Tok], name: &str) -> Option<(usize, usize)> {

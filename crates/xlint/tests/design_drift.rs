@@ -1,0 +1,36 @@
+//! DESIGN.md's "Enforced invariants" table is generated from
+//! `xlint::RULES` (`cargo run -p xlint -- --rules-table`). This test fails
+//! when the two drift — add a rule, or reword one, and the doc must be
+//! regenerated in the same PR.
+
+use std::path::Path;
+
+#[test]
+fn design_md_rule_table_matches_the_registry() {
+    let design = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("DESIGN.md");
+    let text = std::fs::read_to_string(&design).expect("read DESIGN.md");
+
+    let doc_rows: Vec<&str> =
+        text.lines().filter(|l| l.starts_with("| **R")).map(str::trim_end).collect();
+
+    let expected: Vec<String> = xlint::RULES
+        .iter()
+        .map(|(id, title, summary)| format!("| **{id}** {title} | {summary} |"))
+        .collect();
+
+    assert_eq!(
+        doc_rows.len(),
+        expected.len(),
+        "DESIGN.md carries {} rule rows, the registry has {} rules; \
+         regenerate with `cargo run -p xlint -- --rules-table`",
+        doc_rows.len(),
+        expected.len()
+    );
+    for (doc, exp) in doc_rows.iter().zip(&expected) {
+        assert_eq!(
+            doc, exp,
+            "DESIGN.md rule row drifted from xlint::RULES; \
+             regenerate with `cargo run -p xlint -- --rules-table`"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Golden fixtures: for every rule, a minimal source that fires it exactly
 //! once, a clean twin, and the same source silenced by its pragma.
 
-use xlint::{check_manifest, check_rust_file};
+use xlint::{check_manifest, check_rust_file, check_sources};
 
 fn rules_fired(rel: &str, src: &str) -> Vec<String> {
     check_rust_file(rel, src).into_iter().map(|f| f.rule.to_string()).collect()
@@ -341,6 +341,221 @@ impl ExtError {
 
     let silenced = bad.replace("    Corrupt(String),", "    Corrupt(String), // xlint::allow(R10)");
     assert_eq!(rules_fired("crates/extmem/src/error.rs", &silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r11_arbiter_acquired_while_core_is_held() {
+    // `grab_frames` transitively acquires the arbiter lock; calling it
+    // from inside a core hold region inverts the arbiter-before-core
+    // order.
+    let bad = r#"
+fn grab_frames(arb: &BudgetArbiter) -> usize {
+    let st = arb.lock_state();
+    st.free
+}
+fn schedule(sh: &Shared) -> usize {
+    let core = sh.lock_core();
+    grab_frames(&sh.arbiter) + core.queue.len()
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", bad), ["R11"]);
+
+    // Clean twin: read the arbiter *before* taking core.
+    let good = r#"
+fn grab_frames(arb: &BudgetArbiter) -> usize {
+    let st = arb.lock_state();
+    st.free
+}
+fn schedule(sh: &Shared) -> usize {
+    let free = grab_frames(&sh.arbiter);
+    let core = sh.lock_core();
+    free + core.queue.len()
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", good), Vec::<String>::new());
+
+    // Dropping the guard ends the hold region.
+    let dropped = r#"
+fn grab_frames(arb: &BudgetArbiter) -> usize {
+    let st = arb.lock_state();
+    st.free
+}
+fn schedule(sh: &Shared) -> usize {
+    let core = sh.lock_core();
+    let depth = core.queue.len();
+    drop(core);
+    grab_frames(&sh.arbiter) + depth
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", dropped), Vec::<String>::new());
+
+    let silenced = bad.replace(
+        "    grab_frames(&sh.arbiter) + core.queue.len()",
+        "    // xlint::allow(R11)\n    grab_frames(&sh.arbiter) + core.queue.len()",
+    );
+    assert_eq!(rules_fired("crates/server/src/fake.rs", &silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r11_sees_the_acquisition_across_files() {
+    // The acquiring helper lives in another file; only the workspace-wide
+    // call graph can convict the caller.
+    let helper = r#"
+fn grab_frames(arb: &BudgetArbiter) -> usize {
+    let st = arb.lock_state();
+    st.free
+}
+"#;
+    let caller = r#"
+fn schedule(sh: &Shared) -> usize {
+    let core = sh.lock_core();
+    grab_frames(&sh.arbiter) + core.queue.len()
+}
+"#;
+    let findings = check_sources(&[
+        ("crates/server/src/budget_helper.rs", helper),
+        ("crates/server/src/fake.rs", caller),
+    ]);
+    let fired: Vec<(String, String)> =
+        findings.iter().map(|f| (f.file.clone(), f.rule.to_string())).collect();
+    assert_eq!(fired, [("crates/server/src/fake.rs".to_string(), "R11".to_string())]);
+
+    // The same caller linted alone is blind to the helper's acquisition —
+    // the conviction genuinely needs the cross-file pass.
+    assert_eq!(rules_fired("crates/server/src/fake.rs", caller), Vec::<String>::new());
+}
+
+#[test]
+fn r12_blocking_call_while_core_is_held() {
+    let bad = r#"
+fn chew(d: &Disk) -> Result<()> {
+    d.read_block(0, &mut buf)
+}
+fn pump(sh: &Shared, d: &Disk) -> Result<()> {
+    let core = sh.lock_core();
+    chew(d)
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", bad), ["R12"]);
+
+    // Clean twin: do the I/O after releasing the lock.
+    let good = r#"
+fn chew(d: &Disk) -> Result<()> {
+    d.read_block(0, &mut buf)
+}
+fn pump(sh: &Shared, d: &Disk) -> Result<()> {
+    let id = { let core = sh.lock_core(); core.next };
+    chew(d)
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", good), Vec::<String>::new());
+
+    let silenced = bad.replace("    chew(d)\n}", "    // xlint::allow(R12)\n    chew(d)\n}");
+    assert_eq!(rules_fired("crates/server/src/fake.rs", &silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r12_condvar_wait_needs_a_predicate_loop() {
+    // An `if`-gated wait misses spurious wakeups.
+    let bad = r#"
+fn park(sh: &Shared) {
+    let mut core = sh.lock_core();
+    if core.queue.is_empty() {
+        core = sh.cv.wait(core);
+    }
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", bad), ["R12"]);
+
+    let good = bad.replace("if core.queue.is_empty()", "while core.queue.is_empty()");
+    assert_eq!(rules_fired("crates/server/src/fake.rs", &good), Vec::<String>::new());
+
+    let silenced = bad.replace(
+        "        core = sh.cv.wait(core);",
+        "        // xlint::allow(R12)\n        core = sh.cv.wait(core);",
+    );
+    assert_eq!(rules_fired("crates/server/src/fake.rs", &silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r13_concurrency_primitives_outside_the_sanctioned_sites() {
+    let bad = "use std::sync::Mutex;\n\nstruct S {\n    m: Mutex<u32>,\n}\n";
+    assert_eq!(rules_fired("crates/extmem/src/pool.rs", bad), ["R13", "R13"]);
+
+    // The server crate, the arbiter, and the sanitizer are sanctioned.
+    assert_eq!(rules_fired("crates/server/src/fake.rs", bad), Vec::<String>::new());
+    assert_eq!(rules_fired("crates/extmem/src/arbiter.rs", bad), Vec::<String>::new());
+
+    // Atomics are covered by prefix; test code is exempt.
+    let atomics = "fn hot() {\n    let c = AtomicU64::new(0);\n}\n";
+    assert_eq!(rules_fired("crates/core/src/run.rs", atomics), ["R13"]);
+    let in_test = format!("#[cfg(test)]\nmod tests {{\n{atomics}}}\n");
+    assert_eq!(rules_fired("crates/core/src/run.rs", &in_test), Vec::<String>::new());
+
+    let silenced = bad.replace("    m: Mutex<u32>,", "    m: Mutex<u32>, // xlint::allow(R13)");
+    assert_eq!(rules_fired("crates/extmem/src/pool.rs", &silenced), ["R13"]);
+}
+
+#[test]
+fn r14_guard_held_across_a_durability_barrier() {
+    let bad = r#"
+fn persist(d: &Disk) -> Result<()> {
+    d.io_barrier()
+}
+fn commit_all(sh: &Shared, d: &Disk) -> Result<()> {
+    let core = sh.lock_core();
+    persist(d)
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", bad), ["R14"]);
+
+    // Both lock classes are covered: an arbiter guard is just as wrong.
+    let arb = bad.replace("sh.lock_core()", "sh.arbiter.lock_state()");
+    assert_eq!(rules_fired("crates/server/src/fake.rs", &arb), ["R14"]);
+
+    // Clean twin: release before flushing.
+    let good = r#"
+fn persist(d: &Disk) -> Result<()> {
+    d.io_barrier()
+}
+fn commit_all(sh: &Shared, d: &Disk) -> Result<()> {
+    let core = sh.lock_core();
+    drop(core);
+    persist(d)
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", good), Vec::<String>::new());
+
+    let silenced = bad.replace("    persist(d)\n}", "    // xlint::allow(R14)\n    persist(d)\n}");
+    assert_eq!(rules_fired("crates/server/src/fake.rs", &silenced), Vec::<String>::new());
+}
+
+#[test]
+fn r15_poison_recovery_outside_the_audited_helper() {
+    let bad = r#"
+fn grab(m: &Mutex<u32>) -> u32 {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    *g
+}
+"#;
+    assert_eq!(rules_fired("crates/server/src/fake.rs", bad), ["R15"]);
+
+    // The audited helper itself is the one sanctioned site.
+    assert_eq!(rules_fired("crates/extmem/src/locksan.rs", bad), Vec::<String>::new());
+
+    // `unwrap_or_else` without `into_inner` nearby is not the pattern.
+    let good = bad.replace("|p| p.into_inner()", "|_| panic!()");
+    assert_eq!(
+        rules_fired("crates/server/src/fake.rs", &good),
+        Vec::<String>::new(),
+        "only the poisoning-recovery shape fires"
+    );
+
+    let silenced = bad.replace(
+        "    let g = m.lock().unwrap_or_else(|p| p.into_inner());",
+        "    // xlint::allow(R15)\n    let g = m.lock().unwrap_or_else(|p| p.into_inner());",
+    );
+    assert_eq!(rules_fired("crates/server/src/fake.rs", &silenced), Vec::<String>::new());
 }
 
 #[test]

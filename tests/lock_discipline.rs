@@ -1,0 +1,165 @@
+//! Negative and end-to-end tests for the runtime lock-discipline sanitizer
+//! (`nexsort_extmem::locksan`): the seeded violations prove each check
+//! actually trips, and a real server workload proves the production lock
+//! protocol runs clean under full instrumentation.
+//!
+//! Every test calls `force_enable()` (process-wide, sticky), so this
+//! binary deliberately hosts *both* the dirty seeds and the clean
+//! workload: the clean assertion filters by lock/site name, which is
+//! exactly how the monotone violation buffer is meant to be consumed by
+//! concurrent tests.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nexsort_extmem::locksan::{self, TrackedMutex};
+use nexsort_extmem::ExtError;
+use nexsort_server::{JobInput, JobSpec, JobState, Server, ServerConfig};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nxlk-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn flat_doc(n: usize) -> Vec<u8> {
+    let mut doc = String::from("<root>");
+    let mut z = 7u64;
+    for _ in 0..n {
+        z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        doc.push_str(&format!("<item k=\"{:04}\"/>", (z >> 33) as usize % (4 * n)));
+    }
+    doc.push_str("</root>");
+    doc.into_bytes()
+}
+
+#[test]
+fn seeded_lock_order_inversion_is_caught() {
+    locksan::force_enable();
+    let a = TrackedMutex::new("lkit.inv.a", 0u32);
+    let b = TrackedMutex::new("lkit.inv.b", 0u32);
+    // Record a -> b, then acquire in the opposite order. The order graph
+    // is schedule-independent: one thread doing both is enough, and the
+    // report fires at the acquire *attempt*, before anything deadlocks.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+    let hits: Vec<String> = locksan::violation_log()
+        .into_iter()
+        .filter(|l| l.contains("lkit.inv.") && l.contains("lock-order-inversion"))
+        .collect();
+    assert_eq!(hits.len(), 1, "inversion reported exactly once: {hits:?}");
+
+    // The same report surfaces as a structured, fatal ExtError.
+    let structured = locksan::violations().into_iter().any(|e| {
+        matches!(
+            &e,
+            ExtError::LockSanViolation { check: "lock-order-inversion", detail }
+                if detail.contains("lkit.inv.")
+        ) && !e.is_transient()
+    });
+    assert!(structured, "inversion surfaces as a fatal ExtError::LockSanViolation");
+}
+
+#[test]
+fn seeded_unsynchronized_access_is_caught() {
+    locksan::force_enable();
+    // Two threads touch the site with no tracked lock held and no
+    // happens-before edge the sanitizer can see (std's spawn/join edges
+    // are deliberately not modelled — only tracked lock hand-offs are).
+    locksan::access("lkit.race.cell");
+    std::thread::spawn(|| locksan::access("lkit.race.cell")).join().unwrap();
+    let hits: Vec<String> = locksan::violation_log()
+        .into_iter()
+        .filter(|l| l.contains("lkit.race.cell") && l.contains("unsynchronized-access"))
+        .collect();
+    assert_eq!(hits.len(), 1, "race reported exactly once: {hits:?}");
+}
+
+#[test]
+fn lock_protected_access_is_not_a_race() {
+    locksan::force_enable();
+    // Clean twin of the seeded race: both touches hold the same tracked
+    // lock, so the locksets intersect (and the release/acquire hand-off
+    // orders the clocks too).
+    let m: &'static TrackedMutex<u32> = Box::leak(Box::new(TrackedMutex::new("lkit.ok.m", 0)));
+    {
+        let _g = m.lock();
+        locksan::access("lkit.ok.cell");
+    }
+    std::thread::spawn(|| {
+        let _g = m.lock();
+        locksan::access("lkit.ok.cell");
+    })
+    .join()
+    .unwrap();
+    assert!(
+        !locksan::violation_log().iter().any(|l| l.contains("lkit.ok.")),
+        "guarded accesses must not report: {:?}",
+        locksan::violation_log()
+    );
+}
+
+#[test]
+fn poison_recovery_is_counted_not_swallowed() {
+    locksan::force_enable();
+    let m: &'static TrackedMutex<u32> = Box::leak(Box::new(TrackedMutex::new("lkit.poison", 0)));
+    let before = locksan::poison_recoveries();
+    let panicked = std::thread::spawn(|| {
+        let _g = m.lock();
+        panic!("poison the mutex while holding it");
+    })
+    .join();
+    assert!(panicked.is_err(), "the poisoning thread must have panicked");
+    // The next acquisition routes through the audited recover_poison
+    // helper: it succeeds *and* the recovery is observable.
+    let g = m.lock();
+    assert_eq!(*g, 0);
+    assert!(
+        locksan::poison_recoveries() > before,
+        "recovery must be counted (before={before}, after={})",
+        locksan::poison_recoveries()
+    );
+}
+
+#[test]
+fn server_workload_runs_locksan_clean() {
+    locksan::force_enable();
+    let dir = tmpdir("clean");
+    let server = Server::start(ServerConfig::new(2, &dir)).unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let spec = JobSpec {
+            input: JobInput::Inline(flat_doc(120)),
+            default_rule: Some("@k:num".into()),
+            block_size: 256,
+            mem_frames: 8,
+            ..JobSpec::default()
+        };
+        ids.push(server.submit(spec).unwrap());
+    }
+    for id in ids {
+        let st = server.wait(id, Duration::from_secs(120)).unwrap();
+        assert_eq!(st.state, JobState::Done, "job {id}: {:?}", st.error);
+    }
+    let stats = server.stats();
+    server.shutdown();
+    // The production locks ("server.core", "arbiter.state") and access
+    // sites ("server.job-table") must not appear in any violation — the
+    // seeds above all use the "lkit." namespace.
+    let dirty: Vec<String> = locksan::violation_log()
+        .into_iter()
+        .filter(|l| l.contains("server.") || l.contains("arbiter."))
+        .collect();
+    assert!(dirty.is_empty(), "production lock protocol must run clean: {dirty:?}");
+    // And the counters the `stats` verb surfaces reflect this binary's
+    // seeded violations rather than hiding them.
+    assert!(stats.locksan_violations >= 1, "stats surface the sanitizer's count");
+    let _ = std::fs::remove_dir_all(&dir);
+}
