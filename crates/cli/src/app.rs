@@ -195,6 +195,14 @@ pub enum Command {
         budget_frames: usize,
         /// Directory owning job inputs, manifests, and device files.
         job_dir: PathBuf,
+        /// Read/write deadline per in-progress exchange, ms (0 = off).
+        request_timeout_ms: u64,
+        /// Idle deadline between requests on one connection, ms (0 = off).
+        idle_timeout_ms: u64,
+        /// Default deadline of a drain shutdown, ms.
+        drain_timeout_ms: u64,
+        /// Longest accepted request line, bytes.
+        max_line_bytes: usize,
     },
     /// Talk to a running daemon.
     Client {
@@ -211,6 +219,16 @@ pub enum Command {
         default_rule: Option<String>,
         /// Raw `--key TAG=RULE` strings, forwarded in the job spec.
         keys: Vec<String>,
+        /// Retry budget: extra attempts after the first request fails.
+        retry: u32,
+        /// Base backoff delay between retries, in milliseconds.
+        retry_base_ms: u64,
+        /// Seed of the deterministic retry jitter.
+        retry_seed: u64,
+        /// Idempotency token forwarded on `submit` (dedups retried submits).
+        idem: Option<String>,
+        /// With `shutdown`: drain (finish running jobs) instead of stopping now.
+        drain: bool,
     },
 }
 
@@ -325,12 +343,33 @@ SORT DAEMON (`xsort serve` / `xsort client`, newline-delimited JSON):
       --tenant-cap N    serve: at most N outstanding frame leases per tenant
                         (0 = disabled); capped tenants step aside in the
                         FIFO queue so a greedy tenant cannot starve others
-      --timeout-ms N    client wait: give up after N ms (default: 60000)
+      --request-timeout-ms N  serve: per-exchange read/write deadline on a
+                        connection, ms (default: 30000; 0 = no deadline)
+      --idle-timeout-ms N  serve: reap a connection idle between requests
+                        for N ms (default: 300000; 0 = no deadline)
+      --drain-timeout-ms N  serve: default deadline of a drain shutdown
+                        (default: 30000)
+      --max-line-bytes N  serve: reject request lines longer than N bytes
+                        with a structured error (default: 16777216)
+      --timeout-ms N    client wait: give up after N ms (default: 60000);
+                        also the deadline sent with `shutdown --drain`
       --op OP           client submit: job kind, sort | topk | pq
                         (default: sort; topk needs -k N; pq ships a script)
       --tenant NAME     client submit: tag the job for per-tenant fairness
+      --retry N         client: retry a failed request up to N extra times
+                        with seeded exponential backoff (default: 0)
+      --retry-base-ms N client: base backoff delay, doubling per retry and
+                        jittered deterministically (default: 50)
+      --retry-seed N    client: retry-jitter seed (default: 42)
+      --idem TOKEN      client submit: idempotency token; a retried submit
+                        that lost only the ACK adopts the existing job
+                        instead of creating a duplicate (--retry generates
+                        one automatically when absent)
   Client verbs: ping | submit FILE | status ID | wait ID | fetch ID |
-                cancel ID | list | stats | shutdown.
+                cancel ID | list | stats | shutdown [--drain].
+  `client shutdown --drain` puts the daemon in lame-duck mode: new submits
+  are refused as busy, running jobs finish within the drain deadline, and
+  the daemon exits; a restart on the same --job-dir redoes no committed work.
   `client submit` forwards the sort flags above (--default, --key, --block,
   --mem, --cache-frames, --stripe, --parity-group, ...) in the job spec and
   ships FILE inline; `client fetch` streams the output in bounded chunks
@@ -404,6 +443,15 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut tenant: Option<String> = None;
     let mut tenant_cap = 0usize;
     let mut client_op: Option<String> = None;
+    let mut request_timeout_ms = 30_000u64;
+    let mut idle_timeout_ms = 300_000u64;
+    let mut drain_timeout_ms = 30_000u64;
+    let mut max_line_bytes = 16usize << 20;
+    let mut retry = 0u32;
+    let mut retry_base_ms = 50u64;
+    let mut retry_seed = 42u64;
+    let mut idem: Option<String> = None;
+    let mut drain = false;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -573,6 +621,46 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse::<u64>()
                     .map_err(|_| "--timeout-ms needs a nonnegative integer".to_string())?
             }
+            "--request-timeout-ms" => {
+                request_timeout_ms = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "--request-timeout-ms needs a nonnegative integer".to_string())?
+            }
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "--idle-timeout-ms needs a nonnegative integer".to_string())?
+            }
+            "--drain-timeout-ms" => {
+                drain_timeout_ms = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "--drain-timeout-ms needs a nonnegative integer".to_string())?
+            }
+            "--max-line-bytes" => {
+                max_line_bytes = next_value(&mut it, arg)?
+                    .parse::<usize>()
+                    .map_err(|_| "--max-line-bytes needs a positive integer".to_string())?;
+                if max_line_bytes == 0 {
+                    return Err("--max-line-bytes must be at least 1".into());
+                }
+            }
+            "--retry" => {
+                retry = next_value(&mut it, arg)?
+                    .parse::<u32>()
+                    .map_err(|_| "--retry needs a nonnegative integer".to_string())?
+            }
+            "--retry-base-ms" => {
+                retry_base_ms = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "--retry-base-ms needs a nonnegative integer".to_string())?
+            }
+            "--retry-seed" => {
+                retry_seed = next_value(&mut it, arg)?
+                    .parse::<u64>()
+                    .map_err(|_| "--retry-seed needs an integer".to_string())?
+            }
+            "--idem" => idem = Some(next_value(&mut it, arg)?),
+            "--drain" => drain = true,
             "--pretty" => pretty = true,
             "--stats" => stats = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -606,6 +694,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             queue,
             budget_frames,
             job_dir: job_dir.unwrap_or_else(|| PathBuf::from("xsort-jobs")),
+            request_timeout_ms,
+            idle_timeout_ms,
+            drain_timeout_ms,
+            max_line_bytes,
         },
         ("client", n) if n >= 1 => {
             let mut words = positional.drain(..).map(|p| p.to_string_lossy().into_owned());
@@ -616,6 +708,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 timeout_ms,
                 default_rule: default_rule.clone(),
                 keys: keys.clone(),
+                retry,
+                retry_base_ms,
+                retry_seed,
+                idem: idem.clone(),
+                drain,
             }
         }
         ("serve", n) => return Err(format!("serve takes no positional arguments, got {n}")),
@@ -661,6 +758,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     if tenant_cap > 0 && !matches!(command, Command::Serve { .. }) {
         return Err("--tenant-cap applies to serve".into());
+    }
+    if (retry > 0 || idem.is_some() || drain) && !matches!(command, Command::Client { .. }) {
+        return Err("--retry/--idem/--drain apply to client".into());
+    }
+    if drain && !matches!(&command, Command::Client { verb, .. } if verb == "shutdown") {
+        return Err("--drain applies to client shutdown".into());
     }
     if k > 0 && !matches!(command, Command::TopK { .. } | Command::Client { .. }) {
         return Err("-k/--limit applies to topk (or client submit --op topk)".into());
@@ -1143,6 +1246,7 @@ fn run_serve(
     budget_frames: usize,
     tenant_cap: usize,
     job_dir: &Path,
+    serve_opts: nexsort_server::ServeOptions,
 ) -> Result<(), String> {
     let mut cfg = nexsort_server::ServerConfig::new(workers, job_dir);
     cfg.queue_depth = queue;
@@ -1154,7 +1258,7 @@ fn run_serve(
          budget {budget_frames} frames, jobs in {}",
         job_dir.display()
     );
-    nexsort_server::serve(server, listen)
+    nexsort_server::serve_with(server, listen, serve_opts)
 }
 
 /// The job spec a `client submit` forwards: the shared sort flags mapped
@@ -1170,10 +1274,15 @@ fn client_spec(
         None => nexsort_server::JobOp::Sort,
         Some(name) => nexsort_server::JobOp::from_name(name)?,
     };
+    let idem = match &cli.command {
+        Command::Client { idem, .. } => idem.clone(),
+        _ => None,
+    };
     Ok(nexsort_server::JobSpec {
         op,
         k: cli.k,
         tenant: cli.tenant.clone(),
+        idem,
         input: nexsort_server::JobInput::Inline(bytes),
         output: cli.output.clone(),
         default_rule: default_rule.clone(),
@@ -1196,19 +1305,33 @@ fn client_spec(
     })
 }
 
-/// One client exchange: build the request for `verb`, send it, and print
-/// the response. A `busy` rejection maps to exit code 3 (transient: a
-/// retry may pass), any other failure to 1.
-fn run_client(
-    cli: &Cli,
-    connect: &str,
-    verb: &str,
-    args: &[String],
-    timeout_ms: u64,
-    default_rule: &Option<String>,
-    keys: &[String],
-) -> Result<(), CliError> {
+/// One client exchange: build the request for `verb`, send it through the
+/// retrying client, and print the response. A `busy` rejection maps to
+/// exit code 3 (transient: a retry may pass), any other failure to 1.
+fn run_client(cli: &Cli) -> Result<(), CliError> {
     use nexsort_server::json::{n, obj, s, Value};
+    let Command::Client {
+        connect,
+        verb,
+        args,
+        timeout_ms,
+        default_rule,
+        keys,
+        retry,
+        retry_base_ms,
+        retry_seed,
+        drain,
+        ..
+    } = &cli.command
+    else {
+        unreachable!("run_client dispatched on a non-client command")
+    };
+    let (timeout_ms, drain) = (*timeout_ms, *drain);
+    let copts = if *retry == 0 {
+        nexsort_server::ClientOptions::default()
+    } else {
+        nexsort_server::ClientOptions::retries(*retry, *retry_base_ms, *retry_seed)
+    };
     let job_id = |args: &[String]| -> Result<u64, String> {
         args.first()
             .ok_or_else(|| format!("client {verb} needs a job id"))?
@@ -1228,26 +1351,24 @@ fn run_client(
         }
         return Ok(());
     }
-    let resp = match verb {
-        "ping" | "list" | "stats" | "shutdown" => {
-            nexsort_server::request(connect, &obj(vec![("op", s(verb))]))
+    let req = match verb.as_str() {
+        "shutdown" if drain => {
+            obj(vec![("op", s("shutdown")), ("mode", s("drain")), ("timeout_ms", n(timeout_ms))])
         }
+        "ping" | "list" | "stats" | "shutdown" => obj(vec![("op", s(verb))]),
         "submit" => {
             let input =
                 args.first().ok_or_else(|| "client submit needs an input file".to_string())?;
             let spec = client_spec(cli, default_rule, keys, Path::new(input))?;
-            nexsort_server::request_submit(connect, &spec)
+            nexsort_server::submit_value(&spec)
         }
-        "status" | "cancel" => {
-            nexsort_server::request(connect, &obj(vec![("op", s(verb)), ("id", n(job_id(args)?))]))
+        "status" | "cancel" => obj(vec![("op", s(verb)), ("id", n(job_id(args)?))]),
+        "wait" => {
+            obj(vec![("op", s(verb)), ("id", n(job_id(args)?)), ("timeout_ms", n(timeout_ms))])
         }
-        "wait" => nexsort_server::request(
-            connect,
-            &obj(vec![("op", s(verb)), ("id", n(job_id(args)?)), ("timeout_ms", n(timeout_ms))]),
-        ),
         other => return Err(format!("unknown client verb {other:?}").into()),
-    }
-    .map_err(CliError::from)?;
+    };
+    let resp = nexsort_server::request_with_retry(connect, &req, &copts).map_err(CliError::from)?;
     if resp.get("ok").and_then(Value::as_bool) != Some(true) {
         let message = resp
             .get("error")
@@ -1268,12 +1389,30 @@ pub fn run_code(cli: &Cli) -> Result<(), CliError> {
     if let Command::Scrub { device } = &cli.command {
         return scrub_device(cli, device).map(|_| ());
     }
-    if let Command::Serve { listen, workers, queue, budget_frames, job_dir } = &cli.command {
-        return run_serve(listen, *workers, *queue, *budget_frames, cli.tenant_cap, job_dir)
+    if let Command::Serve {
+        listen,
+        workers,
+        queue,
+        budget_frames,
+        job_dir,
+        request_timeout_ms,
+        idle_timeout_ms,
+        drain_timeout_ms,
+        max_line_bytes,
+    } = &cli.command
+    {
+        let opts = nexsort_server::ServeOptions {
+            request_timeout_ms: *request_timeout_ms,
+            idle_timeout_ms: *idle_timeout_ms,
+            max_line_bytes: *max_line_bytes,
+            drain_timeout_ms: *drain_timeout_ms,
+            fault_plan: None,
+        };
+        return run_serve(listen, *workers, *queue, *budget_frames, cli.tenant_cap, job_dir, opts)
             .map_err(CliError::from);
     }
-    if let Command::Client { connect, verb, args, timeout_ms, default_rule, keys } = &cli.command {
-        return run_client(cli, connect, verb, args, *timeout_ms, default_rule, keys);
+    if matches!(cli.command, Command::Client { .. }) {
+        return run_client(cli);
     }
     let (disk, injectors, crash) = make_disk(cli)?;
     let result: Result<(), CliError> = match &cli.command {
@@ -1760,12 +1899,26 @@ mod tests {
     fn serve_and_client_args_parse() {
         let cli = parse_args(&args(&["serve"])).unwrap();
         match cli.command {
-            Command::Serve { listen, workers, queue, budget_frames, job_dir } => {
+            Command::Serve {
+                listen,
+                workers,
+                queue,
+                budget_frames,
+                job_dir,
+                request_timeout_ms,
+                idle_timeout_ms,
+                drain_timeout_ms,
+                max_line_bytes,
+            } => {
                 assert_eq!(listen, "127.0.0.1:7171");
                 assert_eq!(workers, 4);
                 assert_eq!(queue, 16);
                 assert_eq!(budget_frames, 4096);
                 assert_eq!(job_dir, PathBuf::from("xsort-jobs"));
+                assert_eq!(request_timeout_ms, 30_000);
+                assert_eq!(idle_timeout_ms, 300_000);
+                assert_eq!(drain_timeout_ms, 30_000);
+                assert_eq!(max_line_bytes, 16 << 20);
             }
             other => panic!("expected serve, got {other:?}"),
         }
@@ -1781,15 +1934,37 @@ mod tests {
             "512",
             "--job-dir",
             "/tmp/jobs",
+            "--request-timeout-ms",
+            "1500",
+            "--idle-timeout-ms",
+            "9000",
+            "--drain-timeout-ms",
+            "2500",
+            "--max-line-bytes",
+            "4096",
         ]))
         .unwrap();
         match cli.command {
-            Command::Serve { listen, workers, queue, budget_frames, job_dir } => {
+            Command::Serve {
+                listen,
+                workers,
+                queue,
+                budget_frames,
+                job_dir,
+                request_timeout_ms,
+                idle_timeout_ms,
+                drain_timeout_ms,
+                max_line_bytes,
+            } => {
                 assert_eq!(listen, "unix:/tmp/x.sock");
                 assert_eq!(workers, 8);
                 assert_eq!(queue, 2);
                 assert_eq!(budget_frames, 512);
                 assert_eq!(job_dir, PathBuf::from("/tmp/jobs"));
+                assert_eq!(request_timeout_ms, 1500);
+                assert_eq!(idle_timeout_ms, 9000);
+                assert_eq!(drain_timeout_ms, 2500);
+                assert_eq!(max_line_bytes, 4096);
             }
             other => panic!("expected serve, got {other:?}"),
         }
@@ -1807,15 +1982,58 @@ mod tests {
         ]))
         .unwrap();
         match cli.command {
-            Command::Client { connect, verb, args, default_rule, keys, .. } => {
+            Command::Client {
+                connect, verb, args, default_rule, keys, retry, idem, drain, ..
+            } => {
                 assert_eq!(connect, "unix:/tmp/x.sock");
                 assert_eq!(verb, "submit");
                 assert_eq!(args, vec!["input.xml".to_string()]);
                 assert_eq!(default_rule.as_deref(), Some("@id"));
                 assert_eq!(keys, vec!["emp=@name".to_string()]);
+                assert_eq!(retry, 0);
+                assert_eq!(idem, None);
+                assert!(!drain);
             }
             other => panic!("expected client, got {other:?}"),
         }
+
+        // The hardened-edge client knobs parse and stay client-scoped.
+        let cli = parse_args(&args(&[
+            "client",
+            "submit",
+            "input.xml",
+            "--retry",
+            "3",
+            "--retry-base-ms",
+            "20",
+            "--retry-seed",
+            "9",
+            "--idem",
+            "tok-1",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Client { retry, retry_base_ms, retry_seed, idem, .. } => {
+                assert_eq!(retry, 3);
+                assert_eq!(retry_base_ms, 20);
+                assert_eq!(retry_seed, 9);
+                assert_eq!(idem.as_deref(), Some("tok-1"));
+            }
+            other => panic!("expected client, got {other:?}"),
+        }
+        let cli = parse_args(&args(&["client", "shutdown", "--drain"])).unwrap();
+        match cli.command {
+            Command::Client { verb, drain, .. } => {
+                assert_eq!(verb, "shutdown");
+                assert!(drain);
+            }
+            other => panic!("expected client, got {other:?}"),
+        }
+        let err = parse_args(&args(&["serve", "--retry", "2"])).unwrap_err();
+        assert!(err.contains("client"), "{err}");
+        let err = parse_args(&args(&["client", "ping", "--drain"])).unwrap_err();
+        assert!(err.contains("shutdown"), "{err}");
+        assert!(parse_args(&args(&["serve", "--max-line-bytes", "0"])).is_err());
 
         assert!(parse_args(&args(&["serve", "stray"])).is_err());
         assert!(parse_args(&args(&["client"])).is_err());

@@ -71,7 +71,8 @@ pub use extent::{
 };
 pub use fault::{
     ChecksummedDevice, CrashController, CrashDevice, CrashPlan, DeviceHealth, DiskFailure,
-    FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultyDevice, IoPhase, RetryPolicy,
+    FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultyDevice, IoPhase, NetFaultCounts,
+    NetFaultKind, NetFaultPlan, NetFaultState, NetRetryPolicy, RetryPolicy,
 };
 pub use journal::{Journal, JournalRecord, JournalStats};
 pub use kway::{KWayMerger, MergeStream, VecStream};

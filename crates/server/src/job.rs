@@ -76,6 +76,11 @@ pub struct JobSpec {
     pub k: u64,
     /// Tenant this job is billed to, for the per-tenant fairness cap.
     pub tenant: Option<String>,
+    /// Client-supplied idempotency token. A resubmit carrying a token the
+    /// server has already accepted adopts the existing job (same id) instead
+    /// of sorting twice -- the dropped-ACK retry case. Persisted in the
+    /// manifest, so deduplication survives a daemon restart.
+    pub idem: Option<String>,
     /// Input document.
     pub input: JobInput,
     /// Where the sorted output lands; `out.xml` inside the job directory
@@ -125,6 +130,7 @@ impl Default for JobSpec {
             op: JobOp::Sort,
             k: 0,
             tenant: None,
+            idem: None,
             input: JobInput::Inline(Vec::new()),
             output: None,
             default_rule: None,
@@ -263,6 +269,7 @@ pub fn spec_to_value(spec: &JobSpec) -> Value {
         ("op", s(spec.op.name())),
         ("k", n(spec.k)),
         ("tenant", opt_str(&spec.tenant)),
+        ("idem", opt_str(&spec.idem)),
         ("output", spec.output.as_ref().map_or(Value::Null, |p| s(p.display().to_string()))),
         ("default", opt_str(&spec.default_rule)),
         ("keys", Value::Arr(spec.keys.iter().map(|k| s(k.clone())).collect())),
@@ -318,6 +325,11 @@ pub fn spec_from_value(v: &Value) -> Result<JobSpec, String> {
     if let Some(t) = v.get("tenant") {
         if let Some(name) = t.as_str() {
             spec.tenant = Some(name.to_string());
+        }
+    }
+    if let Some(t) = v.get("idem") {
+        if let Some(token) = t.as_str() {
+            spec.idem = Some(token.to_string());
         }
     }
     if let Some(out) = v.get("output") {
@@ -469,6 +481,7 @@ mod tests {
             op: JobOp::TopK,
             k: 25,
             tenant: Some("acme".into()),
+            idem: Some("retry-token-1".into()),
             output: Some(PathBuf::from("/tmp/out.xml")),
             default_rule: Some("@k:num".into()),
             keys: vec!["t=@a".into(), "u=@b:desc".into()],
@@ -514,6 +527,7 @@ mod tests {
         assert_eq!(back.spec.op, JobOp::TopK);
         assert_eq!(back.spec.k, 25);
         assert_eq!(back.spec.tenant.as_deref(), Some("acme"));
+        assert_eq!(back.spec.idem.as_deref(), Some("retry-token-1"));
         assert_eq!(back.spec.keys, vec!["t=@a".to_string(), "u=@b:desc".to_string()]);
         match &back.spec.input {
             JobInput::Path(p) => assert_eq!(p, Path::new("/jobs/job-9/input.xml")),

@@ -32,5 +32,9 @@ pub mod net;
 pub mod server;
 
 pub use job::{JobInput, JobOp, JobSpec, JobState, Manifest};
-pub use net::{parse_addr, request, request_fetch_chunked, request_submit, serve, Addr};
+pub use net::{
+    connect_with_retry, parse_addr, request, request_fetch_chunked, request_submit,
+    request_with_retry, request_with_retry_injected, serve, serve_with, submit_value, Addr,
+    ClientOptions, ServeOptions,
+};
 pub use server::{JobStatus, Server, ServerConfig, ServerStats, SubmitError};

@@ -18,21 +18,42 @@
 //! {"op":"list"}                         -> {"ok":true,"jobs":[...]}
 //! {"op":"stats"}                        -> {"ok":true,"stats":{...}}
 //! {"op":"shutdown"}                     -> {"ok":true}
+//! {"op":"shutdown","mode":"drain",
+//!        "timeout_ms":N}                -> {"ok":true,"drained":true}
 //! ```
 //!
-//! Failures are `{"ok":false,"error":"..."}`; a full queue additionally
-//! sets `"busy":true` so clients can distinguish backpressure (retry
-//! later) from rejection (fix the job).
+//! Failures are `{"ok":false,"error":"..."}`; a full queue (or a draining
+//! server) additionally sets `"busy":true` so clients can distinguish
+//! backpressure (retry later) from rejection (fix the job).
 //!
 //! Addresses are `unix:/path/to.sock` or `host:port`.
+//!
+//! # Hardened edge
+//!
+//! The daemon side reads through a bounded framer with two deadlines
+//! ([`ServeOptions`]): an *idle* timeout between requests and a tighter
+//! *request* timeout once a line has started arriving, so a stalled or
+//! malicious peer can neither pin a connection thread forever nor OOM the
+//! daemon with an unbounded line. The client side gets
+//! [`request_with_retry`]: seeded-backoff retries ([`NetRetryPolicy`])
+//! that auto-attach an idempotency token to `submit`, so a retry after a
+//! dropped ACK adopts the already-journaled job instead of sorting twice.
+//!
+//! Both sides take an optional [`NetFaultPlan`] that injects disconnects,
+//! stalls, torn frames, and byte corruption at chosen exchange indices --
+//! the network mirror of `FaultyDevice`, driven by the same seeded
+//! determinism, and the substrate of the `net_chaos` sweep.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use nexsort_extmem::locksan::TrackedMutex;
+use nexsort_extmem::{NetFaultKind, NetFaultPlan, NetFaultState, NetRetryPolicy};
 
 use crate::job::{spec_from_value, spec_to_value};
 use crate::json::{b, n, obj, parse, s, Value};
@@ -104,12 +125,68 @@ impl Stream {
             Stream::Tcp(st) => Stream::Tcp(st.try_clone()?),
         })
     }
+
+    /// `None` or zero disables the deadline.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let timeout = timeout.filter(|t| !t.is_zero());
+        match self {
+            Stream::Unix(st) => st.set_read_timeout(timeout),
+            Stream::Tcp(st) => st.set_read_timeout(timeout),
+        }
+    }
+
+    /// `None` or zero disables the deadline.
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let timeout = timeout.filter(|t| !t.is_zero());
+        match self {
+            Stream::Unix(st) => st.set_write_timeout(timeout),
+            Stream::Tcp(st) => st.set_write_timeout(timeout),
+        }
+    }
 }
 
-/// Serve `server` on `addr` until a client sends `{"op":"shutdown"}`.
-/// Blocks the calling thread; on return the listener is closed, running
-/// jobs have finished, and queued jobs are parked in their manifests.
+/// Knobs of the daemon's socket edge. All timeouts take `0` as "disabled".
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Read/write deadline once an exchange is in progress (a request line
+    /// has started arriving, or a response is being written).
+    pub request_timeout_ms: u64,
+    /// How long a connection may sit idle between requests before the
+    /// daemon closes it.
+    pub idle_timeout_ms: u64,
+    /// Longest accepted request line; longer requests get a structured
+    /// `"line too long"` error and the connection closes (the framer
+    /// cannot resynchronize past an oversized line).
+    pub max_line_bytes: usize,
+    /// Default deadline of a `{"op":"shutdown","mode":"drain"}` without an
+    /// explicit `timeout_ms`.
+    pub drain_timeout_ms: u64,
+    /// Inject network faults into responses (chaos testing).
+    pub fault_plan: Option<NetFaultPlan>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            request_timeout_ms: 30_000,
+            idle_timeout_ms: 300_000,
+            max_line_bytes: 16 << 20,
+            drain_timeout_ms: 30_000,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Serve `server` on `addr` with default [`ServeOptions`] until a client
+/// sends `{"op":"shutdown"}`. Blocks the calling thread; on return the
+/// listener is closed, running jobs have finished, and queued jobs are
+/// parked in their manifests.
 pub fn serve(server: Server, addr: &str) -> Result<(), String> {
+    serve_with(server, addr, ServeOptions::default())
+}
+
+/// [`serve`] with explicit socket-edge options.
+pub fn serve_with(server: Server, addr: &str, opts: ServeOptions) -> Result<(), String> {
     let parsed = parse_addr(addr)?;
     let listener = match &parsed {
         Addr::Unix(path) => {
@@ -128,6 +205,14 @@ pub fn serve(server: Server, addr: &str) -> Result<(), String> {
     .map_err(|e| format!("set_nonblocking: {e}"))?;
 
     let server = Arc::new(server);
+    let opts = Arc::new(opts);
+    // The injector is shared by every connection thread so exchange indices
+    // are global and deterministic in arrival order. It is a leaf lock:
+    // taken briefly per response, never while any other lock is held.
+    let faults = opts
+        .fault_plan
+        .clone()
+        .map(|plan| Arc::new(TrackedMutex::new("server.netfault", NetFaultState::new(plan))));
     let stop = Arc::new(AtomicBool::new(false));
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -139,8 +224,10 @@ pub fn serve(server: Server, addr: &str) -> Result<(), String> {
             Ok(stream) => {
                 let server = server.clone();
                 let stop = stop.clone();
+                let opts = opts.clone();
+                let faults = faults.clone();
                 conns.push(std::thread::spawn(move || {
-                    handle_conn(&server, &stop, stream);
+                    handle_conn(&server, &stop, stream, &opts, faults.as_deref());
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -161,27 +248,156 @@ pub fn serve(server: Server, addr: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn handle_conn(server: &Server, stop: &AtomicBool, stream: Stream) {
+/// One framed request line, or why there isn't one.
+enum Frame {
+    /// A complete line (without the newline).
+    Line(String),
+    /// The peer closed the connection (possibly mid-line: a torn frame is
+    /// indistinguishable from a close and is dropped the same way).
+    Eof,
+    /// A read deadline fired (idle between requests, or stalled mid-line).
+    TimedOut,
+    /// The line exceeded the cap before a newline arrived.
+    TooLong,
+    /// Transport error.
+    Err,
+}
+
+/// Read one newline-terminated request with a length cap and two-phase
+/// deadline: `idle` while waiting for the first byte of a line, `request`
+/// once a line is in progress. Never allocates more than `max` + one
+/// buffer's worth of bytes.
+fn read_frame(
+    reader: &mut BufReader<Stream>,
+    max: usize,
+    idle: Duration,
+    request: Duration,
+) -> Frame {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let deadline = if line.is_empty() { idle } else { request };
+        if reader.buffer().is_empty() && reader.get_ref().set_read_timeout(Some(deadline)).is_err()
+        {
+            return Frame::Err;
+        }
+        let buf = match reader.fill_buf() {
+            Ok([]) => return Frame::Eof,
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Frame::TimedOut;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Frame::Err,
+        };
+        match buf.iter().position(|&c| c == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > max {
+                    return Frame::TooLong;
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                return Frame::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            None => {
+                if line.len() + buf.len() > max {
+                    return Frame::TooLong;
+                }
+                line.extend_from_slice(buf);
+                let taken = buf.len();
+                reader.consume(taken);
+            }
+        }
+    }
+}
+
+fn handle_conn(
+    server: &Server,
+    stop: &AtomicBool,
+    stream: Stream,
+    opts: &ServeOptions,
+    faults: Option<&TrackedMutex<NetFaultState>>,
+) {
+    let net = server.net_stats();
+    net.conns_accepted.fetch_add(1, Ordering::Relaxed);
     let Ok(writer) = stream.try_clone() else { return };
+    let _ = writer.set_write_timeout(Some(Duration::from_millis(opts.request_timeout_ms)));
     let mut writer = std::io::BufWriter::new(writer);
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let idle = Duration::from_millis(opts.idle_timeout_ms);
+    let request = Duration::from_millis(opts.request_timeout_ms);
+    loop {
+        let line = match read_frame(&mut reader, opts.max_line_bytes, idle, request) {
+            Frame::Line(line) => line,
+            Frame::Eof | Frame::Err => return,
+            Frame::TimedOut => {
+                net.conns_timed_out.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Frame::TooLong => {
+                net.lines_too_long.fetch_add(1, Ordering::Relaxed);
+                let err = err_value(
+                    &format!("line too long: request exceeds the {}-byte cap", opts.max_line_bytes),
+                    false,
+                );
+                let mut text = err.to_json();
+                text.push('\n');
+                let _ = writer.write_all(text.as_bytes()).and_then(|()| writer.flush());
+                return; // Cannot resynchronize past an unread oversized line.
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
+        net.requests.fetch_add(1, Ordering::Relaxed);
         let (resp, shutdown) = match parse(&line) {
-            Ok(req) => dispatch(server, &req),
+            Ok(req) => dispatch(server, &req, opts),
             Err(e) => (err_value(&format!("bad request: {e}"), false), false),
         };
         let mut text = resp.to_json();
         text.push('\n');
+        // Chaos hook: the injector decides this exchange's fate. A faulted
+        // response never carries the stop flag -- a dropped or corrupted
+        // shutdown ACK means the client retries, and the *delivered* ACK
+        // stops the daemon, exactly like any other retried request.
+        let fault = faults.map(|f| f.lock().next_exchange().1).unwrap_or(None);
+        let delivered = match fault {
+            None => true,
+            Some(kind) => {
+                net.conns_faulted.fetch_add(1, Ordering::Relaxed);
+                match kind {
+                    NetFaultKind::Disconnect => return,
+                    NetFaultKind::TornFrame => {
+                        let half = text.len() / 2;
+                        let _ = writer.write_all(&text.as_bytes()[..half]);
+                        let _ = writer.flush();
+                        return;
+                    }
+                    NetFaultKind::Stall => {
+                        let ms = faults.map(|f| f.lock().stall_millis()).unwrap_or(0);
+                        std::thread::sleep(Duration::from_millis(ms));
+                        true
+                    }
+                    NetFaultKind::Corrupt => {
+                        // Responses start with '{'; breaking that byte makes
+                        // the corruption always *detectable* by the peer's
+                        // JSON parser instead of silently altering a value.
+                        let mut bytes = text.into_bytes();
+                        bytes[0] ^= 0x04;
+                        text = String::from_utf8_lossy(&bytes).into_owned();
+                        false
+                    }
+                }
+            }
+        };
         if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
+            return;
         }
-        if shutdown {
+        if shutdown && delivered {
             stop.store(true, Ordering::SeqCst);
-            break;
+            return;
         }
     }
 }
@@ -199,7 +415,7 @@ fn req_id(req: &Value) -> Result<u64, Value> {
 }
 
 /// Map one request to one response; the bool asks the accept loop to stop.
-fn dispatch(server: &Server, req: &Value) -> (Value, bool) {
+fn dispatch(server: &Server, req: &Value, opts: &ServeOptions) -> (Value, bool) {
     let op = req.get("op").and_then(Value::as_str).unwrap_or("");
     match op {
         "ping" => (obj(vec![("ok", b(true))]), false),
@@ -291,7 +507,21 @@ fn dispatch(server: &Server, req: &Value) -> (Value, bool) {
             (obj(vec![("ok", b(true)), ("jobs", Value::Arr(jobs))]), false)
         }
         "stats" => (obj(vec![("ok", b(true)), ("stats", stats_value(&server.stats()))]), false),
-        "shutdown" => (obj(vec![("ok", b(true))]), true),
+        "shutdown" => match req.get("mode").and_then(Value::as_str).unwrap_or("now") {
+            "now" => (obj(vec![("ok", b(true))]), true),
+            "drain" => {
+                let timeout =
+                    req.get("timeout_ms").and_then(Value::as_u64).unwrap_or(opts.drain_timeout_ms);
+                // Blocks this connection thread only; other connections
+                // keep being served (and see lame-duck busy on submit).
+                let drained = server.drain(Duration::from_millis(timeout));
+                (obj(vec![("ok", b(true)), ("drained", b(drained))]), true)
+            }
+            other => (
+                err_value(&format!("unknown shutdown mode {other:?} (expected now, drain)"), false),
+                false,
+            ),
+        },
         other => (err_value(&format!("unknown op {other:?}"), false), false),
     }
 }
@@ -349,13 +579,33 @@ fn stats_value(st: &ServerStats) -> Value {
         ("budget_waiters", n(st.budget_waiters as u64)),
         ("lock_recoveries", n(st.lock_recoveries)),
         ("locksan_violations", n(st.locksan_violations)),
+        ("draining", b(st.draining)),
+        ("drains", n(st.drains)),
+        ("duplicate_submits", n(st.duplicate_submits)),
+        ("conns_accepted", n(st.conns_accepted)),
+        ("conns_timed_out", n(st.conns_timed_out)),
+        ("conns_faulted", n(st.conns_faulted)),
+        ("requests", n(st.requests)),
+        ("lines_too_long", n(st.lines_too_long)),
+        ("client_retries", n(st.client_retries)),
     ])
 }
 
 /// Client side: send one request line to `addr`, read one response line.
+/// One shot, no deadline, no retry -- the building block [`request_with_retry`]
+/// hardens.
 pub fn request(addr: &str, req: &Value) -> Result<Value, String> {
+    request_once(addr, &req.to_json(), None)
+}
+
+/// One request/response exchange. `timeout` bounds the response read (and
+/// the request write); `None` blocks indefinitely.
+fn request_once(addr: &str, req_json: &str, timeout: Option<Duration>) -> Result<Value, String> {
     let mut stream = connect(addr)?;
-    let mut text = req.to_json();
+    stream.set_read_timeout(timeout).map_err(|e| format!("deadline on {addr}: {e}"))?;
+    stream.set_write_timeout(timeout).map_err(|e| format!("deadline on {addr}: {e}"))?;
+    let mut text = String::with_capacity(req_json.len() + 1);
+    text.push_str(req_json);
     text.push('\n');
     stream
         .write_all(text.as_bytes())
@@ -370,10 +620,198 @@ pub fn request(addr: &str, req: &Value) -> Result<Value, String> {
     parse(line.trim())
 }
 
+/// Retries performed by this process's [`request_with_retry`] /
+/// [`connect_with_retry`] calls, surfaced in [`ServerStats`] so in-process
+/// chaos tests can assert the retry path ran.
+static CLIENT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone counter feeding auto-generated idempotency tokens.
+static NEXT_IDEM: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn client_retries() -> u64 {
+    CLIENT_RETRIES.load(Ordering::Relaxed)
+}
+
+/// Client-side knobs of [`request_with_retry`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientOptions {
+    /// Retry schedule; [`NetRetryPolicy::none`] makes the call one-shot.
+    pub retry: NetRetryPolicy,
+    /// Per-attempt read/write deadline; `None` blocks indefinitely. Keep
+    /// it above any server-side `wait` timeout the request carries.
+    pub attempt_timeout_ms: Option<u64>,
+}
+
+impl ClientOptions {
+    /// `n` retries with `base_ms` seeded backoff and no attempt deadline.
+    pub fn retries(n: u32, base_ms: u64, seed: u64) -> Self {
+        ClientOptions { retry: NetRetryPolicy::retries(n, base_ms, seed), attempt_timeout_ms: None }
+    }
+}
+
+/// True when a response means "same request may succeed later": transport
+/// trouble, a busy (backpressure / draining) server, or a `bad request`
+/// reply to a request this client knows it sent well-formed (i.e. the
+/// request was corrupted in flight).
+fn retryable(resp: &Result<Value, String>) -> bool {
+    match resp {
+        Err(_) => true,
+        Ok(v) => {
+            if v.get("ok").and_then(Value::as_bool) == Some(true) {
+                return false;
+            }
+            if v.get("busy").and_then(Value::as_bool) == Some(true) {
+                return true;
+            }
+            v.get("error").and_then(Value::as_str).is_some_and(|e| e.starts_with("bad request"))
+        }
+    }
+}
+
+/// Client side: [`request`] hardened with seeded-backoff retries.
+///
+/// An attempt is retried on connect/send/read errors, a torn or corrupt
+/// response, a busy reply (queue backpressure or a draining server), and a
+/// `bad request` reply (the request this client sent was well-formed, so
+/// the server must have read a corrupted line). A non-busy rejection is
+/// returned immediately -- retrying cannot fix an invalid job.
+///
+/// A `submit` request going out with retries enabled and no client-chosen
+/// token gets an auto-generated idempotency token first, so the attempts
+/// are exactly-once end to end: a retry after a dropped ACK adopts the
+/// journaled job instead of double-sorting.
+pub fn request_with_retry(addr: &str, req: &Value, opts: &ClientOptions) -> Result<Value, String> {
+    request_with_retry_injected(addr, req, opts, None)
+}
+
+/// [`request_with_retry`] with a client-side fault injector: each attempt
+/// consumes one exchange of `faults`, corrupting or cutting the *request*
+/// before it reaches the server (the mirror of the server-side response
+/// injection). Chaos tests drive both sides from seeded plans.
+pub fn request_with_retry_injected(
+    addr: &str,
+    req: &Value,
+    opts: &ClientOptions,
+    faults: Option<&TrackedMutex<NetFaultState>>,
+) -> Result<Value, String> {
+    let req = with_auto_idem(req, opts);
+    let req_json = req.to_json();
+    let timeout = opts.attempt_timeout_ms.map(Duration::from_millis);
+    let mut last: Result<Value, String> = Err("no attempts made".into());
+    for attempt in 1..=opts.retry.max_attempts.max(1) {
+        if attempt > 1 {
+            CLIENT_RETRIES.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(opts.retry.delay_before_ms(attempt - 1)));
+        }
+        let fault = faults.map(|f| f.lock().next_exchange().1).unwrap_or(None);
+        last = match fault {
+            None => request_once(addr, &req_json, timeout),
+            Some(kind) => request_once_faulty(addr, &req_json, timeout, kind, faults),
+        };
+        if !retryable(&last) {
+            return last;
+        }
+    }
+    last
+}
+
+/// Give a retried `submit` an idempotency token if the caller didn't: the
+/// token is what turns "at least once" into "exactly once".
+fn with_auto_idem(req: &Value, opts: &ClientOptions) -> Value {
+    if opts.retry.max_attempts <= 1 || req.get("op").and_then(Value::as_str) != Some("submit") {
+        return req.clone();
+    }
+    let Some(Value::Obj(spec_fields)) = req.get("spec") else { return req.clone() };
+    if req.get("spec").and_then(|sp| sp.get("idem")).and_then(Value::as_str).is_some() {
+        return req.clone();
+    }
+    let token =
+        format!("auto-{}-{}", std::process::id(), NEXT_IDEM.fetch_add(1, Ordering::Relaxed));
+    // The spec may already carry an explicit `"idem": null`; replace it
+    // rather than appending a shadowed duplicate key.
+    let mut spec_fields = spec_fields.clone();
+    match spec_fields.iter_mut().find(|(k, _)| k == "idem") {
+        Some((_, v)) => *v = s(token),
+        None => spec_fields.push(("idem".into(), s(token))),
+    }
+    let Value::Obj(fields) = req else { return req.clone() };
+    let fields = fields
+        .iter()
+        .map(|(k, v)| {
+            (k.clone(), if k == "spec" { Value::Obj(spec_fields.clone()) } else { v.clone() })
+        })
+        .collect();
+    Value::Obj(fields)
+}
+
+/// One exchange with a client-side fault applied to the outgoing request.
+fn request_once_faulty(
+    addr: &str,
+    req_json: &str,
+    timeout: Option<Duration>,
+    kind: NetFaultKind,
+    faults: Option<&TrackedMutex<NetFaultState>>,
+) -> Result<Value, String> {
+    match kind {
+        NetFaultKind::Stall => {
+            let ms = faults.map(|f| f.lock().stall_millis()).unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(ms));
+            request_once(addr, req_json, timeout)
+        }
+        NetFaultKind::Corrupt => {
+            // Break the leading '{' so the server *detects* the corruption
+            // and replies "bad request" instead of acting on a wrong value.
+            let mut bytes = req_json.as_bytes().to_vec();
+            bytes[0] ^= 0x04;
+            request_once(addr, &String::from_utf8_lossy(&bytes), timeout)
+        }
+        NetFaultKind::Disconnect => {
+            let _ = connect(addr)?;
+            Err(format!("injected disconnect before sending to {addr}"))
+        }
+        NetFaultKind::TornFrame => {
+            let mut stream = connect(addr)?;
+            let mut text = String::with_capacity(req_json.len() + 1);
+            text.push_str(req_json);
+            text.push('\n');
+            let half = text.len() / 2;
+            let _ = stream.write_all(&text.as_bytes()[..half]).and_then(|()| stream.flush());
+            drop(stream);
+            Err(format!("injected torn frame while sending to {addr}"))
+        }
+    }
+}
+
+/// Wait for a daemon to answer at `addr`: one ping round trip per attempt,
+/// with the policy's seeded backoff between attempts. Replaces hand-rolled
+/// "ping until it answers" startup polling in tests and the CLI.
+pub fn connect_with_retry(addr: &str, policy: &NetRetryPolicy) -> Result<(), String> {
+    let ping = obj(vec![("op", s("ping"))]).to_json();
+    let mut last = String::from("no attempts made");
+    for attempt in 1..=policy.max_attempts.max(1) {
+        if attempt > 1 {
+            CLIENT_RETRIES.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(policy.delay_before_ms(attempt - 1)));
+        }
+        match request_once(addr, &ping, Some(Duration::from_secs(10))) {
+            Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => return Ok(()),
+            Ok(v) => last = format!("unexpected ping reply: {}", v.to_json()),
+            Err(e) => last = e,
+        }
+    }
+    Err(format!("daemon at {addr} never came up: {last}"))
+}
+
 /// Client side: a convenience wrapper building the request from a spec.
 /// Inline input is shipped in the request; a path input is sent as a path
 /// for the daemon to read (it must be visible to the daemon).
 pub fn request_submit(addr: &str, spec: &crate::job::JobSpec) -> Result<Value, String> {
+    request(addr, &submit_value(spec))
+}
+
+/// Build the `submit` request object for `spec` (shared by the one-shot
+/// and retrying clients).
+pub fn submit_value(spec: &crate::job::JobSpec) -> Value {
     let mut fields = match spec_to_value(spec) {
         Value::Obj(fields) => fields,
         _ => unreachable!("spec_to_value returns an object"),
@@ -386,7 +824,7 @@ pub fn request_submit(addr: &str, spec: &crate::job::JobSpec) -> Result<Value, S
             fields.push(("input".into(), s(path.display().to_string())))
         }
     }
-    request(addr, &obj(vec![("op", s("submit")), ("spec", Value::Obj(fields))]))
+    obj(vec![("op", s("submit")), ("spec", Value::Obj(fields))])
 }
 
 /// Client side: stream a done job's output in bounded chunks via
@@ -445,30 +883,37 @@ mod tests {
         assert!(parse_addr("unix:").is_err());
         assert!(parse_addr("nonsense").is_err());
         assert!(parse_addr("host:notaport").is_err());
+        // Rejection messages say what shape was expected.
+        let err = parse_addr("nonsense").unwrap_err();
+        assert!(err.contains("expected unix:/path or host:port"), "{err}");
+        assert!(err.contains("nonsense"), "message names the bad input: {err}");
+        let err = parse_addr("unix:").unwrap_err();
+        assert!(err.contains("socket path"), "{err}");
+        let err = parse_addr(":9999").unwrap_err();
+        assert!(err.contains("expected unix:"), "empty host rejected: {err}");
     }
 
-    #[test]
-    fn protocol_round_trips_over_a_unix_socket() {
-        use crate::job::{JobInput, JobSpec};
+    fn start_daemon(
+        tag: &str,
+        opts: ServeOptions,
+    ) -> (String, std::path::PathBuf, std::thread::JoinHandle<Result<(), String>>) {
         use crate::server::{Server, ServerConfig};
-
-        let dir = std::env::temp_dir().join(format!("nxsrv-net-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("nxsrv-net-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let sock = format!("unix:{}", dir.join("srv.sock").display());
         let server = Server::start(ServerConfig::new(2, dir.join("jobs"))).unwrap();
         let addr = sock.clone();
-        let daemon = std::thread::spawn(move || serve(server, &addr));
+        let daemon = std::thread::spawn(move || serve_with(server, &addr, opts));
+        connect_with_retry(&sock, &NetRetryPolicy::retries(300, 10, 7)).unwrap();
+        (sock, dir, daemon)
+    }
 
-        // The daemon needs a beat to bind; ping until it answers.
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        loop {
-            match request(&sock, &obj(vec![("op", s("ping"))])) {
-                Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => break,
-                _ if std::time::Instant::now() > deadline => panic!("daemon never came up"),
-                _ => std::thread::sleep(Duration::from_millis(10)),
-            }
-        }
+    #[test]
+    fn protocol_round_trips_over_a_unix_socket() {
+        use crate::job::{JobInput, JobSpec};
+
+        let (sock, dir, daemon) = start_daemon("rt", ServeOptions::default());
 
         let spec = JobSpec {
             input: JobInput::Inline(b"<r><x k=\"2\"/><x k=\"1\"/></r>".to_vec()),
@@ -503,6 +948,8 @@ mod tests {
         let resp = request(&sock, &obj(vec![("op", s("stats"))])).unwrap();
         let stats = resp.get("stats").unwrap();
         assert_eq!(stats.get("done").and_then(Value::as_u64), Some(1));
+        assert!(stats.get("conns_accepted").and_then(Value::as_u64).unwrap() >= 1);
+        assert_eq!(stats.get("draining").and_then(Value::as_bool), Some(false));
 
         // Unknown ops and malformed lines error without killing the server.
         let resp = request(&sock, &obj(vec![("op", s("frobnicate"))])).unwrap();
@@ -511,6 +958,232 @@ mod tests {
         let resp = request(&sock, &obj(vec![("op", s("shutdown"))])).unwrap();
         assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
         daemon.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn protocol_edges_error_without_closing_the_connection() {
+        use crate::job::{JobInput, JobSpec};
+
+        let (sock, dir, daemon) = start_daemon("edge", ServeOptions::default());
+
+        // One connection, several exchanges: a malformed line gets a
+        // structured error and the *same* connection keeps working.
+        let mut stream = connect(&sock).unwrap();
+        let mut send = |line: &str| -> Value {
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            stream.flush().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            parse(resp.trim()).unwrap()
+        };
+        let resp = send("{not json");
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(resp.get("error").and_then(Value::as_str).unwrap().contains("bad request"));
+        let resp = send("{\"op\":\"ping\"}");
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "conn survived");
+        drop(stream);
+
+        // wait with timeout_ms:0 returns the current state immediately.
+        let spec = JobSpec {
+            input: JobInput::Inline(b"<r><x k=\"1\"/></r>".to_vec()),
+            default_rule: Some("@k".into()),
+            ..JobSpec::default()
+        };
+        let id = request_submit(&sock, &spec).unwrap().get("id").and_then(Value::as_u64).unwrap();
+        let resp =
+            request(&sock, &obj(vec![("op", s("wait")), ("id", n(id)), ("timeout_ms", n(0))]))
+                .unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{}", resp.to_json());
+        assert!(resp.get("job").is_some(), "timeout 0 still reports the job");
+
+        // Let it finish, then fetch_chunk past EOF: empty chunk, eof true.
+        request(&sock, &obj(vec![("op", s("wait")), ("id", n(id)), ("timeout_ms", n(30_000))]))
+            .unwrap();
+        let total = request(
+            &sock,
+            &obj(vec![("op", s("fetch_chunk")), ("id", n(id)), ("offset", n(0)), ("len", n(64))]),
+        )
+        .unwrap()
+        .get("total")
+        .and_then(Value::as_u64)
+        .unwrap();
+        let resp = request(
+            &sock,
+            &obj(vec![
+                ("op", s("fetch_chunk")),
+                ("id", n(id)),
+                ("offset", n(total + 1000)),
+                ("len", n(64)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{}", resp.to_json());
+        assert_eq!(resp.get("chunk").and_then(Value::as_str), Some(""));
+        assert_eq!(resp.get("eof").and_then(Value::as_bool), Some(true));
+
+        // An oversized request line is rejected with a structured error.
+        let (tiny_sock, tiny_dir, tiny_daemon) =
+            start_daemon("tiny", ServeOptions { max_line_bytes: 128, ..ServeOptions::default() });
+        let mut stream = connect(&tiny_sock).unwrap();
+        let huge = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}\n", "x".repeat(4096));
+        stream.write_all(huge.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let resp = parse(resp.trim()).unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(
+            resp.get("error").and_then(Value::as_str).unwrap().contains("line too long"),
+            "{}",
+            resp.to_json()
+        );
+        let resp = request(&tiny_sock, &obj(vec![("op", s("stats"))])).unwrap();
+        assert_eq!(
+            resp.get("stats").and_then(|st| st.get("lines_too_long")).and_then(Value::as_u64),
+            Some(1)
+        );
+        request(&tiny_sock, &obj(vec![("op", s("shutdown"))])).unwrap();
+        tiny_daemon.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&tiny_dir);
+
+        // Unknown shutdown modes are rejected; the daemon stays up.
+        let resp = request(&sock, &obj(vec![("op", s("shutdown")), ("mode", s("later"))])).unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+        request(&sock, &obj(vec![("op", s("shutdown"))])).unwrap();
+        daemon.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn idle_deadline_reaps_silent_connections() {
+        let opts =
+            ServeOptions { idle_timeout_ms: 60, request_timeout_ms: 60, ..ServeOptions::default() };
+        let (sock, dir, daemon) = start_daemon("idle", opts);
+        // Open a connection and send nothing: the daemon must reap it.
+        let stream = connect(&sock).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = request(&sock, &obj(vec![("op", s("stats"))])).unwrap();
+            let timed_out = stats
+                .get("stats")
+                .and_then(|st| st.get("conns_timed_out"))
+                .and_then(Value::as_u64)
+                .unwrap();
+            if timed_out >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "idle connection never reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drop(stream);
+        request(&sock, &obj(vec![("op", s("shutdown"))])).unwrap();
+        daemon.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retrying_client_survives_scripted_response_faults() {
+        use crate::job::{JobInput, JobSpec};
+
+        // Every fault kind takes a turn corrupting a response; the
+        // retrying client must converge on exactly one job.
+        let plan = NetFaultPlan::new(5)
+            .at_exchange(0, NetFaultKind::Disconnect)
+            .at_exchange(1, NetFaultKind::Corrupt)
+            .at_exchange(2, NetFaultKind::TornFrame)
+            .stall_ms(5);
+        let opts = ServeOptions { fault_plan: Some(plan), ..ServeOptions::default() };
+        let (sock, dir, daemon) = start_daemon("flt", opts);
+
+        let spec = JobSpec {
+            input: JobInput::Inline(b"<r><x k=\"2\"/><x k=\"1\"/></r>".to_vec()),
+            default_rule: Some("@k".into()),
+            ..JobSpec::default()
+        };
+        let copts = ClientOptions::retries(8, 5, 11);
+        // The startup ping already burned some exchanges; submit twice with
+        // the same explicit token to prove dedup across faulted ACKs.
+        let mut req = submit_value(&JobSpec { idem: Some("edge-test".into()), ..spec });
+        let first = request_with_retry(&sock, &req, &copts).unwrap();
+        assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true), "{}", first.to_json());
+        let id = first.get("id").and_then(Value::as_u64).unwrap();
+        let again = request_with_retry(&sock, &req, &copts).unwrap();
+        assert_eq!(again.get("id").and_then(Value::as_u64), Some(id), "token adopts same job");
+
+        let resp = request_with_retry(
+            &sock,
+            &obj(vec![("op", s("wait")), ("id", n(id)), ("timeout_ms", n(30_000))]),
+            &copts,
+        )
+        .unwrap();
+        assert_eq!(
+            resp.get("job").and_then(|j| j.get("state")).and_then(Value::as_str),
+            Some("done"),
+            "{}",
+            resp.to_json()
+        );
+
+        let stats = request_with_retry(&sock, &obj(vec![("op", s("stats"))]), &copts).unwrap();
+        let stats = stats.get("stats").unwrap();
+        assert!(stats.get("conns_faulted").and_then(Value::as_u64).unwrap() >= 3);
+        assert!(stats.get("duplicate_submits").and_then(Value::as_u64).unwrap() >= 1);
+        assert!(stats.get("client_retries").and_then(Value::as_u64).unwrap() >= 1);
+
+        // Auto-idempotency: with retries on and no token, the client adds
+        // one, so even an unscripted resubmit of the same *object* stays
+        // a distinct job from a fresh submit of the same spec.
+        req = submit_value(&JobSpec {
+            input: JobInput::Inline(b"<r><y k=\"1\"/></r>".to_vec()),
+            default_rule: Some("@k".into()),
+            ..JobSpec::default()
+        });
+        let sent = with_auto_idem(&req, &copts);
+        assert!(
+            sent.get("spec").and_then(|sp| sp.get("idem")).and_then(Value::as_str).is_some(),
+            "retrying submit gains a token: {}",
+            sent.to_json()
+        );
+
+        let resp = request_with_retry(&sock, &obj(vec![("op", s("shutdown"))]), &copts).unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+        daemon.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_shutdown_parks_queued_jobs_and_reports() {
+        use crate::job::{JobInput, JobSpec};
+        use crate::server::{Server, ServerConfig};
+
+        let (sock, dir, daemon) = start_daemon("drain", ServeOptions::default());
+        let spec = JobSpec {
+            input: JobInput::Inline(b"<r><x k=\"2\"/><x k=\"1\"/></r>".to_vec()),
+            default_rule: Some("@k".into()),
+            ..JobSpec::default()
+        };
+        let id = request_submit(&sock, &spec).unwrap().get("id").and_then(Value::as_u64).unwrap();
+        request(&sock, &obj(vec![("op", s("wait")), ("id", n(id)), ("timeout_ms", n(30_000))]))
+            .unwrap();
+
+        let resp = request(
+            &sock,
+            &obj(vec![("op", s("shutdown")), ("mode", s("drain")), ("timeout_ms", n(10_000))]),
+        )
+        .unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{}", resp.to_json());
+        assert_eq!(resp.get("drained").and_then(Value::as_bool), Some(true));
+        daemon.join().unwrap().unwrap();
+
+        // The drained directory reopens with the finished job intact.
+        let server = Server::open(ServerConfig::new(1, dir.join("jobs"))).unwrap();
+        let st = server.status(id).expect("drained job survived the restart");
+        assert_eq!(st.state, crate::job::JobState::Done);
+        assert_eq!(server.stats().drains, 0, "a fresh open starts undrained");
+        server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

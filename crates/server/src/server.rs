@@ -33,6 +33,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -151,6 +152,39 @@ pub struct ServerStats {
     /// Violations recorded (process-wide) by the `NEXSORT_LOCKSAN=1`
     /// lock-discipline sanitizer; always 0 when the sanitizer is off.
     pub locksan_violations: u64,
+    /// True while the server is draining: admissions get lame-duck busy
+    /// replies and workers exit once no job is running.
+    pub draining: bool,
+    /// Drains initiated over this instance's lifetime.
+    pub drains: u64,
+    /// Submits deduplicated by idempotency token: each one is a retried
+    /// `submit` that adopted its existing job instead of sorting twice.
+    pub duplicate_submits: u64,
+    /// Connections the socket front end accepted.
+    pub conns_accepted: u64,
+    /// Connections closed by a read deadline (idle or mid-request).
+    pub conns_timed_out: u64,
+    /// Responses hit by an injected network fault (chaos testing).
+    pub conns_faulted: u64,
+    /// Requests dispatched by the socket front end.
+    pub requests: u64,
+    /// Requests rejected for exceeding the frame length cap.
+    pub lines_too_long: u64,
+    /// Retries performed (process-wide) by this process's
+    /// `request_with_retry` clients; observable here so in-process chaos
+    /// tests can assert the retry path actually ran.
+    pub client_retries: u64,
+}
+
+/// Counters the socket front end (`net::serve`) bumps per connection and
+/// per request. Plain atomics: they sit outside every lock order.
+#[derive(Debug, Default)]
+pub(crate) struct NetStats {
+    pub(crate) conns_accepted: AtomicU64,
+    pub(crate) conns_timed_out: AtomicU64,
+    pub(crate) conns_faulted: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) lines_too_long: AtomicU64,
 }
 
 /// One job's record in the in-memory table.
@@ -170,10 +204,17 @@ struct JobRecord {
 struct Core {
     queue: VecDeque<u64>,
     jobs: BTreeMap<u64, JobRecord>,
+    /// Idempotency token -> job id, covering every job ever accepted by
+    /// this directory (terminal ones included): a retried submit must adopt
+    /// its job no matter how far the job got in the meantime.
+    idem: BTreeMap<String, u64>,
     next_id: u64,
     submitted: u64,
     resumed_total: u64,
+    duplicate_submits: u64,
+    drains: u64,
     shutdown: bool,
+    draining: bool,
 }
 
 struct Shared {
@@ -181,6 +222,7 @@ struct Shared {
     arbiter: BudgetArbiter,
     core: TrackedMutex<Core>,
     cv: TrackedCondvar,
+    net: NetStats,
 }
 
 impl Shared {
@@ -249,12 +291,19 @@ impl Server {
         let mut core = Core {
             queue: VecDeque::new(),
             jobs: BTreeMap::new(),
+            idem: BTreeMap::new(),
             next_id: adopted.iter().map(|m| m.id + 1).max().unwrap_or(0),
             submitted: 0,
             resumed_total: 0,
+            duplicate_submits: 0,
+            drains: 0,
             shutdown: false,
+            draining: false,
         };
         for m in adopted {
+            if let Some(tok) = &m.spec.idem {
+                core.idem.insert(tok.clone(), m.id);
+            }
             let unfinished = !m.state.is_terminal();
             // A job with a staged input extent has a device image (and
             // journal) worth reattaching; one without re-runs from its
@@ -290,6 +339,7 @@ impl Server {
             cfg,
             core: TrackedMutex::new("server.core", core),
             cv: TrackedCondvar::new(),
+            net: NetStats::default(),
         });
         let workers = (0..shared.cfg.workers)
             .map(|_| {
@@ -341,11 +391,23 @@ impl Server {
                 "server jobs take XML text; .xrec inputs are not resumable across restarts".into(),
             ));
         }
-        // Admission: reserve a queue slot (or push back) and an id.
+        // Admission: reserve a queue slot (or push back) and an id. A
+        // resubmit carrying a known idempotency token short-circuits to its
+        // existing job -- the client's first submit was accepted but the
+        // ACK never arrived, so accepting again would sort twice.
         let id = {
             let mut core = self.shared.lock_core();
             if core.shutdown {
                 return Err(SubmitError::Busy("server is shutting down".into()));
+            }
+            if let Some(tok) = &spec.idem {
+                if let Some(&existing) = core.idem.get(tok) {
+                    core.duplicate_submits += 1;
+                    return Ok(existing);
+                }
+            }
+            if core.draining {
+                return Err(SubmitError::Busy("server is draining; not accepting new jobs".into()));
             }
             if core.queue.len() >= self.shared.cfg.queue_depth {
                 return Err(SubmitError::Busy(format!(
@@ -355,6 +417,11 @@ impl Server {
             }
             let id = core.next_id;
             core.next_id += 1;
+            // Register the token before the lock drops: a concurrent retry
+            // of the same submit must adopt this id, not race to a second.
+            if let Some(tok) = &spec.idem {
+                core.idem.insert(tok.clone(), id);
+            }
             id
         };
         // Make the job durable before announcing it.
@@ -376,6 +443,12 @@ impl Server {
             .store(&job_dir)
         })();
         if let Err(e) = persist {
+            // The job never became durable: un-register its token so a
+            // genuine resubmit is not pointed at a ghost.
+            if let Some(tok) = &spec.idem {
+                let mut core = self.shared.lock_core();
+                core.idem.remove(tok);
+            }
             return Err(SubmitError::Invalid(e));
         }
         spec.input = JobInput::Path(job_dir.join("input.xml"));
@@ -450,6 +523,13 @@ impl Server {
         // sanitizer's own bookkeeping lock, which must not nest under core.
         let lock_recoveries = locksan::poison_recoveries();
         let locksan_violations = locksan::violation_count() as u64;
+        // Socket-edge counters are plain atomics outside every lock order.
+        let conns_accepted = self.shared.net.conns_accepted.load(Ordering::Relaxed);
+        let conns_timed_out = self.shared.net.conns_timed_out.load(Ordering::Relaxed);
+        let conns_faulted = self.shared.net.conns_faulted.load(Ordering::Relaxed);
+        let requests = self.shared.net.requests.load(Ordering::Relaxed);
+        let lines_too_long = self.shared.net.lines_too_long.load(Ordering::Relaxed);
+        let client_retries = crate::net::client_retries();
         let core = self.shared.lock_core();
         let mut st = ServerStats {
             workers: self.shared.cfg.workers,
@@ -462,6 +542,15 @@ impl Server {
             budget_waiters,
             lock_recoveries,
             locksan_violations,
+            draining: core.draining,
+            drains: core.drains,
+            duplicate_submits: core.duplicate_submits,
+            conns_accepted,
+            conns_timed_out,
+            conns_faulted,
+            requests,
+            lines_too_long,
+            client_retries,
             ..ServerStats::default()
         };
         for rec in core.jobs.values() {
@@ -549,6 +638,51 @@ impl Server {
         }
     }
 
+    /// Enter lame-duck mode: new submits get a busy reply (retryable
+    /// backpressure), idle workers exit, running jobs keep their workers
+    /// until they settle. Queued jobs stay parked in their manifests and
+    /// run on the next [`Server::open`]. Idempotent.
+    pub fn begin_drain(&self) {
+        {
+            let mut core = self.shared.lock_core();
+            if core.draining {
+                return;
+            }
+            core.draining = true;
+            core.drains += 1;
+        }
+        self.shared.cv.notify_all();
+    }
+
+    /// Graceful drain: [`begin_drain`](Server::begin_drain), then block
+    /// until no job is running or `timeout` passes. Returns true when
+    /// every running job settled in time; false means the drain deadline
+    /// expired with work still on a worker (the caller may still shut
+    /// down -- the journal makes that equivalent to a kill -9, and the
+    /// next [`Server::open`] resumes without redoing committed passes).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.begin_drain();
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let core = self.shared.lock_core();
+                let busy = core.jobs.values().any(|r| matches!(r.state, JobState::Running));
+                if !busy {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// The socket front end's counters (bumped by `net::serve`).
+    pub(crate) fn net_stats(&self) -> &NetStats {
+        &self.shared.net
+    }
+
     /// Stop accepting work, let running jobs finish, and join the workers.
     /// Queued jobs stay queued in their manifests and run on the next
     /// [`Server::open`].
@@ -600,10 +734,17 @@ fn worker_loop(shared: &Arc<Shared>) {
         let id = {
             let mut core = shared.lock_core();
             loop {
-                if core.shutdown {
+                if core.shutdown || core.draining {
                     return;
                 }
                 if let Some(id) = core.queue.pop_front() {
+                    // Mark Running inside the same critical section as the
+                    // pop: a drain that observed "queue empty, none
+                    // running" between the two would think the job never
+                    // existed and declare the server idle too early.
+                    if let Some(rec) = core.jobs.get_mut(&id) {
+                        rec.state = JobState::Running;
+                    }
                     break id;
                 }
                 core = shared.cv.wait(core);

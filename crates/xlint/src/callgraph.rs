@@ -16,8 +16,21 @@ use crate::symbols;
 /// `wait`/`wait_timeout` are deliberately absent: a condvar wait under the
 /// lock is the one sanctioned block, checked separately for the
 /// predicate-loop shape.
-pub const BLOCKING_SEEDS: &[&str] =
-    &["sleep", "read_block", "write_block", "read_line", "read_exact", "accept", "recv"];
+pub const BLOCKING_SEEDS: &[&str] = &[
+    "sleep",
+    "read_block",
+    "write_block",
+    "read_line",
+    "read_exact",
+    "accept",
+    "recv",
+    // The hardened daemon edge (PR 10): the bounded framer parks on the
+    // socket, and connecting (with or without retries) parks on the dial.
+    "read_frame",
+    "fill_buf",
+    "connect",
+    "connect_with_retry",
+];
 
 /// Calls that publish a durability point. Holding a lock guard across one
 /// couples an in-memory critical section to device flushing (R14).
@@ -200,6 +213,25 @@ mod tests {
         );
         assert!(!a.may_block.contains("helper"), "test-only defs are skipped");
         assert!(!a.may_block.contains("prod"));
+    }
+
+    #[test]
+    fn framer_and_dial_seeds_taint_their_callers() {
+        // The daemon-edge seeds added for the hardened protocol layer:
+        // reading a frame and dialing a peer both park the thread, so any
+        // transitive caller lands in `may_block` (and R12 will flag it if
+        // it runs under the core lock).
+        let a = analysis_of(
+            "fn pump(r: &mut R) -> Frame { read_frame(r, max, idle, req) }\n\
+             fn handle(r: &mut R) { let f = pump(r); }\n\
+             fn dial(addr: &str) { connect_with_retry(addr, &policy); }\n\
+             fn boot(addr: &str) { dial(addr); }\n\
+             fn pure() { let x = 2; }\n",
+        );
+        for name in ["pump", "handle", "dial", "boot"] {
+            assert!(a.may_block.contains(name), "{name} should be block-tainted");
+        }
+        assert!(!a.may_block.contains("pure"));
     }
 
     #[test]

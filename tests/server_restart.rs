@@ -19,8 +19,12 @@ use std::time::Duration;
 
 use nexsort::{Nexsort, NexsortOptions, SortReport};
 use nexsort_baseline::stage_input;
-use nexsort_extmem::DiskBuilder;
-use nexsort_server::{JobInput, JobSpec, JobState, Server, ServerConfig};
+use nexsort_extmem::{DiskBuilder, NetRetryPolicy};
+use nexsort_server::json::Value;
+use nexsort_server::{
+    connect_with_retry, request_with_retry, submit_value, ClientOptions, JobInput, JobSpec,
+    JobState, Server, ServerConfig,
+};
 use nexsort_xml::build_spec;
 
 /// Small blocks so a few-hundred-element document still needs real merge
@@ -281,6 +285,112 @@ fn restart_also_reruns_jobs_that_never_started() {
     assert_eq!(st.state, JobState::Done, "{:?}", st.error);
     assert!(!st.resumed, "a never-started job re-runs fresh, not via resume");
     assert_eq!(server.fetch_output(id).unwrap(), want);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drained_daemon_restarts_without_redoing_committed_work() {
+    // Graceful drain is the polite sibling of kill-9: the daemon stops
+    // admitting, lets running jobs reach a stopping point, and exits. A
+    // restart over the same job directory must then behave exactly like the
+    // kill-9 restart -- byte-identical output, no committed pass redone.
+    //
+    // The whole exchange runs over the socket: startup uses the shared
+    // `connect_with_retry` helper (no hand-rolled polling), and the client
+    // side goes through the retrying `request_with_retry` path.
+    use nexsort_server::json::{n, obj, s};
+    let dir = tmpdir("drain");
+    let sock = format!("unix:{}", dir.join("drain.sock").display());
+
+    // One job that freezes mid-merge (the in-process SIGKILL stand-in) and
+    // one that completes cleanly while the drain waits for it.
+    let base =
+        JobSpec { block_size: BLOCK, mem_frames: 8, degeneration: true, ..JobSpec::default() };
+    let crash_spec = JobSpec {
+        input: JobInput::Inline(flat_doc(340, 11)),
+        default_rule: Some("@k:num".into()),
+        crash_after_ios: Some(140),
+        ..base.clone()
+    };
+    let clean_spec = JobSpec {
+        input: JobInput::Inline(flat_doc(200, 12)),
+        default_rule: Some("@k".into()),
+        ..base.clone()
+    };
+    let (crash_want, crash_base) = {
+        let JobInput::Inline(xml) = &crash_spec.input else { unreachable!() };
+        one_shot(xml, &crash_spec)
+    };
+    let (clean_want, _) = {
+        let JobInput::Inline(xml) = &clean_spec.input else { unreachable!() };
+        one_shot(xml, &clean_spec)
+    };
+
+    let cfg = ServerConfig::new(2, &dir);
+    let server = Server::open(cfg.clone()).unwrap();
+    let daemon = std::thread::spawn({
+        let sock = sock.clone();
+        move || nexsort_server::serve(server, &sock)
+    });
+    connect_with_retry(&sock, &NetRetryPolicy::retries(300, 10, 7)).unwrap();
+
+    let copts = ClientOptions::retries(3, 5, 42);
+    let submit = |spec: &JobSpec| -> u64 {
+        let resp = request_with_retry(&sock, &submit_value(spec), &copts).unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{}", resp.to_json());
+        resp.get("id").and_then(Value::as_u64).unwrap()
+    };
+    let crash_id = submit(&crash_spec);
+    let clean_id = submit(&clean_spec);
+
+    // The crash job must have started (and frozen) before the drain, or
+    // the restart would re-run it fresh instead of resuming its journal.
+    let req = obj(vec![("op", s("wait")), ("id", n(crash_id)), ("timeout_ms", n(120_000u64))]);
+    let resp = request_with_retry(&sock, &req, &copts).unwrap();
+    assert_eq!(
+        resp.get("job").and_then(|j| j.get("state")).and_then(Value::as_str),
+        Some("interrupted"),
+        "{}",
+        resp.to_json()
+    );
+
+    // Drain: running jobs reach a stopping point (the crash job froze,
+    // the clean one finishes), then the daemon exits its accept loop.
+    let req = obj(vec![("op", s("shutdown")), ("mode", s("drain")), ("timeout_ms", n(120_000u64))]);
+    let resp = request_with_retry(&sock, &req, &copts).unwrap();
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{}", resp.to_json());
+    assert_eq!(resp.get("drained").and_then(Value::as_bool), Some(true), "drain timed out");
+    daemon.join().unwrap().unwrap();
+
+    // Restart over the same directory: the frozen job resumes from its
+    // journal, the finished one is simply adopted as done.
+    let server = Server::open(cfg).unwrap();
+    assert!(server.wait_idle(Duration::from_secs(240)), "restarted daemon never went idle");
+    let st = server.wait(crash_id, Duration::from_secs(10)).unwrap();
+    assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+    assert!(st.resumed, "the drained-while-frozen job must resume via its journal");
+    assert_eq!(server.fetch_output(crash_id).unwrap(), crash_want);
+    let report = st.report.expect("resumed job carries a report");
+    assert_eq!(
+        report.degenerate_merges + report.committed_passes_skipped,
+        crash_base.degenerate_merges,
+        "drain + restart must not redo a committed merge pass"
+    );
+    let st = server.wait(clean_id, Duration::from_secs(10)).unwrap();
+    assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+    assert_eq!(server.fetch_output(clean_id).unwrap(), clean_want);
+    // A drained server no longer admits; the refusal is the retryable-busy
+    // kind so a retrying client backs off instead of erroring out.
+    server.begin_drain();
+    match server.submit(clean_spec.clone()) {
+        Err(nexsort_server::SubmitError::Busy(msg)) => {
+            assert!(msg.contains("draining"), "{msg}")
+        }
+        other => panic!("submit during drain should be busy, got {other:?}"),
+    }
+    assert!(server.stats().draining);
+    assert_eq!(server.stats().drains, 1);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
